@@ -1,0 +1,62 @@
+"""Ablation: measurement-mode detection vs appraisal-mode prevention.
+
+The paper studies IMA's measurement mode (fail-open: everything runs,
+a verifier judges after the fact).  Real IMA also offers appraisal
+(fail-closed: unsigned code never runs).  This bench runs the attack
+corpus under enforcement and quantifies the trade the paper's
+Discussion gestures at: appraisal *prevents* the file-dropping attacks
+outright, but the pure-interpreter attack (Aoyama) still executes --
+P5's deepest form survives even fail-closed enforcement -- and
+operationally every legitimate update must arrive signed.
+"""
+
+from __future__ import annotations
+
+from repro.attacks import AttackMode, all_attacks
+from repro.common.rng import SeededRng
+from repro.crypto.rsa import generate_keypair
+from repro.experiments.testbed import build_testbed, TestbedConfig
+from repro.kernelsim.appraisal import AppraisalDenied, sign_all_executables
+
+
+def _enforced_testbed(seed: str):
+    testbed = build_testbed(TestbedConfig(seed=seed))
+    key = generate_keypair(SeededRng(f"{seed}/distro-key"), bits=1024)
+    sign_all_executables(testbed.machine.vfs, key, "UbuntuIMA")
+    testbed.machine.appraisal.enforce = True
+    testbed.machine.appraisal.trust_key(key.public)
+    return testbed
+
+
+def test_ablation_appraisal_vs_measurement(benchmark, emit):
+    def signed_boot():
+        return _enforced_testbed("appraisal-bench")
+
+    testbed = benchmark.pedantic(signed_boot, rounds=3, iterations=1)
+    assert testbed.poll().ok  # signed system attests green under enforcement
+
+    emit()
+    emit("Ablation: measurement (detect) vs appraisal (prevent)")
+    blocked = []
+    executed = []
+    for sample in all_attacks():
+        trial_bed = _enforced_testbed(f"appraisal-bench/{sample.name}")
+        try:
+            sample.run(trial_bed.machine, AttackMode.BASIC)
+        except AppraisalDenied as exc:
+            blocked.append(sample.name)
+            continue
+        executed.append(sample.name)
+    emit(f"  blocked outright by appraisal: {len(blocked)}/8 ({', '.join(blocked)})")
+    emit(f"  still executed:                {len(executed)}/8 ({', '.join(executed)})")
+    assert len(blocked) == 8, "appraisal must block the whole file-dropping corpus"
+
+    # The inline-interpreter attack survives even enforcement.
+    aoyama = [sample for sample in all_attacks() if sample.name == "Aoyama"][0]
+    bed = _enforced_testbed("appraisal-bench/aoyama-adaptive")
+    report = aoyama.run(bed.machine, AttackMode.ADAPTIVE)
+    assert report.executions
+    emit("  Aoyama (adaptive, inline python): EXECUTES even under enforcement --")
+    emit("  P5's deepest form defeats fail-closed appraisal too.")
+    emit("  cost: every legitimate update must ship maintainer signatures")
+    emit("  (see bench_ablation_signed_hashes.py for that pipeline).")

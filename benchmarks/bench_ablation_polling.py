@@ -1,0 +1,50 @@
+"""Ablation: stop-on-failure (stock, P2) vs continue-on-failure (M2).
+
+DESIGN.md section 5: quantifies what the verifier's failure behaviour
+costs in *coverage* -- how many log entries go unexamined once a single
+false positive lands -- and what that means for detecting an attack
+hidden behind the FP.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.problems import p2_blind_verifier
+from repro.experiments.testbed import build_testbed, TestbedConfig
+
+
+def _scenario(continue_on_failure: bool):
+    testbed = build_testbed(TestbedConfig(
+        seed="ablation-polling", continue_on_failure=continue_on_failure,
+    ))
+    testbed.poll()
+    p2_blind_verifier(testbed.machine)
+    # The hidden attack lands *after* the FP in the log.
+    testbed.machine.install_file("/usr/bin/backdoor", b"bd", executable=True)
+    testbed.machine.exec_file("/usr/bin/backdoor")
+    result = testbed.poll()
+    detected = any(
+        failure.policy_failure is not None
+        and failure.policy_failure.path == "/usr/bin/backdoor"
+        for failure in testbed.verifier.failures_of(testbed.agent_id)
+    )
+    return result, detected
+
+
+def test_ablation_polling_behaviour(benchmark, emit):
+    result, _ = benchmark.pedantic(
+        lambda: _scenario(False), rounds=3, iterations=1
+    )
+
+    stock_result, stock_detected = _scenario(False)
+    m2_result, m2_detected = _scenario(True)
+
+    emit()
+    emit("Ablation: verifier failure behaviour (P2 vs M2)")
+    emit(f"  stock (halt):    entries skipped={stock_result.entries_skipped}, "
+          f"backdoor detected={stock_detected}")
+    emit(f"  M2 (continue):   entries skipped={m2_result.entries_skipped}, "
+          f"backdoor detected={m2_detected}")
+    assert not stock_detected, "stock verifier must miss the hidden attack"
+    assert m2_detected, "M2 must surface the hidden attack"
+    assert stock_result.entries_skipped > 0
+    assert m2_result.entries_skipped == 0

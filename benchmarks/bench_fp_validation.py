@@ -1,0 +1,50 @@
+"""E6 / Section III-D: the 66-day zero-false-positive validation.
+
+Prints the validation summary over both long runs (31 daily + 35
+weekly days) and the injected 2024-03-27 operator error, and benchmarks
+the steady-state verifier poll (the operation that ran continuously for
+66 days).
+
+Paper targets: zero FPs across 36 updates, except one operator error
+(installing from the official archive after the mirror sync).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.testbed import build_testbed, TestbedConfig
+
+
+def test_fp_validation_66_days(benchmark, emit, daily_result, weekly_result, incident_result):
+    testbed = build_testbed(TestbedConfig(seed="validation-bench"))
+    testbed.workload.daily(5)
+    testbed.poll()
+
+    result = benchmark(lambda: testbed.poll())
+    assert result.ok
+
+    total_days = daily_result.n_days + weekly_result.n_days
+    total_updates = len(daily_result.cycles) + len(weekly_result.cycles)
+    total_polls = daily_result.total_polls + weekly_result.total_polls
+    total_fps = len(daily_result.fp_incidents) + len(weekly_result.fp_incidents)
+
+    emit()
+    emit("Zero-FP validation (dynamic policy generation)")
+    emit(f"  simulated days:   {total_days} (paper: 66)")
+    emit(f"  update cycles:    {total_updates} (paper: 36)")
+    emit(f"  attestation polls: {total_polls}, all green")
+    emit(f"  false positives:  {total_fps} (paper: 0 in normal operation)")
+    assert total_fps == 0
+    assert daily_result.ok_polls == daily_result.total_polls
+    assert weekly_result.ok_polls == weekly_result.total_polls
+
+    emit("\nInjected operator error (2024-03-27 incident, day 30):")
+    incident_days = sorted({incident.day for incident in incident_result.fp_incidents})
+    emit(f"  FPs fired on days {incident_days} "
+          f"({len(incident_result.fp_incidents)} failures recorded)")
+    assert incident_result.fp_incidents, "the incident must fire a false positive"
+    assert min(incident_days) >= 30, "no FP before the operator error"
+    emit(
+        "  paper: the only attestation stop in 66 days was an operator\n"
+        "  installing from the official archive after the 05:00 mirror\n"
+        "  sync -- reproduced above; all other days stayed green."
+    )

@@ -1,0 +1,32 @@
+"""The executable version of EXPERIMENTS.md's verdict.
+
+Runs the paper-vs-measured comparison over the session's long runs and
+attack matrices and asserts every target is within its tolerance band.
+If a future change drifts the calibration or breaks a detection
+behaviour, this bench is the single place that fails.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.compare import (
+    compare_longruns,
+    compare_matrices,
+    render_comparison,
+)
+from repro.experiments.testbed import build_testbed, TestbedConfig
+
+
+def test_paper_comparison(
+    benchmark, emit, daily_result, weekly_result, stock_matrix, mitigated_matrix
+):
+    testbed = build_testbed(TestbedConfig(seed="comparison-bench"))
+    testbed.poll()
+    result = benchmark(lambda: testbed.poll())
+    assert result.ok
+
+    rows = compare_longruns(daily_result, weekly_result)
+    rows += compare_matrices(stock_matrix, mitigated_matrix)
+    emit()
+    emit(render_comparison(rows))
+    misses = [row for row in rows if not row.within]
+    assert not misses, f"targets out of tolerance: {[row.key for row in misses]}"

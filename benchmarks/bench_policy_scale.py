@@ -1,0 +1,61 @@
+"""Extension bench: policy-engine behaviour at production scale.
+
+The paper's day-1 policy is 323,734 lines (46 MB).  For continuous
+attestation to be viable, per-entry policy evaluation must not degrade
+with policy size, and (de)serialising the policy must stay tractable.
+This bench builds a paper-scale policy and measures both.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.common.units import format_bytes, format_duration
+from repro.keylime.policy import IBM_STYLE_EXCLUDES, RuntimePolicy
+from repro.kernelsim.ima import ImaLogEntry, template_hash
+
+PAPER_SCALE_LINES = 323_734
+
+
+def _build_policy(lines: int) -> RuntimePolicy:
+    policy = RuntimePolicy(excludes=list(IBM_STYLE_EXCLUDES))
+    measurements = {
+        f"/usr/lib/pkg{i // 77:05d}/exec-{i % 77:03d}": format(i, "064x")
+        for i in range(lines)
+    }
+    policy.merge_measurements(measurements)
+    return policy
+
+
+def _entry_for(policy: RuntimePolicy, path: str) -> ImaLogEntry:
+    digest = "sha256:" + policy.digests_for(path)[0]
+    return ImaLogEntry(
+        pcr=10, template_hash=template_hash(digest, path),
+        template="ima-ng", filedata_hash=digest, path=path,
+    )
+
+
+def test_policy_scale(benchmark, emit):
+    policy = _build_policy(PAPER_SCALE_LINES)
+    probe = _entry_for(policy, "/usr/lib/pkg02102/exec-042")
+
+    verdict, failure = benchmark(lambda: policy.evaluate_entry(probe))
+    assert failure is None
+
+    emit()
+    emit("Policy engine at the paper's production scale")
+    emit(f"  policy size: {policy.line_count():,} lines "
+         f"({format_bytes(policy.size_bytes())}; paper: 323,734 lines / 46 MB)")
+
+    started = time.perf_counter()
+    blob = policy.to_json()
+    serialise_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    RuntimePolicy.from_json(blob)
+    parse_seconds = time.perf_counter() - started
+    emit(f"  serialise: {format_duration(serialise_seconds)} "
+         f"({format_bytes(len(blob))} JSON); parse: {format_duration(parse_seconds)}")
+    emit("  per-entry evaluation is O(1) dict lookup -- see the benchmark")
+    emit("  table row for the measured sub-microsecond figure.")
+    assert serialise_seconds < 30
+    assert parse_seconds < 30

@@ -1,0 +1,114 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive experiment runs (31-day daily, 35-day weekly, the attack
+matrices) execute once per session and are shared by every bench that
+prints a table or figure.  The ``benchmark`` fixture then times a
+*representative unit of work* for that experiment (one generator run,
+one poll, one attack trial), so ``--benchmark-only`` output carries real
+performance numbers while each bench's stdout carries the reproduced
+paper artifact.
+
+Scale note: the synthetic release stream uses the paper-calibrated
+defaults (16.5 pkgs/day, ~77 executables/package); the *base system* is
+scaled down (~100 packages instead of the paper's ~4,200) because the
+figures and Table I measure per-update deltas, which are independent of
+base-system size.  EXPERIMENTS.md records this substitution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fn_matrix import FnMatrixResult, run_attack_matrix
+from repro.experiments.fp_week import FpWeekResult, run_fp_week
+from repro.experiments.longrun import LongRunResult, run_longrun
+from repro.experiments.testbed import TestbedConfig
+
+BENCH_SEED = "dsn2025-repro"
+
+
+@pytest.fixture()
+def emit(capfd):
+    """Print a reproduced table/figure straight to the terminal.
+
+    The artifacts the benches print are their primary output; pytest's
+    capture would hide them on passing runs, and ``disabled()`` only
+    takes effect when entered *inside* the test call, so benches call
+    this helper instead of ``print``.  The explicit flush matters: a
+    piped stdout is block-buffered, and anything still in the buffer
+    when capture re-engages is swallowed.
+    """
+    import sys
+
+    def _emit(*args, **kwargs) -> None:
+        with capfd.disabled():
+            print(*args, **kwargs)
+            sys.stdout.flush()
+
+    return _emit
+
+
+def bench_config(seed_suffix: str = "", **overrides) -> TestbedConfig:
+    """The standard benchmark-scale testbed configuration.
+
+    The package population is large enough (600 filler packages) that
+    uniform update draws rarely collide on a name within one day, and
+    the per-package executable count matches the paper's effective mean
+    (~77, pinned by Fig 5's 1,271 entries over Fig 4's 16.5 packages).
+    """
+    config = TestbedConfig(
+        seed=f"{BENCH_SEED}/{seed_suffix}",
+        n_filler_packages=600,
+        mean_exec_files=77.0,
+    )
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+@pytest.fixture(scope="session")
+def daily_result() -> LongRunResult:
+    """E2-E4/E6: the 31-day daily-update run (2024-02-26 -> 03-28).
+
+    The seed picks a 31-day window whose heavy-tailed update stream
+    resembles the paper's observed one (a handful of >100-package days
+    among mostly-small ones); see EXPERIMENTS.md for the comparison.
+    """
+    return run_longrun(config=bench_config("daily-h"), n_days=31, cadence_days=1)
+
+
+@pytest.fixture(scope="session")
+def weekly_result() -> LongRunResult:
+    """E5: the 35-day weekly-update run (2024-05-06 -> 06-03)."""
+    return run_longrun(config=bench_config("weekly"), n_days=35, cadence_days=7)
+
+
+@pytest.fixture(scope="session")
+def incident_result() -> LongRunResult:
+    """E6: the daily run with the 2024-03-27 operator error injected.
+
+    Day 30 of the 31-day window corresponds to March 27.
+    """
+    return run_longrun(
+        config=bench_config("incident"), n_days=31, cadence_days=1,
+        official_on_days={30},
+    )
+
+
+@pytest.fixture(scope="session")
+def fp_week_result() -> FpWeekResult:
+    """E1: the benign week against the static policy."""
+    config = bench_config("fpweek", policy_mode="static", continue_on_failure=True)
+    return run_fp_week(config=config, n_days=7)
+
+
+@pytest.fixture(scope="session")
+def stock_matrix() -> FnMatrixResult:
+    """E7: the 8-attack matrix against stock Keylime/IMA."""
+    return run_attack_matrix(mitigated=False, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def mitigated_matrix() -> FnMatrixResult:
+    """E7: the 8-attack matrix with M1-M4 applied."""
+    return run_attack_matrix(mitigated=True, seed=BENCH_SEED)

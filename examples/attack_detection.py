@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Attack detection: basic vs adaptive attackers, stock vs mitigated.
+
+Runs three of the paper's samples (one per category) against a fresh
+Keylime testbed in each configuration and prints what the verifier
+actually saw -- reproducing Table II's pattern: Keylime-unaware attacks
+are caught, Keylime-aware attacks evade via P1-P5, and the recommended
+mitigations close the gap for everything except the pure-interpreter
+Aoyama.
+
+Run:  python examples/attack_detection.py
+"""
+
+from repro.attacks import AttackMode
+from repro.attacks.botnets import Aoyama, Mirai
+from repro.attacks.ransomware import AvosLocker
+from repro.attacks.rootkits import Diamorphine
+from repro.experiments.fn_matrix import run_attack_trial
+from repro.experiments.testbed import TestbedConfig
+
+SAMPLES = [AvosLocker(), Diamorphine(), Mirai(), Aoyama()]
+
+
+def main() -> None:
+    print(f"{'sample':<14} {'mode':<9} {'ruleset':<10} "
+          f"{'detected':<9} {'alerting paths'}")
+    print("-" * 78)
+    for sample in SAMPLES:
+        for mode in (AttackMode.BASIC, AttackMode.ADAPTIVE):
+            for mitigated in (False, True):
+                if mode is AttackMode.BASIC and mitigated:
+                    continue  # basic attacks are already caught stock
+                trial = run_attack_trial(
+                    sample, mode, mitigated=mitigated,
+                    config=TestbedConfig(
+                        seed=f"demo/{sample.name}/{mode.value}/{mitigated}"
+                    ),
+                )
+                verdict = "YES" if trial.detected_live else (
+                    "reboot" if trial.detected_after_reboot else "no"
+                )
+                paths = ", ".join(trial.failing_paths[:2]) or "-"
+                print(f"{sample.name:<14} {mode.value:<9} "
+                      f"{trial.ruleset:<10} {verdict:<9} {paths}")
+
+    print("\nreading the table:")
+    print(" * basic attacks drop unknown executables in monitored paths ->")
+    print("   the IMA measurement misses the allowlist and Keylime alerts;")
+    print(" * adaptive attacks exploit P1 (/tmp excluded), P3 (tmpfs never")
+    print("   measured), P4 (no re-measure after mv) and P5 (interpreter")
+    print("   invocation) -> the verifier sees nothing attributable;")
+    print(" * with M1-M4 applied, every sample except Aoyama is caught --")
+    print("   Aoyama pipes its payload into python3 inline, so no file-based")
+    print("   measurement (even script execution control) can observe it.")
+
+
+if __name__ == "__main__":
+    main()

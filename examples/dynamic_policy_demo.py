@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Dynamic policy generation over two simulated weeks of OS updates.
+
+Reproduces the paper's Section III-C/D workflow at demo scale: a local
+mirror syncs daily at 05:00, the policy generator measures the day's
+new/changed packages and appends them to the runtime policy, the policy
+is pushed to the verifier, and only then does the machine upgrade --
+so attestation never fails, even across a kernel update and its reboot.
+
+The last day injects the paper's one observed failure: the operator
+installs from the *official* archive after the mirror sync, pulling
+package versions the policy has never seen.
+
+Run:  python examples/dynamic_policy_demo.py
+"""
+
+from repro.common.clock import days, hours
+from repro.distro.workload import ReleaseStreamConfig
+from repro.experiments.testbed import TestbedConfig, build_testbed
+
+N_DAYS = 14
+INCIDENT_DAY = 14
+
+
+def main() -> None:
+    config = TestbedConfig(
+        seed="dynamic-policy-demo",
+        stream=ReleaseStreamConfig(
+            mean_packages_per_day=8.0,
+            sd_packages_per_day=8.0,
+            mean_exec_files_per_package=15.0,
+            kernel_release_every_days=6,
+        ),
+    )
+    testbed = build_testbed(config)
+    print(f"initial dynamic policy: {testbed.policy.line_count()} entries "
+          f"(built from the mirror's {len(testbed.mirror)} packages)")
+
+    for day in range(1, N_DAYS + 1):
+        testbed.stream.generate_day(day)
+    testbed.orchestrator.schedule_cycles(
+        start_day=1, n_cycles=N_DAYS, official_on_days={INCIDENT_DAY},
+    )
+    testbed.verifier.start_polling(testbed.agent_id, 1800.0)
+    testbed.scheduler.every(
+        days(1), lambda: testbed.workload.daily(8), start=hours(12),
+    )
+    testbed.scheduler.run_until(days(N_DAYS + 1))
+
+    print(f"\n{'day':>4} {'pkgs':>5} {'hi-pri':>6} {'entries':>8} "
+          f"{'minutes':>8} {'reboot':>7} {'source':>9}")
+    for report in testbed.orchestrator.reports:
+        pr = report.policy_report
+        print(f"{report.day:>4} {pr.packages_total:>5} {pr.packages_high:>6} "
+              f"{pr.entries_added:>8} {pr.duration_seconds / 60:>8.2f} "
+              f"{'yes' if report.rebooted else '':>7} {report.source:>9}")
+
+    results = testbed.verifier.results_of(testbed.agent_id)
+    failures = testbed.verifier.failures_of(testbed.agent_id)
+    print(f"\nattestation polls: {len(results)} "
+          f"({sum(1 for result in results if result.ok)} green)")
+    print(f"machine kernel after the run: {testbed.machine.current_kernel}")
+
+    if failures:
+        first = failures[0]
+        print(f"\nthe day-{INCIDENT_DAY} operator error fired as expected:")
+        print(f"  {first.detail}")
+        print("  (installing from the official archive bypassed the mirror,")
+        print("   so the policy had never seen those package versions)")
+    clean_failures = [f for f in failures if f.time < days(INCIDENT_DAY)]
+    print(f"\nfalse positives before the injected error: {len(clean_failures)} "
+          "(the paper's 66-day validation saw zero)")
+
+
+if __name__ == "__main__":
+    main()

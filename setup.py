@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The offline environment lacks the ``wheel`` package, so PEP 660
+editable installs fail; ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation`` on newer setuptools) both work
+from this file. Metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

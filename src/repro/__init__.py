@@ -1,0 +1,33 @@
+"""repro -- a reproduction of "Towards Continuous Integrity Attestation
+and Its Challenges in Practice: A Case Study of Keylime" (DSN 2025).
+
+The package is layered bottom-up; see DESIGN.md for the full map:
+
+* :mod:`repro.common` -- simulated clock/scheduler, seeded RNG, events.
+* :mod:`repro.crypto` -- from-scratch RSA and certificate chains.
+* :mod:`repro.tpm` -- a software TPM 2.0 (PCR banks, signed quotes).
+* :mod:`repro.kernelsim` -- a simulated Linux kernel with IMA.
+* :mod:`repro.distro` -- an Ubuntu-like archive/mirror/apt/SNAP world.
+* :mod:`repro.keylime` -- the Keylime stack (agent, registrar,
+  verifier, tenant, runtime policies).
+* :mod:`repro.dynpolicy` -- the paper's dynamic policy generation.
+* :mod:`repro.attacks` -- the 8-sample attack corpus and P1-P5.
+* :mod:`repro.mitigations` -- the recommended fixes M1-M4.
+* :mod:`repro.experiments` -- harnesses for every table and figure.
+* :mod:`repro.analysis` -- ASCII renderers for the tables and figures.
+
+Quickstart::
+
+    from repro.experiments import build_testbed, TestbedConfig
+
+    testbed = build_testbed(TestbedConfig(seed=42))
+    testbed.workload.daily()
+    result = testbed.poll()
+    assert result.ok
+"""
+
+__version__ = "1.0.0"
+
+from repro.experiments.testbed import Testbed, TestbedConfig, build_testbed
+
+__all__ = ["Testbed", "TestbedConfig", "build_testbed", "__version__"]

@@ -1,0 +1,41 @@
+"""Rendering of the paper's tables and figures as ASCII.
+
+The benchmark harness prints these so a run's output can be compared
+side-by-side with the paper:
+
+* :mod:`repro.analysis.figures` -- Figs 3-5 as per-day bar series.
+* :mod:`repro.analysis.tables` -- Table I, Table II, the FP-week
+  cause breakdown, and the P1-P5 demo summaries.
+"""
+
+from repro.analysis.compare import (
+    PAPER_TARGETS,
+    compare_longruns,
+    compare_matrices,
+    render_comparison,
+)
+from repro.analysis.figures import render_fig3, render_fig4, render_fig5, render_series
+from repro.analysis.report import ReportScale, generate_report
+from repro.analysis.tables import (
+    render_fp_week,
+    render_problem_demos,
+    render_table1,
+    render_table2,
+)
+
+__all__ = [
+    "PAPER_TARGETS",
+    "ReportScale",
+    "compare_longruns",
+    "compare_matrices",
+    "generate_report",
+    "render_comparison",
+    "render_fig3",
+    "render_fig4",
+    "render_fig5",
+    "render_fp_week",
+    "render_problem_demos",
+    "render_series",
+    "render_table1",
+    "render_table2",
+]

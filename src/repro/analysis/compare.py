@@ -1,0 +1,125 @@
+"""Automated paper-vs-measured comparison.
+
+EXPERIMENTS.md records the comparison prose; this module encodes the
+paper's reported numbers as *data* and checks a run against them with
+explicit tolerances, so the claim "the shape holds" is executable.
+
+Tolerances are deliberately loose where the paper's value depends on
+hardware or Canonical's actual release calendar (times, sizes) and
+tight where the value is structural (detection counts, zero-FP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks import AttackMode
+from repro.experiments.fn_matrix import FnMatrixResult
+from repro.experiments.longrun import LongRunResult
+
+#: The paper's reported values (Section III-D, Table I, Table II).
+PAPER_TARGETS = {
+    "daily.minutes.mean": 2.36,
+    "daily.minutes.std": 5.26,
+    "daily.packages.mean": 16.5,
+    "daily.packages.std": 26.8,
+    "daily.packages_high.mean": 0.9,
+    "daily.packages_high.std": 2.2,
+    "daily.packages_low.mean": 15.6,
+    "daily.entries.mean": 1271.0,
+    "weekly.packages_low.mean": 76.4,
+    "weekly.packages_high.mean": 2.6,
+    "weekly.entries.mean": 5513.0,
+    "weekly.minutes.mean": 7.50,
+    "fp.normal_operation": 0.0,
+    "table2.basic_detected": 8.0,
+    "table2.adaptive_detected_live": 0.0,
+    "table2.mitigated_detected": 7.0,
+}
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One paper-vs-measured check."""
+
+    key: str
+    paper: float
+    measured: float
+    rel_tolerance: float
+    within: bool
+
+    def render(self) -> str:
+        """One table line."""
+        mark = "OK " if self.within else "OFF"
+        return (
+            f"  [{mark}] {self.key:<32} paper={self.paper:>10.2f} "
+            f"measured={self.measured:>10.2f} (tol ±{self.rel_tolerance:.0%})"
+        )
+
+
+def _row(key: str, measured: float, rel_tolerance: float) -> ComparisonRow:
+    paper = PAPER_TARGETS[key]
+    if paper == 0.0:
+        within = measured == 0.0
+    else:
+        within = abs(measured - paper) <= rel_tolerance * abs(paper)
+    return ComparisonRow(
+        key=key, paper=paper, measured=measured,
+        rel_tolerance=rel_tolerance, within=within,
+    )
+
+
+def compare_longruns(
+    daily: LongRunResult, weekly: LongRunResult
+) -> list[ComparisonRow]:
+    """Check the two long runs against Fig 3-5 / Table I targets."""
+    daily_stats = daily.summary()
+    weekly_stats = weekly.summary()
+    return [
+        _row("daily.minutes.mean", daily_stats["minutes"]["mean"], 0.5),
+        _row("daily.minutes.std", daily_stats["minutes"]["std"], 0.8),
+        _row("daily.packages.mean", daily_stats["packages"]["mean"], 0.5),
+        _row("daily.packages.std", daily_stats["packages"]["std"], 0.8),
+        _row("daily.packages_high.mean", daily_stats["packages_high"]["mean"], 0.8),
+        _row("daily.packages_low.mean", daily_stats["packages_low"]["mean"], 0.5),
+        _row("daily.entries.mean", daily_stats["entries"]["mean"], 0.5),
+        _row("weekly.packages_low.mean", weekly_stats["packages_low"]["mean"], 0.5),
+        _row("weekly.packages_high.mean", weekly_stats["packages_high"]["mean"], 0.8),
+        _row("weekly.entries.mean", weekly_stats["entries"]["mean"], 0.5),
+        _row("weekly.minutes.mean", weekly_stats["minutes"]["mean"], 0.5),
+        _row(
+            "fp.normal_operation",
+            float(len(daily.fp_incidents) + len(weekly.fp_incidents)),
+            0.0,
+        ),
+    ]
+
+
+def compare_matrices(
+    stock: FnMatrixResult, mitigated: FnMatrixResult
+) -> list[ComparisonRow]:
+    """Check the attack matrices against Table II's headline counts."""
+    adaptive_live = sum(
+        1 for trial in stock.trials
+        if trial.mode is AttackMode.ADAPTIVE and trial.detected_live
+    )
+    return [
+        _row("table2.basic_detected", float(stock.detected_count(AttackMode.BASIC)), 0.0),
+        _row("table2.adaptive_detected_live", float(adaptive_live), 0.0),
+        _row(
+            "table2.mitigated_detected",
+            float(mitigated.detected_count(AttackMode.ADAPTIVE)), 0.0,
+        ),
+    ]
+
+
+def render_comparison(rows: list[ComparisonRow]) -> str:
+    """ASCII table of checks plus a verdict line."""
+    lines = ["Paper-vs-measured comparison"]
+    lines += [row.render() for row in rows]
+    misses = [row for row in rows if not row.within]
+    if misses:
+        lines.append(f"verdict: {len(misses)}/{len(rows)} targets out of tolerance")
+    else:
+        lines.append(f"verdict: all {len(rows)} targets within tolerance")
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""ASCII renderings of the paper's figures.
+
+Each figure is a per-update bar series over the experiment days, with
+the summary statistics the paper quotes in the caption or text printed
+underneath.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common.units import summarize
+from repro.experiments.longrun import LongRunResult
+
+_BAR = "#"
+
+
+def render_series(
+    values: Sequence[float],
+    title: str,
+    unit: str,
+    width: int = 50,
+    label: str = "day",
+) -> str:
+    """Horizontal bar chart of one value per update."""
+    lines = [title, "=" * len(title)]
+    peak = max(values) if values else 0.0
+    for index, value in enumerate(values, start=1):
+        bar_len = int(round((value / peak) * width)) if peak > 0 else 0
+        lines.append(f"{label} {index:>3} | {_BAR * bar_len} {value:.2f} {unit}")
+    stats = summarize(values)
+    lines.append(
+        f"mean={stats['mean']:.2f} {unit}, std={stats['std']:.2f}, "
+        f"min={stats['min']:.2f}, max={stats['max']:.2f}, n={int(stats['n'])}"
+    )
+    return "\n".join(lines)
+
+
+def render_fig3(result: LongRunResult) -> str:
+    """Fig 3: time to update an existing Keylime policy, per update."""
+    return render_series(
+        result.update_minutes,
+        "Fig 3: Policy update time per update (minutes)",
+        "min",
+    )
+
+
+def render_fig4(result: LongRunResult) -> str:
+    """Fig 4: packages with executables per update (total and high-prio)."""
+    total = render_series(
+        [float(v) for v in result.packages_per_update],
+        "Fig 4: New/changed packages with executables per update",
+        "pkgs",
+    )
+    high = render_series(
+        [float(v) for v in result.high_priority_per_update],
+        "Fig 4 (inset): high-priority packages per update",
+        "pkgs",
+    )
+    return total + "\n\n" + high
+
+
+def render_fig5(result: LongRunResult) -> str:
+    """Fig 5: file entries added to the policy per update."""
+    return render_series(
+        [float(v) for v in result.entries_per_update],
+        "Fig 5: Added/changed policy file entries per update",
+        "entries",
+    )

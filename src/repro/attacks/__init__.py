@@ -1,0 +1,51 @@
+"""The false-negative study's attack corpus.
+
+Behavioural re-implementations of the paper's 8 samples across three
+categories (Table II):
+
+* **Ransomware** -- AvosLocker (:mod:`repro.attacks.ransomware`).
+* **Rootkits** -- Diamorphine, Reptile, Vlany
+  (:mod:`repro.attacks.rootkits`).
+* **Botnet C&C** -- Mirai, BASHLITE, Mortem-qBot, Aoyama
+  (:mod:`repro.attacks.botnets`).
+
+Each sample runs in two modes (:class:`AttackMode`):
+
+* ``BASIC`` -- the attacker is unaware of Keylime and deploys normally
+  (all 8 are detected, per the paper);
+* ``ADAPTIVE`` -- the attacker exploits the discovered problems P1-P5
+  (:mod:`repro.attacks.problems`) and evades in all 8 cases.
+
+Detection is *never* decided inside this package: attacks only perform
+filesystem/exec operations on the machine; whether Keylime notices is
+determined by the verifier exactly as in production.
+"""
+
+from repro.attacks.botnets import Aoyama, Bashlite, Mirai, MortemQbot
+from repro.attacks.framework import (
+    AttackMode,
+    AttackReport,
+    AttackSample,
+    PersistenceSpec,
+    all_attacks,
+)
+from repro.attacks.problems import Problem
+from repro.attacks.ransomware import AvosLocker
+from repro.attacks.rootkits import Diamorphine, Reptile, Vlany
+
+__all__ = [
+    "Aoyama",
+    "AttackMode",
+    "AttackReport",
+    "AttackSample",
+    "AvosLocker",
+    "Bashlite",
+    "Diamorphine",
+    "Mirai",
+    "MortemQbot",
+    "PersistenceSpec",
+    "Problem",
+    "Reptile",
+    "Vlany",
+    "all_attacks",
+]

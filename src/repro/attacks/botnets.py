@@ -1,0 +1,199 @@
+"""Botnet command-and-control: Mirai, BASHLITE, Mortem-qBot, Aoyama.
+
+The four C&C samples differ in exactly the dimensions the paper's
+problems care about:
+
+* **Mirai** -- drops an ELF bot binary; adaptively it executes from a
+  tmpfs filesystem (P3), producing *no* IMA entry at all.
+* **BASHLITE** -- shell-script loader plus an ELF bot; adaptively the
+  loader runs via ``bash loader.sh`` (P5) and keeps the bot in /tmp (P1).
+* **Mortem-qBot** -- the sample whose deployment script's use of /tmp
+  as a working directory led the authors to P1 in the first place.
+* **Aoyama** -- implemented entirely in Python.  Adaptively it feeds
+  its payload to the interpreter inline, which no file-based
+  measurement -- including the M4 mitigation -- can observe; it is the
+  one sample that stays undetected even after all recommended fixes
+  (the ✗ in Table II's mitigation column).
+"""
+
+from __future__ import annotations
+
+from repro.attacks.framework import AttackMode, AttackReport, AttackSample, PersistenceSpec
+from repro.attacks.problems import (
+    P1_STAGING_DIR,
+    P3_STAGING_DIR,
+    Problem,
+    p1_stage_and_run,
+    p3_stage_and_run,
+    p5_run_inline,
+    p5_run_script,
+)
+from repro.kernelsim.kernel import Machine
+
+_ALL_PROBLEMS = (
+    Problem.P1_UNMONITORED_DIRS,
+    Problem.P2_INCOMPLETE_LOG,
+    Problem.P3_UNMONITORED_FILESYSTEMS,
+    Problem.P4_NO_REEVALUATION,
+    Problem.P5_SCRIPT_INTERPRETERS,
+)
+
+
+class Mirai(AttackSample):
+    """Mirai: self-propagating IoT botnet, ELF bot binary."""
+
+    name = "Mirai"
+    category = "botnet"
+    problems_exploitable = _ALL_PROBLEMS
+    uses_scripts = True
+
+    def run_basic(self, machine: Machine, report: AttackReport) -> None:
+        """wget the bot into /usr/bin and run it (measured, detected)."""
+        machine.exec_file("/usr/bin/wget")  # the downloader itself is in-policy
+        bot = "/usr/bin/dvrHelper"  # Mirai's historical drop name
+        self.drop(machine, report, bot, self.payload("bot"))
+        self.execute(machine, report, bot)
+        report.persistence.append(PersistenceSpec(method="exec", path=bot))
+
+    def run_adaptive(self, machine: Machine, report: AttackReport) -> None:
+        """Run the bot from tmpfs (P3): IMA never produces an entry."""
+        report.problems_used = (Problem.P3_UNMONITORED_FILESYSTEMS,)
+        machine.exec_file("/usr/bin/wget")
+        path, result = p3_stage_and_run(machine, "dvrHelper", self.payload("bot"))
+        report.artifacts.append(path)
+        report.executions.append(result)
+        report.persistence.append(PersistenceSpec(method="exec", path=path))
+
+
+class Bashlite(AttackSample):
+    """BASHLITE/Gafgyt: shell loader + ELF bot."""
+
+    name = "BASHLITE"
+    category = "botnet"
+    problems_exploitable = _ALL_PROBLEMS
+    uses_scripts = True
+
+    def run_basic(self, machine: Machine, report: AttackReport) -> None:
+        """Loader installed executable in /usr/bin and run directly."""
+        loader = "/usr/bin/gafgyt-loader.sh"
+        self.drop(machine, report, loader, b"#!/bin/sh\nwget bot && ./bot\n")
+        result = machine.exec_shebang_script(loader, "/bin/sh")
+        report.executions.append(result)
+        bot = "/usr/bin/gafgyt"
+        self.drop(machine, report, bot, self.payload("bot"))
+        self.execute(machine, report, bot)
+        report.persistence.append(PersistenceSpec(method="exec", path=bot))
+
+    def run_adaptive(self, machine: Machine, report: AttackReport) -> None:
+        """Loader via ``bash loader.sh`` (P5); bot lives in /tmp (P1)."""
+        report.problems_used = (
+            Problem.P1_UNMONITORED_DIRS,
+            Problem.P5_SCRIPT_INTERPRETERS,
+        )
+        loader_result = p5_run_script(
+            machine,
+            f"{P1_STAGING_DIR}/gafgyt-loader.sh",
+            b"#!/bin/bash\nwget bot -O /tmp/gafgyt && /tmp/gafgyt\n",
+            interpreter="/bin/bash",
+        )
+        report.artifacts.append(f"{P1_STAGING_DIR}/gafgyt-loader.sh")
+        report.executions.append(loader_result)
+        path, result = p1_stage_and_run(machine, "gafgyt", self.payload("bot"))
+        report.artifacts.append(path)
+        report.executions.append(result)
+        report.persistence.append(PersistenceSpec(method="exec", path=path))
+
+
+class MortemQbot(AttackSample):
+    """Mortem-qBot: the sample whose /tmp working directory exposed P1."""
+
+    name = "Mortem-qBot"
+    category = "botnet"
+    problems_exploitable = _ALL_PROBLEMS
+    uses_scripts = True
+
+    def run_basic(self, machine: Machine, report: AttackReport) -> None:
+        """Deployment script stages in /tmp but installs the bot to /usr.
+
+        The staging itself is invisible (P1 -- this is how the authors
+        found the problem), but the installed bot executing from
+        /usr/sbin is measured and detected.
+        """
+        staged, stage_result = p1_stage_and_run(
+            machine, "qbot-build", self.payload("builder")
+        )
+        report.artifacts.append(staged)
+        report.executions.append(stage_result)
+        report.notes.append("staging in /tmp produced no verifier-visible entry")
+        bot = "/usr/sbin/qbotd"
+        self.drop(machine, report, bot, self.payload("bot"))
+        self.execute(machine, report, bot)
+        report.persistence.append(PersistenceSpec(method="exec", path=bot))
+
+    def run_adaptive(self, machine: Machine, report: AttackReport) -> None:
+        """Never leave /tmp: build, deploy and run under the exclusion."""
+        report.problems_used = (
+            Problem.P1_UNMONITORED_DIRS,
+            Problem.P5_SCRIPT_INTERPRETERS,
+        )
+        deploy = p5_run_script(
+            machine,
+            f"{P1_STAGING_DIR}/qbot-deploy.sh",
+            b"#!/bin/bash\ncd /tmp && tar xf qbot.tgz && make && ./qbotd\n",
+            interpreter="/bin/bash",
+        )
+        report.executions.append(deploy)
+        machine.exec_file("/usr/bin/tar")
+        machine.exec_file("/usr/bin/make")
+        path, result = p1_stage_and_run(machine, "qbotd", self.payload("bot"))
+        report.artifacts.append(path)
+        report.executions.append(result)
+        report.persistence.append(PersistenceSpec(method="exec", path=path))
+
+
+class Aoyama(AttackSample):
+    """Aoyama: a botnet client implemented entirely in Python."""
+
+    name = "Aoyama"
+    category = "botnet"
+    problems_exploitable = (
+        Problem.P1_UNMONITORED_DIRS,
+        Problem.P2_INCOMPLETE_LOG,
+        Problem.P3_UNMONITORED_FILESYSTEMS,
+        Problem.P5_SCRIPT_INTERPRETERS,
+    )
+    uses_scripts = True
+
+    _BOT_CODE = "import socket\n# ... aoyama C&C loop ...\n"
+
+    def run_basic(self, machine: Machine, report: AttackReport) -> None:
+        """Bot script dropped executable and run via shebang (detected)."""
+        bot = "/usr/local/lib/aoyama.py"
+        self.drop(machine, report, bot, b"#!/usr/bin/python3\n" + self._BOT_CODE.encode())
+        # /usr/local is excluded by the IBM-style policy, so the basic
+        # sample also drops a launcher into a monitored path, which is
+        # what gets it caught.
+        launcher = "/usr/bin/aoyama-launcher"
+        self.drop(machine, report, launcher, self.payload("launcher"))
+        self.execute(machine, report, launcher)
+        result = machine.exec_shebang_script(bot, "/usr/bin/python3")
+        report.executions.append(result)
+        report.persistence.append(PersistenceSpec(method="exec", path=launcher))
+
+    def run_adaptive(self, machine: Machine, report: AttackReport) -> None:
+        """Pure-interpreter execution: nothing for IMA to measure.
+
+        The payload is piped to ``python3 -c`` -- no file ever crosses
+        an exec boundary, so the attack evades even a machine with
+        script execution control (M4) enabled.  Re-infection at boot
+        re-fetches the payload the same way.
+        """
+        report.problems_used = (Problem.P5_SCRIPT_INTERPRETERS,)
+        result = p5_run_inline(machine, self._BOT_CODE, interpreter="/usr/bin/python3")
+        report.executions.append(result)
+        report.persistence.append(
+            PersistenceSpec(
+                method="inline", path="", interpreter="/usr/bin/python3",
+                code=self._BOT_CODE,
+            )
+        )

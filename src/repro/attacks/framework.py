@@ -1,0 +1,160 @@
+"""The attack framework: samples, modes, reports, persistence.
+
+An attack is a sequence of ordinary machine operations -- write a file,
+set its exec bit, execute it, load a module, move things around.  The
+framework records what the attack did (:class:`AttackReport`) so the
+experiment harness can later re-trigger the attack's *persistence*
+after a reboot ("detectable upon reboot" scenarios) and so tests can
+assert on the artifact set.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.attacks.problems import Problem
+from repro.kernelsim.kernel import ExecResult, Machine
+
+
+class AttackMode(Enum):
+    """Whether the attacker knows Keylime is watching."""
+
+    BASIC = "basic"
+    ADAPTIVE = "adaptive"
+
+
+@dataclass(frozen=True)
+class PersistenceSpec:
+    """How the attack relaunches itself after a reboot.
+
+    ``method`` is one of:
+
+    * ``"exec"`` -- direct execution of ``path``;
+    * ``"module"`` -- ``insmod path``;
+    * ``"interpreter"`` -- ``interpreter path`` (P5-style invocation);
+    * ``"inline"`` -- ``interpreter -c <code>`` (no file at all).
+    """
+
+    method: str
+    path: str
+    interpreter: str | None = None
+    code: str | None = None
+
+    def relaunch(self, machine: Machine) -> ExecResult | None:
+        """Re-trigger the persistence on (possibly rebooted) *machine*."""
+        if self.method == "exec":
+            if not machine.vfs.exists(self.path):
+                return None
+            return machine.exec_file(self.path)
+        if self.method == "module":
+            if not machine.vfs.exists(self.path):
+                return None
+            return machine.load_kernel_module(self.path)
+        if self.method == "interpreter":
+            if not machine.vfs.exists(self.path):
+                return None
+            assert self.interpreter is not None
+            return machine.run_with_interpreter(self.interpreter, self.path)
+        if self.method == "inline":
+            assert self.interpreter is not None and self.code is not None
+            return machine.run_interpreter_inline(self.interpreter, self.code)
+        raise ValueError(f"unknown persistence method {self.method!r}")
+
+
+@dataclass
+class AttackReport:
+    """What one attack run did to the machine."""
+
+    name: str
+    mode: AttackMode
+    artifacts: list[str] = field(default_factory=list)
+    executions: list[ExecResult] = field(default_factory=list)
+    persistence: list[PersistenceSpec] = field(default_factory=list)
+    problems_used: tuple[Problem, ...] = ()
+    notes: list[str] = field(default_factory=list)
+    #: P2 bait: benign-looking files planted to trip a false positive.
+    #: An alert pointing at a decoy is an FP from the operator's point
+    #: of view, not a detection of the attack, so the experiment's
+    #: detection metric excludes these paths.
+    decoys: list[str] = field(default_factory=list)
+
+    @property
+    def measured_paths(self) -> set[str]:
+        """Paths that actually produced IMA entries during the run."""
+        paths: set[str] = set()
+        for result in self.executions:
+            for entry in result.entries:
+                paths.add(entry.path)
+        return paths
+
+
+class AttackSample(abc.ABC):
+    """Base class for the 8 samples.
+
+    Subclasses define the metadata Table II reports and the two
+    behaviours.  ``problems_exploitable`` is the row's dot set: which
+    of P1-P5 this sample *can* leverage.
+    """
+
+    name: str = "attack"
+    category: str = "generic"
+    problems_exploitable: tuple[Problem, ...] = ()
+    #: True when the sample ships scripts/Makefiles (P5-relevant).
+    uses_scripts: bool = True
+
+    def run(self, machine: Machine, mode: AttackMode) -> AttackReport:
+        """Execute the sample in the given mode."""
+        report = AttackReport(name=self.name, mode=mode)
+        if mode is AttackMode.BASIC:
+            self.run_basic(machine, report)
+        else:
+            self.run_adaptive(machine, report)
+        return report
+
+    @abc.abstractmethod
+    def run_basic(self, machine: Machine, report: AttackReport) -> None:
+        """Deploy as a Keylime-unaware attacker would."""
+
+    @abc.abstractmethod
+    def run_adaptive(self, machine: Machine, report: AttackReport) -> None:
+        """Deploy exploiting P1-P5 to stay out of the attestation log."""
+
+    # -- shared helpers ------------------------------------------------------
+
+    def drop(
+        self, machine: Machine, report: AttackReport, path: str, payload: bytes,
+        executable: bool = True,
+    ) -> None:
+        """Write an attack artifact."""
+        machine.install_file(path, payload, executable=executable)
+        report.artifacts.append(path)
+
+    def execute(self, machine: Machine, report: AttackReport, path: str) -> ExecResult:
+        """Directly execute an artifact, recording the result."""
+        result = machine.exec_file(path)
+        report.executions.append(result)
+        return result
+
+    def payload(self, label: str) -> bytes:
+        """Deterministic payload bytes for this sample."""
+        return f"{self.name}:{label}".encode("utf-8") * 7
+
+
+def all_attacks() -> list[AttackSample]:
+    """The 8 samples in Table II's order."""
+    from repro.attacks.botnets import Aoyama, Bashlite, Mirai, MortemQbot
+    from repro.attacks.ransomware import AvosLocker
+    from repro.attacks.rootkits import Diamorphine, Reptile, Vlany
+
+    return [
+        AvosLocker(),
+        Diamorphine(),
+        Reptile(),
+        Vlany(),
+        Mirai(),
+        Bashlite(),
+        MortemQbot(),
+        Aoyama(),
+    ]

@@ -1,0 +1,127 @@
+"""The five problems (P1-P5) as reusable exploit primitives.
+
+Each primitive performs the machine operations that exploit one
+problem; the *evasion* itself is an emergent property of the kernel and
+Keylime models (IMA's cache and fsmagic rules, the policy's excludes,
+the verifier's halt-on-failure), not of anything in this module.
+
+| Problem | Layer   | Mechanism                                              |
+|---------|---------|--------------------------------------------------------|
+| P1      | Keylime | policy excludes directories (``/tmp``)                 |
+| P2      | Keylime | verifier halts on first failure -> incomplete log      |
+| P3      | IMA     | fsmagic rules exclude whole filesystems (tmpfs, proc)  |
+| P4      | IMA     | measure-once-per-inode -> move after staging           |
+| P5      | IMA     | interpreter invocation measures interpreter, not script|
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.kernelsim.kernel import ExecResult, Machine
+
+
+class Problem(Enum):
+    """The paper's P1-P5."""
+
+    P1_UNMONITORED_DIRS = "P1"
+    P2_INCOMPLETE_LOG = "P2"
+    P3_UNMONITORED_FILESYSTEMS = "P3"
+    P4_NO_REEVALUATION = "P4"
+    P5_SCRIPT_INTERPRETERS = "P5"
+
+
+#: Directory the study's policy excludes (P1).  It is on the root ext4
+#: filesystem, so IMA *does* measure files here -- under a path Keylime
+#: then ignores.
+P1_STAGING_DIR = "/tmp"
+
+#: A tmpfs location (P3).  IMA's fsmagic rules skip the whole
+#: filesystem, so nothing executed from here is ever measured.
+P3_STAGING_DIR = "/dev/shm"
+
+
+def p1_stage_and_run(
+    machine: Machine, name: str, payload: bytes
+) -> tuple[str, ExecResult]:
+    """P1: deploy and execute inside the policy-excluded ``/tmp``.
+
+    IMA measures the execution (``/tmp`` is ext4), but the recorded
+    path matches the policy's exclude regex, so the verifier skips it.
+    """
+    path = f"{P1_STAGING_DIR}/{name}"
+    machine.install_file(path, payload, executable=True)
+    return path, machine.exec_file(path)
+
+
+def p2_blind_verifier(machine: Machine, decoy_name: str = "decoy-helper") -> str:
+    """P2: trip a self-inflicted false positive to halt attestation.
+
+    The attacker drops a *benign* unknown executable in a monitored
+    directory and runs it.  The verifier sees NOT_IN_POLICY, marks the
+    agent failed and stops polling -- everything the attacker does
+    afterwards lands in a log nobody reads.
+    """
+    path = f"/usr/bin/{decoy_name}"
+    machine.install_file(path, b"#!/bin/sh\necho harmless\n", executable=True)
+    machine.exec_file(path)
+    return path
+
+
+def p3_stage_and_run(
+    machine: Machine, name: str, payload: bytes
+) -> tuple[str, ExecResult]:
+    """P3: deploy and execute from a tmpfs filesystem.
+
+    The fsmagic ``dont_measure`` rule means IMA produces no entry at
+    all; even a perfect Keylime policy sees nothing.
+    """
+    path = f"{P3_STAGING_DIR}/{name}"
+    machine.install_file(path, payload, executable=True)
+    return path, machine.exec_file(path)
+
+
+def p4_stage_move_run(
+    machine: Machine, name: str, payload: bytes, destination: str
+) -> tuple[str, str, ExecResult]:
+    """P4: stage in ``/tmp``, execute once, then move and re-execute.
+
+    The staging execution is measured under the Keylime-excluded
+    ``/tmp`` path.  The move stays within the root filesystem, so the
+    inode -- and IMA's cache entry -- survive; the execution at the
+    destination produces *no new measurement* and the destination path
+    never appears in the log.
+    """
+    staged = f"{P1_STAGING_DIR}/{name}"
+    machine.install_file(staged, payload, executable=True)
+    machine.exec_file(staged)  # measured as /tmp/<name>: excluded by policy
+    machine.move_file(staged, destination)
+    result = machine.exec_file(destination)  # cache hit: silent
+    return staged, destination, result
+
+
+def p5_run_script(
+    machine: Machine,
+    script_path: str,
+    script_body: bytes,
+    interpreter: str = "/usr/bin/python3",
+) -> ExecResult:
+    """P5: invoke a script through its interpreter.
+
+    ``python ./script.py`` execs only the interpreter; the script file
+    is opened as data and IMA never sees it.  The script needs no exec
+    bit and can live in a fully monitored directory.
+    """
+    machine.install_file(script_path, script_body, executable=False)
+    return machine.run_with_interpreter(interpreter, script_path)
+
+
+def p5_run_inline(
+    machine: Machine, code: str, interpreter: str = "/usr/bin/python3"
+) -> ExecResult:
+    """P5 variant that defeats even script execution control (M4).
+
+    The payload arrives via ``-c``/stdin -- no file is opened for
+    execution, so there is nothing for an opted-in interpreter to flag.
+    """
+    return machine.run_interpreter_inline(interpreter, code)

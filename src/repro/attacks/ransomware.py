@@ -1,0 +1,76 @@
+"""Ransomware: AvosLocker.
+
+AvosLocker's Linux variant is a single statically linked binary: no
+deployment scripts, no interpreter involvement (hence no P5 dot in
+Table II).  The behavioural model: drop the locker, execute it, and
+"encrypt" (overwrite) data files; persistence is a copy of the binary
+that relaunches at boot.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.framework import AttackMode, AttackReport, AttackSample, PersistenceSpec
+from repro.attacks.problems import Problem, p2_blind_verifier, p4_stage_move_run
+from repro.kernelsim.kernel import Machine
+
+#: Files the locker encrypts in the simulation.
+_TARGET_FILES = (
+    "/home/ubuntu/documents/report.odt",
+    "/home/ubuntu/documents/ledger.xlsx",
+    "/var/backups/db-dump.sql",
+)
+
+
+class AvosLocker(AttackSample):
+    """The AvosLocker ransomware sample."""
+
+    name = "AvosLocker"
+    category = "ransomware"
+    problems_exploitable = (
+        Problem.P1_UNMONITORED_DIRS,
+        Problem.P2_INCOMPLETE_LOG,
+        Problem.P3_UNMONITORED_FILESYSTEMS,
+        Problem.P4_NO_REEVALUATION,
+    )
+    uses_scripts = False  # binary-only: the one sample P5 cannot help
+
+    def _encrypt_targets(self, machine: Machine, report: AttackReport) -> None:
+        for target in _TARGET_FILES:
+            if not machine.vfs.exists(target):
+                machine.install_file(target, b"plaintext user data")
+            original = machine.vfs.read_file(target)
+            machine.vfs.write_file(target + ".avos", b"ENC:" + original)
+            machine.vfs.unlink(target)
+            report.notes.append(f"encrypted {target}")
+
+    def run_basic(self, machine: Machine, report: AttackReport) -> None:
+        """Keylime-unaware deployment: locker dropped into /usr/bin.
+
+        The unknown binary is executed from a monitored directory; its
+        NOT_IN_POLICY measurement is what detects the attack.
+        """
+        locker = "/usr/bin/avoslocker"
+        self.drop(machine, report, locker, self.payload("locker"))
+        self.execute(machine, report, locker)
+        self._encrypt_targets(machine, report)
+        report.persistence.append(PersistenceSpec(method="exec", path=locker))
+
+    def run_adaptive(self, machine: Machine, report: AttackReport) -> None:
+        """Keylime-aware deployment: blind the verifier, stage via /tmp.
+
+        P2 first (halt polling with a benign decoy), then P4: stage the
+        locker in the excluded /tmp, move it into /usr/bin, and run it
+        there without producing a single attributable log entry.
+        """
+        decoy = p2_blind_verifier(machine, decoy_name="avos-decoy")
+        report.decoys.append(decoy)
+        report.problems_used = (Problem.P2_INCOMPLETE_LOG, Problem.P4_NO_REEVALUATION)
+
+        staged, destination, result = p4_stage_move_run(
+            machine, "avoslocker", self.payload("locker"), "/usr/bin/avoslocker"
+        )
+        report.artifacts.append(staged)
+        report.artifacts.append(destination)
+        report.executions.append(result)
+        self._encrypt_targets(machine, report)
+        report.persistence.append(PersistenceSpec(method="exec", path=destination))

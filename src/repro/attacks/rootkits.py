@@ -1,0 +1,159 @@
+"""Rootkits: Diamorphine, Reptile (LKM) and Vlany (LD_PRELOAD).
+
+All three ship as source that must be built on the victim (Makefiles,
+helper scripts -- the P5 dots), then loaded: Diamorphine and Reptile as
+kernel modules (MODULE_CHECK hook), Vlany as a preloaded shared library
+(FILE_MMAP hook).  The paper's P4 discovery came from exactly these
+samples: their installers stage under ``/tmp`` and ``mv`` the built
+artifact into ``/usr``/``/lib``, which IMA never re-measures.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.framework import AttackMode, AttackReport, AttackSample, PersistenceSpec
+from repro.attacks.problems import (
+    P1_STAGING_DIR,
+    Problem,
+    p5_run_script,
+)
+from repro.kernelsim.kernel import Machine
+
+_ALL_PROBLEMS = (
+    Problem.P1_UNMONITORED_DIRS,
+    Problem.P2_INCOMPLETE_LOG,
+    Problem.P3_UNMONITORED_FILESYSTEMS,
+    Problem.P4_NO_REEVALUATION,
+    Problem.P5_SCRIPT_INTERPRETERS,
+)
+
+
+class _LkmRootkit(AttackSample):
+    """Shared behaviour of the two loadable-kernel-module rootkits."""
+
+    category = "rootkit"
+    problems_exploitable = _ALL_PROBLEMS
+    uses_scripts = True
+    module_name = "rootkit.ko"
+
+    def _compile(self, machine: Machine, report: AttackReport, workdir: str) -> str:
+        """Unpack sources and 'make' the module in *workdir*."""
+        source = f"{workdir}/{self.name.lower()}/module.c"
+        machine.install_file(source, self.payload("source"), executable=False)
+        report.artifacts.append(source)
+        # make invokes gcc -- both are in-policy system binaries.
+        machine.exec_file("/usr/bin/make")
+        machine.exec_file("/usr/bin/gcc")
+        built = f"{workdir}/{self.name.lower()}/{self.module_name}"
+        machine.install_file(built, self.payload("ko"), executable=True)
+        report.artifacts.append(built)
+        return built
+
+    def run_basic(self, machine: Machine, report: AttackReport) -> None:
+        """Build under /usr/src and insmod from there (measured, detected)."""
+        built = self._compile(machine, report, "/usr/src")
+        result = machine.load_kernel_module(built)
+        report.executions.append(result)
+        report.persistence.append(PersistenceSpec(method="module", path=built))
+
+    def run_adaptive(self, machine: Machine, report: AttackReport) -> None:
+        """Build under /tmp and insmod straight from it (P1 + P5).
+
+        The module *is* measured by IMA (MODULE_CHECK, /tmp is ext4),
+        but its recorded path falls under the policy's /tmp exclude.
+        The deployment script runs through bash, so even its activity
+        is invisible (P5).
+        """
+        report.problems_used = (
+            Problem.P1_UNMONITORED_DIRS,
+            Problem.P5_SCRIPT_INTERPRETERS,
+        )
+        deploy = p5_run_script(
+            machine,
+            f"{P1_STAGING_DIR}/{self.name.lower()}-setup.sh",
+            b"#!/bin/bash\nmake && insmod " + self.module_name.encode() + b"\n",
+            interpreter="/bin/bash",
+        )
+        report.executions.append(deploy)
+        built = self._compile(machine, report, P1_STAGING_DIR)
+        result = machine.load_kernel_module(built)
+        report.executions.append(result)
+        report.persistence.append(PersistenceSpec(method="module", path=built))
+
+
+class Diamorphine(_LkmRootkit):
+    """Diamorphine: the classic syscall-table LKM rootkit."""
+
+    name = "Diamorphine"
+    module_name = "diamorphine.ko"
+
+
+class Reptile(_LkmRootkit):
+    """Reptile: khook-based LKM rootkit with userland components."""
+
+    name = "Reptile"
+    module_name = "reptile.ko"
+
+    def run_basic(self, machine: Machine, report: AttackReport) -> None:
+        """Reptile also installs a userland client next to the module."""
+        super().run_basic(machine, report)
+        client = "/usr/bin/reptile_cmd"
+        self.drop(machine, report, client, self.payload("client"))
+        self.execute(machine, report, client)
+
+
+class Vlany(AttackSample):
+    """Vlany: an LD_PRELOAD (shared library) rootkit.
+
+    The library is injected into every dynamically linked process via
+    ``/etc/ld.so.preload``; the load is a PROT_EXEC mmap, so IMA's
+    FILE_MMAP hook measures the library -- once per inode (P4).
+    """
+
+    name = "Vlany"
+    category = "rootkit"
+    problems_exploitable = _ALL_PROBLEMS
+    uses_scripts = True
+
+    def _preload(self, machine: Machine, report: AttackReport, library: str) -> None:
+        machine.install_file("/etc/ld.so.preload", library.encode() + b"\n")
+        report.artifacts.append("/etc/ld.so.preload")
+        # ld.so maps the preloaded library into the next process start.
+        report.executions.append(machine.mmap_library(library))
+
+    def run_basic(self, machine: Machine, report: AttackReport) -> None:
+        """Install the library directly under /lib (measured, detected)."""
+        library = "/lib/x86_64-linux-gnu/libselinux.so.9"  # typosquatted name
+        self.drop(machine, report, library, self.payload("so"))
+        self._preload(machine, report, library)
+        report.persistence.append(PersistenceSpec(method="exec", path=library))
+
+    def run_adaptive(self, machine: Machine, report: AttackReport) -> None:
+        """Stage in /tmp, mmap once there, then move under /lib (P4).
+
+        The install script (bash -- P5) first loads the library from
+        /tmp (measured under the excluded path), then moves it to its
+        final home; subsequent loads hit IMA's cache and are silent.
+        """
+        report.problems_used = (
+            Problem.P1_UNMONITORED_DIRS,
+            Problem.P4_NO_REEVALUATION,
+            Problem.P5_SCRIPT_INTERPRETERS,
+        )
+        deploy = p5_run_script(
+            machine,
+            f"{P1_STAGING_DIR}/vlany-install.sh",
+            b"#!/bin/bash\ncp vlany.so /lib && echo /lib/vlany.so > /etc/ld.so.preload\n",
+            interpreter="/bin/bash",
+        )
+        report.executions.append(deploy)
+
+        staged = f"{P1_STAGING_DIR}/vlany.so"
+        machine.install_file(staged, self.payload("so"), executable=True)
+        report.artifacts.append(staged)
+        self._preload(machine, report, staged)  # measured under /tmp: excluded
+
+        library = "/lib/x86_64-linux-gnu/libselinux.so.9"
+        machine.move_file(staged, library)
+        report.artifacts.append(library)
+        self._preload(machine, report, library)  # cache hit: no entry
+        report.persistence.append(PersistenceSpec(method="exec", path=library))

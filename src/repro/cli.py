@@ -1,0 +1,291 @@
+"""Command-line interface to the reproduction.
+
+Each subcommand runs one of the paper's experiments at a configurable
+scale and prints the corresponding artifact:
+
+.. code-block:: console
+
+    $ repro-cli problems                 # P1-P5 demonstrations
+    $ repro-cli fp-week --days 5         # E1, the false-positive week
+    $ repro-cli longrun --days 10        # E2-E4 series + summary
+    $ repro-cli longrun --days 10 --incident-day 8
+    $ repro-cli table1 --days 14         # E5, daily vs weekly
+    $ repro-cli table2                   # E7, the full attack matrix
+    $ repro-cli attack Mirai --mode adaptive --mitigated
+
+The console script ``repro-cli`` is installed with the package;
+``python -m repro.cli`` works identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import (
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_fp_week,
+    render_problem_demos,
+    render_table1,
+    render_table2,
+)
+from repro.distro.workload import ReleaseStreamConfig
+from repro.experiments.testbed import TestbedConfig
+
+
+def _small_stream() -> ReleaseStreamConfig:
+    return ReleaseStreamConfig(
+        mean_packages_per_day=6.0,
+        sd_packages_per_day=6.0,
+        mean_exec_files_per_package=10.0,
+    )
+
+
+def _config(args: argparse.Namespace, **overrides) -> TestbedConfig:
+    config = TestbedConfig(
+        seed=args.seed,
+        n_filler_packages=args.fillers,
+        mean_exec_files=8.0,
+        stream=_small_stream(),
+    )
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+def _cmd_fp_week(args: argparse.Namespace) -> int:
+    from repro.experiments.fp_week import run_fp_week
+
+    config = _config(args, policy_mode="static", continue_on_failure=True)
+    result = run_fp_week(config=config, n_days=args.days)
+    print(render_fp_week(result))
+    return 0
+
+
+def _cmd_longrun(args: argparse.Namespace) -> int:
+    from repro.experiments.longrun import run_longrun
+
+    official = {args.incident_day} if args.incident_day is not None else None
+    result = run_longrun(
+        config=_config(args), n_days=args.days,
+        cadence_days=args.cadence, official_on_days=official,
+    )
+    print(render_fig3(result))
+    print()
+    print(render_fig4(result))
+    print()
+    print(render_fig5(result))
+    print(f"\nfalse positives: {len(result.fp_incidents)} "
+          f"({result.ok_polls}/{result.total_polls} polls green)")
+    for incident in result.fp_incidents[:5]:
+        print(f"  day {incident.day}: {incident.detail}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.longrun import run_longrun, table1_rows
+
+    daily = run_longrun(config=_config(args), n_days=args.days, cadence_days=1)
+    weekly = run_longrun(
+        config=_config(args, seed=f"{args.seed}/weekly"),
+        n_days=args.days, cadence_days=7,
+    )
+    print(render_table1(table1_rows(daily, weekly)))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.experiments.fn_matrix import run_attack_matrix
+
+    stock = run_attack_matrix(mitigated=False, seed=args.seed)
+    mitigated = run_attack_matrix(mitigated=True, seed=args.seed)
+    print(render_table2(stock, mitigated))
+    return 0
+
+
+def _cmd_problems(args: argparse.Namespace) -> int:
+    from repro.experiments.problems import run_all_demos
+
+    print(render_problem_demos(run_all_demos()))
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.attacks import AttackMode, all_attacks
+    from repro.experiments.fn_matrix import run_attack_trial
+
+    samples = {sample.name.lower(): sample for sample in all_attacks()}
+    sample = samples.get(args.name.lower())
+    if sample is None:
+        print(f"unknown attack {args.name!r}; choose from: "
+              f"{', '.join(sorted(s.name for s in all_attacks()))}",
+              file=sys.stderr)
+        return 2
+    trial = run_attack_trial(
+        sample, AttackMode(args.mode), mitigated=args.mitigated,
+        config=_config(args),
+    )
+    print(f"{trial.name} ({trial.mode.value}, {trial.ruleset}):")
+    print(f"  detected live:         {trial.detected_live}")
+    print(f"  detected after reboot: {trial.detected_after_reboot}")
+    print(f"  alerting paths:        {list(trial.failing_paths) or '-'}")
+    print(f"  problems exploited:    {list(trial.problems_used) or '-'}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cli",
+        description="Reproduction of the DSN 2025 Keylime case study.",
+    )
+    parser.add_argument("--seed", default="cli", help="experiment seed")
+    parser.add_argument(
+        "--fillers", type=int, default=40,
+        help="base-system filler packages (scale knob)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    fp_week = commands.add_parser("fp-week", help="E1: the false-positive week")
+    fp_week.add_argument("--days", type=int, default=7)
+    fp_week.set_defaults(func=_cmd_fp_week)
+
+    longrun = commands.add_parser(
+        "longrun", help="E2-E4: dynamic-policy long run (Figs 3-5)"
+    )
+    longrun.add_argument("--days", type=int, default=10)
+    longrun.add_argument("--cadence", type=int, default=1)
+    longrun.add_argument(
+        "--incident-day", type=int, default=None,
+        help="inject the official-archive operator error on this day",
+    )
+    longrun.set_defaults(func=_cmd_longrun)
+
+    table1 = commands.add_parser("table1", help="E5: daily vs weekly summary")
+    table1.add_argument("--days", type=int, default=14)
+    table1.set_defaults(func=_cmd_table1)
+
+    table2 = commands.add_parser("table2", help="E7: the 8-attack matrix")
+    table2.set_defaults(func=_cmd_table2)
+
+    problems = commands.add_parser("problems", help="E8: P1-P5 demonstrations")
+    problems.set_defaults(func=_cmd_problems)
+
+    attack = commands.add_parser("attack", help="run one attack trial")
+    attack.add_argument("name", help="sample name, e.g. Mirai")
+    attack.add_argument("--mode", choices=["basic", "adaptive"], default="basic")
+    attack.add_argument("--mitigated", action="store_true")
+    attack.set_defaults(func=_cmd_attack)
+
+    report = commands.add_parser(
+        "report", help="run every experiment and emit a markdown report"
+    )
+    report.add_argument("--out", default=None, help="write to this file")
+    report.add_argument("--days", type=int, default=10)
+    report.set_defaults(func=_cmd_report)
+
+    lint = commands.add_parser(
+        "lint", help="lint a runtime-policy JSON file's exclude rules"
+    )
+    lint.add_argument("policy_file", help="path to a policy JSON")
+    lint.set_defaults(func=_cmd_lint)
+
+    diff = commands.add_parser(
+        "diff", help="diff two runtime-policy JSON files"
+    )
+    diff.add_argument("old_file")
+    diff.add_argument("new_file")
+    diff.set_defaults(func=_cmd_diff)
+
+    stats = commands.add_parser(
+        "stats", help="coverage statistics for a runtime-policy JSON file"
+    )
+    stats.add_argument("policy_file")
+    stats.set_defaults(func=_cmd_stats)
+
+    return parser
+
+
+def _load_policy(path: str):
+    from repro.keylime.policy import RuntimePolicy
+
+    with open(path, "r", encoding="utf-8") as handle:
+        return RuntimePolicy.from_json(handle.read())
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.keylime.policytools import lint_excludes
+
+    policy = _load_policy(args.policy_file)
+    warnings = lint_excludes(policy)
+    if not warnings:
+        print(f"{args.policy_file}: no risky exclude rules")
+        return 0
+    for warning in warnings:
+        print(f"WARNING: {warning.describe()}")
+    print(f"{len(warnings)} risky exclude rule(s) -- see the paper's P1")
+    return 1
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.keylime.policytools import diff_policies
+
+    diff = diff_policies(_load_policy(args.old_file), _load_policy(args.new_file))
+    print(diff.summary())
+    for path in diff.added_paths[:20]:
+        print(f"  + {path}")
+    for path in diff.removed_paths[:20]:
+        print(f"  - {path}")
+    for path in diff.changed_paths[:20]:
+        print(f"  ~ {path}")
+    for pattern in diff.added_excludes:
+        print(f"  + exclude {pattern}")
+    for pattern in diff.removed_excludes:
+        print(f"  - exclude {pattern}")
+    return 0 if diff.is_empty else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.common.units import format_bytes
+    from repro.keylime.policytools import policy_statistics
+
+    stats = policy_statistics(_load_policy(args.policy_file))
+    print(f"paths:               {stats.paths}")
+    print(f"digests (lines):     {stats.digests}")
+    print(f"mid-update paths:    {stats.multi_digest_paths}")
+    print(f"exclude rules:       {stats.excludes}")
+    print(f"approx size:         {format_bytes(stats.size_bytes)}")
+    print("top directories:")
+    for directory, count in stats.top_directories:
+        print(f"  {count:>6}  {directory}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import ReportScale, generate_report
+
+    scale = ReportScale(
+        seed=str(args.seed), fillers=args.fillers, longrun_days=args.days,
+    )
+    text = generate_report(scale)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

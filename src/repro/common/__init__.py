@@ -1,0 +1,31 @@
+"""Shared infrastructure for the reproduction.
+
+This subpackage contains primitives used by every other layer of the
+system:
+
+* :mod:`repro.common.errors` -- the exception hierarchy.
+* :mod:`repro.common.clock` -- the simulated clock and discrete-event
+  scheduler that every "continuous" process in the reproduction runs on.
+* :mod:`repro.common.rng` -- seeded, named random streams so that every
+  experiment is reproducible bit-for-bit.
+* :mod:`repro.common.hexutil` -- digest/hex helpers shared by the TPM,
+  IMA, and policy layers.
+* :mod:`repro.common.events` -- a structured, queryable event log used to
+  record what happened during a simulation run.
+* :mod:`repro.common.units` -- human-readable formatting of sizes and
+  durations used by the analysis layer.
+"""
+
+from repro.common.clock import Scheduler, SimClock
+from repro.common.errors import ReproError
+from repro.common.events import EventLog, EventRecord
+from repro.common.rng import SeededRng
+
+__all__ = [
+    "EventLog",
+    "EventRecord",
+    "ReproError",
+    "Scheduler",
+    "SeededRng",
+    "SimClock",
+]

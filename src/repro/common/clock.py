@@ -1,0 +1,256 @@
+"""Simulated time and a discrete-event scheduler.
+
+The paper's experiments are *continuous*: a verifier polls an agent every
+few seconds for 66 days, mirrors sync at 05:00 daily, updates are applied
+on schedules, and attacks strike at chosen instants.  Re-running that in
+wall-clock time is obviously impossible, so the whole reproduction runs
+on a :class:`SimClock` -- a monotonically advancing virtual time measured
+in seconds since the start of the experiment -- and a :class:`Scheduler`
+that dispatches callbacks in timestamp order.
+
+Design notes
+------------
+
+* Time is a ``float`` number of seconds.  Helpers convert to and from
+  days/minutes because the paper reports both.
+* The scheduler is deliberately simple (a heap of ``(time, seq, fn)``)
+  rather than generator-based coroutines: every periodic process in the
+  system (verifier polling, mirror sync, update orchestration) is
+  naturally expressed as "do work, then reschedule myself".
+* Events scheduled at the same timestamp run in scheduling order, which
+  keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.errors import SimulationError
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+
+
+def minutes(value: float) -> float:
+    """Convert *value* minutes to seconds."""
+    return value * SECONDS_PER_MINUTE
+
+
+def hours(value: float) -> float:
+    """Convert *value* hours to seconds."""
+    return value * SECONDS_PER_HOUR
+
+
+def days(value: float) -> float:
+    """Convert *value* days to seconds."""
+    return value * SECONDS_PER_DAY
+
+
+class SimClock:
+    """A monotonically advancing virtual clock.
+
+    The clock only moves forward, and only through :meth:`advance_to` /
+    :meth:`advance_by`; nothing in the library reads wall-clock time.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time, in seconds since experiment start."""
+        return self._now
+
+    @property
+    def now_minutes(self) -> float:
+        """Current virtual time in minutes."""
+        return self._now / SECONDS_PER_MINUTE
+
+    @property
+    def now_days(self) -> float:
+        """Current virtual time in days."""
+        return self._now / SECONDS_PER_DAY
+
+    def day_index(self) -> int:
+        """Zero-based index of the current simulated day."""
+        return int(self._now // SECONDS_PER_DAY)
+
+    def time_of_day(self) -> float:
+        """Seconds elapsed since the current day's midnight."""
+        return self._now - self.day_index() * SECONDS_PER_DAY
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to *timestamp*.
+
+        Raises :class:`SimulationError` if *timestamp* is in the past --
+        virtual time never rewinds.
+        """
+        if timestamp < self._now:
+            raise SimulationError(
+                f"cannot rewind clock from t={self._now} to t={timestamp}"
+            )
+        self._now = float(timestamp)
+
+    def advance_by(self, delta: float) -> None:
+        """Move the clock forward by *delta* seconds (non-negative)."""
+        if delta < 0:
+            raise SimulationError(f"cannot advance clock by negative delta {delta}")
+        self._now += float(delta)
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    when: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Scheduler.call_at` to allow cancellation."""
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    @property
+    def when(self) -> float:
+        """Timestamp at which the event will fire."""
+        return self._event.when
+
+    @property
+    def label(self) -> str:
+        """Human-readable label given at scheduling time."""
+        return self._event.label
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._event.cancelled = True
+
+
+class Scheduler:
+    """A discrete-event scheduler over a :class:`SimClock`.
+
+    Callbacks are plain callables; a callback that needs to repeat simply
+    reschedules itself.  The scheduler advances the shared clock to each
+    event's timestamp before invoking it, so callbacks always observe
+    ``clock.now`` equal to their scheduled time.
+    """
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: list[_ScheduledEvent] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def call_at(
+        self, when: float, action: Callable[[], None], label: str = ""
+    ) -> EventHandle:
+        """Schedule *action* to run at absolute time *when*."""
+        if when < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event '{label}' at t={when}; now is t={self.clock.now}"
+            )
+        event = _ScheduledEvent(when=when, seq=next(self._seq), action=action, label=label)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def call_in(
+        self, delay: float, action: Callable[[], None], label: str = ""
+    ) -> EventHandle:
+        """Schedule *action* to run *delay* seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event '{label}' {delay}s in the past")
+        return self.call_at(self.clock.now + delay, action, label=label)
+
+    def every(
+        self,
+        interval: float,
+        action: Callable[[], None],
+        label: str = "",
+        start: float | None = None,
+    ) -> Callable[[], None]:
+        """Schedule *action* to repeat every *interval* seconds.
+
+        Returns a ``stop`` callable: invoking it prevents any further
+        repetitions (the currently scheduled one is cancelled too).
+        """
+        if interval <= 0:
+            raise SimulationError(f"repeat interval must be positive, got {interval}")
+        state: dict[str, EventHandle | bool] = {"stopped": False}
+
+        def tick() -> None:
+            if state["stopped"]:
+                return
+            action()
+            if not state["stopped"]:
+                state["handle"] = self.call_in(interval, tick, label=label)
+
+        first = self.clock.now + interval if start is None else start
+        state["handle"] = self.call_at(first, tick, label=label)
+
+        def stop() -> None:
+            state["stopped"] = True
+            handle = state.get("handle")
+            if isinstance(handle, EventHandle):
+                handle.cancel()
+
+        return stop
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns ``False`` when idle."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.when)
+            event.action()
+            return True
+        return False
+
+    def run_until(self, deadline: float) -> int:
+        """Run every event scheduled at or before *deadline*.
+
+        The clock finishes exactly at *deadline* even if the last event
+        fires earlier.  Returns the number of events dispatched.
+        """
+        dispatched = 0
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.when > deadline:
+                break
+            self.step()
+            dispatched += 1
+        if deadline > self.clock.now:
+            self.clock.advance_to(deadline)
+        return dispatched
+
+    def run_for(self, duration: float) -> int:
+        """Run every event in the next *duration* seconds."""
+        return self.run_until(self.clock.now + duration)
+
+    def run_all(self, max_events: int = 1_000_000) -> int:
+        """Drain the event queue completely (bounded by *max_events*)."""
+        dispatched = 0
+        while self.step():
+            dispatched += 1
+            if dispatched >= max_events:
+                raise SimulationError(
+                    f"scheduler did not quiesce after {max_events} events; "
+                    "a periodic task is probably never stopped"
+                )
+        return dispatched

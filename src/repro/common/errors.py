@@ -1,0 +1,58 @@
+"""Exception hierarchy for the reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so
+that callers can catch library failures without catching unrelated
+programming errors.  Each layer of the system has its own subtree; the
+classes here are only the ones shared across layers -- layer-specific
+errors (for example quote verification failures) live next to the code
+that raises them but still inherit from these bases.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured inconsistently.
+
+    Raised, for example, when a Keylime verifier is started without a
+    runtime policy, or when a mirror is asked to sync repositories it
+    was not configured to carry.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation was driven into an impossible state.
+
+    These indicate bugs in the *calling* code (scheduling an event in
+    the past, running a machine that was powered off) rather than
+    behaviours of the modelled system.
+    """
+
+
+class IntegrityError(ReproError):
+    """Cryptographic or log integrity verification failed.
+
+    Base class for quote-signature failures, IMA log/PCR mismatches and
+    policy digest mismatches.  Carries an optional ``context`` mapping
+    with structured details for the analysis layer.
+    """
+
+    def __init__(self, message: str, context: dict | None = None) -> None:
+        super().__init__(message)
+        self.context: dict = dict(context or {})
+
+
+class NotFoundError(ReproError):
+    """A named entity (file, package, agent, policy entry) is missing."""
+
+
+class StateError(ReproError):
+    """An operation was attempted in a state that does not allow it.
+
+    For example: quoting a TPM that has no attestation key loaded, or
+    executing a file whose execute bit is not set.
+    """

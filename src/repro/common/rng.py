@@ -1,0 +1,104 @@
+"""Seeded, named random streams.
+
+Every stochastic choice in the reproduction -- how many packages an
+Ubuntu release day contains, which files a ransomware sample encrypts,
+jitter on generator runtimes -- draws from a :class:`SeededRng`.  A
+single experiment seed fans out into independent named streams so that
+adding a draw to one subsystem does not perturb the sequences seen by
+another (the classic "seed hygiene" problem in simulation studies).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class SeededRng:
+    """A deterministic random stream with cheap named sub-streams.
+
+    The stream is a thin wrapper over :class:`random.Random`; the value
+    added is :meth:`fork`, which derives an independent child stream
+    from a (seed, name) pair via SHA-256 so that streams are stable
+    under refactoring.
+    """
+
+    def __init__(self, seed: int | str = 0, _material: bytes | None = None) -> None:
+        if _material is None:
+            _material = hashlib.sha256(repr(seed).encode("utf-8")).digest()
+        self._material = _material
+        self._random = random.Random(int.from_bytes(_material[:16], "big"))
+        self.seed_repr = repr(seed)
+
+    def fork(self, name: str) -> "SeededRng":
+        """Derive an independent child stream identified by *name*."""
+        material = hashlib.sha256(self._material + b"/" + name.encode("utf-8")).digest()
+        child = SeededRng(_material=material, seed=f"{self.seed_repr}/{name}")
+        return child
+
+    # -- draws ---------------------------------------------------------
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return self._random.random()
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in [low, high]."""
+        return self._random.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high] inclusive."""
+        return self._random.randint(low, high)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        """Uniformly choose one element of *seq*."""
+        return self._random.choice(seq)
+
+    def sample(self, seq: Sequence[T], k: int) -> list[T]:
+        """Choose *k* distinct elements of *seq*."""
+        return self._random.sample(seq, k)
+
+    def shuffle(self, items: list[T]) -> None:
+        """Shuffle *items* in place."""
+        self._random.shuffle(items)
+
+    def expovariate(self, rate: float) -> float:
+        """Exponential draw with the given rate (1/mean)."""
+        return self._random.expovariate(rate)
+
+    def lognormal(self, mu: float, sigma: float) -> float:
+        """Log-normal draw with underlying normal (mu, sigma)."""
+        return self._random.lognormvariate(mu, sigma)
+
+    def poisson(self, mean: float) -> int:
+        """Poisson draw via inversion (adequate for the small means used here)."""
+        if mean <= 0:
+            return 0
+        if mean > 700:
+            # Normal approximation to avoid exp underflow for huge means.
+            value = self._random.gauss(mean, mean**0.5)
+            return max(0, round(value))
+        import math
+
+        threshold = math.exp(-mean)
+        count = 0
+        product = self._random.random()
+        while product > threshold:
+            count += 1
+            product *= self._random.random()
+        return count
+
+    def bernoulli(self, probability: float) -> bool:
+        """True with the given probability."""
+        return self._random.random() < probability
+
+    def token(self, nbytes: int = 16) -> bytes:
+        """*nbytes* of deterministic pseudo-random bytes."""
+        return self._random.randbytes(nbytes)
+
+    def hexid(self, nbytes: int = 8) -> str:
+        """A deterministic hex identifier string."""
+        return self.token(nbytes).hex()

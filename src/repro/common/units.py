@@ -1,0 +1,90 @@
+"""Formatting helpers for sizes, durations and simple statistics.
+
+The analysis layer renders the paper's tables in ASCII; these helpers
+keep formatting consistent (the paper reports "0.16 MB", "2.36 minutes",
+means with standard deviations, and so on).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count the way the paper does (MB with 2 decimals)."""
+    if num_bytes < 1024:
+        return f"{num_bytes:.0f} B"
+    if num_bytes < 1024**2:
+        return f"{num_bytes / 1024:.1f} KB"
+    if num_bytes < 1024**3:
+        return f"{num_bytes / 1024 ** 2:.2f} MB"
+    return f"{num_bytes / 1024 ** 3:.2f} GB"
+
+
+def format_minutes(seconds: float) -> str:
+    """Render a duration in minutes with 2 decimals, as in Fig 3/Table I."""
+    return f"{seconds / 60.0:.2f} min"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in the largest natural unit."""
+    if seconds < 1:
+        return f"{seconds * 1000:.0f} ms"
+    if seconds < 120:
+        return f"{seconds:.1f} s"
+    if seconds < 7200:
+        return f"{seconds / 60:.1f} min"
+    if seconds < 2 * 86400:
+        return f"{seconds / 3600:.1f} h"
+    return f"{seconds / 86400:.1f} d"
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    items = list(values)
+    if not items:
+        return 0.0
+    return sum(items) / len(items)
+
+
+def stddev(values: Iterable[float]) -> float:
+    """Population standard deviation; 0.0 for fewer than two items."""
+    items = list(values)
+    if len(items) < 2:
+        return 0.0
+    mu = mean(items)
+    return math.sqrt(sum((value - mu) ** 2 for value in items) / len(items))
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """Linear-interpolated percentile (q in [0, 100])."""
+    items = sorted(values)
+    if not items:
+        return 0.0
+    if len(items) == 1:
+        return items[0]
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    rank = (q / 100.0) * (len(items) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return items[low]
+    weight = rank - low
+    return items[low] * (1 - weight) + items[high] * weight
+
+
+def summarize(values: Iterable[float]) -> dict[str, float]:
+    """Mean/std/min/max/median summary used throughout the benches."""
+    items = list(values)
+    if not items:
+        return {"n": 0, "mean": 0.0, "std": 0.0, "min": 0.0, "max": 0.0, "median": 0.0}
+    return {
+        "n": len(items),
+        "mean": mean(items),
+        "std": stddev(items),
+        "min": min(items),
+        "max": max(items),
+        "median": percentile(items, 50),
+    }

@@ -1,0 +1,140 @@
+"""Minimal certificates and chains for the TPM trust model.
+
+A real TPM ships with an Endorsement Key (EK) certificate signed by the
+TPM manufacturer's CA; Keylime's registrar validates that chain before
+trusting quotes from the corresponding attestation key.  This module
+models just enough of X.509 to express that: a certificate binds a
+subject name to an RSA public key, is signed by an issuer, and chains
+are verified back to a trusted root.
+
+Certificates are serialised canonically (sorted-key JSON without the
+signature field) so the signed bytes are unambiguous.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.common.errors import IntegrityError
+from repro.common.rng import SeededRng
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, generate_keypair
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed binding of *subject* to *public_key*.
+
+    Attributes:
+        subject: distinguished name of the key holder.
+        issuer: distinguished name of the signer.
+        public_key: the certified RSA public key.
+        serial: issuer-unique serial number.
+        signature: issuer's PKCS#1 v1.5 signature over :meth:`tbs_bytes`.
+    """
+
+    subject: str
+    issuer: str
+    public_key: RsaPublicKey
+    serial: int
+    signature: bytes = field(repr=False)
+
+    def tbs_bytes(self) -> bytes:
+        """The to-be-signed canonical encoding (everything but the signature)."""
+        return _tbs_bytes(self.subject, self.issuer, self.public_key, self.serial)
+
+    def verify_signature(self, issuer_key: RsaPublicKey) -> bool:
+        """True when *issuer_key* signed this certificate."""
+        return issuer_key.verify(self.tbs_bytes(), self.signature)
+
+    @property
+    def self_signed(self) -> bool:
+        """True for root certificates (subject == issuer)."""
+        return self.subject == self.issuer
+
+
+def _tbs_bytes(subject: str, issuer: str, public_key: RsaPublicKey, serial: int) -> bytes:
+    payload = {
+        "subject": subject,
+        "issuer": issuer,
+        "n": public_key.n,
+        "e": public_key.e,
+        "serial": serial,
+    }
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+class CertificateAuthority:
+    """A certificate issuer (e.g. a TPM manufacturer).
+
+    The CA holds its own keypair and self-signed root certificate, and
+    issues leaf certificates with monotonically increasing serials.
+    """
+
+    def __init__(self, name: str, rng: SeededRng, key_bits: int = 1024) -> None:
+        self.name = name
+        self._keypair: RsaKeyPair = generate_keypair(rng.fork("ca-key"), bits=key_bits)
+        self._next_serial = 1
+        root_tbs = _tbs_bytes(name, name, self._keypair.public, 0)
+        self.root_certificate = Certificate(
+            subject=name,
+            issuer=name,
+            public_key=self._keypair.public,
+            serial=0,
+            signature=self._keypair.sign(root_tbs),
+        )
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        """The CA's verification key."""
+        return self._keypair.public
+
+    def issue(self, subject: str, public_key: RsaPublicKey) -> Certificate:
+        """Issue a certificate binding *subject* to *public_key*."""
+        serial = self._next_serial
+        self._next_serial += 1
+        tbs = _tbs_bytes(subject, self.name, public_key, serial)
+        return Certificate(
+            subject=subject,
+            issuer=self.name,
+            public_key=public_key,
+            serial=serial,
+            signature=self._keypair.sign(tbs),
+        )
+
+
+def verify_chain(chain: list[Certificate], trusted_roots: list[Certificate]) -> None:
+    """Verify a leaf-first certificate chain against trusted roots.
+
+    *chain* is ordered leaf -> ... -> root-or-intermediate.  Each
+    certificate must be signed by the next one's key; the final
+    certificate must be signed by (or be) one of *trusted_roots*.
+
+    Raises :class:`IntegrityError` on any failure; returns ``None`` on
+    success so callers cannot accidentally ignore a failed check.
+    """
+    if not chain:
+        raise IntegrityError("empty certificate chain")
+    if not trusted_roots:
+        raise IntegrityError("no trusted roots configured")
+
+    for cert, issuer_cert in zip(chain, chain[1:]):
+        if cert.issuer != issuer_cert.subject:
+            raise IntegrityError(
+                f"chain break: {cert.subject!r} names issuer {cert.issuer!r}, "
+                f"but next certificate is for {issuer_cert.subject!r}"
+            )
+        if not cert.verify_signature(issuer_cert.public_key):
+            raise IntegrityError(
+                f"bad signature on certificate for {cert.subject!r}",
+                context={"subject": cert.subject, "issuer": cert.issuer},
+            )
+
+    last = chain[-1]
+    for root in trusted_roots:
+        if last.issuer == root.subject and last.verify_signature(root.public_key):
+            return
+    raise IntegrityError(
+        f"certificate for {last.subject!r} does not chain to a trusted root",
+        context={"subject": last.subject, "issuer": last.issuer},
+    )

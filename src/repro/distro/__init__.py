@@ -1,0 +1,50 @@
+"""An Ubuntu-like distribution substrate.
+
+The paper's dynamic policy generator sits on top of a real distribution
+pipeline: Canonical publishes package updates into the "Main",
+"Security" and "Updates" repositories of the Jammy archive; operators
+mirror those repositories locally, and machines install from the mirror
+on a controlled schedule.  This package simulates that pipeline:
+
+* :mod:`repro.distro.package` -- packages, priorities, and deterministic
+  per-version file contents.
+* :mod:`repro.distro.archive` -- the upstream archive: repositories and
+  timed releases.
+* :mod:`repro.distro.mirror` -- the operator's local mirror with its
+  sync schedule (the 05:00 sync in the paper's incident).
+* :mod:`repro.distro.apt` -- the package installer that applies updates
+  to a machine's filesystem (and models unattended upgrades).
+* :mod:`repro.distro.snap` -- SNAP packages: squashfs images executed
+  under confinement, producing the truncated IMA paths of Section III.
+* :mod:`repro.distro.workload` -- the synthetic release stream and the
+  benign operations workload, calibrated to the statistics the paper
+  reports (packages/day, files/update, priority mix).
+"""
+
+from repro.distro.apt import AptInstaller, UpdateReport
+from repro.distro.archive import Release, Repository, UbuntuArchive
+from repro.distro.mirror import LocalMirror
+from repro.distro.package import Package, PackageFile, Priority
+from repro.distro.release_signing import ArchiveSigner, InRelease, verify_inrelease
+from repro.distro.snap import SnapPackage, install_snap
+from repro.distro.workload import BenignWorkload, ReleaseStreamConfig, SyntheticReleaseStream
+
+__all__ = [
+    "AptInstaller",
+    "ArchiveSigner",
+    "BenignWorkload",
+    "InRelease",
+    "LocalMirror",
+    "Package",
+    "PackageFile",
+    "Priority",
+    "Release",
+    "ReleaseStreamConfig",
+    "Repository",
+    "SnapPackage",
+    "SyntheticReleaseStream",
+    "UbuntuArchive",
+    "UpdateReport",
+    "install_snap",
+    "verify_inrelease",
+]

@@ -1,0 +1,168 @@
+"""The package installer: applies archive/mirror packages to a machine.
+
+``AptInstaller`` is the simulation's ``apt``: it tracks what is
+installed on one machine and writes package files into the machine's
+VFS on install/upgrade.  Two behaviours from the paper:
+
+* **Unattended upgrades** -- Ubuntu updates itself daily unless told
+  otherwise; the false-positive experiment's alerts come from exactly
+  this path (``upgrade_from`` pointed at the *official archive*).
+* **Kernel installs do not switch kernels.**  Installing a
+  ``linux-image-*`` package writes ``/boot`` and ``/lib/modules`` files
+  and marks the kernel *pending*; the machine keeps running the old
+  kernel until reboot (Section III-C's kernel-module handling).
+
+Version ordering: the synthetic archive only ever moves forward, so the
+installer treats "version differs from installed" as an upgrade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.events import EventLog
+from repro.distro.package import Package, is_kernel_package, kernel_version_of
+from repro.kernelsim.kernel import Machine
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """Outcome of one upgrade run.
+
+    Attributes:
+        time: when the upgrade ran (simulated seconds).
+        upgraded: packages that moved to a new version.
+        newly_installed: packages installed for the first time.
+        files_written: count of files written to the filesystem.
+        executables_written: subset of those with the execute bit.
+        bytes_downloaded: compressed bytes fetched from the source.
+        source: label of the package source ("mirror" / "official").
+    """
+
+    time: float
+    upgraded: tuple[Package, ...] = field(default_factory=tuple)
+    newly_installed: tuple[Package, ...] = field(default_factory=tuple)
+    files_written: int = 0
+    executables_written: int = 0
+    bytes_downloaded: int = 0
+    source: str = "mirror"
+
+    @property
+    def packages(self) -> tuple[Package, ...]:
+        """Everything this run touched."""
+        return self.upgraded + self.newly_installed
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing needed doing."""
+        return not self.packages
+
+
+class AptInstaller:
+    """Per-machine package state and install operations."""
+
+    def __init__(self, machine: Machine, events: EventLog | None = None) -> None:
+        self.machine = machine
+        self.events = events if events is not None else machine.events
+        self._installed: dict[str, Package] = {}
+
+    @property
+    def installed(self) -> dict[str, Package]:
+        """name -> installed package (a copy)."""
+        return dict(self._installed)
+
+    def installed_version(self, package_name: str) -> str | None:
+        """Installed version of *package_name*, or ``None``."""
+        package = self._installed.get(package_name)
+        return package.version if package else None
+
+    def is_installed(self, package_name: str) -> bool:
+        """True when the package is installed."""
+        return package_name in self._installed
+
+    # -- operations --------------------------------------------------------
+
+    def install(self, package: Package) -> int:
+        """Install or upgrade a single package; returns files written."""
+        files_written = 0
+        for pf in package.files:
+            self.machine.install_file(
+                pf.path, package.content_of(pf.path), executable=pf.executable
+            )
+            files_written += 1
+        self._installed[package.name] = package
+        if is_kernel_package(package):
+            kver = kernel_version_of(package)
+            if kver != self.machine.current_kernel:
+                self.machine.pending_kernel = kver
+        self.events.emit(
+            self.machine.clock.now, "apt", "apt.installed",
+            package=package.name, version=package.version, files=files_written,
+        )
+        return files_written
+
+    def install_baseline(self, packages: list[Package]) -> int:
+        """Install the initial system image; returns total files written."""
+        total = 0
+        for package in packages:
+            total += self.install(package)
+        return total
+
+    def upgrade_from(
+        self,
+        source_index: dict[str, Package],
+        source: str = "mirror",
+        install_new: bool = False,
+        install_kernels: bool = True,
+    ) -> UpdateReport:
+        """Upgrade installed packages to the versions in *source_index*.
+
+        With ``install_new`` true, packages present in the source but
+        not installed are installed too (release upgrades); unattended
+        upgrades leave it false.  Kernel image packages are versioned
+        *names* (``linux-image-5.15.0-92-generic``), so a kernel update
+        always looks like a new package; the ``linux-generic``
+        metapackage pulls it in, modelled by ``install_kernels``.
+        """
+        upgraded: list[Package] = []
+        newly_installed: list[Package] = []
+        files_written = 0
+        executables_written = 0
+        bytes_downloaded = 0
+
+        for name, available in sorted(source_index.items()):
+            current = self._installed.get(name)
+            if current is None:
+                pulled_by_metapackage = install_kernels and is_kernel_package(available)
+                if not install_new and not pulled_by_metapackage:
+                    continue
+                if (
+                    pulled_by_metapackage
+                    and not install_new
+                    and not any(is_kernel_package(pkg) for pkg in self._installed.values())
+                ):
+                    continue  # machine has no kernel lineage to follow
+                newly_installed.append(available)
+            elif current.version == available.version:
+                continue
+            else:
+                upgraded.append(available)
+            files_written += self.install(available)
+            executables_written += len(available.executables)
+            bytes_downloaded += available.compressed_size
+
+        report = UpdateReport(
+            time=self.machine.clock.now,
+            upgraded=tuple(upgraded),
+            newly_installed=tuple(newly_installed),
+            files_written=files_written,
+            executables_written=executables_written,
+            bytes_downloaded=bytes_downloaded,
+            source=source,
+        )
+        self.events.emit(
+            self.machine.clock.now, "apt", "apt.upgraded",
+            package_source=source, upgraded=len(upgraded), new=len(newly_installed),
+            files=files_written,
+        )
+        return report

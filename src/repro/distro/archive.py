@@ -1,0 +1,199 @@
+"""The upstream distribution archive: repositories and timed releases.
+
+The archive is the simulation's stand-in for ``archive.ubuntu.com``: it
+holds the authoritative package index per repository ("main",
+"security", "updates") and a timeline of :class:`Release` events.  A
+release publishes new package versions (and occasionally brand-new
+packages) into one or more repositories at a specific simulated time --
+the timing matters because the paper's one real false positive came
+from a release landing *after* the mirror's daily sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError, NotFoundError
+from repro.distro.package import Package
+
+STANDARD_REPOSITORIES = ("main", "security", "updates")
+
+
+@dataclass(frozen=True)
+class Release:
+    """One publication event.
+
+    Attributes:
+        time: simulated time at which the packages become available.
+        packages: the published package versions (each carries its
+            target repository in ``package.repository``).
+        label: human-readable tag for logs ("daily 2024-03-27" etc.).
+    """
+
+    time: float
+    packages: tuple[Package, ...]
+    label: str = ""
+
+    @property
+    def packages_with_executables(self) -> tuple[Package, ...]:
+        """The subset Fig 4 counts."""
+        return tuple(pkg for pkg in self.packages if pkg.has_executables)
+
+
+class Repository:
+    """One named repository: latest version of each package."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._latest: dict[str, Package] = {}
+
+    def __len__(self) -> int:
+        return len(self._latest)
+
+    def __contains__(self, package_name: str) -> bool:
+        return package_name in self._latest
+
+    def publish(self, package: Package) -> None:
+        """Make *package* the latest version of its name."""
+        self._latest[package.name] = package
+
+    def latest(self, package_name: str) -> Package:
+        """Latest version of *package_name*."""
+        try:
+            return self._latest[package_name]
+        except KeyError:
+            raise NotFoundError(
+                f"package {package_name!r} not in repository {self.name!r}"
+            ) from None
+
+    def packages(self) -> list[Package]:
+        """All latest versions, sorted by name."""
+        return [self._latest[name] for name in sorted(self._latest)]
+
+
+class UbuntuArchive:
+    """The upstream archive with its release timeline."""
+
+    def __init__(self, repositories: tuple[str, ...] = STANDARD_REPOSITORIES) -> None:
+        if not repositories:
+            raise ConfigurationError("archive needs at least one repository")
+        self.repositories: dict[str, Repository] = {
+            name: Repository(name) for name in repositories
+        }
+        self._releases: list[Release] = []
+        self.signer = None  # optional ArchiveSigner (see enable_signing)
+        self.manifest_authority = None  # optional ManifestAuthority
+        self._manifests: dict[tuple[str, str], object] = {}
+
+    def enable_signing(self, signer) -> None:
+        """Attach a release signer; syncs can then be verified.
+
+        *signer* is a :class:`repro.distro.release_signing.ArchiveSigner`
+        (kept untyped here to avoid a dependency cycle).
+        """
+        self.signer = signer
+
+    def enable_manifests(self, authority) -> None:
+        """Attach a manifest authority: every published package version
+        gets a maintainer-signed hash manifest (the paper's Section V
+        proposal).  Already-published packages are signed retroactively.
+
+        *authority* is a
+        :class:`repro.dynpolicy.signedhashes.ManifestAuthority`.
+        """
+        self.manifest_authority = authority
+        for repository in self.repositories.values():
+            for package in repository.packages():
+                self._sign_manifest(package)
+
+    def _sign_manifest(self, package: Package) -> None:
+        if self.manifest_authority is None or package.key in self._manifests:
+            return
+        self._manifests[package.key] = self.manifest_authority.sign_package(package)
+
+    def manifest_for(self, package: Package):
+        """The signed manifest for one package version (or ``None``)."""
+        return self._manifests.get(package.key)
+
+    def effective_index(self, repositories: tuple[str, ...]) -> dict[str, Package]:
+        """name -> effective package for a subset of repositories.
+
+        Same precedence as :meth:`latest_index` (security > updates >
+        main), restricted to *repositories* -- the view a mirror
+        subscribing to those repos sees.
+        """
+        index: dict[str, Package] = {}
+        for repo_name in ("main", "updates", "security"):
+            if repo_name not in repositories or repo_name not in self.repositories:
+                continue
+            for package in self.repositories[repo_name].packages():
+                index[package.name] = package
+        return index
+
+    def inrelease_for(self, repositories: tuple[str, ...], now: float):
+        """The signed index snapshot a syncing mirror downloads.
+
+        Requires :meth:`enable_signing`; applies due releases first so
+        the signature covers exactly what is served at *now*.
+        """
+        if self.signer is None:
+            raise ConfigurationError("archive signing is not enabled")
+        self.apply_releases_until(now)
+        return self.signer.sign_index(now, self.effective_index(repositories))
+
+    def repository(self, name: str) -> Repository:
+        """Look up a repository by name."""
+        try:
+            return self.repositories[name]
+        except KeyError:
+            raise NotFoundError(f"archive has no repository {name!r}") from None
+
+    def seed(self, packages: list[Package]) -> None:
+        """Publish the initial package population at time zero."""
+        for package in packages:
+            self.repository(package.repository).publish(package)
+            self._sign_manifest(package)
+
+    def schedule_release(self, release: Release) -> None:
+        """Add a future release to the timeline (must stay time-ordered)."""
+        if self._releases and release.time < self._releases[-1].time:
+            raise ConfigurationError(
+                "releases must be scheduled in chronological order"
+            )
+        self._releases.append(release)
+
+    def releases_between(self, since: float, until: float) -> list[Release]:
+        """Releases with ``since < time <= until`` (mirror-sync window)."""
+        return [r for r in self._releases if since < r.time <= until]
+
+    def apply_releases_until(self, now: float) -> list[Release]:
+        """Publish every scheduled release due by *now* into the repos.
+
+        Idempotent: already-applied releases are tracked and skipped.
+        Returns the newly applied releases.
+        """
+        applied = []
+        for release in self._releases:
+            if release.time <= now and not getattr(release, "_applied", False):
+                for package in release.packages:
+                    self.repository(package.repository).publish(package)
+                    self._sign_manifest(package)
+                object.__setattr__(release, "_applied", True)
+                applied.append(release)
+        return applied
+
+    def latest_index(self) -> dict[str, Package]:
+        """name -> latest package across all repositories.
+
+        When a name exists in several repositories (e.g. a security
+        rebuild of a main package), "security" wins over "updates" wins
+        over "main" -- apt's effective pin ordering for this layout.
+        """
+        index: dict[str, Package] = {}
+        for repo_name in ("main", "updates", "security"):
+            repo = self.repositories.get(repo_name)
+            if repo is None:
+                continue
+            for package in repo.packages():
+                index[package.name] = package
+        return index

@@ -1,0 +1,121 @@
+"""The operator's local mirror of the distribution archive.
+
+Section III-C: to control updates, the operator disables unattended
+upgrades and mirrors the "Main", "Security" and "Updates" repositories
+locally.  Machines install from the mirror, and the dynamic policy
+generator measures packages from the mirror, so policy and filesystem
+can never disagree -- *as long as machines really do install from the
+mirror*.  The paper's single observed false positive was an operator
+installing from the official archive after the 05:00 mirror sync had
+already run; :class:`LocalMirror` keeps enough state (sync timestamps,
+package snapshots) to reproduce exactly that incident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.events import EventLog
+from repro.distro.archive import STANDARD_REPOSITORIES, UbuntuArchive
+from repro.distro.package import Package
+
+
+@dataclass(frozen=True)
+class SyncReport:
+    """Outcome of one mirror sync."""
+
+    time: float
+    new_packages: tuple[Package, ...]
+    changed_packages: tuple[Package, ...]
+
+    @property
+    def total(self) -> int:
+        """Number of package versions pulled."""
+        return len(self.new_packages) + len(self.changed_packages)
+
+
+class LocalMirror:
+    """A synced snapshot of selected archive repositories."""
+
+    def __init__(
+        self,
+        archive: UbuntuArchive,
+        repositories: tuple[str, ...] = STANDARD_REPOSITORIES,
+        events: EventLog | None = None,
+    ) -> None:
+        for name in repositories:
+            if name not in archive.repositories:
+                raise ConfigurationError(
+                    f"cannot mirror {name!r}: archive does not carry it"
+                )
+        self.archive = archive
+        self.repositories = repositories
+        self.events = events if events is not None else EventLog()
+        self._index: dict[str, Package] = {}
+        self.last_sync_time: float | None = None
+
+    def __contains__(self, package_name: str) -> bool:
+        return package_name in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def packages(self) -> list[Package]:
+        """Every mirrored package (latest synced version), sorted by name."""
+        return [self._index[name] for name in sorted(self._index)]
+
+    def latest(self, package_name: str) -> Package:
+        """The mirrored version of *package_name*."""
+        from repro.common.errors import NotFoundError
+
+        try:
+            return self._index[package_name]
+        except KeyError:
+            raise NotFoundError(f"mirror does not carry {package_name!r}") from None
+
+    def index(self) -> dict[str, Package]:
+        """name -> mirrored package (a copy)."""
+        return dict(self._index)
+
+    def sync(self, now: float, trusted_key=None) -> SyncReport:
+        """Pull the archive state as of *now* into the mirror.
+
+        Releases published to the archive *after* this instant are not
+        visible until the next sync -- the gap the paper's incident fell
+        into.
+
+        With *trusted_key* (the pinned archive release key, an
+        :class:`repro.crypto.rsa.RsaPublicKey`), the sync verifies the
+        archive's signed index (InRelease) against the content served
+        and **aborts without adopting anything** when verification
+        fails -- apt's behaviour on a tampered mirror.
+        """
+        self.archive.apply_releases_until(now)
+        # Security wins over updates wins over main, matching the archive.
+        upstream = self.archive.effective_index(self.repositories)
+
+        if trusted_key is not None:
+            from repro.distro.release_signing import verify_inrelease
+
+            inrelease = self.archive.inrelease_for(self.repositories, now)
+            verify_inrelease(inrelease, upstream, trusted_key)
+
+        new: list[Package] = []
+        changed: list[Package] = []
+        for name, package in upstream.items():
+            existing = self._index.get(name)
+            if existing is None:
+                new.append(package)
+            elif existing.version != package.version:
+                changed.append(package)
+        self._index = upstream
+        self.last_sync_time = now
+        report = SyncReport(
+            time=now, new_packages=tuple(new), changed_packages=tuple(changed)
+        )
+        self.events.emit(
+            now, "mirror", "mirror.synced",
+            new=len(new), changed=len(changed), total_index=len(self._index),
+        )
+        return report

@@ -1,0 +1,186 @@
+"""Packages, priorities, and deterministic file contents.
+
+A package is a named, versioned set of files, some of which are
+executables (binaries, shared libraries, kernel modules, maintainer
+scripts).  File *content* is derived deterministically from
+``(package, version, path)`` so that:
+
+* two machines installing the same package version get byte-identical
+  files (and therefore identical IMA hashes), and
+* a new version of a package changes every file's hash -- which is what
+  makes a stale Keylime policy fire "hash mismatch" false positives.
+
+Priorities mirror Debian's: the paper buckets "Essential", "Required",
+"Important" and "Standard" as *high priority* and "Optional"/"Extra" as
+*low priority* when counting packages per update (Fig 4, Table I).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Priority(Enum):
+    """Debian package priorities."""
+
+    ESSENTIAL = "essential"
+    REQUIRED = "required"
+    IMPORTANT = "important"
+    STANDARD = "standard"
+    OPTIONAL = "optional"
+    EXTRA = "extra"
+
+    @property
+    def is_high(self) -> bool:
+        """The paper's high-priority bucket."""
+        return self in (
+            Priority.ESSENTIAL,
+            Priority.REQUIRED,
+            Priority.IMPORTANT,
+            Priority.STANDARD,
+        )
+
+
+@dataclass(frozen=True)
+class PackageFile:
+    """One file shipped by a package.
+
+    Attributes:
+        path: absolute install path.
+        executable: whether the file carries an execute bit (the only
+            files IMA measures and the policy generator hashes).
+        size: nominal size in bytes, used by the generator cost model.
+    """
+
+    path: str
+    executable: bool
+    size: int = 4096
+
+
+def file_content(package: str, version: str, path: str) -> bytes:
+    """Deterministic content bytes for a packaged file.
+
+    The bytes are a hash-expanded token: unique per (package, version,
+    path) triple, so version bumps change every file hash.
+    """
+    seed = f"{package}={version}:{path}".encode("utf-8")
+    return hashlib.sha256(seed).digest() + seed
+
+
+def file_sha256(package: str, version: str, path: str) -> str:
+    """SHA-256 the policy generator records for a packaged file."""
+    return hashlib.sha256(file_content(package, version, path)).hexdigest()
+
+
+@dataclass(frozen=True)
+class Package:
+    """A versioned package.
+
+    Instances are immutable; a package *update* is a new instance with
+    the same name and a later version (and usually the same file list).
+    """
+
+    name: str
+    version: str
+    priority: Priority
+    files: tuple[PackageFile, ...]
+    repository: str = "main"
+    compressed_size: int = 0  # bytes on the mirror; drives the cost model
+
+    def __post_init__(self) -> None:
+        if self.compressed_size == 0:
+            # Roughly 35% compression over the nominal payload.
+            total = sum(pf.size for pf in self.files)
+            object.__setattr__(self, "compressed_size", max(1024, int(total * 0.35)))
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """(name, version) identity."""
+        return (self.name, self.version)
+
+    @property
+    def executables(self) -> tuple[PackageFile, ...]:
+        """Files with the execute bit set."""
+        return tuple(pf for pf in self.files if pf.executable)
+
+    @property
+    def has_executables(self) -> bool:
+        """True when the package ships at least one executable.
+
+        Fig 4 and Table I only count packages in this category.
+        """
+        return any(pf.executable for pf in self.files)
+
+    def content_of(self, path: str) -> bytes:
+        """Deterministic content of one of this package's files."""
+        return file_content(self.name, self.version, path)
+
+    def sha256_of(self, path: str) -> str:
+        """SHA-256 of one of this package's files."""
+        return file_sha256(self.name, self.version, path)
+
+    def measurements(self) -> dict[str, str]:
+        """path -> sha256 for every executable (what the generator emits)."""
+        return {pf.path: self.sha256_of(pf.path) for pf in self.executables}
+
+    def bump_version(self, new_version: str) -> "Package":
+        """A new release of this package (same files, new content)."""
+        return Package(
+            name=self.name,
+            version=new_version,
+            priority=self.priority,
+            files=self.files,
+            repository=self.repository,
+        )
+
+
+@dataclass(frozen=True)
+class KernelPackage:
+    """Marker wrapper identifying a kernel image package.
+
+    Kernel packages need the special handling of Section III-C: their
+    modules belong to ``/lib/modules/<kver>/`` and the new kernel does
+    not *run* until reboot, so the policy generator treats them
+    separately.
+    """
+
+    package: Package
+    kernel_version: str
+
+
+def make_kernel_package(kernel_version: str, module_count: int = 24) -> KernelPackage:
+    """Build a kernel image package for *kernel_version*."""
+    files = [
+        PackageFile(path=f"/boot/vmlinuz-{kernel_version}", executable=True, size=9_000_000),
+        PackageFile(path=f"/boot/initrd.img-{kernel_version}", executable=False, size=40_000_000),
+    ]
+    for index in range(module_count):
+        files.append(
+            PackageFile(
+                path=f"/lib/modules/{kernel_version}/kernel/mod{index:03d}.ko",
+                executable=True,
+                size=150_000,
+            )
+        )
+    package = Package(
+        name=f"linux-image-{kernel_version}",
+        version=kernel_version,
+        priority=Priority.OPTIONAL,
+        files=tuple(files),
+        repository="updates",
+    )
+    return KernelPackage(package=package, kernel_version=kernel_version)
+
+
+def is_kernel_package(package: Package) -> bool:
+    """True for kernel image packages (by naming convention, as in apt)."""
+    return package.name.startswith("linux-image-")
+
+
+def kernel_version_of(package: Package) -> str | None:
+    """Extract the kernel version from a kernel image package name."""
+    if not is_kernel_package(package):
+        return None
+    return package.name[len("linux-image-"):]

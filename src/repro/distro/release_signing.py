@@ -1,0 +1,104 @@
+"""Signed archive indexes (apt's ``InRelease`` model).
+
+Real apt never trusts a mirror: the archive signs its package index
+(the ``InRelease`` file), the signature travels with the mirrored
+content, and every client verifies it before believing any package
+version exists.  The reproduction's dynamic policy generator inherits
+its trust from the same chain -- a mirror that forges package versions
+could otherwise feed forged hashes straight into the runtime policy.
+
+* :class:`ArchiveSigner` holds the archive's signing key and produces
+  an :class:`InRelease` over the current index;
+* :func:`verify_inrelease` checks one against the pinned archive key
+  and the index actually served;
+* :meth:`LocalMirror.sync` accepts a ``trusted_key`` and refuses to
+  adopt an index whose InRelease does not verify (see
+  :mod:`repro.distro.mirror`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.common.errors import IntegrityError
+from repro.common.rng import SeededRng
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, generate_keypair
+from repro.distro.package import Package
+
+
+@dataclass(frozen=True)
+class InRelease:
+    """A signed snapshot of the archive's package index."""
+
+    time: float
+    index: dict[str, str]  # package name -> version
+    signature: bytes = field(repr=False)
+
+    def signed_bytes(self) -> bytes:
+        """Canonical encoding covered by the signature."""
+        return inrelease_bytes(self.time, self.index)
+
+
+def inrelease_bytes(time: float, index: dict[str, str]) -> bytes:
+    """Canonical InRelease payload encoding."""
+    payload = {
+        "format": "repro-inrelease-v1",
+        "time": time,
+        "index": {name: index[name] for name in sorted(index)},
+    }
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+class ArchiveSigner:
+    """The archive's release-signing infrastructure."""
+
+    def __init__(self, name: str, rng: SeededRng, key_bits: int = 1024) -> None:
+        self.name = name
+        self._keypair: RsaKeyPair = generate_keypair(rng.fork("release-key"), bits=key_bits)
+
+    @property
+    def public_key(self) -> RsaPublicKey:
+        """The key clients pin (shipped in the OS image, like apt's)."""
+        return self._keypair.public
+
+    def sign_index(self, time: float, packages: dict[str, Package]) -> InRelease:
+        """Produce the InRelease for the given index snapshot."""
+        index = {name: package.version for name, package in packages.items()}
+        return InRelease(
+            time=time,
+            index=index,
+            signature=self._keypair.sign(inrelease_bytes(time, index)),
+        )
+
+
+def verify_inrelease(
+    inrelease: InRelease,
+    served_index: dict[str, Package],
+    trusted_key: RsaPublicKey,
+) -> None:
+    """Check an InRelease against the key *and* the content served.
+
+    Two distinct failures, both :class:`IntegrityError`:
+
+    * bad signature -- the InRelease itself is forged;
+    * index mismatch -- the InRelease is genuine but the mirror serves
+      different package versions than the archive signed (a tampered or
+      stale-and-spliced mirror).
+    """
+    if not trusted_key.verify(inrelease.signed_bytes(), inrelease.signature):
+        raise IntegrityError(
+            "InRelease signature does not verify against the pinned archive key"
+        )
+    served = {name: package.version for name, package in served_index.items()}
+    if served != inrelease.index:
+        missing = sorted(set(inrelease.index) - set(served))
+        extra = sorted(set(served) - set(inrelease.index))
+        changed = sorted(
+            name for name in set(served) & set(inrelease.index)
+            if served[name] != inrelease.index[name]
+        )
+        raise IntegrityError(
+            "mirror content does not match the signed index",
+            context={"missing": missing, "extra": extra, "changed": changed},
+        )

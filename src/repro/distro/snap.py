@@ -1,0 +1,81 @@
+"""SNAP packages: confined applications with truncated IMA paths.
+
+Section III-B: SNAPs are applications shipped with their dependencies
+in a squashfs image mounted under ``/snap/<name>/<revision>/``.  They
+execute inside a confinement whose filesystem root is the image, so IMA
+records their paths *relative to that root*: the policy says
+``/snap/core20/1234/usr/bin/tool`` but the measurement list says
+``/usr/bin/tool``.  Keylime then fails to match the entry -- the SNAP
+false-positive class.
+
+:func:`install_snap` mounts the image on a machine;
+:meth:`SnapPackage.run` executes one of its binaries with the
+confinement applied, exercising the truncation through the kernel's
+ordinary chroot path logic (no SNAP special-casing in the kernel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import NotFoundError
+from repro.distro.package import file_content
+from repro.kernelsim.kernel import ExecResult, Machine
+from repro.kernelsim.vfs import FilesystemType
+
+
+@dataclass(frozen=True)
+class SnapPackage:
+    """An installed SNAP: name, revision, and its binaries."""
+
+    name: str
+    revision: int
+    binaries: tuple[str, ...]  # paths inside the image, e.g. "usr/bin/tool"
+
+    @property
+    def mount_root(self) -> str:
+        """Where the squashfs image is mounted."""
+        return f"/snap/{self.name}/{self.revision}"
+
+    def binary_path(self, binary: str) -> str:
+        """Absolute (host-view) path of one of the SNAP's binaries."""
+        if binary not in self.binaries:
+            raise NotFoundError(f"snap {self.name} ships no binary {binary!r}")
+        return f"{self.mount_root}/{binary}"
+
+    def confined_path(self, binary: str) -> str:
+        """The path IMA will record when the binary runs confined."""
+        return "/" + binary
+
+    def run(self, machine: Machine, binary: str) -> ExecResult:
+        """Execute a SNAP binary under confinement (truncated path)."""
+        return machine.exec_file(self.binary_path(binary), chroot=self.mount_root)
+
+    def run_unconfined(self, machine: Machine, binary: str) -> ExecResult:
+        """Execute the same binary without confinement (full path)."""
+        return machine.exec_file(self.binary_path(binary))
+
+
+def install_snap(
+    machine: Machine,
+    name: str,
+    revision: int,
+    binaries: list[str],
+) -> SnapPackage:
+    """Mount a SNAP image on *machine* and install its binaries.
+
+    The image is a dedicated squashfs mount (read-only in reality;
+    immutability is not enforced here because no workload writes to it).
+    """
+    snap = SnapPackage(name=name, revision=revision, binaries=tuple(binaries))
+    machine.vfs.mount(snap.mount_root, FilesystemType.SQUASHFS)
+    for binary in binaries:
+        path = snap.binary_path(binary)
+        machine.install_file(
+            path, file_content(f"snap:{name}", str(revision), binary), executable=True
+        )
+    machine.events.emit(
+        machine.clock.now, "snapd", "snap.installed",
+        name=name, revision=revision, binaries=len(binaries),
+    )
+    return snap

@@ -1,0 +1,46 @@
+"""Dynamic policy generation -- the paper's proposed fix.
+
+The scheme of Section III-C: instead of a static allowlist that rots as
+the OS updates itself, the operator
+
+1. disables unattended upgrades and mirrors the distribution locally
+   (:mod:`repro.distro.mirror`),
+2. before each controlled update, measures the executables of the
+   new/changed packages straight from the mirror and **appends** them to
+   the runtime policy (:mod:`repro.dynpolicy.generator`),
+3. pushes the updated policy to the verifier, *then* lets the machine
+   update -- so the machine is in-policy at every instant, including the
+   update window itself (old entries are retained; deduplication happens
+   after the dust settles),
+4. handles kernels specially: only the running kernel's modules are
+   acceptable, and a newly installed kernel enters the policy just
+   before the reboot that activates it.
+
+:mod:`repro.dynpolicy.costmodel` prices the generator's work (mirror
+refresh, download, decompress, hash) to reproduce Fig 3 / Table I's
+minutes, and :mod:`repro.dynpolicy.orchestrator` runs the whole
+sync -> generate -> push -> upgrade cycle on a schedule.
+"""
+
+from repro.dynpolicy.costmodel import CostModelConfig, GeneratorCostModel
+from repro.dynpolicy.generator import DynamicPolicyGenerator, PolicyUpdateReport
+from repro.dynpolicy.orchestrator import UpdateCycleReport, UpdateOrchestrator
+from repro.dynpolicy.signedhashes import (
+    ManifestAuthority,
+    SignedManifest,
+    merge_signed_manifests,
+    verify_manifest,
+)
+
+__all__ = [
+    "CostModelConfig",
+    "DynamicPolicyGenerator",
+    "GeneratorCostModel",
+    "ManifestAuthority",
+    "PolicyUpdateReport",
+    "SignedManifest",
+    "UpdateCycleReport",
+    "UpdateOrchestrator",
+    "merge_signed_manifests",
+    "verify_manifest",
+]

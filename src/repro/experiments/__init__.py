@@ -1,0 +1,40 @@
+"""Experiment harnesses reproducing the paper's evaluation.
+
+Each module maps to rows of the per-experiment index in DESIGN.md:
+
+* :mod:`repro.experiments.testbed` -- the standard rig (archive, mirror,
+  machine, Keylime stack, generator, orchestrator) every experiment
+  builds on.
+* :mod:`repro.experiments.fp_week` -- E1: a week of benign operation
+  against the static policy; classifies the false-positive causes
+  (Section III-B).
+* :mod:`repro.experiments.longrun` -- E2-E6: the 31-day daily-update and
+  35-day weekly-update runs with dynamic policy generation (Figs 3-5,
+  Table I, the zero-FP validation, and the 2024-03-27 incident).
+* :mod:`repro.experiments.fn_matrix` -- E7: the 8-attack x
+  {basic, adaptive} x {stock, mitigated} detection matrix (Table II).
+* :mod:`repro.experiments.problems` -- E8: one focused demonstration
+  per problem P1-P5.
+"""
+
+from repro.experiments.fn_matrix import AttackTrial, FnMatrixResult, run_attack_matrix
+from repro.experiments.fp_week import FpWeekResult, run_fp_week
+from repro.experiments.longrun import LongRunResult, run_longrun, table1_rows
+from repro.experiments.problems import ProblemDemo, run_all_demos
+from repro.experiments.testbed import Testbed, TestbedConfig, build_testbed
+
+__all__ = [
+    "AttackTrial",
+    "FnMatrixResult",
+    "FpWeekResult",
+    "LongRunResult",
+    "ProblemDemo",
+    "Testbed",
+    "TestbedConfig",
+    "build_testbed",
+    "run_all_demos",
+    "run_attack_matrix",
+    "run_fp_week",
+    "run_longrun",
+    "table1_rows",
+]

@@ -1,0 +1,162 @@
+"""E7: the attack detection matrix (Table II, Section IV).
+
+For every sample x mode x ruleset the harness builds a *fresh* testbed
+(the paper re-images the VM between attacks), lets attestation reach a
+clean steady state, runs the attack, and then decides detection the
+only honest way: **did the verifier record a policy failure pointing at
+one of the attack's artifacts?**  Alerts caused by the attacker's P2
+decoys are false positives from the operator's point of view and do
+not count as detection.
+
+Rulesets:
+
+* ``stock`` -- Keylime and IMA as shipped (halt-on-failure, the
+  documented excludes).  Expected: basic 8/8 detected, adaptive 0/8.
+* ``mitigated`` -- M1-M4 applied.  Expected: adaptive 7/8 detected
+  (live or on the post-reboot fresh attestation); Aoyama evades via
+  inline interpreter execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attacks.framework import AttackMode, AttackReport, AttackSample, all_attacks
+from repro.experiments.testbed import Testbed, TestbedConfig, build_testbed
+from repro.keylime.verifier import FailureKind
+from repro.mitigations import apply_all
+
+
+@dataclass(frozen=True)
+class AttackTrial:
+    """One cell group of Table II."""
+
+    name: str
+    category: str
+    mode: AttackMode
+    ruleset: str
+    detected_live: bool
+    detected_after_reboot: bool
+    failing_paths: tuple[str, ...]
+    problems_used: tuple[str, ...]
+
+    @property
+    def detected(self) -> bool:
+        """Detected at any point (live or on fresh attestation)."""
+        return self.detected_live or self.detected_after_reboot
+
+
+@dataclass
+class FnMatrixResult:
+    """All trials of one matrix run."""
+
+    ruleset: str
+    trials: list[AttackTrial] = field(default_factory=list)
+
+    def trial(self, name: str, mode: AttackMode) -> AttackTrial:
+        """Look up one sample's trial."""
+        for trial in self.trials:
+            if trial.name == name and trial.mode is mode:
+                return trial
+        raise KeyError(f"no trial for {name} in mode {mode}")
+
+    def detected_count(self, mode: AttackMode) -> int:
+        """How many samples were detected in the given mode."""
+        return sum(1 for t in self.trials if t.mode is mode and t.detected)
+
+    def total(self, mode: AttackMode) -> int:
+        """How many samples ran in the given mode."""
+        return sum(1 for t in self.trials if t.mode is mode)
+
+
+def _attack_failures(testbed: Testbed, report: AttackReport, since: float) -> list[str]:
+    """Paths of policy failures attributable to the attack."""
+    interesting = set(report.artifacts) - set(report.decoys)
+    paths = []
+    for failure in testbed.verifier.failures_of(testbed.agent_id):
+        if failure.time < since or failure.kind is not FailureKind.POLICY:
+            continue
+        assert failure.policy_failure is not None
+        if failure.policy_failure.path in interesting:
+            paths.append(failure.policy_failure.path)
+    return paths
+
+
+def run_attack_trial(
+    sample: AttackSample,
+    mode: AttackMode,
+    mitigated: bool,
+    seed: int | str = 0,
+    config: TestbedConfig | None = None,
+) -> AttackTrial:
+    """Run one sample in one mode on a fresh testbed."""
+    if config is None:
+        config = TestbedConfig(seed=f"{seed}/{sample.name}/{mode.value}")
+    testbed = build_testbed(config)
+    if mitigated:
+        apply_all(testbed.machine, testbed.verifier, testbed.policy)
+
+    # Clean steady state: some benign activity, then a green poll.
+    testbed.workload.daily(5)
+    baseline = testbed.poll()
+    if not baseline.ok:
+        raise RuntimeError(
+            f"testbed not clean before attack {sample.name}: {baseline.failures}"
+        )
+
+    attack_start = testbed.scheduler.clock.now
+    testbed.scheduler.clock.advance_by(60.0)
+    report = sample.run(testbed.machine, mode)
+    testbed.scheduler.clock.advance_by(60.0)
+
+    # The verifier's next round (stock Keylime polls until it halts).
+    testbed.poll()
+    live_failures = _attack_failures(testbed, report, attack_start)
+
+    # Fresh attestation after a reboot: persistence relaunches, the
+    # operator has restarted attestation (resolving any decoy FP by
+    # accepting the decoy into the policy, as ops teams do).
+    for decoy in report.decoys:
+        if testbed.machine.vfs.exists(decoy):
+            from repro.common.hexutil import sha256_hex
+
+            testbed.policy.add_digest(
+                decoy, sha256_hex(testbed.machine.vfs.read_file(decoy))
+            )
+    testbed.machine.reboot()
+    for spec in report.persistence:
+        spec.relaunch(testbed.machine)
+    testbed.verifier.restart_attestation(testbed.agent_id)
+    testbed.scheduler.clock.advance_by(60.0)
+    testbed.poll()
+    reboot_failures = _attack_failures(
+        testbed, report, attack_start + 120.0 + 60.0
+    )
+
+    return AttackTrial(
+        name=sample.name,
+        category=sample.category,
+        mode=mode,
+        ruleset="mitigated" if mitigated else "stock",
+        detected_live=bool(live_failures),
+        detected_after_reboot=bool(reboot_failures),
+        failing_paths=tuple(sorted(set(live_failures + reboot_failures))),
+        problems_used=tuple(problem.value for problem in report.problems_used),
+    )
+
+
+def run_attack_matrix(
+    mitigated: bool = False,
+    seed: int | str = 0,
+    modes: tuple[AttackMode, ...] = (AttackMode.BASIC, AttackMode.ADAPTIVE),
+    samples: list[AttackSample] | None = None,
+) -> FnMatrixResult:
+    """Run the full matrix for one ruleset."""
+    samples = samples if samples is not None else all_attacks()
+    result = FnMatrixResult(ruleset="mitigated" if mitigated else "stock")
+    for sample in samples:
+        for mode in modes:
+            result.trials.append(
+                run_attack_trial(sample, mode, mitigated=mitigated, seed=seed)
+            )
+    return result

@@ -1,0 +1,155 @@
+"""E1: the false-positive week (Section III-A/B).
+
+One week of *benign operation only* against the study's static initial
+policy: the machine updates itself daily through unattended upgrades
+pointed at the official archive, users navigate and run things, and a
+SNAP application is in daily use.  Every attestation failure is, by
+construction, a false positive; the experiment classifies each by root
+cause:
+
+* ``update_hash_mismatch`` -- an updated executable's new hash
+  conflicts with the stale policy entry;
+* ``update_new_file`` -- an update shipped a file the policy has never
+  seen;
+* ``snap_truncation`` -- a confined SNAP execution measured under its
+  truncated path, which the policy only knows in full form.
+
+The stock verifier would halt at the first failure (P2); like the
+authors -- who restarted attestation to keep observing -- the harness
+runs the verifier in continue-on-failure mode *as a measurement
+instrument*, so the full week's failures can be catalogued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.clock import days, hours
+from repro.distro.snap import install_snap
+from repro.experiments.testbed import Testbed, TestbedConfig, build_testbed
+from repro.keylime.policy import EntryVerdict, build_policy_from_machine
+from repro.keylime.verifier import AttestationFailure, FailureKind
+
+
+@dataclass(frozen=True)
+class FpRecord:
+    """One distinct false positive."""
+
+    time: float
+    cause: str
+    path: str
+    digest: str
+
+
+@dataclass
+class FpWeekResult:
+    """Outcome of the FP week."""
+
+    n_days: int
+    total_polls: int
+    failed_polls: int
+    records: list[FpRecord] = field(default_factory=list)
+
+    @property
+    def counts_by_cause(self) -> dict[str, int]:
+        """Distinct FPs per root cause."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.cause] = counts.get(record.cause, 0) + 1
+        return counts
+
+    @property
+    def total_false_positives(self) -> int:
+        """All distinct false positives over the week."""
+        return len(self.records)
+
+
+def _classify(failure: AttestationFailure, testbed: Testbed) -> FpRecord:
+    policy_failure = failure.policy_failure
+    assert policy_failure is not None
+    if policy_failure.verdict is EntryVerdict.HASH_MISMATCH:
+        cause = "update_hash_mismatch"
+    else:
+        cause = "update_new_file"
+        # A truncated SNAP path: the policy knows the same suffix under
+        # a /snap/<name>/<revision>/ prefix.
+        suffix = policy_failure.path
+        for known in testbed.verifier.policy_of(testbed.agent_id).digests:
+            if known.startswith("/snap/") and known.endswith(suffix):
+                cause = "snap_truncation"
+                break
+    return FpRecord(
+        time=failure.time, cause=cause,
+        path=policy_failure.path, digest=policy_failure.measured_digest,
+    )
+
+
+def run_fp_week(
+    seed: int | str = 0,
+    n_days: int = 7,
+    with_snap: bool = True,
+    config: TestbedConfig | None = None,
+) -> FpWeekResult:
+    """Run the FP week and classify every alert."""
+    if config is None:
+        config = TestbedConfig(
+            seed=seed,
+            policy_mode="static",
+            continue_on_failure=True,  # measurement instrument, see module doc
+        )
+    testbed = build_testbed(config)
+    machine = testbed.machine
+
+    snap = None
+    if with_snap:
+        snap = install_snap(
+            machine, "core20", 1974,
+            ["usr/bin/chromium", "usr/bin/snapctl"],
+        )
+        # The policy is rebuilt after the SNAP lands so its *full* paths
+        # are in-policy, exactly as the study's scan captured them.
+        policy = build_policy_from_machine(machine)
+        testbed.tenant.push_policy(testbed.agent_id, policy)
+        testbed.workload.register_snap(snap)
+
+    # Unattended upgrades: daily, from the *official* archive.  New
+    # packages are pulled in too (dependency pulls, new kernels) --
+    # the source of the paper's "missing file in the policy" errors.
+    def unattended_upgrade() -> None:
+        testbed.archive.apply_releases_until(testbed.scheduler.clock.now)
+        report = testbed.apt.upgrade_from(
+            testbed.archive.latest_index(), source="official", install_new=True
+        )
+        if not report.is_empty:
+            testbed.workload.exec_updated_files(report)
+
+    for day in range(1, n_days + 1):
+        testbed.stream.generate_day(day)
+        testbed.scheduler.call_at(
+            days(day) + hours(6.5), unattended_upgrade, label=f"unattended-day{day}"
+        )
+
+    testbed.verifier.start_polling(testbed.agent_id, config.poll_interval_seconds)
+    testbed.scheduler.every(
+        days(1), lambda: testbed.workload.daily(10), start=hours(12), label="benign"
+    )
+    testbed.scheduler.run_until(days(n_days + 1))
+
+    results = testbed.verifier.results_of(testbed.agent_id)
+    seen: set[tuple[str, str]] = set()
+    records: list[FpRecord] = []
+    for failure in testbed.verifier.failures_of(testbed.agent_id):
+        if failure.kind is not FailureKind.POLICY or failure.policy_failure is None:
+            continue
+        key = (failure.policy_failure.path, failure.policy_failure.measured_digest)
+        if key in seen:
+            continue
+        seen.add(key)
+        records.append(_classify(failure, testbed))
+
+    return FpWeekResult(
+        n_days=n_days,
+        total_polls=len(results),
+        failed_polls=sum(1 for result in results if not result.ok),
+        records=records,
+    )

@@ -1,0 +1,51 @@
+"""A simulated Linux kernel: VFS, exec model, and IMA.
+
+This package models the slice of Linux that the paper's findings live
+in.  Three pieces:
+
+* :mod:`repro.kernelsim.vfs` -- a virtual filesystem with mount points,
+  filesystem types (and their magic numbers), inodes and version
+  counters.  Renames within one filesystem keep the inode -- the
+  property behind the paper's P4.
+* :mod:`repro.kernelsim.ima` -- the Integrity Measurement Architecture:
+  policy rules (including ``dont_measure fsmagic=...`` exclusions, P3),
+  the measure-once-per-inode cache (P4), the ima-ng measurement list,
+  and PCR-10 aggregation into the machine's TPM.
+* :mod:`repro.kernelsim.kernel` -- a bootable machine tying the VFS,
+  the TPM and IMA together, with the exec model (binary, shebang,
+  interpreter invocation -- P5) and chroot path truncation (the SNAP
+  false-positive cause).
+
+Every quirk the paper exploits is implemented as the kernel actually
+behaves, not special-cased per attack: the attacks in
+:mod:`repro.attacks` succeed or fail purely through these mechanisms.
+"""
+
+from repro.kernelsim.appraisal import (
+    AppraisalDenied,
+    AppraisalPolicy,
+    sign_all_executables,
+    sign_file,
+)
+# NOTE: repro.kernelsim.containers is intentionally NOT imported here --
+# its policy-side scrub helper depends on repro.keylime.policy, which
+# sits above this layer; import it directly.
+from repro.kernelsim.ima import ImaEngine, ImaLogEntry, ImaPolicy
+from repro.kernelsim.kernel import ExecResult, Machine
+from repro.kernelsim.vfs import FilesystemType, Inode, Vfs, VfsError
+
+__all__ = [
+    "AppraisalDenied",
+    "AppraisalPolicy",
+    "ExecResult",
+    "FilesystemType",
+    "ImaEngine",
+    "ImaLogEntry",
+    "ImaPolicy",
+    "Inode",
+    "Machine",
+    "Vfs",
+    "VfsError",
+    "sign_all_executables",
+    "sign_file",
+]

@@ -1,0 +1,157 @@
+"""Containers: overlayfs roots, confined execution, truncated paths.
+
+Section III-B generalises the SNAP false positive: "This problem is not
+specific to SNAPs but would occur to any containerized execution, or
+files executed under chroot environment."  This module implements that
+generalisation as a minimal container runtime:
+
+* each container gets an **overlayfs** mount (its root filesystem) --
+  which on a stock IMA policy is excluded by fsmagic (``overlayfs`` is
+  in the documented ``dont_measure`` set), giving containers a *double*
+  blind spot:
+
+  1. **P3 flavour** -- with stock IMA, nothing executed from the
+     container's overlayfs is measured at all;
+  2. **SNAP flavour** -- once IMA *does* measure overlayfs (mitigation
+     M1), paths are recorded relative to the container root, so a
+     host-side policy keyed on full paths cannot match them.
+
+* :meth:`ContainerRuntime.exec_in_container` executes a containerised
+  binary through the machine's ordinary exec path (chroot truncation and
+  fsmagic rules apply mechanically -- no container special-casing in
+  the kernel model);
+* :func:`scrub_container_prefixes` is the policy-side fix, the exact
+  analogue of the SNAP prefix scrub.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.common.errors import NotFoundError, StateError
+from repro.distro.package import file_content
+from repro.kernelsim.kernel import ExecResult, Machine
+from repro.kernelsim.vfs import FilesystemType
+from repro.keylime.policy import RuntimePolicy
+
+_CONTAINER_ROOT = "/var/lib/containers"
+_CONTAINER_PATH = re.compile(rf"^{_CONTAINER_ROOT}/[^/]+/rootfs(/.*)$")
+
+
+@dataclass
+class Container:
+    """One running container."""
+
+    container_id: str
+    image: str
+    binaries: tuple[str, ...]  # image-relative, e.g. "usr/bin/app"
+    running: bool = True
+
+    @property
+    def rootfs(self) -> str:
+        """Host path of the container's overlayfs root."""
+        return f"{_CONTAINER_ROOT}/{self.container_id}/rootfs"
+
+    def host_path(self, binary: str) -> str:
+        """Host-view absolute path of an image binary."""
+        if binary not in self.binaries:
+            raise NotFoundError(
+                f"container {self.container_id} image has no binary {binary!r}"
+            )
+        return f"{self.rootfs}/{binary}"
+
+    def confined_path(self, binary: str) -> str:
+        """The path IMA records when the binary runs confined."""
+        return "/" + binary
+
+
+class ContainerRuntime:
+    """A docker-like runtime on one machine."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self._containers: dict[str, Container] = {}
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._containers)
+
+    def containers(self) -> list[Container]:
+        """All containers, creation order."""
+        return list(self._containers.values())
+
+    def get(self, container_id: str) -> Container:
+        """Look up one container."""
+        try:
+            return self._containers[container_id]
+        except KeyError:
+            raise NotFoundError(f"no such container: {container_id}") from None
+
+    def run(self, image: str, binaries: list[str]) -> Container:
+        """Create and start a container from *image*.
+
+        Mounts a fresh overlayfs at the container's rootfs and
+        materialises the image's binaries (content deterministic per
+        image, like registry layers).
+        """
+        self._counter += 1
+        container = Container(
+            container_id=f"ctr-{self._counter:04d}",
+            image=image,
+            binaries=tuple(binaries),
+        )
+        self.machine.vfs.mount(container.rootfs, FilesystemType.OVERLAYFS)
+        for binary in binaries:
+            self.machine.install_file(
+                container.host_path(binary),
+                file_content(f"image:{image}", "latest", binary),
+                executable=True,
+            )
+        self._containers[container.container_id] = container
+        self.machine.events.emit(
+            self.machine.clock.now, "containerd", "container.started",
+            id=container.container_id, image=image,
+        )
+        return container
+
+    def exec_in_container(self, container_id: str, binary: str) -> ExecResult:
+        """Execute an image binary inside the container's namespace."""
+        container = self.get(container_id)
+        if not container.running:
+            raise StateError(f"container {container_id} is not running")
+        return self.machine.exec_file(
+            container.host_path(binary), chroot=container.rootfs
+        )
+
+    def exec_host_escape(self, container_id: str, binary: str) -> ExecResult:
+        """Execute the same file from the *host* view (no confinement).
+
+        Used by tests to show the path difference is purely the
+        namespace, not the file.
+        """
+        container = self.get(container_id)
+        return self.machine.exec_file(container.host_path(binary))
+
+    def stop(self, container_id: str) -> None:
+        """Stop a container (its overlayfs content stays until removal)."""
+        self.get(container_id).running = False
+
+
+def scrub_container_prefixes(policy: RuntimePolicy) -> int:
+    """Duplicate container-image entries under their confined paths.
+
+    The container analogue of the SNAP scrub: for every policy entry
+    under ``/var/lib/containers/<id>/rootfs/...``, add the same digest
+    under the container-relative path.  Returns entries added.
+    """
+    added = 0
+    for path, digests in list(policy.digests.items()):
+        match = _CONTAINER_PATH.match(path)
+        if not match:
+            continue
+        confined = match.group(1)
+        for digest in digests:
+            if policy.add_digest(confined, digest):
+                added += 1
+    return added

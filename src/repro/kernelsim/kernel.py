@@ -1,0 +1,421 @@
+"""A bootable machine: VFS + TPM + IMA + the exec model.
+
+:class:`Machine` is the prover in the attestation experiments.  It wires
+together the virtual filesystem, a TPM device and an IMA engine, and
+exposes the operations workloads and attacks are written in terms of:
+executing binaries, running scripts (directly or through an
+interpreter), loading kernel modules, writing files, and rebooting.
+
+Execution semantics (the part the paper's P5 depends on):
+
+* ``exec_file`` -- a direct ``execve`` of a binary or of a script with a
+  shebang line.  The *file itself* gets a ``BPRM_CHECK`` measurement;
+  for a shebang script the interpreter is additionally measured via the
+  ``FILE_MMAP`` hook.
+* ``run_with_interpreter`` -- ``python script.py`` style invocation.
+  Only the **interpreter** is executed as far as the kernel is
+  concerned; the script is opened as plain data and is **not measured**
+  (P5).  When the machine's *script execution control* feature (M4) is
+  enabled and the interpreter has opted in, the interpreter tells the
+  kernel the opened file is code and the script is measured after all.
+
+Reboot semantics: the TPM resets (PCRs cleared, reset counter bumped), a
+fresh IMA engine starts with a new boot aggregate, and volatile
+filesystems (tmpfs, proc, ramfs, devtmpfs) lose their contents -- which
+is why several of the paper's adaptive attacks are "detectable upon
+reboot" only if the payload survives somewhere persistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.clock import SimClock
+from repro.common.errors import StateError
+from repro.common.events import EventLog
+from repro.kernelsim.appraisal import AppraisalPolicy, get_signature
+from repro.kernelsim.ima import ImaEngine, ImaHook, ImaLogEntry, ImaPolicy
+from repro.kernelsim.vfs import FilesystemType, FileStat, Vfs
+from repro.tpm.device import Tpm
+
+#: Filesystems whose contents do not survive a reboot.
+VOLATILE_FSTYPES = (
+    FilesystemType.TMPFS,
+    FilesystemType.PROC,
+    FilesystemType.RAMFS,
+    FilesystemType.DEVTMPFS,
+    FilesystemType.SYSFS,
+    FilesystemType.DEBUGFS,
+    FilesystemType.SECURITYFS,
+)
+
+#: Standard mount layout of the simulated Ubuntu machine.  Note that
+#: ``/tmp`` is *not* mounted tmpfs: on stock Ubuntu 22.04 it lives on
+#: the root ext4 filesystem -- which is precisely why IMA measures
+#: files there (making P4's stage-in-/tmp-then-move trick work) even
+#: though the Keylime policy excludes the directory (P1).  systemd's
+#: tmpfiles cleans it at boot, modelled in :meth:`Machine.reboot`.
+DEFAULT_MOUNTS: tuple[tuple[str, FilesystemType], ...] = (
+    ("/run", FilesystemType.TMPFS),
+    ("/dev", FilesystemType.DEVTMPFS),
+    ("/dev/shm", FilesystemType.TMPFS),
+    ("/proc", FilesystemType.PROC),
+    ("/sys", FilesystemType.SYSFS),
+    ("/sys/kernel/debug", FilesystemType.DEBUGFS),
+    ("/sys/kernel/security", FilesystemType.SECURITYFS),
+)
+
+
+@dataclass(frozen=True)
+class ExecResult:
+    """Outcome of one execution event.
+
+    Attributes:
+        path: real absolute path of the executed file.
+        recorded_path: path IMA recorded (differs under chroot).
+        entries: IMA log entries produced by this execution (empty when
+            every measurement was suppressed by policy or cache).
+    """
+
+    path: str
+    recorded_path: str
+    entries: tuple[ImaLogEntry, ...] = field(default_factory=tuple)
+
+    @property
+    def measured(self) -> bool:
+        """True when at least one measurement was recorded."""
+        return bool(self.entries)
+
+
+class Machine:
+    """The attested prover machine."""
+
+    def __init__(
+        self,
+        name: str,
+        tpm: Tpm,
+        clock: SimClock | None = None,
+        events: EventLog | None = None,
+        ima_policy: ImaPolicy | None = None,
+        kernel_version: str = "5.15.0-generic",
+    ) -> None:
+        self.name = name
+        self.tpm = tpm
+        self.clock = clock if clock is not None else SimClock()
+        self.events = events if events is not None else EventLog()
+        self.ima_policy = ima_policy if ima_policy is not None else ImaPolicy()
+        # IMA appraisal (signature enforcement); off by default, as in
+        # the paper's measurement-mode setup.
+        self.appraisal = AppraisalPolicy()
+        self.vfs = Vfs()
+        for point, fstype in DEFAULT_MOUNTS:
+            self.vfs.mount(point, fstype)
+
+        self.current_kernel = kernel_version
+        self.pending_kernel: str | None = None
+        self.loaded_modules: list[str] = []
+        self.powered_on = False
+        self.ima: ImaEngine | None = None
+
+        # M4: script execution control. Interpreters opt in by path.
+        self.script_exec_control_enabled = False
+        self.opted_in_interpreters: set[str] = set()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def boot(self) -> None:
+        """Power on: measured boot extends PCRs 0-7, IMA starts fresh."""
+        if self.powered_on:
+            raise StateError(f"machine {self.name} is already powered on")
+        self.powered_on = True
+        self._measured_boot()
+        self.ima = ImaEngine(self.ima_policy, self.tpm)
+        self.ima.record_boot_aggregate()
+        self.loaded_modules = []
+        self.events.emit(
+            self.clock.now, f"machine.{self.name}", "kernel.booted",
+            kernel=self.current_kernel,
+        )
+
+    def reboot(self) -> None:
+        """Power cycle: TPM reset, volatile filesystems cleared, new kernel."""
+        if not self.powered_on:
+            raise StateError(f"machine {self.name} is not powered on")
+        self.powered_on = False
+        self.tpm.reset()
+        for _point, filesystem in self.vfs.mounts():
+            if filesystem.fstype in VOLATILE_FSTYPES:
+                filesystem.clear()
+        # systemd-tmpfiles: /tmp lives on the root filesystem on stock
+        # Ubuntu but is emptied at every boot.
+        for stat in list(self.vfs.walk("/tmp")):
+            self.vfs.unlink(stat.path)
+        if self.pending_kernel is not None:
+            self.current_kernel = self.pending_kernel
+            self.pending_kernel = None
+        self.boot()
+
+    def _measured_boot(self) -> None:
+        """Extend PCRs 0-7 with synthetic firmware/bootloader/kernel digests."""
+        from repro.common.hexutil import sha256_hex
+
+        stages = [
+            (0, f"firmware:{self.name}"),
+            (1, "firmware-config"),
+            (2, "option-roms"),
+            (4, f"bootloader:grub"),
+            (5, "bootloader-config"),
+            (7, "secureboot-policy"),
+        ]
+        for index, label in stages:
+            self.tpm.extend(index, sha256_hex(label.encode()), algorithm="sha256")
+        self.tpm.extend(4, sha256_hex(f"kernel:{self.current_kernel}".encode()))
+
+    def require_booted(self) -> ImaEngine:
+        """The live IMA engine; raises when the machine is off."""
+        if not self.powered_on or self.ima is None:
+            raise StateError(f"machine {self.name} is not booted")
+        return self.ima
+
+    # -- file plumbing ---------------------------------------------------
+
+    def install_file(self, path: str, content: bytes, executable: bool = False) -> FileStat:
+        """Write a file (package installs, attack payload drops...)."""
+        return self.vfs.write_file(path, content, executable=executable)
+
+    def remove_file(self, path: str) -> None:
+        """Delete a file."""
+        self.vfs.unlink(path)
+
+    def open_for_write(self, path: str, content: bytes) -> bool:
+        """An *in-place* write (O_WRONLY open) to an existing file.
+
+        If the file was measured this boot, IMA cannot vouch for what
+        actually ran versus what is now on disk, so it records a
+        ToMToU/open-writers **violation** (zero digests in the log, the
+        PCR poisoned with 0xFF).  Package managers avoid this by
+        writing to a temp file and renaming -- which is why ordinary
+        updates (``install_file``) do not violate.  Returns True when a
+        violation was recorded.
+        """
+        ima = self.require_booted()
+        stat = self.vfs.stat(path)
+        violated = ima.note_write(path, stat)
+        self.vfs.write_file(path, content, executable=stat.executable)
+        self.events.emit(
+            self.clock.now, f"machine.{self.name}", "file.inplace_write",
+            path=path, violation=violated,
+        )
+        return violated
+
+    def move_file(self, src: str, dst: str) -> FileStat:
+        """``mv``: inode-preserving within one filesystem (see P4)."""
+        return self.vfs.rename(src, dst)
+
+    # -- execution ----------------------------------------------------------
+
+
+    def _appraise(self, path: str, stat, content: bytes) -> None:
+        """Consult IMA appraisal before letting *path* execute."""
+        self.appraisal.check(
+            path, stat.fstype, content, get_signature(self.vfs, path)
+        )
+
+    def exec_file(self, path: str, chroot: str | None = None) -> ExecResult:
+        """Directly execute a binary or shebang script (``execve``)."""
+        ima = self.require_booted()
+        stat = self.vfs.stat(path)
+        if not stat.executable:
+            raise StateError(f"exec: permission denied (no exec bit): {path}")
+        content = self.vfs.read_file(path)
+        self._appraise(path, stat, content)
+        recorded = _chroot_view(path, chroot)
+        entries = []
+        entry = ima.process_event(recorded, stat, content, ImaHook.BPRM_CHECK)
+        if entry is not None:
+            entries.append(entry)
+        self.events.emit(
+            self.clock.now, f"machine.{self.name}", "exec.file",
+            path=path, recorded=recorded, measured=entry is not None,
+        )
+        return ExecResult(path=path, recorded_path=recorded, entries=tuple(entries))
+
+    def exec_shebang_script(
+        self, script_path: str, interpreter_path: str, chroot: str | None = None
+    ) -> ExecResult:
+        """Execute ``./script.py`` -- the shebang loads the interpreter.
+
+        Both the script (BPRM_CHECK) and the interpreter (FILE_MMAP) are
+        measured; this is the invocation style IMA handles correctly.
+        """
+        ima = self.require_booted()
+        stat = self.vfs.stat(script_path)
+        if not stat.executable:
+            raise StateError(f"exec: permission denied (no exec bit): {script_path}")
+        self._appraise(script_path, stat, self.vfs.read_file(script_path))
+        interp_appraise_stat = self.vfs.stat(interpreter_path)
+        self._appraise(
+            interpreter_path, interp_appraise_stat,
+            self.vfs.read_file(interpreter_path),
+        )
+        recorded = _chroot_view(script_path, chroot)
+        entries = []
+        entry = ima.process_event(
+            recorded, stat, self.vfs.read_file(script_path), ImaHook.BPRM_CHECK
+        )
+        if entry is not None:
+            entries.append(entry)
+        interp_stat = self.vfs.stat(interpreter_path)
+        interp_entry = ima.process_event(
+            _chroot_view(interpreter_path, chroot),
+            interp_stat,
+            self.vfs.read_file(interpreter_path),
+            ImaHook.MMAP_EXEC,
+        )
+        if interp_entry is not None:
+            entries.append(interp_entry)
+        self.events.emit(
+            self.clock.now, f"machine.{self.name}", "exec.shebang",
+            script=script_path, interpreter=interpreter_path,
+            measured=entry is not None,
+        )
+        return ExecResult(path=script_path, recorded_path=recorded, entries=tuple(entries))
+
+    def run_with_interpreter(
+        self, interpreter_path: str, script_path: str, chroot: str | None = None
+    ) -> ExecResult:
+        """Execute ``python script.py`` -- P5 territory.
+
+        The kernel sees an execve of the *interpreter*; the script is
+        opened by the interpreter as ordinary data and bypasses IMA's
+        exec hooks entirely.  The script needs no exec bit.  With script
+        execution control (M4) enabled *and* the interpreter opted in,
+        the open is flagged as code and the script is measured.
+        """
+        ima = self.require_booted()
+        interp_stat = self.vfs.stat(interpreter_path)
+        if not interp_stat.executable:
+            raise StateError(f"exec: permission denied (no exec bit): {interpreter_path}")
+        self._appraise(
+            interpreter_path, interp_stat, self.vfs.read_file(interpreter_path)
+        )
+        entries = []
+        interp_recorded = _chroot_view(interpreter_path, chroot)
+        entry = ima.process_event(
+            interp_recorded, interp_stat, self.vfs.read_file(interpreter_path),
+            ImaHook.BPRM_CHECK,
+        )
+        if entry is not None:
+            entries.append(entry)
+
+        script_recorded = _chroot_view(script_path, chroot)
+        script_stat = self.vfs.stat(script_path)
+        script_measured = False
+        if (
+            self.script_exec_control_enabled
+            and interpreter_path in self.opted_in_interpreters
+        ):
+            script_entry = ima.process_event(
+                script_recorded, script_stat, self.vfs.read_file(script_path),
+                ImaHook.BPRM_CHECK,
+            )
+            if script_entry is not None:
+                entries.append(script_entry)
+                script_measured = True
+        self.events.emit(
+            self.clock.now, f"machine.{self.name}", "exec.interpreter",
+            interpreter=interpreter_path, script=script_path,
+            script_measured=script_measured,
+        )
+        return ExecResult(
+            path=script_path, recorded_path=script_recorded, entries=tuple(entries)
+        )
+
+    def mmap_library(self, path: str, chroot: str | None = None) -> ExecResult:
+        """Map a shared library with PROT_EXEC (``dlopen``/ld.so load).
+
+        Hits IMA's FILE_MMAP hook and, under enforcement, appraisal --
+        libraries need signatures just like binaries.  The exec bit is
+        not required (shared objects often ship 0644).
+        """
+        ima = self.require_booted()
+        stat = self.vfs.stat(path)
+        content = self.vfs.read_file(path)
+        self._appraise(path, stat, content)
+        recorded = _chroot_view(path, chroot)
+        entry = ima.process_event(recorded, stat, content, ImaHook.MMAP_EXEC)
+        self.events.emit(
+            self.clock.now, f"machine.{self.name}", "mmap.exec",
+            path=path, measured=entry is not None,
+        )
+        entries = (entry,) if entry is not None else tuple()
+        return ExecResult(path=path, recorded_path=recorded, entries=entries)
+
+    def run_interpreter_inline(
+        self, interpreter_path: str, code: str, chroot: str | None = None
+    ) -> ExecResult:
+        """Execute ``python -c '...'`` / piped-stdin code.
+
+        No file ever crosses an exec or open-for-exec boundary: the code
+        arrives as argv or stdin.  Only the interpreter is measured, and
+        *no* file-based mechanism -- including script execution control
+        (M4) -- can see the payload.  This is why the paper judges P5
+        impossible to fully mitigate (the Aoyama row of Table II).
+        """
+        ima = self.require_booted()
+        interp_stat = self.vfs.stat(interpreter_path)
+        if not interp_stat.executable:
+            raise StateError(f"exec: permission denied (no exec bit): {interpreter_path}")
+        self._appraise(
+            interpreter_path, interp_stat, self.vfs.read_file(interpreter_path)
+        )
+        recorded = _chroot_view(interpreter_path, chroot)
+        entry = ima.process_event(
+            recorded, interp_stat, self.vfs.read_file(interpreter_path),
+            ImaHook.BPRM_CHECK,
+        )
+        self.events.emit(
+            self.clock.now, f"machine.{self.name}", "exec.inline",
+            interpreter=interpreter_path, code_bytes=len(code),
+        )
+        entries = (entry,) if entry is not None else tuple()
+        return ExecResult(path=interpreter_path, recorded_path=recorded, entries=entries)
+
+    def load_kernel_module(self, path: str) -> ExecResult:
+        """Load a kernel module (``insmod``); measured via MODULE_CHECK."""
+        ima = self.require_booted()
+        stat = self.vfs.stat(path)
+        self._appraise(path, stat, self.vfs.read_file(path))
+        entry = ima.process_event(path, stat, self.vfs.read_file(path), ImaHook.MODULE_CHECK)
+        self.loaded_modules.append(path)
+        self.events.emit(
+            self.clock.now, f"machine.{self.name}", "module.loaded",
+            path=path, measured=entry is not None,
+        )
+        entries = (entry,) if entry is not None else tuple()
+        return ExecResult(path=path, recorded_path=path, entries=entries)
+
+    # -- M4 feature toggle ------------------------------------------------
+
+    def enable_script_exec_control(self, interpreters: list[str]) -> None:
+        """Turn on M4 with the given opted-in interpreter paths."""
+        self.script_exec_control_enabled = True
+        self.opted_in_interpreters.update(interpreters)
+
+
+def _chroot_view(path: str, chroot: str | None) -> str:
+    """Path as recorded by IMA for a process running under *chroot*.
+
+    IMA resolves the dentry path relative to the process's root, so a
+    SNAP binary ``/snap/core20/1234/usr/bin/tool`` confined with root
+    ``/snap/core20/1234`` is recorded as ``/usr/bin/tool`` -- the
+    truncation behind the paper's SNAP false positives.
+    """
+    if chroot is None:
+        return path
+    chroot = chroot.rstrip("/")
+    if path == chroot:
+        return "/"
+    if path.startswith(chroot + "/"):
+        return path[len(chroot):]
+    return path

@@ -1,0 +1,108 @@
+"""The Keylime agent: the only component on the untrusted machine.
+
+The agent's job is deliberately small -- and that smallness is the
+security story: it gathers a TPM quote (whose integrity the TPM
+guarantees) and ships the IMA measurement list (whose integrity the
+quote's PCR 10 value anchors).  A compromised agent can lie about the
+log, but the lie will not replay to the quoted PCR value.
+
+``attest`` supports the offset-based incremental fetch the real agent
+implements: the verifier tells the agent how many entries it has
+already verified and receives only the suffix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import StateError
+from repro.kernelsim.kernel import Machine
+from repro.tpm.device import AttestationKey
+from repro.tpm.pcr import IMA_PCR_INDEX
+from repro.tpm.quote import Quote
+
+
+@dataclass(frozen=True)
+class AttestationEvidence:
+    """What the agent returns for one challenge.
+
+    Attributes:
+        quote: TPM quote over PCR 10 bound to the challenge nonce.
+        ima_log_lines: serialised measurement list entries starting at
+            ``offset``.
+        offset: index of the first shipped entry in the full list.
+        total_entries: length of the full list at quote time.
+    """
+
+    quote: Quote
+    ima_log_lines: tuple[str, ...]
+    offset: int
+    total_entries: int
+
+
+class KeylimeAgent:
+    """Agent daemon bound to one machine and its TPM."""
+
+    def __init__(self, agent_id: str, machine: Machine) -> None:
+        self.agent_id = agent_id
+        self.machine = machine
+        self._ak: AttestationKey | None = None
+        self._last_quote_time: float | None = None
+
+    @property
+    def attestation_key(self) -> AttestationKey:
+        """The AK created during registration."""
+        if self._ak is None:
+            raise StateError(f"agent {self.agent_id} is not registered (no AK)")
+        return self._ak
+
+    def provision_ak(self) -> AttestationKey:
+        """Create the attestation key inside the machine's TPM.
+
+        Called once during registration; subsequent calls return the
+        existing key (the real agent persists its AK).
+        """
+        if self._ak is None:
+            self._ak = self.machine.tpm.create_ak()
+        return self._ak
+
+    def attest(
+        self, nonce: str, offset: int = 0, pcr_selection: list[int] | None = None
+    ) -> AttestationEvidence:
+        """Answer a challenge: quote the selected PCRs, ship the log suffix.
+
+        The selection defaults to PCR 10 (the IMA aggregate); a verifier
+        enforcing measured-boot golden values widens it to the boot
+        PCRs.  The quote is taken *after* the log snapshot; taking them
+        the other way round would let a measurement land between the two
+        and spuriously fail the replay check.  (Entries appended after
+        the quote are shipped on the next poll.)
+        """
+        if self._ak is None:
+            raise StateError(f"agent {self.agent_id} cannot attest before registration")
+        ima = self.machine.require_booted()
+        lines = ima.log_lines()
+
+        # Advance the TPM's internal clock to the machine's present.
+        now = self.machine.clock.now
+        if self._last_quote_time is not None and now > self._last_quote_time:
+            self.machine.tpm.tick(int((now - self._last_quote_time) * 1000))
+        self._last_quote_time = now
+
+        selection = pcr_selection if pcr_selection else [IMA_PCR_INDEX]
+        if IMA_PCR_INDEX not in selection:
+            selection = sorted(set(selection) | {IMA_PCR_INDEX})
+        quote = self.machine.tpm.quote(
+            self._ak.public.fingerprint(), nonce, selection, algorithm="sha256"
+        )
+        if offset < 0 or offset > len(lines):
+            # A rebooted machine has a shorter log than the verifier's
+            # offset; ship everything and let the verifier notice the
+            # reset counter change.
+            offset = 0
+        return AttestationEvidence(
+            quote=quote,
+            ima_log_lines=tuple(lines[offset:]),
+            offset=offset,
+            total_entries=len(lines),
+        )

@@ -1,0 +1,128 @@
+"""A durable, hash-chained attestation audit trail.
+
+Red Hat's "durable attestation" work (cited by the paper) persists
+every attestation outcome so that the system's trust history can be
+audited after the fact -- including after a compromise that would love
+to rewrite it.  This module models the essential property: an
+append-only record store where each record commits to its predecessor
+by hash, so any retroactive edit breaks the chain from that point on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.errors import IntegrityError
+from repro.common.hexutil import sha256_hex
+
+GENESIS_HASH = "0" * 64
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One attestation outcome, chained to its predecessor.
+
+    ``record_hash`` covers the payload *and* ``previous_hash``, so the
+    chain commits to its whole history.
+    """
+
+    index: int
+    time: float
+    agent_id: str
+    ok: bool
+    detail: dict[str, Any]
+    previous_hash: str
+    record_hash: str
+
+    @staticmethod
+    def compute_hash(
+        index: int, time: float, agent_id: str, ok: bool,
+        detail: dict[str, Any], previous_hash: str,
+    ) -> str:
+        """Canonical hash over the record's content and its predecessor."""
+        payload = json.dumps(
+            {
+                "index": index,
+                "time": time,
+                "agent": agent_id,
+                "ok": ok,
+                "detail": detail,
+                "prev": previous_hash,
+            },
+            sort_keys=True,
+        )
+        return sha256_hex(payload.encode("utf-8"))
+
+
+class AuditLog:
+    """Append-only attestation history with chain verification."""
+
+    def __init__(self) -> None:
+        self._records: list[AuditRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def head_hash(self) -> str:
+        """Hash of the latest record (genesis when empty)."""
+        return self._records[-1].record_hash if self._records else GENESIS_HASH
+
+    def append(
+        self, time: float, agent_id: str, ok: bool, detail: dict[str, Any] | None = None
+    ) -> AuditRecord:
+        """Append one attestation outcome."""
+        detail = dict(detail or {})
+        index = len(self._records)
+        previous = self.head_hash
+        record = AuditRecord(
+            index=index,
+            time=time,
+            agent_id=agent_id,
+            ok=ok,
+            detail=detail,
+            previous_hash=previous,
+            record_hash=AuditRecord.compute_hash(
+                index, time, agent_id, ok, detail, previous
+            ),
+        )
+        self._records.append(record)
+        return record
+
+    def records(self, agent_id: str | None = None) -> list[AuditRecord]:
+        """All records, optionally filtered to one agent."""
+        if agent_id is None:
+            return list(self._records)
+        return [record for record in self._records if record.agent_id == agent_id]
+
+    def verify_chain(self) -> None:
+        """Check every link; raises :class:`IntegrityError` on the first break."""
+        previous = GENESIS_HASH
+        for position, record in enumerate(self._records):
+            if record.index != position:
+                raise IntegrityError(
+                    f"audit record at position {position} carries index {record.index}"
+                )
+            if record.previous_hash != previous:
+                raise IntegrityError(
+                    f"audit chain break at index {position}: previous-hash mismatch"
+                )
+            expected = AuditRecord.compute_hash(
+                record.index, record.time, record.agent_id, record.ok,
+                record.detail, record.previous_hash,
+            )
+            if record.record_hash != expected:
+                raise IntegrityError(
+                    f"audit record {position} content does not match its hash"
+                )
+            previous = record.record_hash
+
+    def tamper_evident_summary(self) -> dict[str, Any]:
+        """Counts plus the head hash an external anchor would pin."""
+        return {
+            "records": len(self._records),
+            "failures": sum(1 for record in self._records if not record.ok),
+            "head": self.head_hash,
+        }

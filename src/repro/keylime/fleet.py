@@ -1,0 +1,200 @@
+"""Fleet management: one verifier, many attested nodes.
+
+The paper's motivation is cloud providers attesting *large fleets*; the
+tenant tool exists to "manage groups of attested nodes".  This module
+provides that layer on top of the single-node stack:
+
+* :class:`Fleet` provisions N identical machines (same baseline package
+  set, each with its own manufactured TPM), registers and onboards all
+  of them against one shared runtime policy -- the point of the
+  mirror-derived dynamic policy is precisely that identical nodes can
+  share it;
+* fleet-wide operations: sync-once/update-everywhere cycles, polling
+  every node, and status roll-ups;
+* revocation wiring: a fleet-level :class:`QuarantineListener` so a
+  single compromised node is fenced without touching its siblings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.clock import Scheduler
+from repro.common.events import EventLog
+from repro.common.rng import SeededRng
+from repro.distro.apt import AptInstaller
+from repro.distro.mirror import LocalMirror
+from repro.dynpolicy.generator import DynamicPolicyGenerator, PolicyUpdateReport
+from repro.keylime.agent import KeylimeAgent
+from repro.keylime.audit import AuditLog
+from repro.keylime.policy import RuntimePolicy
+from repro.keylime.registrar import KeylimeRegistrar
+from repro.keylime.revocation import QuarantineListener, RevocationNotifier
+from repro.keylime.verifier import AgentState, AttestationResult, KeylimeVerifier
+from repro.kernelsim.kernel import Machine
+from repro.tpm.device import TpmManufacturer
+
+
+@dataclass
+class FleetNode:
+    """One attested machine and its per-node plumbing."""
+
+    name: str
+    machine: Machine
+    apt: AptInstaller
+    agent: KeylimeAgent
+
+
+@dataclass
+class FleetUpdateReport:
+    """Outcome of one fleet-wide update cycle."""
+
+    policy_report: PolicyUpdateReport
+    nodes_updated: int
+    files_written_total: int
+    rebooted_nodes: tuple[str, ...] = ()
+
+
+class Fleet:
+    """A group of identically provisioned, attested machines."""
+
+    def __init__(
+        self,
+        size: int,
+        mirror: LocalMirror,
+        manufacturer: TpmManufacturer,
+        scheduler: Scheduler,
+        rng: SeededRng,
+        policy: RuntimePolicy,
+        events: EventLog | None = None,
+        kernel_version: str = "5.15.0-91-generic",
+        continue_on_failure: bool = False,
+    ) -> None:
+        if size < 1:
+            raise ValueError("fleet needs at least one node")
+        self.mirror = mirror
+        self.scheduler = scheduler
+        self.events = events if events is not None else EventLog()
+        self.policy = policy
+        self.generator = DynamicPolicyGenerator(
+            mirror, events=self.events, rng=rng.fork("generator")
+        )
+        self.notifier = RevocationNotifier(events=self.events)
+        self.quarantine = QuarantineListener()
+        self.notifier.subscribe(self.quarantine)
+        self.audit = AuditLog()
+        self.registrar = KeylimeRegistrar(
+            [manufacturer.root_certificate], events=self.events
+        )
+        self.verifier = KeylimeVerifier(
+            self.registrar, scheduler, rng.fork("verifier"), events=self.events,
+            continue_on_failure=continue_on_failure,
+            notifier=self.notifier, audit=self.audit,
+        )
+
+        self.nodes: list[FleetNode] = []
+        baseline = mirror.index()
+        for index in range(size):
+            name = f"node-{index:03d}"
+            machine = Machine(
+                name, manufacturer.manufacture(), clock=scheduler.clock,
+                events=self.events, kernel_version=kernel_version,
+            )
+            machine.boot()
+            apt = AptInstaller(machine, events=self.events)
+            apt.upgrade_from(baseline, install_new=True)
+            agent = KeylimeAgent(f"agent-{name}", machine)
+            self.registrar.register(agent)
+            self.verifier.add_agent(agent, policy)
+            self.nodes.append(FleetNode(name=name, machine=machine, apt=apt, agent=agent))
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, name: str) -> FleetNode:
+        """Look up one node by name."""
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(f"fleet has no node {name!r}")
+
+    # -- attestation -------------------------------------------------------
+
+    def poll_all(self) -> dict[str, AttestationResult]:
+        """One attestation round against every still-attesting node."""
+        results = {}
+        for node in self.nodes:
+            if self.verifier.state_of(node.agent.agent_id) is AgentState.ATTESTING:
+                results[node.name] = self.verifier.poll(node.agent.agent_id)
+        return results
+
+    def start_polling(self, interval: float) -> None:
+        """Continuous attestation for the whole fleet."""
+        for node in self.nodes:
+            self.verifier.start_polling(node.agent.agent_id, interval)
+
+    def status(self) -> dict[str, str]:
+        """node name -> verifier state value."""
+        return {
+            node.name: self.verifier.state_of(node.agent.agent_id).value
+            for node in self.nodes
+        }
+
+    def healthy_count(self) -> int:
+        """Nodes still attesting and not quarantined."""
+        return sum(
+            1 for node in self.nodes
+            if self.verifier.state_of(node.agent.agent_id) is AgentState.ATTESTING
+            and not self.quarantine.is_quarantined(node.agent.agent_id)
+        )
+
+    # -- fleet-wide updates ----------------------------------------------------
+
+    def run_update_cycle(self, reboot_on_new_kernel: bool = True) -> FleetUpdateReport:
+        """Sync once, generate the policy delta once, update every node.
+
+        The single shared policy is pushed before any node upgrades --
+        the same ordering invariant as the single-node orchestrator,
+        amortised across the fleet (the generator's work is independent
+        of fleet size, which is the operational win of the scheme).
+        """
+        now = self.scheduler.clock.now
+        sync = self.mirror.sync(now)
+        changed = list(sync.new_packages) + list(sync.changed_packages)
+        allowed = {node.machine.current_kernel for node in self.nodes}
+        policy_report = self.generator.generate_update(self.policy, changed, allowed)
+        for node in self.nodes:
+            self.verifier.update_policy(node.agent.agent_id, self.policy)
+
+        files_total = 0
+        updated = 0
+        rebooted: list[str] = []
+        index = self.mirror.index()
+        for node in self.nodes:
+            report = node.apt.upgrade_from(index)
+            if report.is_empty:
+                continue
+            updated += 1
+            files_total += report.files_written
+            for package in report.packages:
+                for pf in package.executables[:20]:
+                    node.machine.exec_file(pf.path)
+            if node.machine.pending_kernel is not None:
+                self.generator.prepare_for_reboot(
+                    self.policy, node.machine.pending_kernel
+                )
+                self.verifier.update_policy(node.agent.agent_id, self.policy)
+                if reboot_on_new_kernel:
+                    node.machine.reboot()
+                    rebooted.append(node.name)
+
+        self.events.emit(
+            now, "keylime.fleet", "fleet.updated",
+            nodes=updated, files=files_total, rebooted=len(rebooted),
+        )
+        return FleetUpdateReport(
+            policy_report=policy_report,
+            nodes_updated=updated,
+            files_written_total=files_total,
+            rebooted_nodes=tuple(rebooted),
+        )

@@ -1,0 +1,106 @@
+"""Measured boot attestation: golden PCR values for PCRs 0-7.
+
+Continuous integrity attestation "picks up where the measured boot left
+off" (Section II) -- but the boot itself still has to be checked, or an
+attacker who swaps the kernel or bootloader gets a clean slate to lie
+from.  Keylime supports this with reference ("golden") values for the
+boot PCRs; this module implements that check:
+
+* :func:`capture_golden` snapshots a trusted reference machine's boot
+  PCRs into a :class:`MeasuredBootPolicy` (the way operators build
+  golden values from a known-good image);
+* the verifier (when given the policy) widens its quote selection to
+  PCRs 0-7 and compares, flagging any divergence as a measured-boot
+  failure -- which is how a kernel swap is caught *at the next poll
+  after reboot* even though the runtime allowlist knows nothing about
+  kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernelsim.kernel import Machine
+from repro.tpm.pcr import BOOT_PCRS
+
+
+@dataclass(frozen=True)
+class BootPcrMismatch:
+    """One diverging boot PCR."""
+
+    index: int
+    expected: str
+    actual: str
+
+
+@dataclass
+class MeasuredBootPolicy:
+    """Golden values for the boot PCRs.
+
+    ``golden`` maps PCR index -> accepted hex values.  A PCR may accept
+    several values (e.g. two approved kernel versions during a staged
+    rollout); add alternatives with :meth:`allow`.
+    """
+
+    algorithm: str = "sha256"
+    golden: dict[int, list[str]] = field(default_factory=dict)
+
+    def allow(self, index: int, value_hex: str) -> bool:
+        """Accept *value_hex* for PCR *index*; returns True when new."""
+        bucket = self.golden.setdefault(index, [])
+        if value_hex in bucket:
+            return False
+        bucket.append(value_hex)
+        return True
+
+    @property
+    def pcr_selection(self) -> list[int]:
+        """The PCRs the verifier must include in its quote."""
+        return sorted(self.golden)
+
+    def verify(self, pcr_values: dict[int, str]) -> list[BootPcrMismatch]:
+        """Compare quoted values against the golden set.
+
+        Returns the list of mismatches (empty means the boot chain is
+        the approved one).  A golden PCR missing from *pcr_values* is a
+        mismatch -- the verifier must not silently narrow the check.
+        """
+        mismatches = []
+        for index, accepted in sorted(self.golden.items()):
+            actual = pcr_values.get(index)
+            if actual is None or actual not in accepted:
+                mismatches.append(
+                    BootPcrMismatch(
+                        index=index,
+                        expected=accepted[0] if accepted else "",
+                        actual=actual if actual is not None else "<absent>",
+                    )
+                )
+        return mismatches
+
+
+def capture_golden(machine: Machine, algorithm: str = "sha256") -> MeasuredBootPolicy:
+    """Snapshot a booted reference machine's boot PCRs as golden values."""
+    policy = MeasuredBootPolicy(algorithm=algorithm)
+    for index in BOOT_PCRS:
+        policy.allow(index, machine.tpm.read_pcr(index, algorithm=algorithm))
+    return policy
+
+
+def golden_for_kernel(
+    reference: Machine, kernel_version: str, algorithm: str = "sha256"
+) -> MeasuredBootPolicy:
+    """Golden values for a reference machine re-booted into *kernel_version*.
+
+    Used during staged kernel rollouts: operators pre-compute the new
+    kernel's boot PCRs on a canary and :meth:`MeasuredBootPolicy.allow`
+    them before the fleet reboots.
+    """
+    saved_current, saved_pending = reference.current_kernel, reference.pending_kernel
+    reference.pending_kernel = kernel_version
+    reference.reboot()
+    policy = capture_golden(reference, algorithm=algorithm)
+    reference.pending_kernel = saved_current
+    reference.reboot()
+    reference.pending_kernel = saved_pending
+    return policy

@@ -1,0 +1,291 @@
+"""Keylime runtime policies: allowlist + excludes.
+
+A runtime policy is what the verifier checks IMA entries against:
+
+* ``digests`` -- path -> list of accepted SHA-256 hex digests (a path
+  accumulates several digests as updates append new versions, which is
+  how the dynamic generator keeps the system in-policy *during* the
+  update window);
+* ``excludes`` -- regular expressions; an IMA entry whose path matches
+  any of them is skipped entirely.
+
+The exclude list in :data:`IBM_STYLE_EXCLUDES` reproduces the study's
+initial policy: it skips ``/tmp`` and friends "to improve attestation
+efficiency and reduce false positives" -- and is exactly the paper's
+**P1**.
+
+The JSON encoding follows the shape of Keylime's runtime policy format
+(a ``digests`` map and an ``excludes`` list) so the policy files the
+experiments write look like the real thing.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.common.errors import ConfigurationError
+from repro.common.hexutil import is_hex_digest, sha256_hex
+from repro.kernelsim.ima import ImaLogEntry
+from repro.kernelsim.kernel import Machine
+
+#: Exclude patterns of the study's initial (IBM Research) policy.  The
+#: /tmp exclusion is P1; the others are the usual noise suppressors.
+IBM_STYLE_EXCLUDES = (
+    r"^/tmp(/.*)?$",
+    r"^/var/tmp(/.*)?$",
+    r"^/run(/.*)?$",
+    r"^/var/log(/.*)?$",
+    r"^/usr/local(/.*)?$",
+    r"^/home/[^/]+/\.cache(/.*)?$",
+)
+
+#: Entry name IMA gives the first post-boot record.
+BOOT_AGGREGATE_PATH = "boot_aggregate"
+
+
+class EntryVerdict(Enum):
+    """Per-entry evaluation outcome."""
+
+    ACCEPT = "accept"
+    EXCLUDED = "excluded"
+    BOOT_AGGREGATE = "boot_aggregate"
+    HASH_MISMATCH = "hash_mismatch"
+    NOT_IN_POLICY = "not_in_policy"
+    VIOLATION = "violation"
+
+    @property
+    def is_failure(self) -> bool:
+        """True for the verdicts that fail attestation."""
+        return self in (
+            EntryVerdict.HASH_MISMATCH,
+            EntryVerdict.NOT_IN_POLICY,
+            EntryVerdict.VIOLATION,
+        )
+
+
+@dataclass(frozen=True)
+class PolicyFailure:
+    """One failed policy check (becomes an attestation failure)."""
+
+    verdict: EntryVerdict
+    path: str
+    measured_digest: str
+    expected_digests: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        """Human-readable description, mirroring Keylime's error strings."""
+        if self.verdict is EntryVerdict.HASH_MISMATCH:
+            return (
+                f"hash mismatch for {self.path}: measured "
+                f"{self.measured_digest[:16]}..., policy has "
+                f"{len(self.expected_digests)} accepted digest(s)"
+            )
+        if self.verdict is EntryVerdict.VIOLATION:
+            return f"IMA measurement violation: {self.path}"
+        return f"file not found in policy: {self.path}"
+
+
+class RuntimePolicy:
+    """An allowlist policy with exclude patterns."""
+
+    def __init__(
+        self,
+        digests: dict[str, list[str]] | None = None,
+        excludes: list[str] | None = None,
+        name: str = "runtime-policy",
+    ) -> None:
+        self.name = name
+        self._digests: dict[str, list[str]] = {}
+        for path, values in (digests or {}).items():
+            for value in values:
+                self.add_digest(path, value)
+        self.excludes: list[str] = list(excludes or [])
+        self._compiled = [re.compile(pattern) for pattern in self.excludes]
+
+    # -- construction / mutation ------------------------------------------
+
+    def add_digest(self, path: str, digest: str) -> bool:
+        """Add an accepted digest for *path*; returns True when new."""
+        if not is_hex_digest(digest, "sha256"):
+            raise ConfigurationError(
+                f"policy digest for {path!r} is not sha256 hex: {digest!r}"
+            )
+        bucket = self._digests.setdefault(path, [])
+        if digest in bucket:
+            return False
+        bucket.append(digest)
+        return True
+
+    def add_exclude(self, pattern: str) -> None:
+        """Add an exclude regex."""
+        self.excludes.append(pattern)
+        self._compiled.append(re.compile(pattern))
+
+    def remove_exclude(self, pattern: str) -> None:
+        """Remove an exclude regex (mitigation M1 narrows the excludes)."""
+        if pattern in self.excludes:
+            index = self.excludes.index(pattern)
+            del self.excludes[index]
+            del self._compiled[index]
+
+    def merge_measurements(self, measurements: dict[str, str]) -> int:
+        """Append path -> digest pairs; returns the number of new entries.
+
+        This is the dynamic generator's append operation: existing
+        digests are retained so the machine stays in-policy during the
+        update window (Section III-C, policy-file consistency).
+        """
+        added = 0
+        for path, digest in measurements.items():
+            if self.add_digest(path, digest):
+                added += 1
+        return added
+
+    def dedupe_for_paths(self, keep: dict[str, str]) -> int:
+        """Post-update dedup: for each path in *keep*, drop other digests.
+
+        Returns the number of digests removed.  The paper performs this
+        after the update settles, shrinking the policy back down.
+
+        A path whose wanted digest is *not* already in the policy is
+        left untouched: dedup only ever narrows the allowlist, it never
+        admits content the generator has not measured (otherwise an
+        out-of-band install -- the incident scenario -- would be
+        laundered into the policy by the cleanup step).
+        """
+        removed = 0
+        for path, digest in keep.items():
+            bucket = self._digests.get(path)
+            if bucket is None or digest not in bucket:
+                continue
+            before = len(bucket)
+            self._digests[path] = [digest]
+            removed += before - 1
+        return removed
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def digests(self) -> dict[str, list[str]]:
+        """path -> accepted digests (a shallow copy)."""
+        return {path: list(values) for path, values in self._digests.items()}
+
+    def digests_for(self, path: str) -> tuple[str, ...]:
+        """Accepted digests for *path* (empty when absent)."""
+        return tuple(self._digests.get(path, ()))
+
+    def covers_path(self, path: str) -> bool:
+        """True when the policy has an allowlist entry for *path*."""
+        return path in self._digests
+
+    def is_excluded(self, path: str) -> bool:
+        """True when any exclude regex matches *path*."""
+        return any(pattern.match(path) for pattern in self._compiled)
+
+    def line_count(self) -> int:
+        """Number of (path, digest) lines -- the unit of Fig 5 / E9."""
+        return sum(len(values) for values in self._digests.values())
+
+    def size_bytes(self) -> int:
+        """Approximate on-disk size: one '<sha256>  <path>' line per digest."""
+        total = 0
+        for path, values in self._digests.items():
+            total += len(values) * (64 + 2 + len(path) + 1)
+        return total
+
+    # -- evaluation -----------------------------------------------------------
+
+    def evaluate_entry(self, entry: ImaLogEntry) -> tuple[EntryVerdict, PolicyFailure | None]:
+        """Evaluate one IMA entry; returns (verdict, failure-or-None)."""
+        if entry.path == BOOT_AGGREGATE_PATH:
+            return EntryVerdict.BOOT_AGGREGATE, None
+        measured = entry.filedata_hash.split(":", 1)[-1]
+        if measured == "0" * 64:
+            # An IMA violation (ToMToU / open-writers): the measured
+            # content is untrustworthy by the kernel's own admission.
+            # The path may carry a " (ToMToU)" suffix; excludes apply
+            # to the file path itself.
+            bare_path = entry.path.split(" (", 1)[0]
+            if self.is_excluded(bare_path):
+                return EntryVerdict.EXCLUDED, None
+            failure = PolicyFailure(
+                verdict=EntryVerdict.VIOLATION,
+                path=entry.path,
+                measured_digest=measured,
+            )
+            return EntryVerdict.VIOLATION, failure
+        if self.is_excluded(entry.path):
+            return EntryVerdict.EXCLUDED, None
+        accepted = self._digests.get(entry.path)
+        if accepted is None:
+            failure = PolicyFailure(
+                verdict=EntryVerdict.NOT_IN_POLICY,
+                path=entry.path,
+                measured_digest=measured,
+            )
+            return EntryVerdict.NOT_IN_POLICY, failure
+        if measured not in accepted:
+            failure = PolicyFailure(
+                verdict=EntryVerdict.HASH_MISMATCH,
+                path=entry.path,
+                measured_digest=measured,
+                expected_digests=tuple(accepted),
+            )
+            return EntryVerdict.HASH_MISMATCH, failure
+        return EntryVerdict.ACCEPT, None
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialise in the shape of Keylime's runtime policy JSON."""
+        payload = {
+            "meta": {"version": 1, "generator": "repro", "name": self.name},
+            "digests": {path: values for path, values in sorted(self._digests.items())},
+            "excludes": list(self.excludes),
+        }
+        return json.dumps(payload, indent=1, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, blob: str) -> "RuntimePolicy":
+        """Parse a policy serialised by :meth:`to_json`."""
+        payload = json.loads(blob)
+        return cls(
+            digests=payload.get("digests", {}),
+            excludes=payload.get("excludes", []),
+            name=payload.get("meta", {}).get("name", "runtime-policy"),
+        )
+
+    def copy(self, name: str | None = None) -> "RuntimePolicy":
+        """Deep copy (experiments snapshot policies before mutating)."""
+        return RuntimePolicy(
+            digests=self.digests,
+            excludes=list(self.excludes),
+            name=name or self.name,
+        )
+
+
+def build_policy_from_machine(
+    machine: Machine,
+    excludes: tuple[str, ...] = IBM_STYLE_EXCLUDES,
+    root: str = "/",
+    name: str = "initial-policy",
+) -> RuntimePolicy:
+    """The study's initial policy: hash every executable on the machine.
+
+    Reproduces the "bash script recursively goes into each directory
+    ... takes the SHA256 hash for executable files" construction,
+    including its blind spots: whatever is *currently* on disk is
+    trusted, and excluded directories are never listed.
+    """
+    policy = RuntimePolicy(excludes=list(excludes), name=name)
+    for stat in machine.vfs.walk(root):
+        if not stat.executable:
+            continue
+        if policy.is_excluded(stat.path):
+            continue
+        content = machine.vfs.read_file(stat.path)
+        policy.add_digest(stat.path, sha256_hex(content))
+    return policy

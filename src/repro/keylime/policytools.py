@@ -1,0 +1,183 @@
+"""Operator tooling for runtime policies: diff, statistics, lint.
+
+The paper's operational lessons distil into tooling needs the upstream
+project is now growing: operators must *see* what a policy update
+changed (diff), understand what a policy covers (statistics), and be
+warned about the exclusion patterns that created P1 in the first place
+("any rules that elect to skip attestation should be cautiously used --
+especially wildcards of directories or filesystems").  This module
+provides those three tools.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.keylime.policy import RuntimePolicy
+
+#: Writable locations an exclude should never blanket-cover; each is a
+#: place the paper (or its attack corpus) demonstrates payload staging.
+RISKY_EXCLUDE_TARGETS = (
+    ("/tmp", "P1: world-writable, on the root filesystem, attack-stageable"),
+    ("/var/tmp", "P1: world-writable, persists across reboots"),
+    ("/dev/shm", "P3-adjacent: world-writable tmpfs"),
+    ("/home", "user-writable; payloads can hide in home directories"),
+    ("/usr/local", "commonly root-writable without package management"),
+)
+
+
+@dataclass(frozen=True)
+class PolicyDiff:
+    """What changed between two policies."""
+
+    added_paths: tuple[str, ...]
+    removed_paths: tuple[str, ...]
+    changed_paths: tuple[str, ...]  # present in both, digest sets differ
+    added_excludes: tuple[str, ...]
+    removed_excludes: tuple[str, ...]
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the policies are equivalent."""
+        return not (
+            self.added_paths or self.removed_paths or self.changed_paths
+            or self.added_excludes or self.removed_excludes
+        )
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        return (
+            f"+{len(self.added_paths)} paths, -{len(self.removed_paths)} paths, "
+            f"~{len(self.changed_paths)} changed, "
+            f"excludes +{len(self.added_excludes)}/-{len(self.removed_excludes)}"
+        )
+
+
+def diff_policies(old: RuntimePolicy, new: RuntimePolicy) -> PolicyDiff:
+    """Structural diff from *old* to *new*."""
+    old_digests = old.digests
+    new_digests = new.digests
+    old_paths = set(old_digests)
+    new_paths = set(new_digests)
+    changed = tuple(sorted(
+        path for path in old_paths & new_paths
+        if set(old_digests[path]) != set(new_digests[path])
+    ))
+    return PolicyDiff(
+        added_paths=tuple(sorted(new_paths - old_paths)),
+        removed_paths=tuple(sorted(old_paths - new_paths)),
+        changed_paths=changed,
+        added_excludes=tuple(
+            pattern for pattern in new.excludes if pattern not in old.excludes
+        ),
+        removed_excludes=tuple(
+            pattern for pattern in old.excludes if pattern not in new.excludes
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class PolicyStatistics:
+    """Coverage statistics for one policy."""
+
+    paths: int
+    digests: int
+    multi_digest_paths: int  # paths mid-update (several accepted hashes)
+    excludes: int
+    size_bytes: int
+    top_directories: tuple[tuple[str, int], ...]
+
+
+def policy_statistics(policy: RuntimePolicy, top_n: int = 10) -> PolicyStatistics:
+    """Summarise what *policy* covers."""
+    digests = policy.digests
+    directories: dict[str, int] = {}
+    multi = 0
+    for path, values in digests.items():
+        if len(values) > 1:
+            multi += 1
+        parts = path.rsplit("/", 1)
+        directory = parts[0] if len(parts) == 2 and parts[0] else "/"
+        directories[directory] = directories.get(directory, 0) + 1
+    top = tuple(
+        sorted(directories.items(), key=lambda item: (-item[1], item[0]))[:top_n]
+    )
+    return PolicyStatistics(
+        paths=len(digests),
+        digests=policy.line_count(),
+        multi_digest_paths=multi,
+        excludes=len(policy.excludes),
+        size_bytes=policy.size_bytes(),
+        top_directories=top,
+    )
+
+
+def policy_from_ima_log(
+    log_entries,
+    excludes: tuple[str, ...] = (),
+    name: str = "bootstrap-policy",
+) -> RuntimePolicy:
+    """Bootstrap an allowlist from a trusted machine's measurement list.
+
+    The equivalent of ``keylime-policy create runtime
+    --ima-measurement-list``: every measured (path, digest) pair from a
+    *known-good* run becomes an accepted entry.  Boot aggregates and
+    violation entries are skipped -- neither is a file content to
+    allowlist.  Inherits the method's caveat, which is the paper's
+    starting point: the snapshot trusts whatever happened to run, and
+    rots as soon as the system updates.
+    """
+    policy = RuntimePolicy(excludes=list(excludes), name=name)
+    for entry in log_entries:
+        if entry.path == "boot_aggregate":
+            continue
+        digest = entry.filedata_hash.split(":", 1)[-1]
+        if digest == "0" * 64:
+            continue  # violation entry
+        if policy.is_excluded(entry.path):
+            continue
+        policy.add_digest(entry.path, digest)
+    return policy
+
+
+@dataclass(frozen=True)
+class ExcludeWarning:
+    """One lint finding about an exclude pattern."""
+
+    pattern: str
+    target: str
+    reason: str
+
+    def describe(self) -> str:
+        """Human-readable warning line."""
+        return f"exclude {self.pattern!r} covers {self.target}: {self.reason}"
+
+
+def lint_excludes(policy: RuntimePolicy) -> list[ExcludeWarning]:
+    """Flag exclude patterns that cover attack-stageable locations.
+
+    A pattern is flagged when it matches a risky directory itself or a
+    representative path inside it -- i.e. when executing a payload
+    there would be skipped by the verifier, the precondition of the
+    paper's P1 evasions.
+    """
+    warnings = []
+    for pattern in policy.excludes:
+        try:
+            compiled = re.compile(pattern)
+        except re.error:
+            warnings.append(
+                ExcludeWarning(
+                    pattern=pattern, target="<invalid>",
+                    reason="pattern does not compile; verifier behaviour undefined",
+                )
+            )
+            continue
+        for target, reason in RISKY_EXCLUDE_TARGETS:
+            probe = f"{target}/payload"
+            if compiled.match(target) or compiled.match(probe):
+                warnings.append(
+                    ExcludeWarning(pattern=pattern, target=target, reason=reason)
+                )
+    return warnings

@@ -1,0 +1,92 @@
+"""The Keylime registrar: TPM identity validation.
+
+Before the verifier trusts a single quote, the registrar establishes
+that the agent's attestation key lives in a genuine TPM:
+
+1. the agent presents its TPM's **EK certificate**; the registrar
+   verifies the chain against the trusted manufacturer roots;
+2. the agent presents its **AK** with the TPM's binding statement; the
+   registrar verifies the EK signed it (standing in for the
+   MakeCredential/ActivateCredential ceremony).
+
+A spoofed TPM (no valid manufacturer chain) or a smuggled AK (no valid
+binding) is rejected here, which is why those attack avenues are out of
+scope for the paper's false-negative study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import IntegrityError, NotFoundError
+from repro.common.events import EventLog
+from repro.crypto.certs import Certificate, verify_chain
+from repro.crypto.rsa import RsaPublicKey
+from repro.keylime.agent import KeylimeAgent
+from repro.tpm.device import AttestationKey
+
+
+class RegistrationError(IntegrityError):
+    """Agent registration failed identity validation."""
+
+
+@dataclass(frozen=True)
+class AgentRecord:
+    """The registrar's record of a validated agent."""
+
+    agent_id: str
+    ak_public: RsaPublicKey
+    ek_certificate: Certificate
+
+
+class KeylimeRegistrar:
+    """Registry of validated agents and their attestation keys."""
+
+    def __init__(self, trusted_roots: list[Certificate], events: EventLog | None = None) -> None:
+        self.trusted_roots = list(trusted_roots)
+        self.events = events if events is not None else EventLog()
+        self._agents: dict[str, AgentRecord] = {}
+
+    def __contains__(self, agent_id: str) -> bool:
+        return agent_id in self._agents
+
+    def register(self, agent: KeylimeAgent) -> AgentRecord:
+        """Validate and record an agent's TPM identity.
+
+        Raises :class:`RegistrationError` when the EK certificate does
+        not chain to a trusted manufacturer or the AK binding fails.
+        """
+        ek_cert = agent.machine.tpm.ek_certificate
+        try:
+            verify_chain([ek_cert], self.trusted_roots)
+        except IntegrityError as exc:
+            raise RegistrationError(
+                f"agent {agent.agent_id}: EK certificate rejected: {exc}"
+            ) from exc
+
+        ak: AttestationKey = agent.provision_ak()
+        if ak.ek_fingerprint != ek_cert.public_key.fingerprint():
+            raise RegistrationError(
+                f"agent {agent.agent_id}: AK names a different EK than the certificate"
+            )
+        if not ak.verify_binding(ek_cert.public_key):
+            raise RegistrationError(
+                f"agent {agent.agent_id}: AK binding signature invalid"
+            )
+
+        record = AgentRecord(
+            agent_id=agent.agent_id, ak_public=ak.public, ek_certificate=ek_cert
+        )
+        self._agents[agent.agent_id] = record
+        self.events.emit(
+            agent.machine.clock.now, "keylime.registrar", "agent.registered",
+            agent=agent.agent_id,
+        )
+        return record
+
+    def lookup(self, agent_id: str) -> AgentRecord:
+        """The record for *agent_id* (raises when unknown)."""
+        try:
+            return self._agents[agent_id]
+        except KeyError:
+            raise NotFoundError(f"agent {agent_id!r} is not registered") from None

@@ -1,0 +1,85 @@
+"""Revocation notifications.
+
+When attestation fails, Keylime does more than flip a status bit: it
+pushes a *revocation notification* so that the rest of the
+infrastructure (load balancers, secret stores, other nodes) can stop
+trusting the compromised machine.  This module models that fan-out: the
+verifier publishes a :class:`RevocationEvent` per failure, and
+registered listeners react -- the bundled :class:`QuarantineListener`
+keeps the set of machines an operator should fence off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.events import EventLog
+
+
+@dataclass(frozen=True)
+class RevocationEvent:
+    """One revocation notification."""
+
+    time: float
+    agent_id: str
+    reason: str  # FailureKind value, e.g. "policy" / "pcr_mismatch"
+    detail: str
+    path: str | None = None  # offending file for policy failures
+
+
+class RevocationNotifier:
+    """Publish/subscribe fan-out for revocation events."""
+
+    def __init__(self, events: EventLog | None = None) -> None:
+        self.events = events if events is not None else EventLog()
+        self._listeners: list[Callable[[RevocationEvent], None]] = []
+        self._history: list[RevocationEvent] = []
+
+    @property
+    def history(self) -> list[RevocationEvent]:
+        """Every event published so far (a copy)."""
+        return list(self._history)
+
+    def subscribe(self, listener: Callable[[RevocationEvent], None]) -> Callable[[], None]:
+        """Register *listener* for future events; returns an unsubscriber."""
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+        return unsubscribe
+
+    def notify(self, event: RevocationEvent) -> None:
+        """Publish one event to every listener."""
+        self._history.append(event)
+        self.events.emit(
+            event.time, "keylime.revocation", "revocation.notified",
+            agent=event.agent_id, reason=event.reason, path=event.path,
+        )
+        for listener in list(self._listeners):
+            listener(event)
+
+
+@dataclass
+class QuarantineListener:
+    """Tracks which agents the infrastructure should stop trusting.
+
+    An agent enters quarantine on its first revocation and leaves only
+    through an explicit operator :meth:`release` (after remediation and
+    a fresh green attestation).
+    """
+
+    quarantined: dict[str, RevocationEvent] = field(default_factory=dict)
+
+    def __call__(self, event: RevocationEvent) -> None:
+        self.quarantined.setdefault(event.agent_id, event)
+
+    def is_quarantined(self, agent_id: str) -> bool:
+        """True while the agent remains fenced off."""
+        return agent_id in self.quarantined
+
+    def release(self, agent_id: str) -> None:
+        """Operator action: lift the quarantine."""
+        self.quarantined.pop(agent_id, None)

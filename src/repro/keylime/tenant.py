@@ -1,0 +1,66 @@
+"""The Keylime tenant: the operator's management interface.
+
+The tenant is Keylime's command-line tool; here it is a thin façade
+that performs the multi-step onboarding (register at the registrar,
+install a policy at the verifier, start polling) and the operator
+actions the experiments need (push an updated policy, resolve a failed
+attestation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.keylime.agent import KeylimeAgent
+from repro.keylime.policy import RuntimePolicy
+from repro.keylime.registrar import KeylimeRegistrar
+from repro.keylime.verifier import AgentState, KeylimeVerifier
+
+
+@dataclass(frozen=True)
+class OnboardReport:
+    """Summary of one agent onboarding."""
+
+    agent_id: str
+    policy_lines: int
+
+
+class KeylimeTenant:
+    """Operator-facing orchestration over registrar + verifier."""
+
+    def __init__(self, registrar: KeylimeRegistrar, verifier: KeylimeVerifier) -> None:
+        self.registrar = registrar
+        self.verifier = verifier
+
+    def onboard(
+        self,
+        agent: KeylimeAgent,
+        policy: RuntimePolicy,
+        poll_interval: float = 2.0,
+        start_polling: bool = True,
+    ) -> OnboardReport:
+        """Register the agent and start continuous attestation."""
+        self.registrar.register(agent)
+        self.verifier.add_agent(agent, policy)
+        if start_polling:
+            self.verifier.start_polling(agent.agent_id, poll_interval)
+        return OnboardReport(agent_id=agent.agent_id, policy_lines=policy.line_count())
+
+    def push_policy(self, agent_id: str, policy: RuntimePolicy) -> None:
+        """Install an updated runtime policy for the agent."""
+        self.verifier.update_policy(agent_id, policy)
+
+    def resolve_failure(self, agent_id: str, updated_policy: RuntimePolicy | None = None) -> None:
+        """Operator workflow for a failed agent.
+
+        Optionally installs a corrected policy, then restarts the
+        attestation from the top of the log.  Without a corrected
+        policy the restart will halt on the same entry again (P2).
+        """
+        if updated_policy is not None:
+            self.verifier.update_policy(agent_id, updated_policy)
+        self.verifier.restart_attestation(agent_id)
+
+    def status(self, agent_id: str) -> AgentState:
+        """Verifier-side state for the agent."""
+        return self.verifier.state_of(agent_id)

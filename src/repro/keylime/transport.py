@@ -1,0 +1,128 @@
+"""Wire formats: serialising evidence between agent and verifier.
+
+In production the agent and verifier are separate processes on separate
+machines; evidence crosses an untrusted network as JSON.  The in-process
+reproduction normally short-circuits that, but this module provides the
+real wire formats plus a :class:`JsonTransportAgent` wrapper that forces
+every attestation round through serialisation -- so tests can prove the
+security properties hold across (and *because of*) the encoding: a
+tampered byte anywhere in the channel surfaces as a verification
+failure, never as silently different data.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.common.errors import IntegrityError
+from repro.keylime.agent import AttestationEvidence, KeylimeAgent
+from repro.tpm.quote import Quote
+
+
+def quote_to_dict(quote: Quote) -> dict[str, Any]:
+    """JSON-safe encoding of a quote."""
+    return {
+        "bank": quote.bank_algorithm,
+        "selection": list(quote.pcr_selection),
+        "pcr_values": {str(index): value for index, value in quote.pcr_values.items()},
+        "pcr_digest": quote.pcr_digest,
+        "nonce": quote.nonce,
+        "clock": quote.clock,
+        "reset_count": quote.reset_count,
+        "restart_count": quote.restart_count,
+        "ak": quote.ak_fingerprint,
+        "signature": quote.signature.hex(),
+    }
+
+
+def quote_from_dict(payload: dict[str, Any]) -> Quote:
+    """Decode a quote; raises :class:`IntegrityError` on malformed input."""
+    try:
+        return Quote(
+            bank_algorithm=payload["bank"],
+            pcr_selection=tuple(int(index) for index in payload["selection"]),
+            pcr_values={
+                int(index): value for index, value in payload["pcr_values"].items()
+            },
+            pcr_digest=payload["pcr_digest"],
+            nonce=payload["nonce"],
+            clock=int(payload["clock"]),
+            reset_count=int(payload["reset_count"]),
+            restart_count=int(payload["restart_count"]),
+            ak_fingerprint=payload["ak"],
+            signature=bytes.fromhex(payload["signature"]),
+        )
+    except (KeyError, ValueError, TypeError, AttributeError) as exc:
+        raise IntegrityError(f"malformed quote payload: {exc}") from exc
+
+
+def evidence_to_json(evidence: AttestationEvidence) -> str:
+    """Serialise one attestation response."""
+    return json.dumps(
+        {
+            "quote": quote_to_dict(evidence.quote),
+            "ima_log": list(evidence.ima_log_lines),
+            "offset": evidence.offset,
+            "total_entries": evidence.total_entries,
+        },
+        sort_keys=True,
+    )
+
+
+def evidence_from_json(blob: str) -> AttestationEvidence:
+    """Deserialise one attestation response."""
+    try:
+        payload = json.loads(blob)
+        return AttestationEvidence(
+            quote=quote_from_dict(payload["quote"]),
+            ima_log_lines=tuple(payload["ima_log"]),
+            offset=int(payload["offset"]),
+            total_entries=int(payload["total_entries"]),
+        )
+    except IntegrityError:
+        raise
+    except (KeyError, ValueError, TypeError, json.JSONDecodeError) as exc:
+        raise IntegrityError(f"malformed evidence payload: {exc}") from exc
+
+
+class JsonTransportAgent:
+    """An agent proxy that routes every response through the wire format.
+
+    Drop-in for :class:`KeylimeAgent` on the verifier side.  The
+    optional ``channel`` hook sees (and may tamper with) the raw JSON --
+    which is how the adversarial tests model a man-in-the-middle.
+    """
+
+    def __init__(self, agent: KeylimeAgent, channel=None) -> None:
+        self._agent = agent
+        self._channel = channel
+        self.bytes_transferred = 0
+
+    @property
+    def agent_id(self) -> str:
+        """The wrapped agent's identity."""
+        return self._agent.agent_id
+
+    @property
+    def machine(self):
+        """The wrapped agent's machine (testbed plumbing)."""
+        return self._agent.machine
+
+    def provision_ak(self):
+        """Delegates key provisioning (registration path)."""
+        return self._agent.provision_ak()
+
+    @property
+    def attestation_key(self):
+        """The wrapped agent's AK."""
+        return self._agent.attestation_key
+
+    def attest(self, nonce: str, offset: int = 0, pcr_selection=None) -> AttestationEvidence:
+        """One challenge/response round across the serialised channel."""
+        evidence = self._agent.attest(nonce, offset, pcr_selection=pcr_selection)
+        blob = evidence_to_json(evidence)
+        if self._channel is not None:
+            blob = self._channel(blob)
+        self.bytes_transferred += len(blob)
+        return evidence_from_json(blob)

@@ -1,0 +1,416 @@
+"""The Keylime verifier: the attestation loop.
+
+Each poll of an agent performs the four steps of Fig 1:
+
+1. **Challenge** -- a fresh random nonce; the agent returns a TPM quote
+   over PCR 10 bound to that nonce plus the new IMA log entries.
+2. **Quote validation** -- signature by the registrar-validated AK,
+   nonce binding, PCR digest consistency.
+3. **Log replay** -- the new entries' template hashes are recomputed
+   and folded into the running PCR-10 replay; a mismatch with the
+   quoted value means the log was tampered with in flight or at rest.
+4. **Policy evaluation** -- each new entry is checked against the
+   runtime policy (excludes, then allowlist).
+
+Failure behaviour is the paper's **P2**: the stock verifier processes
+entries *sequentially and stops at the first policy failure*, marks the
+agent failed, and **stops polling** -- leaving an incomplete attestation
+log.  Restarting attestation replays the log from scratch, hits the same
+unresolved failure, and halts again.  The ``continue_on_failure`` switch
+implements the proposed **M2** fix: every entry is always evaluated and
+polling never stops, so later malicious entries still surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.common.clock import Scheduler
+from repro.common.errors import NotFoundError
+from repro.common.events import EventLog
+from repro.common.hexutil import zero_digest
+from repro.common.rng import SeededRng
+from repro.kernelsim.ima import ImaLogEntry, template_hash
+from repro.keylime.agent import KeylimeAgent
+from repro.keylime.audit import AuditLog
+from repro.keylime.measuredboot import MeasuredBootPolicy
+from repro.keylime.policy import EntryVerdict, PolicyFailure, RuntimePolicy
+from repro.keylime.registrar import KeylimeRegistrar
+from repro.keylime.revocation import RevocationEvent, RevocationNotifier
+from repro.tpm.pcr import IMA_PCR_INDEX
+from repro.tpm.quote import QuoteVerificationError, verify_quote
+
+
+def _is_violation_entry(entry: ImaLogEntry) -> bool:
+    """True for IMA violation entries (zero template + zero filedata)."""
+    from repro.kernelsim.ima import VIOLATION_FILEDATA_HASH, VIOLATION_TEMPLATE_HASH
+
+    return (
+        entry.template_hash == VIOLATION_TEMPLATE_HASH
+        and entry.filedata_hash == VIOLATION_FILEDATA_HASH
+    )
+
+
+class AgentState(Enum):
+    """Verifier-side lifecycle of an attested agent."""
+
+    ATTESTING = "attesting"
+    FAILED = "failed"
+    STOPPED = "stopped"
+
+
+class FailureKind(Enum):
+    """Why an attestation round failed."""
+
+    INVALID_QUOTE = "invalid_quote"
+    LOG_TAMPERED = "log_tampered"
+    PCR_MISMATCH = "pcr_mismatch"
+    MEASURED_BOOT = "measured_boot"
+    POLICY = "policy"
+
+
+@dataclass(frozen=True)
+class AttestationFailure:
+    """One recorded failure, with enough detail for the experiments."""
+
+    time: float
+    kind: FailureKind
+    detail: str
+    policy_failure: PolicyFailure | None = None
+
+
+@dataclass(frozen=True)
+class AttestationResult:
+    """Outcome of one poll."""
+
+    time: float
+    ok: bool
+    entries_processed: int
+    entries_skipped: int  # entries after a halt (never policy-checked)
+    failures: tuple[AttestationFailure, ...] = ()
+
+
+@dataclass
+class _AgentSlot:
+    agent: KeylimeAgent
+    policy: RuntimePolicy
+    measured_boot: MeasuredBootPolicy | None = None
+    state: AgentState = AgentState.ATTESTING
+    verified_entries: int = 0
+    replay_aggregate: str = field(default_factory=lambda: zero_digest("sha256"))
+    last_reset_count: int | None = None
+    failures: list[AttestationFailure] = field(default_factory=list)
+    results: list[AttestationResult] = field(default_factory=list)
+    stop_polling: object | None = None  # callable from Scheduler.every
+
+
+class KeylimeVerifier:
+    """The trusted verifier service."""
+
+    def __init__(
+        self,
+        registrar: KeylimeRegistrar,
+        scheduler: Scheduler,
+        rng: SeededRng,
+        events: EventLog | None = None,
+        continue_on_failure: bool = False,
+        notifier: RevocationNotifier | None = None,
+        audit: AuditLog | None = None,
+    ) -> None:
+        self.registrar = registrar
+        self.scheduler = scheduler
+        self.rng = rng.fork("verifier")
+        self.events = events if events is not None else EventLog()
+        self.continue_on_failure = continue_on_failure
+        self.notifier = notifier
+        self.audit = audit
+        self._slots: dict[str, _AgentSlot] = {}
+
+    # -- agent management ---------------------------------------------------
+
+    def add_agent(
+        self,
+        agent: KeylimeAgent,
+        policy: RuntimePolicy,
+        measured_boot: MeasuredBootPolicy | None = None,
+    ) -> None:
+        """Start attesting *agent* against *policy* (must be registered).
+
+        With a *measured_boot* policy the verifier widens its quotes to
+        the boot PCRs and checks them against the golden values on
+        every poll.
+        """
+        self.registrar.lookup(agent.agent_id)  # raises when unknown
+        self._slots[agent.agent_id] = _AgentSlot(
+            agent=agent, policy=policy, measured_boot=measured_boot
+        )
+
+    def _slot(self, agent_id: str) -> _AgentSlot:
+        try:
+            return self._slots[agent_id]
+        except KeyError:
+            raise NotFoundError(f"verifier is not attesting agent {agent_id!r}") from None
+
+    def state_of(self, agent_id: str) -> AgentState:
+        """Current lifecycle state for the agent."""
+        return self._slot(agent_id).state
+
+    def failures_of(self, agent_id: str) -> list[AttestationFailure]:
+        """All failures recorded for the agent so far."""
+        return list(self._slot(agent_id).failures)
+
+    def results_of(self, agent_id: str) -> list[AttestationResult]:
+        """All per-poll results for the agent so far."""
+        return list(self._slot(agent_id).results)
+
+    def policy_of(self, agent_id: str) -> RuntimePolicy:
+        """The runtime policy currently applied to the agent."""
+        return self._slot(agent_id).policy
+
+    def update_policy(self, agent_id: str, policy: RuntimePolicy) -> None:
+        """Install a new runtime policy (the dynamic generator's push).
+
+        The replay state is untouched: already-verified entries are not
+        re-evaluated against the new policy (matching Keylime, which
+        only checks entries as they stream in).
+        """
+        self._slot(agent_id).policy = policy
+        self.events.emit(
+            self.scheduler.clock.now, "keylime.verifier", "policy.updated",
+            agent=agent_id, lines=policy.line_count(),
+        )
+
+    def restart_attestation(self, agent_id: str) -> None:
+        """Operator action: restart a failed agent from scratch.
+
+        Keylime re-attests from the top of the log, so an unresolved
+        failure will halt it again -- the loop described under P2.
+        """
+        slot = self._slot(agent_id)
+        slot.state = AgentState.ATTESTING
+        slot.verified_entries = 0
+        slot.replay_aggregate = zero_digest("sha256")
+        slot.last_reset_count = None
+        self.events.emit(
+            self.scheduler.clock.now, "keylime.verifier", "attestation.restarted",
+            agent=agent_id,
+        )
+
+    # -- polling -----------------------------------------------------------
+
+    def start_polling(self, agent_id: str, interval: float) -> None:
+        """Poll the agent every *interval* simulated seconds."""
+        slot = self._slot(agent_id)
+
+        def tick() -> None:
+            if slot.state is AgentState.ATTESTING:
+                self.poll(agent_id)
+
+        slot.stop_polling = self.scheduler.every(
+            interval, tick, label=f"poll:{agent_id}"
+        )
+
+    def stop_polling(self, agent_id: str) -> None:
+        """Cancel the periodic poll for the agent."""
+        slot = self._slot(agent_id)
+        if callable(slot.stop_polling):
+            slot.stop_polling()
+            slot.stop_polling = None
+        if slot.state is AgentState.ATTESTING:
+            slot.state = AgentState.STOPPED
+
+    def poll(self, agent_id: str) -> AttestationResult:
+        """One full attestation round against the agent."""
+        slot = self._slot(agent_id)
+        now = self.scheduler.clock.now
+        record = self.registrar.lookup(agent_id)
+        nonce = self.rng.hexid(20)
+        selection = [IMA_PCR_INDEX]
+        if slot.measured_boot is not None:
+            selection = sorted(set(selection) | set(slot.measured_boot.pcr_selection))
+        evidence = slot.agent.attest(
+            nonce, offset=slot.verified_entries, pcr_selection=selection
+        )
+
+        # Step 2: quote validation.
+        try:
+            verify_quote(evidence.quote, record.ak_public, nonce)
+        except QuoteVerificationError as exc:
+            return self._fail_round(
+                slot, now,
+                [AttestationFailure(now, FailureKind.INVALID_QUOTE, str(exc))],
+                entries_processed=0, entries_skipped=len(evidence.ima_log_lines),
+            )
+
+        # Reboot detection: PCRs and the log restarted from zero.
+        if slot.last_reset_count != evidence.quote.reset_count:
+            slot.replay_aggregate = zero_digest("sha256")
+            slot.verified_entries = 0
+            slot.last_reset_count = evidence.quote.reset_count
+            if evidence.offset != 0:
+                nonce = self.rng.hexid(20)
+                evidence = slot.agent.attest(nonce, offset=0, pcr_selection=selection)
+                try:
+                    verify_quote(evidence.quote, record.ak_public, nonce)
+                except QuoteVerificationError as exc:
+                    return self._fail_round(
+                        slot, now,
+                        [AttestationFailure(now, FailureKind.INVALID_QUOTE, str(exc))],
+                        entries_processed=0,
+                        entries_skipped=len(evidence.ima_log_lines),
+                    )
+
+        # Measured boot: the quoted boot PCRs must match the golden set.
+        if slot.measured_boot is not None:
+            mismatches = slot.measured_boot.verify(evidence.quote.pcr_values)
+            if mismatches:
+                return self._fail_round(
+                    slot, now,
+                    [
+                        AttestationFailure(
+                            now, FailureKind.MEASURED_BOOT,
+                            f"boot PCR {mismatch.index} diverges from golden "
+                            f"value ({mismatch.actual[:16]}... != "
+                            f"{mismatch.expected[:16]}...)",
+                        )
+                        for mismatch in mismatches
+                    ],
+                    entries_processed=0,
+                    entries_skipped=len(evidence.ima_log_lines),
+                )
+
+        # Step 3: parse and replay the new entries.
+        entries: list[ImaLogEntry] = []
+        for line in evidence.ima_log_lines:
+            try:
+                entry = ImaLogEntry.from_line(line)
+            except ValueError as exc:
+                return self._fail_round(
+                    slot, now,
+                    [AttestationFailure(now, FailureKind.LOG_TAMPERED, str(exc))],
+                    entries_processed=len(entries),
+                    entries_skipped=len(evidence.ima_log_lines) - len(entries),
+                )
+            if not _is_violation_entry(entry):
+                expected = template_hash(entry.filedata_hash, entry.path)
+                if entry.template_hash != expected:
+                    return self._fail_round(
+                        slot, now,
+                        [AttestationFailure(
+                            now, FailureKind.LOG_TAMPERED,
+                            f"template hash mismatch at {entry.path}",
+                        )],
+                        entries_processed=len(entries),
+                        entries_skipped=len(evidence.ima_log_lines) - len(entries),
+                    )
+            entries.append(entry)
+
+        aggregate = slot.replay_aggregate
+        from repro.common.hexutil import extend_digest
+        from repro.kernelsim.ima import VIOLATION_EXTEND_VALUE
+
+        for entry in entries:
+            if _is_violation_entry(entry):
+                # Violations log zeros but extend 0xFF (kernel rule).
+                aggregate = extend_digest("sha256", aggregate, VIOLATION_EXTEND_VALUE)
+            else:
+                aggregate = extend_digest("sha256", aggregate, entry.template_hash)
+        quoted = evidence.quote.pcr_values[IMA_PCR_INDEX]
+        if aggregate != quoted:
+            return self._fail_round(
+                slot, now,
+                [AttestationFailure(
+                    now, FailureKind.PCR_MISMATCH,
+                    f"IMA log replay {aggregate[:16]}... does not match quoted "
+                    f"PCR10 {quoted[:16]}...",
+                )],
+                entries_processed=0, entries_skipped=len(entries),
+            )
+        slot.replay_aggregate = aggregate
+        slot.verified_entries = evidence.offset + len(entries)
+
+        # Step 4: policy evaluation (sequential; halts on failure unless M2).
+        failures: list[AttestationFailure] = []
+        processed = 0
+        skipped = 0
+        for index, entry in enumerate(entries):
+            verdict, policy_failure = slot.policy.evaluate_entry(entry)
+            processed += 1
+            if verdict.is_failure and policy_failure is not None:
+                failures.append(
+                    AttestationFailure(
+                        now, FailureKind.POLICY,
+                        policy_failure.describe(), policy_failure=policy_failure,
+                    )
+                )
+                if not self.continue_on_failure:
+                    skipped = len(entries) - index - 1
+                    break
+
+        if failures:
+            return self._fail_round(
+                slot, now, failures,
+                entries_processed=processed, entries_skipped=skipped,
+            )
+
+        result = AttestationResult(
+            time=now, ok=True, entries_processed=processed, entries_skipped=0
+        )
+        slot.results.append(result)
+        if self.audit is not None:
+            self.audit.append(now, agent_id, ok=True, detail={"entries": processed})
+        self.events.emit(
+            now, "keylime.verifier", "attestation.ok",
+            agent=agent_id, entries=processed,
+        )
+        return result
+
+    def _fail_round(
+        self,
+        slot: _AgentSlot,
+        now: float,
+        failures: list[AttestationFailure],
+        entries_processed: int,
+        entries_skipped: int,
+    ) -> AttestationResult:
+        slot.failures.extend(failures)
+        result = AttestationResult(
+            time=now, ok=False,
+            entries_processed=entries_processed,
+            entries_skipped=entries_skipped,
+            failures=tuple(failures),
+        )
+        slot.results.append(result)
+        if self.audit is not None:
+            self.audit.append(
+                now, slot.agent.agent_id, ok=False,
+                detail={"failures": [failure.detail for failure in failures]},
+            )
+        if self.notifier is not None:
+            for failure in failures:
+                self.notifier.notify(
+                    RevocationEvent(
+                        time=now,
+                        agent_id=slot.agent.agent_id,
+                        reason=failure.kind.value,
+                        detail=failure.detail,
+                        path=(
+                            failure.policy_failure.path
+                            if failure.policy_failure is not None else None
+                        ),
+                    )
+                )
+        for failure in failures:
+            self.events.emit(
+                now, "keylime.verifier", f"attestation.failed.{failure.kind.value}",
+                agent=slot.agent.agent_id, detail=failure.detail,
+                path=(failure.policy_failure.path if failure.policy_failure else None),
+            )
+        if not self.continue_on_failure:
+            slot.state = AgentState.FAILED
+            self.events.emit(
+                now, "keylime.verifier", "polling.halted",
+                agent=slot.agent.agent_id,
+            )
+        return result

@@ -1,0 +1,43 @@
+"""The paper's four recommended mitigations (Section IV-C).
+
+* **M1 -- enrich Keylime/IMA policies** (counters P1, P3):
+  :func:`apply_m1_keylime_policy` drops the directory excludes so
+  unknown executables in ``/tmp`` & co. raise NOT_IN_POLICY, and
+  :func:`mitigated_ima_policy` narrows the fsmagic excludes so tmpfs /
+  ramfs / overlayfs / proc executions are measured.
+* **M2 -- never stop polling** (counters P2):
+  :func:`apply_m2_continue_polling` flips the verifier to evaluate the
+  *whole* log and keep attesting past failures.
+* **M3 -- IMA re-evaluation on path change** (counters P4):
+  :func:`apply_m3_reevaluation` enables the proposed kernel patch in
+  the machine's IMA policy.
+* **M4 -- script execution control** (partially counters P5):
+  :func:`apply_m4_script_exec_control` enables the O_MAYEXEC-style
+  feature for opted-in interpreters.  Inline code (``python -c``)
+  remains invisible by design -- this is why Aoyama stays undetected.
+
+:func:`apply_all` applies every mitigation to a running rig, which is
+how the experiment harness produces Table II's "Mitigat." column.
+"""
+
+from repro.mitigations.apply import (
+    MITIGATED_EXCLUDED_FSTYPES,
+    MitigationSet,
+    apply_all,
+    apply_m1_keylime_policy,
+    apply_m2_continue_polling,
+    apply_m3_reevaluation,
+    apply_m4_script_exec_control,
+    mitigated_ima_policy,
+)
+
+__all__ = [
+    "MITIGATED_EXCLUDED_FSTYPES",
+    "MitigationSet",
+    "apply_all",
+    "apply_m1_keylime_policy",
+    "apply_m2_continue_polling",
+    "apply_m3_reevaluation",
+    "apply_m4_script_exec_control",
+    "mitigated_ima_policy",
+]

@@ -1,0 +1,131 @@
+"""Implementations of mitigations M1-M4."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernelsim.ima import ImaPolicy
+from repro.kernelsim.kernel import Machine
+from repro.kernelsim.vfs import FilesystemType
+from repro.keylime.policy import RuntimePolicy
+from repro.keylime.verifier import KeylimeVerifier
+
+#: Directory excludes M1 removes from the Keylime policy.  ``/run`` and
+#: ``/var/log`` stay excluded: nothing executable legitimately lives
+#: there and the paper only calls out the *attack-usable* exclusions.
+M1_DANGEROUS_EXCLUDES = (
+    r"^/tmp(/.*)?$",
+    r"^/var/tmp(/.*)?$",
+)
+
+#: Filesystems the mitigated IMA policy still skips: pure-metadata
+#: pseudo filesystems where nothing executable can be planted.  tmpfs,
+#: ramfs, overlayfs, proc and debugfs become *measured* under M1.
+#: devtmpfs cannot stay excluded: it reports TPMFS_MAGIC, so an fsmagic
+#: rule for it would re-exclude every tmpfs -- exactly the hole M1 is
+#: closing.
+MITIGATED_EXCLUDED_FSTYPES = (
+    FilesystemType.SYSFS,
+    FilesystemType.SECURITYFS,
+)
+
+#: Interpreters opted into script execution control under M4.
+M4_DEFAULT_INTERPRETERS = (
+    "/usr/bin/python3",
+    "/usr/bin/python3.10",
+    "/bin/bash",
+    "/usr/bin/bash",
+    "/bin/sh",
+    "/usr/bin/perl",
+)
+
+
+@dataclass(frozen=True)
+class MitigationSet:
+    """Which mitigations a run has applied (for reporting)."""
+
+    m1_policy: bool = False
+    m1_ima: bool = False
+    m2_continue: bool = False
+    m3_reevaluate: bool = False
+    m4_script_control: bool = False
+
+    def describe(self) -> str:
+        """Short human-readable summary, e.g. ``"M1+M2+M3+M4"``."""
+        parts = []
+        if self.m1_policy or self.m1_ima:
+            parts.append("M1")
+        if self.m2_continue:
+            parts.append("M2")
+        if self.m3_reevaluate:
+            parts.append("M3")
+        if self.m4_script_control:
+            parts.append("M4")
+        return "+".join(parts) if parts else "none"
+
+
+def apply_m1_keylime_policy(policy: RuntimePolicy) -> list[str]:
+    """M1 (Keylime half): drop the attack-usable directory excludes.
+
+    Returns the removed patterns.  Unknown executables under those
+    directories will now raise NOT_IN_POLICY instead of being skipped.
+    """
+    removed = []
+    for pattern in M1_DANGEROUS_EXCLUDES:
+        if pattern in policy.excludes:
+            policy.remove_exclude(pattern)
+            removed.append(pattern)
+    return removed
+
+
+def mitigated_ima_policy(base: ImaPolicy | None = None) -> ImaPolicy:
+    """M1 (IMA half): an IMA policy that measures the risky filesystems."""
+    base = base if base is not None else ImaPolicy()
+    return ImaPolicy(
+        excluded_fstypes=MITIGATED_EXCLUDED_FSTYPES,
+        measure_hooks=base.measure_hooks,
+        re_evaluate_on_path_change=base.re_evaluate_on_path_change,
+    )
+
+
+def apply_m2_continue_polling(verifier: KeylimeVerifier) -> None:
+    """M2: evaluate the full log and keep polling past failures."""
+    verifier.continue_on_failure = True
+
+
+def apply_m3_reevaluation(machine: Machine) -> None:
+    """M3: the proposed IMA patch -- re-measure on path change.
+
+    Mutates the machine's live IMA policy; takes effect for the current
+    boot's engine as well, since the engine holds the same object.
+    """
+    machine.ima_policy.re_evaluate_on_path_change = True
+
+
+def apply_m4_script_exec_control(
+    machine: Machine, interpreters: tuple[str, ...] = M4_DEFAULT_INTERPRETERS
+) -> None:
+    """M4: enable script execution control for the common interpreters."""
+    machine.enable_script_exec_control(list(interpreters))
+
+
+def apply_all(
+    machine: Machine, verifier: KeylimeVerifier, policy: RuntimePolicy
+) -> MitigationSet:
+    """Apply M1-M4 to a running rig.
+
+    The IMA half of M1 replaces the machine's policy object in place so
+    the *current* engine honours it too (a real deployment would reboot
+    with a new policy; the experiments that need reboot semantics
+    perform the reboot explicitly).
+    """
+    apply_m1_keylime_policy(policy)
+    new_ima = mitigated_ima_policy(machine.ima_policy)
+    machine.ima_policy.excluded_fstypes = new_ima.excluded_fstypes
+    apply_m2_continue_polling(verifier)
+    apply_m3_reevaluation(machine)
+    apply_m4_script_exec_control(machine)
+    return MitigationSet(
+        m1_policy=True, m1_ima=True, m2_continue=True,
+        m3_reevaluate=True, m4_script_control=True,
+    )

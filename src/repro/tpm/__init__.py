@@ -1,0 +1,33 @@
+"""A software TPM 2.0 for the attestation stack.
+
+The reproduction needs exactly the TPM features Keylime uses:
+
+* **PCR banks** (:mod:`repro.tpm.pcr`) -- SHA-1 and SHA-256 banks of 24
+  platform configuration registers with the extend rule, reset on
+  reboot.
+* **Quotes** (:mod:`repro.tpm.quote`) -- signed attestations over a PCR
+  selection and a verifier-supplied nonce, with verifier-side checks.
+* **The device** (:mod:`repro.tpm.device`) -- endorsement key with a
+  manufacturer certificate, attestation key creation, restart counters.
+
+What the paper relies on is faithfully implemented: the hash-chained
+extend semantics (so the verifier can replay an IMA log against PCR 10),
+nonce binding (so quotes cannot be replayed), and the EK certificate
+chain (so the registrar can reject spoofed TPMs).
+"""
+
+from repro.tpm.device import AttestationKey, Tpm, TpmManufacturer
+from repro.tpm.pcr import IMA_PCR_INDEX, NUM_PCRS, PcrBank
+from repro.tpm.quote import Quote, QuoteVerificationError, verify_quote
+
+__all__ = [
+    "AttestationKey",
+    "IMA_PCR_INDEX",
+    "NUM_PCRS",
+    "PcrBank",
+    "Quote",
+    "QuoteVerificationError",
+    "Tpm",
+    "TpmManufacturer",
+    "verify_quote",
+]

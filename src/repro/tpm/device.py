@@ -1,0 +1,203 @@
+"""The TPM device: endorsement key, attestation keys, quoting.
+
+The trust story modelled here is the one Keylime's registrar depends on:
+
+1. A :class:`TpmManufacturer` (a certificate authority) provisions each
+   TPM with an **endorsement key** (EK) and signs an EK certificate.
+2. Software asks the TPM to create an **attestation key** (AK); the TPM
+   certifies that the AK lives in the same device as the EK (modelled by
+   :meth:`Tpm.certify_ak`, standing in for ``MakeCredential`` /
+   ``ActivateCredential``).
+3. Quotes are signed with the AK, so a verifier that trusts the EK chain
+   and the AK binding trusts the quotes.
+
+Reboot semantics matter to the paper (attacks "detectable upon reboot"):
+:meth:`Tpm.reset` clears the PCR banks and bumps the reset counter, as a
+power cycle does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import StateError
+from repro.common.rng import SeededRng
+from repro.crypto.certs import Certificate, CertificateAuthority
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, generate_keypair
+from repro.tpm.pcr import PcrBank
+from repro.tpm.quote import Quote, attest_bytes, pcr_selection_digest
+
+
+@dataclass(frozen=True)
+class AttestationKey:
+    """Public half of an AK, plus the TPM's binding statement."""
+
+    public: RsaPublicKey
+    ek_fingerprint: str
+    binding_signature: bytes
+
+    def verify_binding(self, ek_public: RsaPublicKey) -> bool:
+        """Check that the EK holder certified this AK."""
+        return ek_public.verify(self._binding_bytes(), self.binding_signature)
+
+    def _binding_bytes(self) -> bytes:
+        return b"AK-BINDING|" + self.public.fingerprint().encode() + b"|" + self.ek_fingerprint.encode()
+
+
+class TpmManufacturer:
+    """A TPM vendor: a CA that provisions devices with certified EKs."""
+
+    def __init__(self, name: str, rng: SeededRng, key_bits: int = 1024) -> None:
+        self.name = name
+        self._rng = rng
+        self._ca = CertificateAuthority(f"CA:{name}", rng.fork("ca"), key_bits=key_bits)
+        self._serial = 0
+        self.key_bits = key_bits
+
+    @property
+    def root_certificate(self) -> Certificate:
+        """The manufacturer root that verifiers must trust."""
+        return self._ca.root_certificate
+
+    def manufacture(self, device_name: str | None = None) -> "Tpm":
+        """Produce a new TPM with a certified endorsement key."""
+        self._serial += 1
+        name = device_name or f"tpm-{self.name}-{self._serial:04d}"
+        device_rng = self._rng.fork(f"device/{name}")
+        ek = generate_keypair(device_rng.fork("ek"), bits=self.key_bits)
+        ek_cert = self._ca.issue(f"EK:{name}", ek.public)
+        return Tpm(name=name, ek=ek, ek_certificate=ek_cert, rng=device_rng)
+
+
+class Tpm:
+    """A single TPM 2.0 device instance.
+
+    The device owns SHA-1 and SHA-256 PCR banks, its EK (with the
+    manufacturer certificate), and any number of created AKs.  All state
+    that a power cycle clears is cleared by :meth:`reset`.
+    """
+
+    BANK_ALGORITHMS = ("sha1", "sha256")
+
+    def __init__(
+        self, name: str, ek: RsaKeyPair, ek_certificate: Certificate, rng: SeededRng
+    ) -> None:
+        self.name = name
+        self._ek = ek
+        self.ek_certificate = ek_certificate
+        self._rng = rng
+        self.banks: dict[str, PcrBank] = {
+            algorithm: PcrBank(algorithm) for algorithm in self.BANK_ALGORITHMS
+        }
+        self._aks: dict[str, RsaKeyPair] = {}
+        self._clock_ms = 0
+        self.reset_count = 0
+        self.restart_count = 0
+
+    # -- key management --------------------------------------------------
+
+    @property
+    def ek_public(self) -> RsaPublicKey:
+        """Public endorsement key."""
+        return self._ek.public
+
+    def create_ak(self) -> AttestationKey:
+        """Create a new attestation key inside the device.
+
+        The returned object carries a binding signature by the EK over
+        the AK fingerprint, standing in for the MakeCredential /
+        ActivateCredential ceremony that proves EK and AK cohabit.
+        """
+        keypair = generate_keypair(self._rng.fork(f"ak{len(self._aks)}"), bits=self._ek.public.size_bytes * 8)
+        fingerprint = keypair.public.fingerprint()
+        self._aks[fingerprint] = keypair
+        binding = (
+            b"AK-BINDING|" + fingerprint.encode() + b"|" + self._ek.public.fingerprint().encode()
+        )
+        return AttestationKey(
+            public=keypair.public,
+            ek_fingerprint=self._ek.public.fingerprint(),
+            binding_signature=self._ek.sign(binding),
+        )
+
+    # -- PCR operations ---------------------------------------------------
+
+    def extend(self, index: int, value_hex: str, algorithm: str = "sha256") -> str:
+        """Extend a PCR in the named bank."""
+        return self._bank(algorithm).extend(index, value_hex)
+
+    def read_pcr(self, index: int, algorithm: str = "sha256") -> str:
+        """Read a PCR from the named bank."""
+        return self._bank(algorithm).read(index)
+
+    def _bank(self, algorithm: str) -> PcrBank:
+        try:
+            return self.banks[algorithm]
+        except KeyError:
+            raise StateError(f"TPM {self.name} has no {algorithm!r} bank") from None
+
+    # -- quoting ----------------------------------------------------------
+
+    def tick(self, milliseconds: int) -> None:
+        """Advance the TPM's internal clock (driven by the machine)."""
+        if milliseconds < 0:
+            raise StateError("TPM clock cannot go backwards")
+        self._clock_ms += milliseconds
+
+    def quote(
+        self,
+        ak_fingerprint: str,
+        nonce: str,
+        pcr_selection: list[int],
+        algorithm: str = "sha256",
+    ) -> Quote:
+        """Produce a signed quote over the selected PCRs.
+
+        Raises :class:`StateError` when the named AK was not created on
+        this device -- a quote can only be signed by a resident key.
+        """
+        try:
+            ak = self._aks[ak_fingerprint]
+        except KeyError:
+            raise StateError(
+                f"TPM {self.name} holds no attestation key {ak_fingerprint[:16]}..."
+            ) from None
+        bank = self._bank(algorithm)
+        values = bank.read_selection(pcr_selection)
+        selection = tuple(sorted(values))
+        digest = pcr_selection_digest(algorithm, values)
+        message = attest_bytes(
+            bank_algorithm=algorithm,
+            pcr_selection=selection,
+            pcr_digest=digest,
+            nonce=nonce,
+            clock=self._clock_ms,
+            reset_count=self.reset_count,
+            restart_count=self.restart_count,
+            ak_fingerprint=ak_fingerprint,
+        )
+        return Quote(
+            bank_algorithm=algorithm,
+            pcr_selection=selection,
+            pcr_values=values,
+            pcr_digest=digest,
+            nonce=nonce,
+            clock=self._clock_ms,
+            reset_count=self.reset_count,
+            restart_count=self.restart_count,
+            ak_fingerprint=ak_fingerprint,
+            signature=ak.sign(message),
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Power-cycle the TPM: clear PCR banks, bump the reset counter.
+
+        Loaded keys survive in this model (they are persisted handles),
+        matching how Keylime re-uses its AK across agent restarts.
+        """
+        for bank in self.banks.values():
+            bank.reset()
+        self.reset_count += 1
+        self._clock_ms = 0

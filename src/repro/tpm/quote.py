@@ -1,0 +1,140 @@
+"""TPM quotes and their verification.
+
+A quote is the TPM's signed statement: "at firmware counter C, the
+selected PCRs in bank A had digest D, and I bind this statement to the
+challenger's nonce N."  The signature is produced by an attestation key
+whose trustworthiness the registrar established out of band (see
+:mod:`repro.keylime.registrar`).
+
+The structure mirrors ``TPMS_ATTEST``/``TPM2_Quote`` semantics without
+the TCG wire encoding: what matters for the paper is *which* inputs are
+covered by the signature (PCR digest, nonce, clock info), because those
+are exactly the fields the verifier must check.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.common.errors import IntegrityError
+from repro.crypto.rsa import RsaPublicKey
+
+
+class QuoteVerificationError(IntegrityError):
+    """A quote failed signature, nonce, or structural verification."""
+
+
+@dataclass(frozen=True)
+class Quote:
+    """A signed PCR attestation.
+
+    Attributes:
+        bank_algorithm: hash algorithm of the quoted bank ("sha1"/"sha256").
+        pcr_selection: sorted PCR indices covered.
+        pcr_values: hex values of the selected PCRs at quote time.
+        pcr_digest: hash over the concatenated selected values (what the
+            signature actually covers, as in TPM 2.0).
+        nonce: challenger-supplied qualifying data (hex).
+        clock: TPM clock (milliseconds of powered-on time, simulated).
+        reset_count: number of TPM resets (reboots) so far.
+        restart_count: number of TPM restarts (suspend/resume) so far.
+        ak_fingerprint: fingerprint of the signing attestation key.
+        signature: RSA signature over :meth:`signed_bytes`.
+    """
+
+    bank_algorithm: str
+    pcr_selection: tuple[int, ...]
+    pcr_values: dict[int, str]
+    pcr_digest: str
+    nonce: str
+    clock: int
+    reset_count: int
+    restart_count: int
+    ak_fingerprint: str
+    signature: bytes = field(repr=False)
+
+    def signed_bytes(self) -> bytes:
+        """Canonical encoding of the attested fields (signature input)."""
+        return attest_bytes(
+            bank_algorithm=self.bank_algorithm,
+            pcr_selection=self.pcr_selection,
+            pcr_digest=self.pcr_digest,
+            nonce=self.nonce,
+            clock=self.clock,
+            reset_count=self.reset_count,
+            restart_count=self.restart_count,
+            ak_fingerprint=self.ak_fingerprint,
+        )
+
+
+def attest_bytes(
+    bank_algorithm: str,
+    pcr_selection: tuple[int, ...],
+    pcr_digest: str,
+    nonce: str,
+    clock: int,
+    reset_count: int,
+    restart_count: int,
+    ak_fingerprint: str,
+) -> bytes:
+    """Canonical byte encoding of a quote's attested fields."""
+    payload = {
+        "magic": "TPMS_ATTEST/quote",
+        "bank": bank_algorithm,
+        "selection": list(pcr_selection),
+        "pcr_digest": pcr_digest,
+        "nonce": nonce,
+        "clock": clock,
+        "reset_count": reset_count,
+        "restart_count": restart_count,
+        "ak": ak_fingerprint,
+    }
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def pcr_selection_digest(algorithm: str, pcr_values: dict[int, str]) -> str:
+    """Digest over the selected PCR values in index order.
+
+    TPM 2.0 signs ``H(PCR[i] || PCR[j] || ...)`` rather than the raw
+    values; reproducing that detail means the verifier must recompute
+    the digest from the values it was handed, which is a real check.
+    """
+    blob = b"".join(bytes.fromhex(pcr_values[index]) for index in sorted(pcr_values))
+    return hashlib.new(algorithm, blob).hexdigest()
+
+
+def verify_quote(quote: Quote, ak_public: RsaPublicKey, expected_nonce: str) -> None:
+    """Verify a quote against an attestation key and expected nonce.
+
+    Checks, in order: AK identity, nonce binding, the PCR digest
+    recomputation, and the RSA signature.  Raises
+    :class:`QuoteVerificationError` on the first failure.
+    """
+    if quote.ak_fingerprint != ak_public.fingerprint():
+        raise QuoteVerificationError(
+            "quote was signed by an unexpected attestation key",
+            context={"expected": ak_public.fingerprint(), "got": quote.ak_fingerprint},
+        )
+    if quote.nonce != expected_nonce:
+        raise QuoteVerificationError(
+            "quote nonce does not match the challenge (possible replay)",
+            context={"expected": expected_nonce, "got": quote.nonce},
+        )
+    if set(quote.pcr_values) != set(quote.pcr_selection):
+        raise QuoteVerificationError(
+            "quote PCR values do not match its selection",
+            context={
+                "selection": list(quote.pcr_selection),
+                "values": sorted(quote.pcr_values),
+            },
+        )
+    recomputed = pcr_selection_digest(quote.bank_algorithm, quote.pcr_values)
+    if recomputed != quote.pcr_digest:
+        raise QuoteVerificationError(
+            "quoted PCR digest does not match the reported PCR values",
+            context={"expected": recomputed, "got": quote.pcr_digest},
+        )
+    if not ak_public.verify(quote.signed_bytes(), quote.signature):
+        raise QuoteVerificationError("quote signature verification failed")

@@ -1,0 +1,66 @@
+"""Shared fixtures.
+
+The ``small_testbed`` fixture builds a reduced-scale rig (fewer filler
+packages, fewer files per package) so integration-flavoured tests stay
+fast; experiments that need paper-scale statistics build their own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.clock import Scheduler
+from repro.common.rng import SeededRng
+from repro.distro.workload import ReleaseStreamConfig
+from repro.experiments.testbed import Testbed, TestbedConfig, build_testbed
+from repro.kernelsim.kernel import Machine
+from repro.tpm.device import Tpm, TpmManufacturer
+
+
+@pytest.fixture()
+def rng() -> SeededRng:
+    return SeededRng("tests")
+
+
+@pytest.fixture()
+def scheduler() -> Scheduler:
+    return Scheduler()
+
+
+@pytest.fixture(scope="session")
+def manufacturer() -> TpmManufacturer:
+    # Key generation is the slowest fixture step; share one manufacturer
+    # (and thus one CA keypair) across the whole session.
+    return TpmManufacturer("Infineon", SeededRng("tests/tpm"))
+
+
+@pytest.fixture()
+def tpm(manufacturer: TpmManufacturer) -> Tpm:
+    return manufacturer.manufacture()
+
+
+@pytest.fixture()
+def machine(tpm: Tpm) -> Machine:
+    box = Machine("test-box", tpm)
+    box.boot()
+    return box
+
+
+def small_config(seed: int | str = "small") -> TestbedConfig:
+    """A reduced-scale testbed configuration for fast tests."""
+    return TestbedConfig(
+        seed=seed,
+        n_filler_packages=15,
+        mean_exec_files=5.0,
+        stream=ReleaseStreamConfig(
+            mean_packages_per_day=4.0,
+            sd_packages_per_day=4.0,
+            mean_exec_files_per_package=6.0,
+            kernel_release_every_days=0,
+        ),
+    )
+
+
+@pytest.fixture()
+def small_testbed() -> Testbed:
+    return build_testbed(small_config())

@@ -1,0 +1,217 @@
+"""Adversarial tests: active attacks on the attestation protocol itself.
+
+The false-negative study assumes the protocol machinery is sound and
+attacks the *measurement policy*; these tests check the machinery.  An
+attacker controlling the prover (or the network) tries to forge, replay,
+suppress, or redirect evidence -- every attempt must be caught by the
+cryptographic checks, not by convention.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.common.rng import SeededRng
+from repro.experiments.testbed import build_testbed
+from repro.keylime.registrar import KeylimeRegistrar, RegistrationError
+from repro.keylime.verifier import FailureKind
+from repro.tpm.device import TpmManufacturer
+from repro.tpm.quote import Quote, QuoteVerificationError, verify_quote
+
+from tests.conftest import small_config
+
+
+class TestQuoteForgery:
+    def test_replayed_quote_rejected(self, small_testbed):
+        """Capture a quote, replay it against a later challenge."""
+        testbed = small_testbed
+        agent = testbed.agent
+        old_evidence = agent.attest("old-nonce")
+        real_attest = agent.attest
+
+        def replaying_attest(nonce, offset=0, **kwargs):
+            fresh = real_attest(nonce, offset, **kwargs)
+            return dataclasses.replace(fresh, quote=old_evidence.quote)
+
+        agent.attest = replaying_attest
+        result = testbed.poll()
+        assert not result.ok
+        assert result.failures[0].kind is FailureKind.INVALID_QUOTE
+        assert "nonce" in result.failures[0].detail
+
+    def test_quote_from_different_tpm_rejected(self, small_testbed, manufacturer):
+        """Evidence signed by another machine's (genuine!) TPM."""
+        testbed = small_testbed
+        donor_tpm = manufacturer.manufacture()
+        donor_ak = donor_tpm.create_ak()
+        agent = testbed.agent
+        real_attest = agent.attest
+
+        def proxying_attest(nonce, offset=0, **kwargs):
+            fresh = real_attest(nonce, offset, **kwargs)
+            forged_quote = donor_tpm.quote(
+                donor_ak.public.fingerprint(), nonce, [10]
+            )
+            return dataclasses.replace(fresh, quote=forged_quote)
+
+        agent.attest = proxying_attest
+        result = testbed.poll()
+        assert not result.ok
+        assert result.failures[0].kind is FailureKind.INVALID_QUOTE
+
+    def test_resigned_quote_with_rogue_key_rejected(self, small_testbed):
+        """Attacker re-signs a doctored quote with a key they own."""
+        from repro.crypto.rsa import generate_keypair
+
+        testbed = small_testbed
+        rogue = generate_keypair(SeededRng("rogue-ak"), bits=1024)
+        agent = testbed.agent
+        real_attest = agent.attest
+
+        def resigning_attest(nonce, offset=0, **kwargs):
+            fresh = real_attest(nonce, offset, **kwargs)
+            doctored = dataclasses.replace(
+                fresh.quote,
+                ak_fingerprint=rogue.public.fingerprint(),
+                signature=rogue.sign(fresh.quote.signed_bytes()),
+            )
+            return dataclasses.replace(fresh, quote=doctored)
+
+        agent.attest = resigning_attest
+        result = testbed.poll()
+        assert not result.ok
+        assert result.failures[0].kind is FailureKind.INVALID_QUOTE
+
+
+class TestLogManipulation:
+    def test_suppressing_an_attack_entry_breaks_replay(self, small_testbed):
+        """Drop the incriminating entry from the shipped log."""
+        testbed = small_testbed
+        assert testbed.poll().ok
+        testbed.machine.install_file("/usr/bin/evil", b"x", executable=True)
+        testbed.machine.exec_file("/usr/bin/evil")
+        agent = testbed.agent
+        real_attest = agent.attest
+
+        def censoring_attest(nonce, offset=0, **kwargs):
+            fresh = real_attest(nonce, offset, **kwargs)
+            kept = tuple(
+                line for line in fresh.ima_log_lines if "/usr/bin/evil" not in line
+            )
+            return dataclasses.replace(fresh, ima_log_lines=kept)
+
+        agent.attest = censoring_attest
+        result = testbed.poll()
+        assert not result.ok
+        assert result.failures[0].kind is FailureKind.PCR_MISMATCH
+
+    def test_substituting_benign_hash_detected(self, small_testbed):
+        """Rewrite the evil entry to carry an in-policy digest."""
+        testbed = small_testbed
+        assert testbed.poll().ok
+        ls_digest = testbed.policy.digests_for("/usr/bin/ls")[0]
+        testbed.machine.install_file("/usr/bin/evil", b"x", executable=True)
+        testbed.machine.exec_file("/usr/bin/evil")
+        agent = testbed.agent
+        real_attest = agent.attest
+
+        def rewriting_attest(nonce, offset=0, **kwargs):
+            fresh = real_attest(nonce, offset, **kwargs)
+            lines = []
+            for line in fresh.ima_log_lines:
+                if "/usr/bin/evil" in line:
+                    parts = line.split(" ")
+                    parts[3] = "sha256:" + ls_digest
+                    parts[4] = "/usr/bin/ls"
+                    line = " ".join(parts)
+                lines.append(line)
+            return dataclasses.replace(fresh, ima_log_lines=tuple(lines))
+
+        agent.attest = rewriting_attest
+        result = testbed.poll()
+        assert not result.ok
+        # The rewritten line's template hash no longer matches its
+        # content -- or, if the attacker fixes that too, the PCR replay
+        # diverges.  Either way it's a tamper signal, not a policy miss.
+        assert result.failures[0].kind in (
+            FailureKind.LOG_TAMPERED, FailureKind.PCR_MISMATCH,
+        )
+
+    def test_fully_consistent_forged_log_still_fails_pcr(self, small_testbed):
+        """Rebuild template hashes so the log is self-consistent."""
+        from repro.kernelsim.ima import template_hash
+
+        testbed = small_testbed
+        assert testbed.poll().ok
+        testbed.machine.install_file("/usr/bin/evil", b"x", executable=True)
+        testbed.machine.exec_file("/usr/bin/evil")
+        agent = testbed.agent
+        real_attest = agent.attest
+
+        def consistent_forgery(nonce, offset=0, **kwargs):
+            fresh = real_attest(nonce, offset, **kwargs)
+            lines = []
+            for line in fresh.ima_log_lines:
+                if "/usr/bin/evil" in line:
+                    parts = line.split(" ")
+                    parts[4] = "/usr/bin/harmless"
+                    parts[1] = template_hash(parts[3], parts[4])
+                    line = " ".join(parts)
+                lines.append(line)
+            return dataclasses.replace(fresh, ima_log_lines=tuple(lines))
+
+        agent.attest = consistent_forgery
+        result = testbed.poll()
+        assert not result.ok
+        assert result.failures[0].kind is FailureKind.PCR_MISMATCH
+
+
+class TestRegistrarDefenses:
+    def test_cloned_ak_without_binding_rejected(self, machine, manufacturer):
+        """An AK not certified by the device's EK is refused."""
+        registrar = KeylimeRegistrar([manufacturer.root_certificate])
+        from repro.keylime.agent import KeylimeAgent
+
+        agent = KeylimeAgent("clone", machine)
+
+        donor = manufacturer.manufacture()
+        foreign_ak = donor.create_ak()
+
+        # Force the foreign AK onto the agent (attacker-controlled box).
+        agent._ak = foreign_ak
+        with pytest.raises(RegistrationError):
+            registrar.register(agent)
+
+    def test_homebrew_tpm_rejected(self, manufacturer):
+        """A software TPM with a self-issued certificate is refused."""
+        rogue_mfr = TpmManufacturer("HomebrewTPM", SeededRng("homebrew"))
+        rogue_tpm = rogue_mfr.manufacture()
+        from repro.keylime.agent import KeylimeAgent
+        from repro.kernelsim.kernel import Machine
+
+        box = Machine("rogue-box", rogue_tpm)
+        box.boot()
+        agent = KeylimeAgent("rogue", box)
+        registrar = KeylimeRegistrar([manufacturer.root_certificate])
+        with pytest.raises(RegistrationError, match="EK certificate"):
+            registrar.register(agent)
+
+
+class TestRollback:
+    def test_reboot_cannot_be_hidden(self, small_testbed):
+        """The TPM reset counter exposes a reboot even if the log looks right."""
+        testbed = small_testbed
+        assert testbed.poll().ok
+        first_reset = testbed.machine.tpm.reset_count
+        testbed.machine.reboot()
+        # The verifier notices the reset counter change and replays the
+        # fresh log from scratch rather than trusting continuity.
+        result = testbed.poll()
+        assert result.ok
+        assert testbed.machine.tpm.reset_count == first_reset + 1
+
+    def test_stale_quote_cannot_satisfy_fresh_challenge(self, small_testbed):
+        quote = small_testbed.agent.attest("nonce-1").quote
+        record = small_testbed.registrar.lookup(small_testbed.agent_id)
+        with pytest.raises(QuoteVerificationError):
+            verify_quote(quote, record.ak_public, "nonce-2")

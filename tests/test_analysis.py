@@ -1,0 +1,145 @@
+"""Tests for the table/figure renderers."""
+
+import pytest
+
+from repro.analysis import (
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_fp_week,
+    render_problem_demos,
+    render_series,
+    render_table1,
+    render_table2,
+)
+from repro.attacks import AttackMode
+from repro.experiments.fn_matrix import AttackTrial, FnMatrixResult
+from repro.experiments.fp_week import FpRecord, FpWeekResult
+from repro.experiments.longrun import LongRunResult
+from repro.experiments.problems import ProblemDemo
+from repro.dynpolicy.generator import PolicyUpdateReport
+from repro.dynpolicy.orchestrator import UpdateCycleReport
+from repro.distro.apt import UpdateReport
+
+
+def _cycle(day: int, minutes: float, high: int, low: int, entries: int) -> UpdateCycleReport:
+    return UpdateCycleReport(
+        day=day,
+        policy_report=PolicyUpdateReport(
+            time=day * 86400.0, duration_seconds=minutes * 60.0,
+            packages_high=high, packages_low=low,
+            entries_added=entries, bytes_added=entries * 100,
+            policy_lines_after=1000 + entries,
+        ),
+        apt_report=UpdateReport(time=day * 86400.0),
+        rebooted=False, deduped_digests=0, source="mirror",
+    )
+
+
+@pytest.fixture()
+def longrun() -> LongRunResult:
+    return LongRunResult(
+        n_days=3, cadence_days=1,
+        cycles=[_cycle(1, 2.0, 1, 10, 900), _cycle(2, 1.0, 0, 5, 300),
+                _cycle(3, 8.0, 2, 30, 2400)],
+        total_polls=100, ok_polls=100,
+        initial_policy_lines=1000, final_policy_lines=4600,
+    )
+
+
+class TestFigures:
+    def test_render_series_contains_values(self):
+        out = render_series([1.0, 2.0], "T", "u")
+        assert "T" in out
+        assert "1.00 u" in out
+        assert "mean=1.50" in out
+
+    def test_render_series_empty(self):
+        out = render_series([], "Empty", "u")
+        assert "n=0" in out
+
+    def test_fig3(self, longrun):
+        out = render_fig3(longrun)
+        assert "Fig 3" in out
+        assert "2.00 min" in out
+
+    def test_fig4_has_both_series(self, longrun):
+        out = render_fig4(longrun)
+        assert "Fig 4" in out
+        assert "high-priority" in out
+
+    def test_fig5(self, longrun):
+        out = render_fig5(longrun)
+        assert "Fig 5" in out
+        assert "900.00 entries" in out
+
+
+class TestTables:
+    def test_table1(self):
+        rows = [
+            {"experiment": "Daily Update", "low_priority_packages": 15.6,
+             "high_priority_packages": 0.9, "files_updated": 1271.0,
+             "time_minutes": 2.36},
+            {"experiment": "Weekly Update", "low_priority_packages": 76.4,
+             "high_priority_packages": 2.6, "files_updated": 5513.0,
+             "time_minutes": 7.50},
+        ]
+        out = render_table1(rows)
+        assert "Daily Update" in out
+        assert "2.36" in out
+        assert "5513" in out
+
+    def _matrix(self, ruleset: str, adaptive_live: bool, mitig_reboot: bool) -> FnMatrixResult:
+        from repro.attacks import all_attacks
+
+        result = FnMatrixResult(ruleset=ruleset)
+        for sample in all_attacks():
+            for mode in (AttackMode.BASIC, AttackMode.ADAPTIVE):
+                detected_live = mode is AttackMode.BASIC or adaptive_live
+                if sample.name == "Aoyama" and ruleset == "mitigated":
+                    detected_live = mode is AttackMode.BASIC
+                result.trials.append(AttackTrial(
+                    name=sample.name, category=sample.category, mode=mode,
+                    ruleset=ruleset, detected_live=detected_live,
+                    detected_after_reboot=mitig_reboot and detected_live,
+                    failing_paths=(), problems_used=(),
+                ))
+        return result
+
+    def test_table2_renders_all_samples(self):
+        stock = self._matrix("stock", adaptive_live=False, mitig_reboot=False)
+        mitigated = self._matrix("mitigated", adaptive_live=True, mitig_reboot=True)
+        out = render_table2(stock, mitigated)
+        for name in ("AvosLocker", "Diamorphine", "Mirai", "Aoyama"):
+            assert name in out
+        assert "Ransomware:" in out
+        assert "Botnet:" in out
+
+    def test_table2_marks(self):
+        stock = self._matrix("stock", adaptive_live=False, mitig_reboot=False)
+        mitigated = self._matrix("mitigated", adaptive_live=True, mitig_reboot=True)
+        out = render_table2(stock, mitigated)
+        aoyama_line = [line for line in out.splitlines() if line.startswith("Aoyama")][0]
+        assert aoyama_line.rstrip().endswith("N")
+
+
+class TestOtherRenderers:
+    def test_fp_week(self):
+        result = FpWeekResult(
+            n_days=7, total_polls=300, failed_polls=12,
+            records=[
+                FpRecord(time=1.0, cause="update_hash_mismatch", path="/usr/bin/a", digest="x"),
+                FpRecord(time=2.0, cause="snap_truncation", path="/usr/bin/b", digest="y"),
+            ],
+        )
+        out = render_fp_week(result)
+        assert "update_hash_mismatch" in out
+        assert "snap_truncation" in out
+        assert "distinct_FPs=2" in out
+
+    def test_problem_demos(self):
+        demos = [ProblemDemo(problem="P1", claim="c", ima_measured=True,
+                             verifier_alerted=False, details={"k": "v"})]
+        out = render_problem_demos(demos)
+        assert "P1" in out
+        assert "verifier alerted: False" in out

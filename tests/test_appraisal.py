@@ -1,0 +1,137 @@
+"""Tests for IMA appraisal (signature enforcement)."""
+
+import pytest
+
+from repro.common.rng import SeededRng
+from repro.crypto.rsa import generate_keypair
+from repro.kernelsim.appraisal import (
+    AppraisalDenied,
+    AppraisalPolicy,
+    appraise_content,
+    get_signature,
+    sign_all_executables,
+    sign_content,
+    sign_file,
+)
+from repro.kernelsim.kernel import Machine
+from repro.kernelsim.vfs import FilesystemType
+
+
+@pytest.fixture(scope="module")
+def distro_key():
+    return generate_keypair(SeededRng("appraisal-key"), bits=1024)
+
+
+@pytest.fixture(scope="module")
+def rogue_key():
+    return generate_keypair(SeededRng("appraisal-rogue"), bits=1024)
+
+
+@pytest.fixture()
+def enforced(machine: Machine, distro_key) -> Machine:
+    machine.install_file("/usr/bin/signed-tool", b"tool", executable=True)
+    machine.install_file("/usr/bin/python3", b"python", executable=True)
+    machine.install_file("/usr/bin/wget", b"wget", executable=True)
+    sign_all_executables(machine.vfs, distro_key, "UbuntuIMA")
+    machine.appraisal.enforce = True
+    machine.appraisal.trust_key(distro_key.public)
+    return machine
+
+
+class TestSignatures:
+    def test_sign_verify_roundtrip(self, distro_key):
+        signature = sign_content(b"payload", distro_key, "UbuntuIMA")
+        assert appraise_content(b"payload", signature, [distro_key.public])
+
+    def test_wrong_content_fails(self, distro_key):
+        signature = sign_content(b"payload", distro_key, "UbuntuIMA")
+        assert not appraise_content(b"other", signature, [distro_key.public])
+
+    def test_untrusted_key_fails(self, distro_key, rogue_key):
+        signature = sign_content(b"payload", rogue_key, "Rogue")
+        assert not appraise_content(b"payload", signature, [distro_key.public])
+
+    def test_missing_signature_fails(self, distro_key):
+        assert not appraise_content(b"payload", None, [distro_key.public])
+
+    def test_sign_file_sets_xattr(self, machine, distro_key):
+        machine.install_file("/usr/bin/x", b"x", executable=True)
+        sign_file(machine.vfs, "/usr/bin/x", distro_key, "UbuntuIMA")
+        signature = get_signature(machine.vfs, "/usr/bin/x")
+        assert signature is not None and signature.signer == "UbuntuIMA"
+
+    def test_sign_all_counts_executables_only(self, machine, distro_key):
+        machine.install_file("/usr/bin/a", b"a", executable=True)
+        machine.install_file("/etc/passwd", b"p", executable=False)
+        count = sign_all_executables(machine.vfs, distro_key, "U", prefix="/usr")
+        assert count == 1
+
+
+class TestEnforcement:
+    def test_signed_binary_runs(self, enforced):
+        result = enforced.exec_file("/usr/bin/signed-tool")
+        assert result.measured
+
+    def test_unsigned_binary_blocked(self, enforced):
+        enforced.install_file("/usr/bin/dropper", b"evil", executable=True)
+        with pytest.raises(AppraisalDenied, match="no security.ima signature"):
+            enforced.exec_file("/usr/bin/dropper")
+
+    def test_rogue_signed_binary_blocked(self, enforced, rogue_key):
+        enforced.install_file("/usr/bin/dropper", b"evil", executable=True)
+        sign_file(enforced.vfs, "/usr/bin/dropper", rogue_key, "Rogue")
+        with pytest.raises(AppraisalDenied, match="does not verify"):
+            enforced.exec_file("/usr/bin/dropper")
+
+    def test_tampered_signed_binary_blocked(self, enforced):
+        """Overwriting content invalidates the existing signature."""
+        enforced.vfs.write_file("/usr/bin/signed-tool", b"trojaned", executable=True)
+        with pytest.raises(AppraisalDenied):
+            enforced.exec_file("/usr/bin/signed-tool")
+
+    def test_signature_survives_rename(self, enforced):
+        enforced.move_file("/usr/bin/signed-tool", "/usr/bin/renamed-tool")
+        result = enforced.exec_file("/usr/bin/renamed-tool")
+        assert result is not None  # runs: the xattr travelled with the inode
+
+    def test_module_load_appraised(self, enforced, distro_key):
+        enforced.install_file("/lib/modules/k/mod.ko", b"ko", executable=True)
+        with pytest.raises(AppraisalDenied):
+            enforced.load_kernel_module("/lib/modules/k/mod.ko")
+        sign_file(enforced.vfs, "/lib/modules/k/mod.ko", distro_key, "UbuntuIMA")
+        enforced.load_kernel_module("/lib/modules/k/mod.ko")
+
+    def test_interpreter_appraised_but_script_is_data(self, enforced):
+        """P5 persists under appraisal: the script is never appraised."""
+        enforced.install_file("/home/user/implant.py", b"evil code", executable=False)
+        result = enforced.run_with_interpreter(
+            "/usr/bin/python3", "/home/user/implant.py"
+        )
+        assert result is not None  # ran fine: only python3 was appraised
+
+    def test_excluded_fstype_skips_appraisal(self, enforced):
+        enforced.appraisal.excluded_fstypes = (FilesystemType.TMPFS,)
+        enforced.install_file("/dev/shm/unsigned", b"x", executable=True)
+        enforced.exec_file("/dev/shm/unsigned")  # no AppraisalDenied
+
+    def test_enforcement_off_by_default(self, machine):
+        machine.install_file("/usr/bin/unsigned", b"x", executable=True)
+        machine.exec_file("/usr/bin/unsigned")  # paper's measurement-only mode
+
+
+class TestAppraisalVsAttacks:
+    def test_basic_droppers_blocked_outright(self, enforced):
+        """Enforcement turns detection into prevention for file drops."""
+        from repro.attacks import AttackMode
+        from repro.attacks.botnets import Mirai
+
+        with pytest.raises(AppraisalDenied):
+            Mirai().run(enforced, AttackMode.BASIC)
+
+    def test_aoyama_inline_still_works_under_appraisal(self, enforced):
+        """...but pure-interpreter attacks still evade (P5's deep end)."""
+        from repro.attacks import AttackMode
+        from repro.attacks.botnets import Aoyama
+
+        report = Aoyama().run(enforced, AttackMode.ADAPTIVE)
+        assert report.executions  # the inline payload ran unhindered

@@ -1,0 +1,126 @@
+"""Tests for the apt-like installer."""
+
+import pytest
+
+from repro.distro.apt import AptInstaller
+from repro.distro.package import Package, PackageFile, Priority, make_kernel_package
+from repro.kernelsim.kernel import Machine
+
+
+def _pkg(name: str, version: str, executable: bool = True) -> Package:
+    return Package(
+        name=name, version=version, priority=Priority.OPTIONAL,
+        files=(
+            PackageFile(f"/usr/bin/{name}", executable),
+            PackageFile(f"/usr/share/doc/{name}/readme", False),
+        ),
+    )
+
+
+@pytest.fixture()
+def apt(machine: Machine) -> AptInstaller:
+    return AptInstaller(machine)
+
+
+class TestInstall:
+    def test_install_writes_files(self, apt, machine):
+        package = _pkg("tool", "1.0")
+        written = apt.install(package)
+        assert written == 2
+        assert machine.vfs.read_file("/usr/bin/tool") == package.content_of("/usr/bin/tool")
+        assert machine.vfs.stat("/usr/bin/tool").executable
+
+    def test_install_tracks_version(self, apt):
+        apt.install(_pkg("tool", "1.0"))
+        assert apt.installed_version("tool") == "1.0"
+        assert apt.is_installed("tool")
+
+    def test_install_baseline(self, apt):
+        total = apt.install_baseline([_pkg("a", "1"), _pkg("b", "1")])
+        assert total == 4
+        assert apt.is_installed("a") and apt.is_installed("b")
+
+    def test_upgrade_changes_content(self, apt, machine):
+        apt.install(_pkg("tool", "1.0"))
+        before = machine.vfs.read_file("/usr/bin/tool")
+        apt.install(_pkg("tool", "2.0"))
+        assert machine.vfs.read_file("/usr/bin/tool") != before
+
+    def test_upgrade_bumps_iversion(self, apt, machine):
+        apt.install(_pkg("tool", "1.0"))
+        v1 = machine.vfs.stat("/usr/bin/tool").iversion
+        apt.install(_pkg("tool", "2.0"))
+        assert machine.vfs.stat("/usr/bin/tool").iversion > v1
+
+    def test_kernel_install_sets_pending(self, apt, machine):
+        kernel = make_kernel_package("9.9.9-generic", module_count=2)
+        apt.install(kernel.package)
+        assert machine.pending_kernel == "9.9.9-generic"
+
+    def test_current_kernel_install_not_pending(self, apt, machine):
+        kernel = make_kernel_package(machine.current_kernel, module_count=2)
+        apt.install(kernel.package)
+        assert machine.pending_kernel is None
+
+
+class TestUpgradeFrom:
+    def test_upgrades_installed_only(self, apt):
+        apt.install(_pkg("a", "1.0"))
+        source = {"a": _pkg("a", "2.0"), "b": _pkg("b", "1.0")}
+        report = apt.upgrade_from(source)
+        assert [p.name for p in report.upgraded] == ["a"]
+        assert report.newly_installed == ()
+        assert not apt.is_installed("b")
+
+    def test_install_new_flag(self, apt):
+        apt.install(_pkg("a", "1.0"))
+        source = {"a": _pkg("a", "2.0"), "b": _pkg("b", "1.0")}
+        report = apt.upgrade_from(source, install_new=True)
+        assert [p.name for p in report.newly_installed] == ["b"]
+
+    def test_same_version_skipped(self, apt):
+        apt.install(_pkg("a", "1.0"))
+        report = apt.upgrade_from({"a": _pkg("a", "1.0")})
+        assert report.is_empty
+
+    def test_kernel_pulled_by_metapackage(self, apt, machine):
+        """New kernel package names install without install_new."""
+        apt.install(make_kernel_package(machine.current_kernel, module_count=1).package)
+        new_kernel = make_kernel_package("9.9.9-generic", module_count=1)
+        report = apt.upgrade_from({new_kernel.package.name: new_kernel.package})
+        assert [p.name for p in report.newly_installed] == [new_kernel.package.name]
+        assert machine.pending_kernel == "9.9.9-generic"
+
+    def test_kernel_not_pulled_without_lineage(self, apt):
+        """A machine with no kernel package installed follows none."""
+        new_kernel = make_kernel_package("9.9.9-generic", module_count=1)
+        report = apt.upgrade_from({new_kernel.package.name: new_kernel.package})
+        assert report.is_empty
+
+    def test_kernel_pull_disabled(self, apt, machine):
+        apt.install(make_kernel_package(machine.current_kernel, module_count=1).package)
+        new_kernel = make_kernel_package("9.9.9-generic", module_count=1)
+        report = apt.upgrade_from(
+            {new_kernel.package.name: new_kernel.package}, install_kernels=False
+        )
+        assert report.is_empty
+
+    def test_report_counters(self, apt):
+        apt.install(_pkg("a", "1.0"))
+        report = apt.upgrade_from({"a": _pkg("a", "2.0")})
+        assert report.files_written == 2
+        assert report.executables_written == 1
+        assert report.bytes_downloaded > 0
+        assert report.source == "mirror"
+
+    def test_source_label(self, apt):
+        apt.install(_pkg("a", "1.0"))
+        report = apt.upgrade_from({"a": _pkg("a", "2.0")}, source="official")
+        assert report.source == "official"
+
+    def test_packages_property(self, apt):
+        apt.install(_pkg("a", "1.0"))
+        report = apt.upgrade_from(
+            {"a": _pkg("a", "2.0"), "b": _pkg("b", "1.0")}, install_new=True
+        )
+        assert {p.name for p in report.packages} == {"a", "b"}

@@ -1,0 +1,117 @@
+"""Tests for the upstream archive and releases."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, NotFoundError
+from repro.distro.archive import Release, Repository, UbuntuArchive
+from repro.distro.package import Package, PackageFile, Priority
+
+
+def _pkg(name: str, version: str, repo: str = "main", executable: bool = True) -> Package:
+    return Package(
+        name=name, version=version, priority=Priority.OPTIONAL,
+        files=(PackageFile(f"/usr/bin/{name}", executable),),
+        repository=repo,
+    )
+
+
+class TestRepository:
+    def test_publish_and_latest(self):
+        repo = Repository("main")
+        repo.publish(_pkg("a", "1.0"))
+        assert repo.latest("a").version == "1.0"
+
+    def test_publish_replaces(self):
+        repo = Repository("main")
+        repo.publish(_pkg("a", "1.0"))
+        repo.publish(_pkg("a", "2.0"))
+        assert repo.latest("a").version == "2.0"
+        assert len(repo) == 1
+
+    def test_latest_missing_raises(self):
+        with pytest.raises(NotFoundError):
+            Repository("main").latest("ghost")
+
+    def test_contains(self):
+        repo = Repository("main")
+        repo.publish(_pkg("a", "1.0"))
+        assert "a" in repo
+        assert "b" not in repo
+
+    def test_packages_sorted(self):
+        repo = Repository("main")
+        for name in ("c", "a", "b"):
+            repo.publish(_pkg(name, "1.0"))
+        assert [p.name for p in repo.packages()] == ["a", "b", "c"]
+
+
+class TestArchive:
+    def test_standard_repositories(self):
+        archive = UbuntuArchive()
+        assert set(archive.repositories) == {"main", "security", "updates"}
+
+    def test_unknown_repository_raises(self):
+        with pytest.raises(NotFoundError):
+            UbuntuArchive().repository("universe")
+
+    def test_needs_repositories(self):
+        with pytest.raises(ConfigurationError):
+            UbuntuArchive(repositories=())
+
+    def test_seed(self):
+        archive = UbuntuArchive()
+        archive.seed([_pkg("a", "1.0"), _pkg("b", "1.0", repo="updates")])
+        assert archive.repository("main").latest("a").version == "1.0"
+        assert archive.repository("updates").latest("b").version == "1.0"
+
+    def test_releases_apply_in_time(self):
+        archive = UbuntuArchive()
+        archive.seed([_pkg("a", "1.0")])
+        archive.schedule_release(Release(time=100.0, packages=(_pkg("a", "2.0", "updates"),)))
+        archive.apply_releases_until(50.0)
+        assert "a" not in archive.repository("updates")
+        archive.apply_releases_until(150.0)
+        assert archive.repository("updates").latest("a").version == "2.0"
+
+    def test_releases_apply_idempotent(self):
+        archive = UbuntuArchive()
+        archive.schedule_release(Release(time=10.0, packages=(_pkg("a", "1.0"),)))
+        assert len(archive.apply_releases_until(20.0)) == 1
+        assert len(archive.apply_releases_until(30.0)) == 0
+
+    def test_out_of_order_release_rejected(self):
+        archive = UbuntuArchive()
+        archive.schedule_release(Release(time=100.0, packages=()))
+        with pytest.raises(ConfigurationError):
+            archive.schedule_release(Release(time=50.0, packages=()))
+
+    def test_releases_between(self):
+        archive = UbuntuArchive()
+        archive.schedule_release(Release(time=10.0, packages=()))
+        archive.schedule_release(Release(time=20.0, packages=()))
+        archive.schedule_release(Release(time=30.0, packages=()))
+        window = archive.releases_between(10.0, 30.0)
+        assert [release.time for release in window] == [20.0, 30.0]
+
+    def test_latest_index_priority_order(self):
+        """security > updates > main for the same package name."""
+        archive = UbuntuArchive()
+        archive.seed([
+            _pkg("a", "1.0", "main"),
+            _pkg("a", "1.1", "updates"),
+            _pkg("a", "1.2", "security"),
+        ])
+        assert archive.latest_index()["a"].version == "1.2"
+
+    def test_release_packages_with_executables(self):
+        release = Release(
+            time=0.0,
+            packages=(
+                _pkg("a", "1.0"),
+                Package(
+                    name="docs", version="1.0", priority=Priority.OPTIONAL,
+                    files=(PackageFile("/usr/share/doc/x", False),),
+                ),
+            ),
+        )
+        assert [p.name for p in release.packages_with_executables] == ["a"]

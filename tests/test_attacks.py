@@ -1,0 +1,205 @@
+"""Tests for the attack corpus and P1-P5 exploit primitives."""
+
+import pytest
+
+from repro.attacks import AttackMode, all_attacks
+from repro.attacks.botnets import Aoyama, Bashlite, Mirai, MortemQbot
+from repro.attacks.framework import PersistenceSpec
+from repro.attacks.problems import (
+    Problem,
+    p1_stage_and_run,
+    p2_blind_verifier,
+    p3_stage_and_run,
+    p4_stage_move_run,
+    p5_run_inline,
+    p5_run_script,
+)
+from repro.attacks.ransomware import AvosLocker
+from repro.attacks.rootkits import Diamorphine, Reptile, Vlany
+from repro.kernelsim.kernel import Machine
+
+
+@pytest.fixture()
+def box(machine: Machine) -> Machine:
+    for path in ("/usr/bin/python3", "/bin/bash", "/bin/sh", "/usr/bin/make",
+                 "/usr/bin/gcc", "/usr/bin/wget", "/usr/bin/tar"):
+        machine.install_file(path, path.encode(), executable=True)
+    return machine
+
+
+class TestPrimitives:
+    def test_p1_measured_under_tmp_path(self, box):
+        path, result = p1_stage_and_run(box, "x", b"payload")
+        assert path.startswith("/tmp/")
+        assert result.measured
+        assert result.entries[0].path == path
+
+    def test_p2_decoy_is_benign_and_measured(self, box):
+        decoy = p2_blind_verifier(box)
+        assert decoy.startswith("/usr/bin/")
+        assert decoy in box.require_booted().measured_paths()
+
+    def test_p3_produces_no_entry(self, box):
+        path, result = p3_stage_and_run(box, "x", b"payload")
+        assert path.startswith("/dev/shm/")
+        assert not result.measured
+
+    def test_p4_destination_never_in_log(self, box):
+        staged, destination, result = p4_stage_move_run(
+            box, "x", b"payload", "/usr/bin/x"
+        )
+        assert not result.measured
+        measured = box.require_booted().measured_paths()
+        assert staged in measured
+        assert destination not in measured
+
+    def test_p4_defeated_by_m3(self, box):
+        box.ima_policy.re_evaluate_on_path_change = True
+        staged, destination, result = p4_stage_move_run(
+            box, "x", b"payload", "/usr/bin/x"
+        )
+        assert result.measured
+        assert destination in box.require_booted().measured_paths()
+
+    def test_p5_script_unmeasured(self, box):
+        result = p5_run_script(box, "/usr/bin/implant.py", b"code")
+        assert "/usr/bin/implant.py" not in box.require_booted().measured_paths()
+
+    def test_p5_script_measured_with_m4(self, box):
+        box.enable_script_exec_control(["/usr/bin/python3"])
+        p5_run_script(box, "/usr/bin/implant.py", b"code")
+        assert "/usr/bin/implant.py" in box.require_booted().measured_paths()
+
+    def test_p5_inline_unmeasured_even_with_m4(self, box):
+        box.enable_script_exec_control(["/usr/bin/python3"])
+        result = p5_run_inline(box, "evil()")
+        paths = {entry.path for entry in result.entries}
+        assert paths <= {"/usr/bin/python3"}
+
+
+class TestCorpus:
+    def test_all_attacks_lists_eight(self):
+        attacks = all_attacks()
+        assert len(attacks) == 8
+        assert [a.name for a in attacks] == [
+            "AvosLocker", "Diamorphine", "Reptile", "Vlany",
+            "Mirai", "BASHLITE", "Mortem-qBot", "Aoyama",
+        ]
+
+    def test_categories(self):
+        by_category = {}
+        for attack in all_attacks():
+            by_category.setdefault(attack.category, []).append(attack.name)
+        assert len(by_category["ransomware"]) == 1
+        assert len(by_category["rootkit"]) == 3
+        assert len(by_category["botnet"]) == 4
+
+    def test_avoslocker_has_no_p5(self):
+        assert Problem.P5_SCRIPT_INTERPRETERS not in AvosLocker().problems_exploitable
+        assert not AvosLocker().uses_scripts
+
+    def test_every_attack_reports_artifacts_or_executions(self, box):
+        for attack in all_attacks():
+            report = attack.run(box, AttackMode.BASIC)
+            assert report.artifacts or report.executions, attack.name
+
+    def test_every_attack_has_persistence(self, box):
+        for attack in all_attacks():
+            report = attack.run(box, AttackMode.ADAPTIVE)
+            assert report.persistence, attack.name
+
+    @pytest.mark.parametrize("attack_cls", [
+        AvosLocker, Diamorphine, Reptile, Vlany, Mirai, Bashlite, MortemQbot, Aoyama,
+    ])
+    def test_adaptive_produces_no_monitored_entries(self, box, attack_cls):
+        """Adaptive runs leave nothing outside excluded paths in the log."""
+        from repro.keylime.policy import IBM_STYLE_EXCLUDES, RuntimePolicy
+
+        policy = RuntimePolicy(excludes=list(IBM_STYLE_EXCLUDES))
+        attack = attack_cls()
+        report = attack.run(box, AttackMode.ADAPTIVE)
+        interesting = set(report.artifacts) - set(report.decoys)
+        for entry_path in report.measured_paths:
+            if entry_path in interesting:
+                assert policy.is_excluded(entry_path), (
+                    f"{attack.name} leaked {entry_path} into a monitored path"
+                )
+
+
+class TestSpecificBehaviours:
+    def test_avoslocker_encrypts(self, box):
+        AvosLocker().run(box, AttackMode.BASIC)
+        assert box.vfs.exists("/var/backups/db-dump.sql.avos")
+        assert not box.vfs.exists("/var/backups/db-dump.sql")
+
+    def test_avoslocker_adaptive_uses_decoy(self, box):
+        report = AvosLocker().run(box, AttackMode.ADAPTIVE)
+        assert report.decoys
+        assert Problem.P2_INCOMPLETE_LOG in report.problems_used
+
+    def test_lkm_rootkits_load_modules(self, box):
+        Diamorphine().run(box, AttackMode.BASIC)
+        assert any(path.endswith("diamorphine.ko") for path in box.loaded_modules)
+
+    def test_lkm_adaptive_module_in_tmp(self, box):
+        report = Reptile().run(box, AttackMode.ADAPTIVE)
+        module = [a for a in report.artifacts if a.endswith(".ko")][0]
+        assert module.startswith("/tmp/")
+
+    def test_vlany_adaptive_moves_library(self, box):
+        report = Vlany().run(box, AttackMode.ADAPTIVE)
+        assert "/lib/x86_64-linux-gnu/libselinux.so.9" in report.artifacts
+        assert Problem.P4_NO_REEVALUATION in report.problems_used
+
+    def test_mirai_adaptive_uses_tmpfs(self, box):
+        report = Mirai().run(box, AttackMode.ADAPTIVE)
+        assert report.problems_used == (Problem.P3_UNMONITORED_FILESYSTEMS,)
+        bot = report.artifacts[0]
+        assert bot.startswith("/dev/shm/")
+        assert bot not in box.require_booted().measured_paths()
+
+    def test_aoyama_adaptive_is_fileless(self, box):
+        report = Aoyama().run(box, AttackMode.ADAPTIVE)
+        assert report.artifacts == []
+        assert report.persistence[0].method == "inline"
+
+
+class TestPersistence:
+    def test_exec_persistence_relaunches(self, box):
+        box.install_file("/usr/bin/bot", b"bot", executable=True)
+        spec = PersistenceSpec(method="exec", path="/usr/bin/bot")
+        result = spec.relaunch(box)
+        assert result is not None
+
+    def test_missing_file_returns_none(self, box):
+        spec = PersistenceSpec(method="exec", path="/usr/bin/gone")
+        assert spec.relaunch(box) is None
+
+    def test_module_persistence(self, box):
+        box.install_file("/lib/modules/x.ko", b"ko", executable=True)
+        spec = PersistenceSpec(method="module", path="/lib/modules/x.ko")
+        assert spec.relaunch(box) is not None
+
+    def test_interpreter_persistence(self, box):
+        box.install_file("/opt/bot.py", b"code", executable=False)
+        spec = PersistenceSpec(
+            method="interpreter", path="/opt/bot.py", interpreter="/usr/bin/python3"
+        )
+        assert spec.relaunch(box) is not None
+
+    def test_inline_persistence(self, box):
+        spec = PersistenceSpec(
+            method="inline", path="", interpreter="/usr/bin/python3", code="c2()"
+        )
+        assert spec.relaunch(box) is not None
+
+    def test_unknown_method_raises(self, box):
+        spec = PersistenceSpec(method="warp", path="/x")
+        with pytest.raises(ValueError):
+            spec.relaunch(box)
+
+    def test_tmp_persistence_gone_after_reboot(self, box):
+        report = MortemQbot().run(box, AttackMode.ADAPTIVE)
+        box.reboot()
+        results = [spec.relaunch(box) for spec in report.persistence]
+        assert all(result is None for result in results)

@@ -1,0 +1,89 @@
+"""Stateful property test of the whole attestation loop.
+
+Hypothesis drives random interleavings of benign machine activity
+(executions, updates, reboots, in-policy installs) with verifier polls.
+The invariant is the system's core promise: **benign activity never
+fails attestation** -- no false positives, no PCR mismatches, no replay
+divergence -- regardless of interleaving.  Most bugs in the verifier's
+incremental-replay/offset/reboot bookkeeping would surface here.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.common.hexutil import sha256_hex
+from repro.experiments.testbed import build_testbed
+from repro.keylime.verifier import AgentState
+
+from tests.conftest import small_config
+
+_NAMES = st.sampled_from([f"tool{i}" for i in range(8)])
+_PAYLOADS = st.binary(min_size=1, max_size=12)
+
+
+class AttestationLoop(RuleBasedStateMachine):
+    """Random benign walks over the prover + verifier."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.testbed = build_testbed(small_config("stateful-attest"))
+        self.results = []
+
+    @rule(name=_NAMES)
+    def exec_known_binary(self, name: str) -> None:
+        """Run something already in policy (or skip if not present)."""
+        path = f"/usr/bin/{name}"
+        if not self.testbed.machine.vfs.exists(path):
+            return
+        self.testbed.machine.exec_file(path)
+
+    @rule(name=_NAMES, payload=_PAYLOADS)
+    def install_in_policy_then_exec(self, name: str, payload: bytes) -> None:
+        """A controlled update: policy first, then the file, then exec."""
+        path = f"/usr/bin/{name}"
+        self.testbed.policy.add_digest(path, sha256_hex(payload))
+        self.testbed.machine.install_file(path, payload, executable=True)
+        self.testbed.machine.exec_file(path)
+
+    @rule(name=_NAMES, payload=_PAYLOADS)
+    def stage_in_excluded_dir(self, name: str, payload: bytes) -> None:
+        """Activity under /tmp: measured but excluded -- never a failure."""
+        path = f"/tmp/{name}"
+        self.testbed.machine.install_file(path, payload, executable=True)
+        self.testbed.machine.exec_file(path)
+
+    @rule()
+    def poll(self) -> None:
+        self.results.append(self.testbed.poll())
+
+    @rule()
+    def double_poll(self) -> None:
+        """Back-to-back polls (zero new entries on the second)."""
+        self.results.append(self.testbed.poll())
+        self.results.append(self.testbed.poll())
+
+    @rule()
+    def reboot(self) -> None:
+        self.testbed.machine.reboot()
+
+    @rule()
+    def benign_session(self) -> None:
+        self.testbed.workload.run_session(3)
+
+    @invariant()
+    def never_a_false_positive(self) -> None:
+        for result in self.results:
+            assert result.ok, [failure.detail for failure in result.failures]
+        assert (
+            self.testbed.verifier.state_of(self.testbed.agent_id)
+            is AgentState.ATTESTING
+        )
+
+
+TestAttestationLoop = AttestationLoop.TestCase
+TestAttestationLoop.settings = settings(
+    max_examples=15, stateful_step_count=25, deadline=None
+)

@@ -1,0 +1,101 @@
+"""Tests for certificates and chain verification."""
+
+import pytest
+
+from repro.common.errors import IntegrityError
+from repro.common.rng import SeededRng
+from repro.crypto.certs import Certificate, CertificateAuthority, verify_chain
+from repro.crypto.rsa import generate_keypair
+
+
+@pytest.fixture(scope="module")
+def ca() -> CertificateAuthority:
+    return CertificateAuthority("TestCA", SeededRng("certs-ca"), key_bits=1024)
+
+
+@pytest.fixture(scope="module")
+def leaf(ca: CertificateAuthority) -> Certificate:
+    key = generate_keypair(SeededRng("certs-leaf"), bits=1024)
+    return ca.issue("EK:device-1", key.public)
+
+
+class TestIssuance:
+    def test_root_is_self_signed(self, ca: CertificateAuthority):
+        root = ca.root_certificate
+        assert root.self_signed
+        assert root.verify_signature(ca.public_key)
+
+    def test_leaf_fields(self, ca: CertificateAuthority, leaf: Certificate):
+        assert leaf.subject == "EK:device-1"
+        assert leaf.issuer == "TestCA"
+        assert not leaf.self_signed
+
+    def test_serials_increase(self, ca: CertificateAuthority):
+        key = generate_keypair(SeededRng("serial"), bits=512)
+        first = ca.issue("a", key.public)
+        second = ca.issue("b", key.public)
+        assert second.serial > first.serial
+
+    def test_leaf_signature_verifies(self, ca: CertificateAuthority, leaf: Certificate):
+        assert leaf.verify_signature(ca.public_key)
+
+    def test_leaf_signature_fails_with_wrong_key(self, leaf: Certificate):
+        other = generate_keypair(SeededRng("wrong"), bits=1024)
+        assert not leaf.verify_signature(other.public)
+
+
+class TestChainVerification:
+    def test_valid_single_link_chain(self, ca: CertificateAuthority, leaf: Certificate):
+        verify_chain([leaf], [ca.root_certificate])  # should not raise
+
+    def test_untrusted_root_rejected(self, leaf: Certificate):
+        other_ca = CertificateAuthority("OtherCA", SeededRng("other-ca"), key_bits=512)
+        with pytest.raises(IntegrityError):
+            verify_chain([leaf], [other_ca.root_certificate])
+
+    def test_empty_chain_rejected(self, ca: CertificateAuthority):
+        with pytest.raises(IntegrityError):
+            verify_chain([], [ca.root_certificate])
+
+    def test_no_roots_rejected(self, leaf: Certificate):
+        with pytest.raises(IntegrityError):
+            verify_chain([leaf], [])
+
+    def test_tampered_certificate_rejected(self, ca: CertificateAuthority, leaf: Certificate):
+        forged = Certificate(
+            subject="EK:attacker",
+            issuer=leaf.issuer,
+            public_key=leaf.public_key,
+            serial=leaf.serial,
+            signature=leaf.signature,
+        )
+        with pytest.raises(IntegrityError):
+            verify_chain([forged], [ca.root_certificate])
+
+    def test_multi_link_chain(self, ca: CertificateAuthority):
+        # Root -> intermediate -> leaf.
+        intermediate_key = generate_keypair(SeededRng("intermediate"), bits=1024)
+        intermediate_cert = ca.issue("Intermediate", intermediate_key.public)
+
+        # Hand-roll the intermediate's signing of a leaf.
+        from repro.crypto.certs import _tbs_bytes
+
+        leaf_key = generate_keypair(SeededRng("leaf2"), bits=512)
+        tbs = _tbs_bytes("EK:device-2", "Intermediate", leaf_key.public, 1)
+        leaf2 = Certificate(
+            subject="EK:device-2",
+            issuer="Intermediate",
+            public_key=leaf_key.public,
+            serial=1,
+            signature=intermediate_key.sign(tbs),
+        )
+        verify_chain([leaf2, intermediate_cert], [ca.root_certificate])
+
+    def test_chain_break_detected(self, ca: CertificateAuthority, leaf: Certificate):
+        unrelated_ca = CertificateAuthority("Unrelated", SeededRng("unrelated"), key_bits=512)
+        with pytest.raises(IntegrityError, match="chain break|bad signature|trusted root"):
+            verify_chain([leaf, unrelated_ca.root_certificate], [ca.root_certificate])
+
+    def test_several_trusted_roots(self, ca: CertificateAuthority, leaf: Certificate):
+        other = CertificateAuthority("Another", SeededRng("another"), key_bits=512)
+        verify_chain([leaf], [other.root_certificate, ca.root_certificate])

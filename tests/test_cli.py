@@ -1,0 +1,139 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_global_options(self):
+        args = build_parser().parse_args(["--seed", "x", "--fillers", "5", "problems"])
+        assert args.seed == "x"
+        assert args.fillers == 5
+
+    def test_attack_options(self):
+        args = build_parser().parse_args(
+            ["attack", "Mirai", "--mode", "adaptive", "--mitigated"]
+        )
+        assert args.name == "Mirai"
+        assert args.mode == "adaptive"
+        assert args.mitigated
+
+
+class TestCommands:
+    def test_problems(self, capsys):
+        assert main(["--fillers", "10", "problems"]) == 0
+        out = capsys.readouterr().out
+        assert "P1" in out and "P5" in out
+
+    def test_attack_basic(self, capsys):
+        assert main(["--fillers", "10", "attack", "Mirai"]) == 0
+        out = capsys.readouterr().out
+        assert "detected live:         True" in out
+
+    def test_attack_adaptive_evades(self, capsys):
+        assert main(["--fillers", "10", "attack", "Mirai", "--mode", "adaptive"]) == 0
+        out = capsys.readouterr().out
+        assert "detected live:         False" in out
+
+    def test_attack_adaptive_mitigated(self, capsys):
+        assert main([
+            "--fillers", "10", "attack", "Mirai", "--mode", "adaptive", "--mitigated",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "detected live:         True" in out
+
+    def test_attack_unknown_name(self, capsys):
+        assert main(["attack", "NotARealBotnet"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown attack" in err
+
+    def test_fp_week_small(self, capsys):
+        assert main(["--fillers", "10", "fp-week", "--days", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "False-positive week" in out
+
+    def test_longrun_small(self, capsys):
+        assert main(["--fillers", "10", "longrun", "--days", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 3" in out
+        assert "false positives: 0" in out
+
+    def test_longrun_with_incident(self, capsys):
+        assert main([
+            "--fillers", "10", "longrun", "--days", "4", "--incident-day", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "false positives:" in out
+        assert "day 3" in out or "day 4" in out
+
+
+class TestReport:
+    def test_report_writes_markdown(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main([
+            "--seed", "cli-test", "--fillers", "8",
+            "report", "--days", "2", "--out", str(out),
+        ]) == 0
+        text = out.read_text()
+        assert "# Reproduction report" in text
+        assert "Headline verdicts" in text
+        assert "basic attacks detected: **8/8**" in text
+
+
+class TestPolicyFileCommands:
+    @pytest.fixture()
+    def policy_file(self, tmp_path):
+        from repro.common.hexutil import sha256_hex
+        from repro.keylime.policy import IBM_STYLE_EXCLUDES, RuntimePolicy
+
+        policy = RuntimePolicy(excludes=list(IBM_STYLE_EXCLUDES))
+        policy.add_digest("/usr/bin/ls", sha256_hex(b"ls"))
+        path = tmp_path / "policy.json"
+        path.write_text(policy.to_json())
+        return path
+
+    def test_lint_flags_risky_excludes(self, policy_file, capsys):
+        assert main(["lint", str(policy_file)]) == 1
+        out = capsys.readouterr().out
+        assert "/tmp" in out
+        assert "P1" in out
+
+    def test_lint_clean_policy(self, tmp_path, capsys):
+        from repro.keylime.policy import RuntimePolicy
+
+        path = tmp_path / "clean.json"
+        path.write_text(RuntimePolicy(excludes=[r"^/var/log(/.*)?$"]).to_json())
+        assert main(["lint", str(path)]) == 0
+        assert "no risky exclude rules" in capsys.readouterr().out
+
+    def test_diff_detects_changes(self, policy_file, tmp_path, capsys):
+        from repro.common.hexutil import sha256_hex
+        from repro.keylime.policy import IBM_STYLE_EXCLUDES, RuntimePolicy
+
+        new = RuntimePolicy(excludes=list(IBM_STYLE_EXCLUDES))
+        new.add_digest("/usr/bin/ls", sha256_hex(b"ls-v2"))
+        new.add_digest("/usr/bin/cat", sha256_hex(b"cat"))
+        new_path = tmp_path / "new.json"
+        new_path.write_text(new.to_json())
+        assert main(["diff", str(policy_file), str(new_path)]) == 1
+        out = capsys.readouterr().out
+        assert "+ /usr/bin/cat" in out
+        assert "~ /usr/bin/ls" in out
+
+    def test_diff_identical(self, policy_file, capsys):
+        assert main(["diff", str(policy_file), str(policy_file)]) == 0
+
+    def test_stats(self, policy_file, capsys):
+        assert main(["stats", str(policy_file)]) == 0
+        out = capsys.readouterr().out
+        assert "paths:               1" in out
+        assert "/usr/bin" in out

@@ -1,0 +1,189 @@
+"""Tests for the simulated clock and discrete-event scheduler."""
+
+import pytest
+
+from repro.common.clock import (
+    Scheduler,
+    SimClock,
+    days,
+    hours,
+    minutes,
+)
+from repro.common.errors import SimulationError
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(100.0).now == 100.0
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(50.0)
+        assert clock.now == 50.0
+
+    def test_advance_by(self):
+        clock = SimClock(10.0)
+        clock.advance_by(5.0)
+        assert clock.now == 15.0
+
+    def test_cannot_rewind(self):
+        clock = SimClock(10.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(5.0)
+
+    def test_cannot_advance_negative(self):
+        with pytest.raises(SimulationError):
+            SimClock().advance_by(-1.0)
+
+    def test_day_index(self):
+        clock = SimClock(days(3) + hours(12))
+        assert clock.day_index() == 3
+
+    def test_time_of_day(self):
+        clock = SimClock(days(2) + hours(5))
+        assert clock.time_of_day() == pytest.approx(hours(5))
+
+    def test_now_minutes_and_days(self):
+        clock = SimClock(minutes(90))
+        assert clock.now_minutes == pytest.approx(90.0)
+        assert clock.now_days == pytest.approx(90.0 / (24 * 60))
+
+
+class TestUnits:
+    def test_minutes(self):
+        assert minutes(2) == 120.0
+
+    def test_hours(self):
+        assert hours(1.5) == 5400.0
+
+    def test_days(self):
+        assert days(2) == 172800.0
+
+
+class TestScheduler:
+    def test_events_run_in_time_order(self):
+        sched = Scheduler()
+        order = []
+        sched.call_at(20.0, lambda: order.append("b"))
+        sched.call_at(10.0, lambda: order.append("a"))
+        sched.call_at(30.0, lambda: order.append("c"))
+        sched.run_all()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_runs_in_schedule_order(self):
+        sched = Scheduler()
+        order = []
+        for label in "abc":
+            sched.call_at(5.0, lambda label=label: order.append(label))
+        sched.run_all()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sched = Scheduler()
+        seen = []
+        sched.call_at(42.0, lambda: seen.append(sched.clock.now))
+        sched.run_all()
+        assert seen == [42.0]
+
+    def test_call_in_relative(self):
+        sched = Scheduler()
+        sched.clock.advance_to(100.0)
+        seen = []
+        sched.call_in(10.0, lambda: seen.append(sched.clock.now))
+        sched.run_all()
+        assert seen == [110.0]
+
+    def test_cannot_schedule_in_past(self):
+        sched = Scheduler()
+        sched.clock.advance_to(100.0)
+        with pytest.raises(SimulationError):
+            sched.call_at(50.0, lambda: None)
+
+    def test_cancel_prevents_run(self):
+        sched = Scheduler()
+        fired = []
+        handle = sched.call_at(10.0, lambda: fired.append(1))
+        handle.cancel()
+        sched.run_all()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_run_until_respects_deadline(self):
+        sched = Scheduler()
+        fired = []
+        sched.call_at(10.0, lambda: fired.append(10))
+        sched.call_at(20.0, lambda: fired.append(20))
+        dispatched = sched.run_until(15.0)
+        assert dispatched == 1
+        assert fired == [10]
+        assert sched.clock.now == 15.0
+
+    def test_run_until_finishes_at_deadline_even_when_idle(self):
+        sched = Scheduler()
+        sched.run_until(99.0)
+        assert sched.clock.now == 99.0
+
+    def test_run_for(self):
+        sched = Scheduler()
+        sched.clock.advance_to(10.0)
+        fired = []
+        sched.call_at(15.0, lambda: fired.append(1))
+        sched.run_for(10.0)
+        assert fired == [1]
+        assert sched.clock.now == 20.0
+
+    def test_every_repeats(self):
+        sched = Scheduler()
+        ticks = []
+        sched.every(10.0, lambda: ticks.append(sched.clock.now))
+        sched.run_until(35.0)
+        assert ticks == [10.0, 20.0, 30.0]
+
+    def test_every_stop(self):
+        sched = Scheduler()
+        ticks = []
+        stop = sched.every(10.0, lambda: ticks.append(sched.clock.now))
+        sched.run_until(25.0)
+        stop()
+        sched.run_until(100.0)
+        assert ticks == [10.0, 20.0]
+
+    def test_every_with_start(self):
+        sched = Scheduler()
+        ticks = []
+        sched.every(10.0, lambda: ticks.append(sched.clock.now), start=5.0)
+        sched.run_until(26.0)
+        assert ticks == [5.0, 15.0, 25.0]
+
+    def test_every_rejects_nonpositive_interval(self):
+        with pytest.raises(SimulationError):
+            Scheduler().every(0.0, lambda: None)
+
+    def test_step_returns_false_when_idle(self):
+        assert Scheduler().step() is False
+
+    def test_run_all_detects_runaway(self):
+        sched = Scheduler()
+
+        def reschedule() -> None:
+            sched.call_in(1.0, reschedule)
+
+        sched.call_in(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            sched.run_all(max_events=100)
+
+    def test_len_counts_pending(self):
+        sched = Scheduler()
+        sched.call_at(1.0, lambda: None)
+        handle = sched.call_at(2.0, lambda: None)
+        handle.cancel()
+        assert len(sched) == 1
+
+    def test_handle_exposes_when_and_label(self):
+        sched = Scheduler()
+        handle = sched.call_at(7.0, lambda: None, label="poll")
+        assert handle.when == 7.0
+        assert handle.label == "poll"

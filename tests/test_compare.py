@@ -1,0 +1,72 @@
+"""Tests for the paper-comparison machinery."""
+
+from repro.analysis.compare import (
+    PAPER_TARGETS,
+    ComparisonRow,
+    _row,
+    compare_longruns,
+    compare_matrices,
+    render_comparison,
+)
+from repro.experiments.longrun import run_longrun
+
+from tests.conftest import small_config
+
+
+class TestRowLogic:
+    def test_within_tolerance(self):
+        row = _row("daily.minutes.mean", 2.0, 0.5)
+        assert row.within
+
+    def test_out_of_tolerance(self):
+        row = _row("daily.minutes.mean", 10.0, 0.5)
+        assert not row.within
+
+    def test_zero_target_requires_exact(self):
+        assert _row("fp.normal_operation", 0.0, 0.0).within
+        assert not _row("fp.normal_operation", 1.0, 0.0).within
+
+    def test_render_marks(self):
+        good = _row("daily.minutes.mean", 2.36, 0.5)
+        bad = _row("daily.minutes.mean", 99.0, 0.5)
+        assert "[OK " in good.render()
+        assert "[OFF]" in bad.render()
+
+
+class TestComparators:
+    def test_compare_longruns_covers_fp_target(self):
+        daily = run_longrun(config=small_config("cmp-daily"), n_days=3)
+        weekly = run_longrun(
+            config=small_config("cmp-weekly"), n_days=7, cadence_days=7
+        )
+        rows = compare_longruns(daily, weekly)
+        fp_rows = [row for row in rows if row.key == "fp.normal_operation"]
+        assert fp_rows and fp_rows[0].within  # zero FPs at any scale
+
+    def test_compare_matrices_headlines(self):
+        from repro.attacks import AttackMode
+        from repro.attacks.ransomware import AvosLocker
+        from repro.experiments.fn_matrix import run_attack_matrix
+
+        stock = run_attack_matrix(
+            mitigated=False, samples=[AvosLocker()], seed="cmp"
+        )
+        mitigated = run_attack_matrix(
+            mitigated=True, samples=[AvosLocker()], seed="cmp"
+        )
+        rows = compare_matrices(stock, mitigated)
+        by_key = {row.key: row for row in rows}
+        # One sample, not eight: the structural targets must read OFF.
+        assert not by_key["table2.basic_detected"].within
+        assert by_key["table2.adaptive_detected_live"].within  # 0 == 0
+
+    def test_render_comparison_verdict(self):
+        rows = [
+            ComparisonRow("x", 1.0, 1.0, 0.1, True),
+            ComparisonRow("y", 1.0, 9.0, 0.1, False),
+        ]
+        out = render_comparison(rows)
+        assert "1/2 targets out of tolerance" in out
+
+    def test_all_targets_have_values(self):
+        assert all(isinstance(value, float) for value in PAPER_TARGETS.values())

@@ -1,0 +1,123 @@
+"""Tests for containerised execution and its attestation blind spots."""
+
+import pytest
+
+from repro.common.errors import NotFoundError, StateError
+from repro.kernelsim.containers import ContainerRuntime, scrub_container_prefixes
+from repro.kernelsim.vfs import FilesystemType
+from repro.keylime.policy import build_policy_from_machine
+from repro.mitigations import mitigated_ima_policy
+
+from tests.conftest import small_config
+from repro.experiments.testbed import build_testbed
+
+
+@pytest.fixture()
+def runtime(machine):
+    return ContainerRuntime(machine)
+
+
+class TestRuntime:
+    def test_run_mounts_overlayfs(self, machine, runtime):
+        container = runtime.run("nginx", ["usr/sbin/nginx"])
+        stat = machine.vfs.stat(container.host_path("usr/sbin/nginx"))
+        assert stat.fstype is FilesystemType.OVERLAYFS
+        assert stat.executable
+
+    def test_container_ids_unique(self, runtime):
+        a = runtime.run("a", ["bin/a"])
+        b = runtime.run("b", ["bin/b"])
+        assert a.container_id != b.container_id
+        assert len(runtime) == 2
+
+    def test_unknown_binary_rejected(self, runtime):
+        container = runtime.run("nginx", ["usr/sbin/nginx"])
+        with pytest.raises(NotFoundError):
+            container.host_path("bin/sh")
+
+    def test_stopped_container_cannot_exec(self, runtime):
+        container = runtime.run("nginx", ["usr/sbin/nginx"])
+        runtime.stop(container.container_id)
+        with pytest.raises(StateError):
+            runtime.exec_in_container(container.container_id, "usr/sbin/nginx")
+
+    def test_unknown_container(self, runtime):
+        with pytest.raises(NotFoundError):
+            runtime.get("ctr-9999")
+
+
+class TestBlindSpots:
+    def test_stock_ima_never_measures_overlayfs(self, machine, runtime):
+        """P3 flavour: the whole container is invisible to stock IMA."""
+        container = runtime.run("nginx", ["usr/sbin/nginx"])
+        result = runtime.exec_in_container(container.container_id, "usr/sbin/nginx")
+        assert not result.measured
+
+    def test_mitigated_ima_measures_truncated_path(self, manufacturer):
+        """SNAP flavour: measured, but under the confined path."""
+        from repro.kernelsim.kernel import Machine
+
+        machine = Machine(
+            "ctr-box", manufacturer.manufacture(), ima_policy=mitigated_ima_policy()
+        )
+        machine.boot()
+        runtime = ContainerRuntime(machine)
+        container = runtime.run("nginx", ["usr/sbin/nginx"])
+        result = runtime.exec_in_container(container.container_id, "usr/sbin/nginx")
+        assert result.measured
+        assert result.entries[0].path == "/usr/sbin/nginx"
+
+    def test_host_view_records_full_path(self, manufacturer):
+        from repro.kernelsim.kernel import Machine
+
+        machine = Machine(
+            "ctr-box2", manufacturer.manufacture(), ima_policy=mitigated_ima_policy()
+        )
+        machine.boot()
+        runtime = ContainerRuntime(machine)
+        container = runtime.run("nginx", ["usr/sbin/nginx"])
+        result = runtime.exec_host_escape(container.container_id, "usr/sbin/nginx")
+        assert result.measured
+        assert result.entries[0].path.startswith("/var/lib/containers/")
+
+
+class TestPolicyFix:
+    def test_container_fp_and_scrub_fix_end_to_end(self):
+        """The full SNAP-style FP cycle, but for a container."""
+        config = small_config("container-e2e")
+        config.ima_policy = mitigated_ima_policy()
+        testbed = build_testbed(config)
+        runtime = ContainerRuntime(testbed.machine)
+        container = runtime.run("webapp", ["usr/bin/webapp"])
+
+        policy = build_policy_from_machine(testbed.machine)
+        testbed.tenant.push_policy(testbed.agent_id, policy)
+        assert policy.covers_path(container.host_path("usr/bin/webapp"))
+        assert testbed.poll().ok
+
+        runtime.exec_in_container(container.container_id, "usr/bin/webapp")
+        result = testbed.poll()
+        assert not result.ok  # the container false positive
+        assert result.failures[0].policy_failure.path == "/usr/bin/webapp"
+
+        added = scrub_container_prefixes(policy)
+        assert added >= 1
+        testbed.tenant.resolve_failure(testbed.agent_id, policy)
+        assert testbed.poll().ok
+
+    def test_scrub_ignores_host_paths(self):
+        from repro.keylime.policy import RuntimePolicy
+
+        policy = RuntimePolicy()
+        policy.add_digest("/usr/bin/host-tool", "ab" * 32)
+        assert scrub_container_prefixes(policy) == 0
+
+    def test_attacker_in_container_hidden_from_stock_keylime(self):
+        """The adaptive consequence: a containerised payload is silent."""
+        testbed = build_testbed(small_config("container-attack"))
+        runtime = ContainerRuntime(testbed.machine)
+        assert testbed.poll().ok
+        container = runtime.run("attacker-image", ["opt/cryptominer"])
+        runtime.exec_in_container(container.container_id, "opt/cryptominer")
+        result = testbed.poll()
+        assert result.ok  # stock IMA excludes overlayfs: nothing to judge

@@ -1,0 +1,56 @@
+"""Determinism guarantees: same seed => bit-identical results.
+
+DESIGN.md promises every figure and table is reproducible bit-for-bit
+from a seed.  These tests hold the experiment harnesses to it.
+"""
+
+from repro.attacks import AttackMode
+from repro.experiments.fn_matrix import run_attack_trial
+from repro.experiments.fp_week import run_fp_week
+from repro.experiments.longrun import run_longrun
+from repro.attacks.botnets import Mirai
+
+from tests.conftest import small_config
+
+
+class TestExperimentDeterminism:
+    def test_longrun_bitwise_stable(self):
+        a = run_longrun(config=small_config("det-longrun"), n_days=4)
+        b = run_longrun(config=small_config("det-longrun"), n_days=4)
+        assert a.update_minutes == b.update_minutes
+        assert a.packages_per_update == b.packages_per_update
+        assert a.entries_per_update == b.entries_per_update
+        assert a.final_policy_lines == b.final_policy_lines
+        assert len(a.fp_incidents) == len(b.fp_incidents)
+
+    def test_longrun_seed_sensitivity(self):
+        a = run_longrun(config=small_config("det-a"), n_days=4)
+        b = run_longrun(config=small_config("det-b"), n_days=4)
+        # Different seeds should give different streams (overwhelmingly).
+        assert (
+            a.packages_per_update != b.packages_per_update
+            or a.update_minutes != b.update_minutes
+        )
+
+    def test_fp_week_stable(self):
+        config_a = small_config("det-fp")
+        config_a.policy_mode = "static"
+        config_a.continue_on_failure = True
+        config_b = small_config("det-fp")
+        config_b.policy_mode = "static"
+        config_b.continue_on_failure = True
+        a = run_fp_week(config=config_a, n_days=3)
+        b = run_fp_week(config=config_b, n_days=3)
+        assert a.counts_by_cause == b.counts_by_cause
+        assert [(r.path, r.digest) for r in a.records] == [
+            (r.path, r.digest) for r in b.records
+        ]
+
+    def test_attack_trial_stable(self):
+        a = run_attack_trial(
+            Mirai(), AttackMode.BASIC, mitigated=False, config=small_config("det-atk")
+        )
+        b = run_attack_trial(
+            Mirai(), AttackMode.BASIC, mitigated=False, config=small_config("det-atk")
+        )
+        assert a == b

@@ -1,0 +1,101 @@
+"""Tests for the structured event log."""
+
+from repro.common.events import EventLog, EventRecord
+
+
+class TestEmit:
+    def test_emit_appends(self):
+        log = EventLog()
+        log.emit(1.0, "a", "x")
+        log.emit(2.0, "b", "y")
+        assert len(log) == 2
+
+    def test_emit_returns_record(self):
+        log = EventLog()
+        record = log.emit(1.0, "keylime.verifier", "attestation.ok", agent="a1")
+        assert record.time == 1.0
+        assert record.details == {"agent": "a1"}
+
+    def test_detail_keys_may_shadow_positional_names(self):
+        # 'source' and 'kind' as detail keys must not collide with the
+        # positional parameters (positional-only signature).
+        log = EventLog()
+        record = log.emit(1.0, "apt", "apt.upgraded", source="official", kind="x")
+        assert record.details["source"] == "official"
+        assert record.source == "apt"
+
+
+class TestQueries:
+    def _populated(self) -> EventLog:
+        log = EventLog()
+        log.emit(1.0, "keylime.verifier", "attestation.ok")
+        log.emit(2.0, "keylime.verifier", "attestation.failed.policy")
+        log.emit(3.0, "apt", "apt.upgraded")
+        log.emit(4.0, "keylime.verifier", "attestation.ok")
+        return log
+
+    def test_select_by_source_prefix(self):
+        log = self._populated()
+        assert len(log.select(source="keylime")) == 3
+
+    def test_select_by_kind_prefix(self):
+        log = self._populated()
+        assert len(log.select(kind="attestation")) == 3
+        assert len(log.select(kind="attestation.failed")) == 1
+
+    def test_select_time_window(self):
+        log = self._populated()
+        assert len(log.select(since=2.0, until=3.0)) == 2
+
+    def test_count(self):
+        log = self._populated()
+        assert log.count(kind="attestation.ok") == 2
+
+    def test_last(self):
+        log = self._populated()
+        last = log.last(kind="attestation")
+        assert last is not None and last.time == 4.0
+
+    def test_last_returns_none_when_no_match(self):
+        assert EventLog().last(kind="zzz") is None
+
+    def test_kinds_histogram(self):
+        log = self._populated()
+        assert log.kinds()["attestation.ok"] == 2
+
+    def test_iteration(self):
+        log = self._populated()
+        assert [record.time for record in log] == [1.0, 2.0, 3.0, 4.0]
+
+
+class TestSubscribe:
+    def test_subscriber_sees_future_events(self):
+        log = EventLog()
+        seen: list[EventRecord] = []
+        log.subscribe(seen.append)
+        log.emit(1.0, "a", "x")
+        assert len(seen) == 1
+
+    def test_unsubscribe(self):
+        log = EventLog()
+        seen: list[EventRecord] = []
+        unsubscribe = log.subscribe(seen.append)
+        log.emit(1.0, "a", "x")
+        unsubscribe()
+        log.emit(2.0, "a", "y")
+        assert len(seen) == 1
+
+    def test_unsubscribe_twice_is_safe(self):
+        log = EventLog()
+        unsubscribe = log.subscribe(lambda record: None)
+        unsubscribe()
+        unsubscribe()
+
+
+class TestMatches:
+    def test_matches_prefixes(self):
+        record = EventRecord(1.0, "keylime.verifier", "attestation.ok")
+        assert record.matches(source="keylime")
+        assert record.matches(kind="attestation")
+        assert not record.matches(source="apt")
+        assert not record.matches(kind="policy")

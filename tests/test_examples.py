@@ -1,0 +1,49 @@
+"""The examples are deliverables: run each one end to end.
+
+Each example must exit 0 and print its headline lines.  Run as
+subprocesses so import-time state cannot leak between them.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+_EXPECTATIONS = {
+    "quickstart.py": ["poll #1: ok=True", "ALERT: hash mismatch"],
+    "dynamic_policy_demo.py": [
+        "false positives before the injected error: 0",
+        "operator error fired as expected",
+    ],
+    "attack_detection.py": ["Aoyama", "adaptive  mitigated  no"],
+    "snap_false_positive.py": [
+        "FALSE POSITIVE: file not found in policy: /usr/bin/chromium",
+        "attestation after the fix: ok=True",
+    ],
+    "fleet_demo.py": ["8/8 green", "QUARANTINED"],
+    "appraisal_demo.py": ["BLOCKED before execution", "executed: True"],
+    "hardened_pipeline.py": ["sync ABORTED", "rejected=1"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(_EXPECTATIONS))
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for expected in _EXPECTATIONS[script]:
+        assert expected in result.stdout, (
+            f"{script}: expected {expected!r} in output;\n{result.stdout[-2000:]}"
+        )
+
+
+def test_every_example_has_an_expectation():
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(_EXPECTATIONS), (
+        "examples and test expectations out of sync"
+    )

@@ -1,0 +1,186 @@
+"""Tests for the experiment harnesses (E1-E8)."""
+
+import pytest
+
+from repro.attacks import AttackMode
+from repro.attacks.ransomware import AvosLocker
+from repro.attacks.rootkits import Vlany
+from repro.distro.workload import ReleaseStreamConfig
+from repro.experiments.fn_matrix import run_attack_matrix, run_attack_trial
+from repro.experiments.fp_week import run_fp_week
+from repro.experiments.longrun import run_longrun, table1_rows
+from repro.experiments.problems import run_all_demos
+from repro.experiments.testbed import TestbedConfig, build_testbed
+
+from tests.conftest import small_config
+
+
+def _fast_config(seed, **overrides) -> TestbedConfig:
+    config = small_config(seed)
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+class TestTestbed:
+    def test_builds_clean(self):
+        testbed = build_testbed(small_config())
+        assert testbed.poll().ok
+
+    def test_deterministic_across_builds(self):
+        a = build_testbed(small_config("det"))
+        b = build_testbed(small_config("det"))
+        assert a.policy.to_json() == b.policy.to_json()
+
+    def test_static_policy_mode(self):
+        config = small_config()
+        config.policy_mode = "static"
+        testbed = build_testbed(config)
+        assert testbed.poll().ok
+
+    def test_unknown_policy_mode_rejected(self):
+        config = small_config()
+        config.policy_mode = "wild"
+        with pytest.raises(ValueError):
+            build_testbed(config)
+
+    def test_machine_matches_mirror_at_t0(self):
+        testbed = build_testbed(small_config())
+        for package in testbed.mirror.packages():
+            assert testbed.apt.installed_version(package.name) == package.version
+
+
+class TestFpWeek:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = _fast_config("fpweek", policy_mode="static", continue_on_failure=True)
+        return run_fp_week(config=config, n_days=5)
+
+    def test_false_positives_fire(self, result):
+        assert result.total_false_positives > 0
+        assert result.failed_polls > 0
+
+    def test_update_causes_present(self, result):
+        causes = result.counts_by_cause
+        assert causes.get("update_hash_mismatch", 0) > 0
+
+    def test_snap_truncation_detected(self, result):
+        assert result.counts_by_cause.get("snap_truncation", 0) >= 1
+
+    def test_no_snap_no_truncation(self):
+        config = _fast_config("fpweek2", policy_mode="static", continue_on_failure=True)
+        result = run_fp_week(config=config, n_days=3, with_snap=False)
+        assert result.counts_by_cause.get("snap_truncation", 0) == 0
+
+
+class TestLongRun:
+    @pytest.fixture(scope="class")
+    def daily(self):
+        return run_longrun(config=_fast_config("longrun"), n_days=6)
+
+    def test_zero_false_positives(self, daily):
+        assert daily.fp_incidents == []
+        assert daily.ok_polls == daily.total_polls
+
+    def test_cycles_ran_daily(self, daily):
+        assert len(daily.cycles) == 6
+
+    def test_series_lengths_match(self, daily):
+        assert len(daily.update_minutes) == 6
+        assert len(daily.packages_per_update) == 6
+        assert len(daily.entries_per_update) == 6
+
+    def test_policy_grows(self, daily):
+        assert daily.final_policy_lines >= daily.initial_policy_lines
+
+    def test_weekly_cadence_fewer_cycles(self):
+        weekly = run_longrun(config=_fast_config("weekly"), n_days=14, cadence_days=7)
+        assert len(weekly.cycles) == 2
+        assert weekly.fp_incidents == []
+
+    def test_incident_fires_fp(self):
+        result = run_longrun(
+            config=_fast_config("incident"), n_days=5, official_on_days={3}
+        )
+        assert result.fp_incidents
+        assert min(incident.day for incident in result.fp_incidents) >= 3
+
+    def test_table1_rows_shape(self, daily):
+        weekly = run_longrun(config=_fast_config("weekly2"), n_days=7, cadence_days=7)
+        rows = table1_rows(daily, weekly)
+        assert [row["experiment"] for row in rows] == ["Daily Update", "Weekly Update"]
+        for row in rows:
+            assert row["time_minutes"] > 0
+
+
+class TestFnMatrix:
+    def test_stock_basic_detected(self):
+        trial = run_attack_trial(
+            AvosLocker(), AttackMode.BASIC, mitigated=False,
+            config=_fast_config("fn1"),
+        )
+        assert trial.detected_live
+
+    def test_stock_adaptive_evades(self):
+        trial = run_attack_trial(
+            AvosLocker(), AttackMode.ADAPTIVE, mitigated=False,
+            config=_fast_config("fn2"),
+        )
+        assert not trial.detected_live
+
+    def test_mitigated_adaptive_detected(self):
+        trial = run_attack_trial(
+            Vlany(), AttackMode.ADAPTIVE, mitigated=True,
+            config=_fast_config("fn3"),
+        )
+        assert trial.detected
+
+    def test_matrix_over_two_samples(self):
+        result = run_attack_matrix(
+            mitigated=False, samples=[AvosLocker(), Vlany()], seed="fn4"
+        )
+        assert result.total(AttackMode.BASIC) == 2
+        assert result.detected_count(AttackMode.BASIC) == 2
+        assert all(
+            not trial.detected_live
+            for trial in result.trials if trial.mode is AttackMode.ADAPTIVE
+        )
+
+    def test_trial_lookup(self):
+        result = run_attack_matrix(mitigated=False, samples=[Vlany()], seed="fn5")
+        trial = result.trial("Vlany", AttackMode.BASIC)
+        assert trial.name == "Vlany"
+        with pytest.raises(KeyError):
+            result.trial("Ghost", AttackMode.BASIC)
+
+
+class TestProblemDemos:
+    @pytest.fixture(scope="class")
+    def demos(self):
+        return {demo.problem: demo for demo in run_all_demos()}
+
+    def test_all_five_run(self, demos):
+        assert set(demos) == {"P1", "P2", "P3", "P4", "P5"}
+
+    def test_p1_measured_but_not_alerted(self, demos):
+        assert demos["P1"].ima_measured
+        assert not demos["P1"].verifier_alerted
+
+    def test_p2_backdoor_unexamined(self, demos):
+        assert demos["P2"].details["halted_after_decoy"]
+        assert not demos["P2"].verifier_alerted
+        assert demos["P2"].details["entries_skipped_after_restart"] >= 1
+
+    def test_p3_not_even_measured(self, demos):
+        assert not demos["P3"].ima_measured
+        assert not demos["P3"].verifier_alerted
+
+    def test_p4_destination_absent_from_log(self, demos):
+        assert demos["P4"].details["staged_in_log"]
+        assert not demos["P4"].details["destination_in_log"]
+        assert not demos["P4"].verifier_alerted
+
+    def test_p5_interpreter_measured_instead(self, demos):
+        assert not demos["P5"].ima_measured
+        assert demos["P5"].details["interpreter_in_log"]
+        assert not demos["P5"].verifier_alerted

@@ -1,0 +1,147 @@
+"""Tests for fleet management."""
+
+import pytest
+
+from repro.common.clock import Scheduler, days
+from repro.common.rng import SeededRng
+from repro.distro.archive import UbuntuArchive
+from repro.distro.mirror import LocalMirror
+from repro.distro.workload import (
+    ReleaseStreamConfig,
+    SyntheticReleaseStream,
+    build_base_system,
+)
+from repro.dynpolicy.generator import DynamicPolicyGenerator
+from repro.keylime.fleet import Fleet
+from repro.keylime.policy import IBM_STYLE_EXCLUDES
+from repro.tpm.device import TpmManufacturer
+
+
+@pytest.fixture()
+def world(manufacturer: TpmManufacturer):
+    rng = SeededRng("fleet-tests")
+    scheduler = Scheduler()
+    archive = UbuntuArchive()
+    base = build_base_system(rng.fork("base"), n_filler_packages=12, mean_exec_files=4)
+    archive.seed(base)
+    stream = SyntheticReleaseStream(
+        archive, base, rng.fork("stream"),
+        ReleaseStreamConfig(
+            mean_packages_per_day=3.0, sd_packages_per_day=2.0,
+            mean_exec_files_per_package=4.0, kernel_release_every_days=0,
+        ),
+    )
+    mirror = LocalMirror(archive)
+    mirror.sync(0.0)
+    generator = DynamicPolicyGenerator(mirror, rng=rng.fork("gen"))
+    policy, _ = generator.generate_full(
+        list(IBM_STYLE_EXCLUDES), {"5.15.0-91-generic"}
+    )
+    fleet = Fleet(4, mirror, manufacturer, scheduler, rng.fork("fleet"), policy)
+    return fleet, stream, scheduler
+
+
+class TestProvisioning:
+    def test_fleet_size(self, world):
+        fleet, _, _ = world
+        assert len(fleet) == 4
+        assert fleet.healthy_count() == 4
+
+    def test_nodes_identically_provisioned(self, world):
+        fleet, _, _ = world
+        versions = [
+            sorted((name, pkg.version) for name, pkg in node.apt.installed.items())
+            for node in fleet.nodes
+        ]
+        assert all(version_set == versions[0] for version_set in versions)
+
+    def test_each_node_has_own_tpm(self, world):
+        fleet, _, _ = world
+        fingerprints = {
+            node.machine.tpm.ek_public.fingerprint() for node in fleet.nodes
+        }
+        assert len(fingerprints) == len(fleet)
+
+    def test_node_lookup(self, world):
+        fleet, _, _ = world
+        assert fleet.node("node-001").name == "node-001"
+        with pytest.raises(KeyError):
+            fleet.node("node-999")
+
+    def test_minimum_size(self, world):
+        fleet, _, _ = world
+        with pytest.raises(ValueError):
+            Fleet(
+                0, fleet.mirror, TpmManufacturer("X", SeededRng("x")),
+                fleet.scheduler, SeededRng("y"), fleet.policy,
+            )
+
+
+class TestAttestation:
+    def test_all_nodes_attest_green(self, world):
+        fleet, _, _ = world
+        results = fleet.poll_all()
+        assert len(results) == 4
+        assert all(result.ok for result in results.values())
+
+    def test_compromise_isolated_to_one_node(self, world):
+        fleet, _, _ = world
+        fleet.poll_all()
+        victim = fleet.node("node-002")
+        victim.machine.install_file("/usr/bin/implant", b"x", executable=True)
+        victim.machine.exec_file("/usr/bin/implant")
+        fleet.poll_all()
+        status = fleet.status()
+        assert status["node-002"] == "failed"
+        assert [s for name, s in status.items() if name != "node-002"] == ["attesting"] * 3
+        assert fleet.healthy_count() == 3
+
+    def test_compromised_node_quarantined(self, world):
+        fleet, _, _ = world
+        victim = fleet.node("node-000")
+        victim.machine.install_file("/usr/bin/implant", b"x", executable=True)
+        victim.machine.exec_file("/usr/bin/implant")
+        fleet.poll_all()
+        assert fleet.quarantine.is_quarantined("agent-node-000")
+
+    def test_audit_records_every_poll(self, world):
+        fleet, _, _ = world
+        fleet.poll_all()
+        fleet.poll_all()
+        fleet.audit.verify_chain()
+        assert len(fleet.audit) == 8
+
+    def test_periodic_fleet_polling(self, world):
+        fleet, _, scheduler = world
+        fleet.start_polling(600.0)
+        scheduler.run_until(1900.0)
+        for node in fleet.nodes:
+            assert len(fleet.verifier.results_of(node.agent.agent_id)) == 3
+
+
+class TestFleetUpdates:
+    def test_update_cycle_keeps_fleet_green(self, world):
+        fleet, stream, scheduler = world
+        stream.generate_day(1)
+        scheduler.clock.advance_to(days(2))
+        report = fleet.run_update_cycle()
+        assert report.nodes_updated == len(fleet)
+        results = fleet.poll_all()
+        assert all(result.ok for result in results.values())
+
+    def test_generator_work_independent_of_fleet_size(self, world):
+        """One sync + one generation covers every node."""
+        fleet, stream, scheduler = world
+        stream.generate_day(1)
+        scheduler.clock.advance_to(days(2))
+        report = fleet.run_update_cycle()
+        # The policy delta is computed once; files fan out per node.
+        assert report.files_written_total >= report.policy_report.entries_added
+        assert report.nodes_updated == 4
+
+    def test_empty_update_cycle(self, world):
+        fleet, _, scheduler = world
+        scheduler.clock.advance_to(days(1))
+        report = fleet.run_update_cycle()
+        assert report.nodes_updated == 0
+        assert all(result.ok for result in fleet.poll_all().values())

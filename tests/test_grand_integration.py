@@ -1,0 +1,156 @@
+"""The grand integration scenario: every layer, one continuous story.
+
+A hardened deployment (verified mirror syncs, signed manifests,
+measured-boot golden values, SNAP + container workloads, revocation and
+audit wired) runs ten days of controlled updates including a staged
+kernel rollout -- all green.  Then an adaptive attacker strikes and
+evades; the operator applies M1-M4; the attacker strikes again and is
+caught, quarantined, and recorded tamper-evidently.
+"""
+
+import pytest
+
+from repro.attacks import AttackMode
+from repro.attacks.botnets import MortemQbot
+from repro.common.clock import days, hours
+from repro.common.rng import SeededRng
+from repro.distro.release_signing import ArchiveSigner
+from repro.distro.snap import install_snap
+from repro.distro.workload import ReleaseStreamConfig
+from repro.dynpolicy.generator import DynamicPolicyGenerator
+from repro.dynpolicy.signedhashes import ManifestAuthority
+from repro.experiments.testbed import TestbedConfig, build_testbed
+from repro.keylime.audit import AuditLog
+from repro.keylime.measuredboot import capture_golden, golden_for_kernel
+from repro.keylime.revocation import QuarantineListener, RevocationNotifier
+from repro.keylime.verifier import AgentState
+from repro.kernelsim.containers import ContainerRuntime, scrub_container_prefixes
+from repro.mitigations import apply_all
+
+
+@pytest.fixture(scope="module")
+def story():
+    config = TestbedConfig(
+        seed="grand-integration",
+        n_filler_packages=25,
+        mean_exec_files=6.0,
+        # One kernel release inside the 10-day window (day 6): the
+        # scenario stages exactly that rollout's golden values.  (A
+        # second, unstaged kernel would -- correctly -- fail the
+        # measured-boot check, which is its own test in
+        # test_keylime_extensions.py.)
+        stream=ReleaseStreamConfig(
+            mean_packages_per_day=4.0, sd_packages_per_day=3.0,
+            mean_exec_files_per_package=6.0, kernel_release_every_days=6,
+        ),
+    )
+    testbed = build_testbed(config)
+
+    # Harden the supply chain.
+    rng = SeededRng("grand-keys")
+    signer = ArchiveSigner("Archive", rng.fork("release"))
+    authority = ManifestAuthority("Maintainers", rng.fork("manifests"))
+    testbed.archive.enable_signing(signer)
+    testbed.archive.enable_manifests(authority)
+    testbed.orchestrator.archive_release_key = signer.public_key
+    testbed.orchestrator.manifest_key = authority.public_key
+
+    # Wire revocation + audit.
+    notifier = RevocationNotifier()
+    quarantine = QuarantineListener()
+    notifier.subscribe(quarantine)
+    audit = AuditLog()
+    testbed.verifier.notifier = notifier
+    testbed.verifier.audit = audit
+
+    # SNAP and container workloads, with the policy-side fixes applied.
+    snap = install_snap(testbed.machine, "core20", 1974, ["usr/bin/chromium"])
+    for binary in snap.binaries:
+        content = testbed.machine.vfs.read_file(snap.binary_path(binary))
+        from repro.common.hexutil import sha256_hex
+
+        testbed.policy.add_digest(snap.binary_path(binary), sha256_hex(content))
+    DynamicPolicyGenerator.scrub_snap_prefixes(testbed.policy)
+    testbed.workload.register_snap(snap)
+
+    runtime = ContainerRuntime(testbed.machine)
+    container = runtime.run("webapp", ["usr/bin/webapp"])
+
+    # Measured boot: golden values for the current kernel, plus the
+    # staged rollout target the stream will publish (counter starts at
+    # 91, so the first kernel release is 5.15.0-92-generic).
+    golden = capture_golden(testbed.machine)
+    staged = golden_for_kernel(testbed.machine, "5.15.0-92-generic")
+    for index, values in staged.golden.items():
+        for value in values:
+            golden.allow(index, value)
+    testbed.verifier._slot(testbed.agent_id).measured_boot = golden
+    testbed.verifier.restart_attestation(testbed.agent_id)  # fresh replay post-reboots
+
+    # Ten days of hardened operation.
+    for day in range(1, 11):
+        testbed.stream.generate_day(day)
+    testbed.orchestrator.schedule_cycles(start_day=1, n_cycles=10)
+    testbed.verifier.start_polling(testbed.agent_id, 3600.0)
+    testbed.scheduler.every(
+        days(1), lambda: testbed.workload.daily(5), start=hours(12)
+    )
+    testbed.scheduler.every(
+        days(2),
+        lambda: runtime.exec_in_container(container.container_id, "usr/bin/webapp"),
+        start=hours(13),
+    )
+    testbed.scheduler.run_until(days(11))
+    return testbed, quarantine, audit, runtime
+
+
+class TestTenHardenedDays:
+    def test_zero_false_positives(self, story):
+        testbed, _, _, _ = story
+        results = testbed.verifier.results_of(testbed.agent_id)
+        assert results
+        assert all(result.ok for result in results)
+        assert testbed.verifier.state_of(testbed.agent_id) is AgentState.ATTESTING
+
+    def test_kernel_rollout_happened(self, story):
+        testbed, _, _, _ = story
+        assert testbed.machine.current_kernel == "5.15.0-92-generic"
+        assert any(report.rebooted for report in testbed.orchestrator.reports)
+
+    def test_updates_used_signed_manifests(self, story):
+        testbed, _, _, _ = story
+        manifest_events = testbed.events.select(kind="policy.generated.manifests")
+        assert manifest_events
+
+    def test_audit_chain_verifies(self, story):
+        _, _, audit, _ = story
+        audit.verify_chain()
+        assert audit.tamper_evident_summary()["failures"] == 0
+
+
+class TestThenTheAttack:
+    def test_adaptive_evades_then_mitigations_catch(self, story):
+        testbed, quarantine, audit, _ = story
+        attacker = MortemQbot()
+
+        # Adaptive strike against the stock configuration: silent.
+        attacker.run(testbed.machine, AttackMode.ADAPTIVE)
+        testbed.scheduler.run_for(7200.0)
+        assert testbed.verifier.state_of(testbed.agent_id) is AgentState.ATTESTING
+        assert not quarantine.quarantined
+
+        # The operator hardens the endpoint (M1-M4) and the attacker
+        # tries the same playbook again.
+        apply_all(testbed.machine, testbed.verifier, testbed.policy)
+        report = attacker.run(testbed.machine, AttackMode.ADAPTIVE)
+        testbed.scheduler.run_for(7200.0)
+
+        failing = {
+            failure.policy_failure.path
+            for failure in testbed.verifier.failures_of(testbed.agent_id)
+            if failure.policy_failure is not None
+        }
+        assert failing & set(report.artifacts), "mitigated rig must see the attack"
+        assert quarantine.is_quarantined(testbed.agent_id)
+        audit.verify_chain()
+        assert audit.tamper_evident_summary()["failures"] >= 1

@@ -1,0 +1,109 @@
+"""Tests for the hardened end-to-end pipeline.
+
+"Hardened" = the orchestrator with both optional trust anchors pinned:
+the archive's InRelease key (verified syncs) and the maintainer
+manifest key (signed-hash policy generation).  These tests prove the
+integrated pipeline stays green under normal operation, produces
+policies identical to the hashing pipeline, and fails closed when
+either anchor is violated.
+"""
+
+import pytest
+
+from repro.common.clock import days
+from repro.common.rng import SeededRng
+from repro.distro.release_signing import ArchiveSigner
+from repro.dynpolicy.signedhashes import ManifestAuthority
+from repro.experiments.testbed import build_testbed
+
+from tests.conftest import small_config
+
+
+@pytest.fixture()
+def hardened():
+    testbed = build_testbed(small_config("hardened"))
+    rng = SeededRng("hardened-keys")
+    signer = ArchiveSigner("Archive", rng.fork("release"))
+    authority = ManifestAuthority("Maintainers", rng.fork("manifests"))
+    testbed.archive.enable_signing(signer)
+    testbed.archive.enable_manifests(authority)
+    testbed.orchestrator.archive_release_key = signer.public_key
+    testbed.orchestrator.manifest_key = authority.public_key
+    return testbed, signer, authority
+
+
+class TestHardenedCycle:
+    def test_cycle_green_with_both_anchors(self, hardened):
+        testbed, _, _ = hardened
+        testbed.stream.generate_day(1)
+        testbed.scheduler.clock.advance_to(days(2))
+        report = testbed.orchestrator.run_cycle()
+        assert report.policy_report.entries_added >= 0
+        testbed.workload.daily(5)
+        assert testbed.poll().ok
+
+    def test_manifest_policy_equals_hashing_policy(self, hardened):
+        testbed, _, authority = hardened
+        testbed.stream.generate_day(1)
+        testbed.scheduler.clock.advance_to(days(2))
+        testbed.orchestrator.run_cycle()
+        manifest_digests = testbed.policy.digests
+
+        plain = build_testbed(small_config("hardened"))
+        plain.stream.generate_day(1)
+        plain.scheduler.clock.advance_to(days(2))
+        plain.orchestrator.run_cycle()
+        assert manifest_digests == plain.policy.digests
+
+    def test_manifest_generation_is_cheaper(self, hardened):
+        testbed, _, _ = hardened
+        testbed.stream.generate_day(1)
+        testbed.scheduler.clock.advance_to(days(2))
+        report = testbed.orchestrator.run_cycle()
+
+        plain = build_testbed(small_config("hardened"))
+        plain.stream.generate_day(1)
+        plain.scheduler.clock.advance_to(days(2))
+        plain_report = plain.orchestrator.run_cycle()
+        if report.policy_report.packages_total > 0:
+            assert (
+                report.policy_report.duration_seconds
+                < plain_report.policy_report.duration_seconds
+            )
+
+    def test_unsigned_package_falls_back_to_hashing(self, hardened):
+        testbed, _, _ = hardened
+        testbed.stream.generate_day(1)
+        testbed.scheduler.clock.advance_to(days(2))
+        # Drop manifests for everything published by day 1's release.
+        testbed.archive._manifests.clear()
+        report = testbed.orchestrator.run_cycle()
+        testbed.workload.daily(3)
+        assert testbed.poll().ok  # fallback hashing kept the fleet green
+
+    def test_rogue_manifest_key_falls_back_not_poisons(self, hardened):
+        """A wrong pinned key means every manifest is rejected; the
+        generator falls back to hashing and the policy stays correct."""
+        testbed, _, _ = hardened
+        rogue = ManifestAuthority("Rogue", SeededRng("rogue"))
+        testbed.orchestrator.manifest_key = rogue.public_key
+        testbed.stream.generate_day(1)
+        testbed.scheduler.clock.advance_to(days(2))
+        testbed.orchestrator.run_cycle()
+        testbed.workload.daily(3)
+        assert testbed.poll().ok
+
+    def test_tampered_sync_aborts_cycle(self, hardened, monkeypatch):
+        from repro.common.errors import IntegrityError
+
+        testbed, signer, _ = hardened
+        stale = testbed.archive.inrelease_for(testbed.mirror.repositories, 0.0)
+        testbed.stream.generate_day(1)
+        monkeypatch.setattr(
+            testbed.archive, "inrelease_for", lambda repos, now: stale
+        )
+        testbed.scheduler.clock.advance_to(days(2))
+        with pytest.raises(IntegrityError):
+            testbed.orchestrator.run_cycle()
+        # Nothing was adopted or pushed; the machine still attests green.
+        assert testbed.poll().ok

@@ -1,0 +1,178 @@
+"""End-to-end integration scenarios across the whole stack."""
+
+import pytest
+
+from repro.attacks import AttackMode
+from repro.attacks.botnets import Mirai
+from repro.common.clock import days, hours
+from repro.experiments.testbed import build_testbed
+from repro.keylime.verifier import AgentState
+from repro.mitigations import apply_all
+
+from tests.conftest import small_config
+
+
+class TestContinuousAttestationLifecycle:
+    def test_week_of_green_attestation(self):
+        """Dynamic policy + controlled updates -> a week with zero FPs."""
+        testbed = build_testbed(small_config("week"))
+        for day in range(1, 6):
+            testbed.stream.generate_day(day)
+        testbed.orchestrator.schedule_cycles(start_day=1, n_cycles=5)
+        testbed.verifier.start_polling(testbed.agent_id, 3600.0)
+        testbed.scheduler.every(
+            days(1), lambda: testbed.workload.daily(5), start=hours(12)
+        )
+        testbed.scheduler.run_until(days(6))
+        results = testbed.verifier.results_of(testbed.agent_id)
+        assert results and all(result.ok for result in results)
+        assert testbed.verifier.state_of(testbed.agent_id) is AgentState.ATTESTING
+
+    def test_tamper_detected_within_one_poll(self):
+        testbed = build_testbed(small_config("tamper"))
+        assert testbed.poll().ok
+        testbed.machine.install_file("/usr/bin/ls", b"TROJAN", executable=True)
+        testbed.machine.exec_file("/usr/bin/ls")
+        result = testbed.poll()
+        assert not result.ok
+        assert result.failures[0].policy_failure.path == "/usr/bin/ls"
+
+    def test_reboot_cycle_stays_green(self):
+        testbed = build_testbed(small_config("reboot"))
+        for _ in range(3):
+            testbed.workload.daily(3)
+            assert testbed.poll().ok
+            testbed.machine.reboot()
+            testbed.scheduler.clock.advance_by(60.0)
+        assert testbed.poll().ok
+
+    def test_kernel_update_end_to_end(self):
+        """A new kernel flows: release -> mirror -> policy -> reboot -> green."""
+        from repro.distro.workload import ReleaseStreamConfig
+
+        config = small_config("kernel-e2e")
+        config.stream = ReleaseStreamConfig(
+            mean_packages_per_day=2.0, sd_packages_per_day=1.0,
+            mean_exec_files_per_package=4.0, kernel_release_every_days=2,
+        )
+        testbed = build_testbed(config)
+        old_kernel = testbed.machine.current_kernel
+        for day in range(1, 4):
+            testbed.stream.generate_day(day)
+        testbed.orchestrator.schedule_cycles(start_day=1, n_cycles=3)
+        testbed.verifier.start_polling(testbed.agent_id, 3600.0)
+        testbed.scheduler.run_until(days(4))
+        assert testbed.machine.current_kernel != old_kernel
+        results = testbed.verifier.results_of(testbed.agent_id)
+        assert all(result.ok for result in results)
+
+    def test_static_policy_rots_dynamic_does_not(self):
+        """The paper's core comparison on one identical update stream."""
+        outcomes = {}
+        for mode in ("static", "dynamic"):
+            config = small_config("rot")
+            config.policy_mode = mode
+            config.continue_on_failure = True
+            testbed = build_testbed(config)
+            testbed.stream.generate_day(1)
+            if mode == "dynamic":
+                testbed.orchestrator.schedule_cycles(start_day=2, n_cycles=1)
+            else:
+                def unattended():
+                    testbed.archive.apply_releases_until(testbed.scheduler.clock.now)
+                    report = testbed.apt.upgrade_from(
+                        testbed.archive.latest_index(), source="official"
+                    )
+                    if not report.is_empty:
+                        testbed.workload.exec_updated_files(report)
+
+                testbed.scheduler.call_at(days(2) + hours(5), unattended)
+            testbed.verifier.start_polling(testbed.agent_id, 3600.0)
+            testbed.scheduler.run_until(days(3))
+            outcomes[mode] = sum(
+                1 for result in testbed.verifier.results_of(testbed.agent_id)
+                if not result.ok
+            )
+        assert outcomes["dynamic"] == 0
+        assert outcomes["static"] > 0
+
+
+class TestAttackDetectionEndToEnd:
+    def test_attack_between_polls_detected(self):
+        testbed = build_testbed(small_config("attack-e2e"))
+        testbed.verifier.start_polling(testbed.agent_id, 600.0)
+        testbed.scheduler.run_until(1800.0)
+        Mirai().run(testbed.machine, AttackMode.BASIC)
+        testbed.scheduler.run_until(3600.0)
+        assert testbed.verifier.state_of(testbed.agent_id) is AgentState.FAILED
+        failing = [
+            failure.policy_failure.path
+            for failure in testbed.verifier.failures_of(testbed.agent_id)
+            if failure.policy_failure
+        ]
+        assert "/usr/bin/dvrHelper" in failing
+
+    def test_adaptive_attack_invisible_end_to_end(self):
+        testbed = build_testbed(small_config("evade-e2e"))
+        testbed.verifier.start_polling(testbed.agent_id, 600.0)
+        testbed.scheduler.run_until(1800.0)
+        Mirai().run(testbed.machine, AttackMode.ADAPTIVE)
+        testbed.scheduler.run_until(7200.0)
+        assert testbed.verifier.state_of(testbed.agent_id) is AgentState.ATTESTING
+        assert testbed.verifier.failures_of(testbed.agent_id) == []
+
+    def test_mitigations_close_the_gap_live(self):
+        testbed = build_testbed(small_config("mitigate-e2e"))
+        apply_all(testbed.machine, testbed.verifier, testbed.policy)
+        testbed.verifier.start_polling(testbed.agent_id, 600.0)
+        testbed.scheduler.run_until(1800.0)
+        Mirai().run(testbed.machine, AttackMode.ADAPTIVE)
+        testbed.scheduler.run_until(3600.0)
+        failing = [
+            failure.policy_failure.path
+            for failure in testbed.verifier.failures_of(testbed.agent_id)
+            if failure.policy_failure
+        ]
+        assert "/dev/shm/dvrHelper" in failing
+
+    def test_p2_exploit_end_to_end(self):
+        """Self-induced FP halts polling; backdoor sails through."""
+        from repro.attacks.problems import p2_blind_verifier
+
+        testbed = build_testbed(small_config("p2-e2e"))
+        testbed.verifier.start_polling(testbed.agent_id, 600.0)
+        testbed.scheduler.run_until(1200.0)
+        p2_blind_verifier(testbed.machine)
+        testbed.scheduler.run_until(2400.0)  # verifier halts here
+        assert testbed.verifier.state_of(testbed.agent_id) is AgentState.FAILED
+        testbed.machine.install_file("/usr/bin/backdoor", b"bd", executable=True)
+        testbed.machine.exec_file("/usr/bin/backdoor")
+        testbed.scheduler.run_until(7200.0)
+        failing = [
+            failure.policy_failure.path
+            for failure in testbed.verifier.failures_of(testbed.agent_id)
+            if failure.policy_failure
+        ]
+        assert "/usr/bin/backdoor" not in failing
+
+
+class TestSnapEndToEnd:
+    def test_snap_fp_and_scrub_fix(self):
+        from repro.distro.snap import install_snap
+        from repro.dynpolicy.generator import DynamicPolicyGenerator
+        from repro.keylime.policy import build_policy_from_machine
+
+        testbed = build_testbed(small_config("snap-e2e"))
+        snap = install_snap(testbed.machine, "core20", 1974, ["usr/bin/app"])
+        policy = build_policy_from_machine(testbed.machine)
+        testbed.tenant.push_policy(testbed.agent_id, policy)
+        assert testbed.poll().ok
+
+        snap.run(testbed.machine, "usr/bin/app")
+        result = testbed.poll()
+        assert not result.ok  # truncated path: the SNAP false positive
+
+        # Fix: scrub prefixes, restart attestation.
+        DynamicPolicyGenerator.scrub_snap_prefixes(policy)
+        testbed.tenant.resolve_failure(testbed.agent_id, policy)
+        assert testbed.poll().ok

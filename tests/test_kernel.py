@@ -1,0 +1,176 @@
+"""Tests for the machine: boot, exec model, modules, reboot."""
+
+import pytest
+
+from repro.common.errors import StateError
+from repro.kernelsim.kernel import Machine
+from repro.tpm.device import Tpm
+
+
+@pytest.fixture()
+def box(machine: Machine) -> Machine:
+    machine.install_file("/usr/bin/python3", b"python interpreter", executable=True)
+    machine.install_file("/bin/bash", b"bash shell", executable=True)
+    return machine
+
+
+class TestBoot:
+    def test_boot_extends_boot_pcrs(self, tpm: Tpm):
+        box = Machine("m", tpm)
+        from repro.common.hexutil import zero_digest
+
+        box.boot()
+        assert tpm.read_pcr(0) != zero_digest("sha256")
+        assert tpm.read_pcr(4) != zero_digest("sha256")
+
+    def test_boot_records_boot_aggregate(self, box: Machine):
+        assert box.require_booted().log[0].path == "boot_aggregate"
+
+    def test_double_boot_rejected(self, box: Machine):
+        with pytest.raises(StateError):
+            box.boot()
+
+    def test_operations_require_boot(self, tpm: Tpm):
+        box = Machine("m", tpm)
+        box.install_file("/usr/bin/x", b"x", executable=True)
+        with pytest.raises(StateError):
+            box.exec_file("/usr/bin/x")
+
+
+class TestExec:
+    def test_exec_measures(self, box: Machine):
+        box.install_file("/usr/bin/tool", b"tool", executable=True)
+        result = box.exec_file("/usr/bin/tool")
+        assert result.measured
+        assert result.recorded_path == "/usr/bin/tool"
+
+    def test_exec_requires_exec_bit(self, box: Machine):
+        box.install_file("/usr/bin/data", b"data", executable=False)
+        with pytest.raises(StateError, match="permission denied"):
+            box.exec_file("/usr/bin/data")
+
+    def test_exec_under_chroot_truncates_path(self, box: Machine):
+        box.install_file("/snap/app/1/usr/bin/tool", b"x", executable=True)
+        result = box.exec_file("/snap/app/1/usr/bin/tool", chroot="/snap/app/1")
+        assert result.recorded_path == "/usr/bin/tool"
+        assert result.entries[0].path == "/usr/bin/tool"
+
+    def test_shebang_measures_script_and_interpreter(self, box: Machine):
+        box.install_file("/opt/run.py", b"#!/usr/bin/python3\n", executable=True)
+        result = box.exec_shebang_script("/opt/run.py", "/usr/bin/python3")
+        paths = {entry.path for entry in result.entries}
+        assert paths == {"/opt/run.py", "/usr/bin/python3"}
+
+    def test_shebang_requires_exec_bit(self, box: Machine):
+        box.install_file("/opt/run.py", b"#!/usr/bin/python3\n", executable=False)
+        with pytest.raises(StateError):
+            box.exec_shebang_script("/opt/run.py", "/usr/bin/python3")
+
+    def test_interpreter_invocation_skips_script(self, box: Machine):
+        """P5: `python script.py` measures python, not the script."""
+        box.install_file("/opt/run.py", b"code", executable=False)
+        result = box.run_with_interpreter("/usr/bin/python3", "/opt/run.py")
+        paths = {entry.path for entry in result.entries}
+        assert "/opt/run.py" not in paths
+        assert paths <= {"/usr/bin/python3"}
+
+    def test_interpreter_invocation_needs_no_exec_bit(self, box: Machine):
+        box.install_file("/opt/run.py", b"code", executable=False)
+        box.run_with_interpreter("/usr/bin/python3", "/opt/run.py")
+
+    def test_script_exec_control_measures_script(self, box: Machine):
+        """M4: opted-in interpreter flags the opened script."""
+        box.enable_script_exec_control(["/usr/bin/python3"])
+        box.install_file("/opt/run.py", b"code", executable=False)
+        result = box.run_with_interpreter("/usr/bin/python3", "/opt/run.py")
+        assert "/opt/run.py" in {entry.path for entry in result.entries}
+
+    def test_script_exec_control_only_for_opted_in(self, box: Machine):
+        box.enable_script_exec_control(["/usr/bin/python3"])
+        box.install_file("/opt/run.sh", b"code", executable=False)
+        result = box.run_with_interpreter("/bin/bash", "/opt/run.sh")
+        assert "/opt/run.sh" not in {entry.path for entry in result.entries}
+
+    def test_inline_code_never_measured_even_with_m4(self, box: Machine):
+        """`python -c` defeats script execution control (the Aoyama case)."""
+        box.enable_script_exec_control(["/usr/bin/python3"])
+        result = box.run_interpreter_inline("/usr/bin/python3", "evil()")
+        assert {entry.path for entry in result.entries} <= {"/usr/bin/python3"}
+
+
+class TestModules:
+    def test_module_load_measured(self, box: Machine):
+        box.install_file("/lib/modules/5.15/evil.ko", b"ko", executable=True)
+        result = box.load_kernel_module("/lib/modules/5.15/evil.ko")
+        assert result.measured
+        assert "/lib/modules/5.15/evil.ko" in box.loaded_modules
+
+    def test_module_load_from_tmp_measured_but_under_tmp_path(self, box: Machine):
+        """The LKM-rootkit adaptive trick: measured, but path is /tmp."""
+        box.install_file("/tmp/evil.ko", b"ko", executable=True)
+        result = box.load_kernel_module("/tmp/evil.ko")
+        assert result.measured
+        assert result.entries[0].path == "/tmp/evil.ko"
+
+
+class TestReboot:
+    def test_reboot_resets_ima_log(self, box: Machine):
+        box.install_file("/usr/bin/tool", b"x", executable=True)
+        box.exec_file("/usr/bin/tool")
+        box.reboot()
+        assert box.require_booted().measured_paths() == {"boot_aggregate"}
+
+    def test_reboot_remeasures_on_next_exec(self, box: Machine):
+        box.install_file("/usr/bin/tool", b"x", executable=True)
+        box.exec_file("/usr/bin/tool")
+        box.reboot()
+        assert box.exec_file("/usr/bin/tool").measured
+
+    def test_reboot_clears_tmp(self, box: Machine):
+        box.install_file("/tmp/staging", b"x", executable=True)
+        box.reboot()
+        assert not box.vfs.exists("/tmp/staging")
+
+    def test_reboot_clears_tmpfs(self, box: Machine):
+        box.install_file("/dev/shm/payload", b"x", executable=True)
+        box.reboot()
+        assert not box.vfs.exists("/dev/shm/payload")
+
+    def test_reboot_keeps_persistent_files(self, box: Machine):
+        box.install_file("/usr/bin/tool", b"x", executable=True)
+        box.reboot()
+        assert box.vfs.exists("/usr/bin/tool")
+
+    def test_reboot_switches_to_pending_kernel(self, box: Machine):
+        box.pending_kernel = "5.15.0-99-generic"
+        box.reboot()
+        assert box.current_kernel == "5.15.0-99-generic"
+        assert box.pending_kernel is None
+
+    def test_reboot_bumps_tpm_reset_count(self, box: Machine):
+        before = box.tpm.reset_count
+        box.reboot()
+        assert box.tpm.reset_count == before + 1
+
+    def test_reboot_requires_power(self, tpm: Tpm):
+        box = Machine("m", tpm)
+        with pytest.raises(StateError):
+            box.reboot()
+
+    def test_loaded_modules_cleared_on_reboot(self, box: Machine):
+        box.install_file("/lib/modules/5.15/m.ko", b"ko", executable=True)
+        box.load_kernel_module("/lib/modules/5.15/m.ko")
+        box.reboot()
+        assert box.loaded_modules == []
+
+
+class TestFileOps:
+    def test_move_file(self, box: Machine):
+        box.install_file("/tmp/a", b"x", executable=True)
+        stat = box.move_file("/tmp/a", "/usr/bin/a")
+        assert stat.path == "/usr/bin/a"
+
+    def test_remove_file(self, box: Machine):
+        box.install_file("/usr/bin/a", b"x")
+        box.remove_file("/usr/bin/a")
+        assert not box.vfs.exists("/usr/bin/a")

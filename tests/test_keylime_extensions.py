@@ -1,0 +1,228 @@
+"""Tests for the Keylime extensions: revocation, audit, measured boot."""
+
+import pytest
+
+from repro.common.errors import IntegrityError
+from repro.keylime.audit import GENESIS_HASH, AuditLog, AuditRecord
+from repro.keylime.measuredboot import (
+    MeasuredBootPolicy,
+    capture_golden,
+    golden_for_kernel,
+)
+from repro.keylime.revocation import (
+    QuarantineListener,
+    RevocationEvent,
+    RevocationNotifier,
+)
+
+
+class TestRevocationNotifier:
+    def _event(self, agent="a1", reason="policy") -> RevocationEvent:
+        return RevocationEvent(
+            time=1.0, agent_id=agent, reason=reason, detail="d", path="/usr/bin/x"
+        )
+
+    def test_listeners_receive_events(self):
+        notifier = RevocationNotifier()
+        seen = []
+        notifier.subscribe(seen.append)
+        notifier.notify(self._event())
+        assert len(seen) == 1
+        assert seen[0].agent_id == "a1"
+
+    def test_history_kept(self):
+        notifier = RevocationNotifier()
+        notifier.notify(self._event())
+        notifier.notify(self._event(agent="a2"))
+        assert [event.agent_id for event in notifier.history] == ["a1", "a2"]
+
+    def test_unsubscribe(self):
+        notifier = RevocationNotifier()
+        seen = []
+        unsubscribe = notifier.subscribe(seen.append)
+        unsubscribe()
+        notifier.notify(self._event())
+        assert seen == []
+
+    def test_quarantine_listener(self):
+        notifier = RevocationNotifier()
+        quarantine = QuarantineListener()
+        notifier.subscribe(quarantine)
+        notifier.notify(self._event())
+        assert quarantine.is_quarantined("a1")
+        assert not quarantine.is_quarantined("a2")
+
+    def test_quarantine_keeps_first_event(self):
+        quarantine = QuarantineListener()
+        quarantine(self._event(reason="policy"))
+        quarantine(self._event(reason="pcr_mismatch"))
+        assert quarantine.quarantined["a1"].reason == "policy"
+
+    def test_release(self):
+        quarantine = QuarantineListener()
+        quarantine(self._event())
+        quarantine.release("a1")
+        assert not quarantine.is_quarantined("a1")
+        quarantine.release("a1")  # idempotent
+
+
+class TestAuditLog:
+    def test_empty_head_is_genesis(self):
+        assert AuditLog().head_hash == GENESIS_HASH
+
+    def test_append_chains(self):
+        log = AuditLog()
+        first = log.append(1.0, "a1", ok=True)
+        second = log.append(2.0, "a1", ok=False, detail={"failures": ["x"]})
+        assert first.previous_hash == GENESIS_HASH
+        assert second.previous_hash == first.record_hash
+        assert log.head_hash == second.record_hash
+
+    def test_verify_chain_ok(self):
+        log = AuditLog()
+        for index in range(10):
+            log.append(float(index), "a1", ok=index % 3 != 0)
+        log.verify_chain()
+
+    def test_tampered_content_detected(self):
+        log = AuditLog()
+        log.append(1.0, "a1", ok=False, detail={"failures": ["real alert"]})
+        log.append(2.0, "a1", ok=True)
+        # Rewrite history: make the failure look like a success.
+        original = log._records[0]
+        log._records[0] = AuditRecord(
+            index=original.index, time=original.time, agent_id=original.agent_id,
+            ok=True, detail={}, previous_hash=original.previous_hash,
+            record_hash=original.record_hash,
+        )
+        with pytest.raises(IntegrityError):
+            log.verify_chain()
+
+    def test_rehashed_tamper_breaks_next_link(self):
+        log = AuditLog()
+        log.append(1.0, "a1", ok=False)
+        log.append(2.0, "a1", ok=True)
+        original = log._records[0]
+        forged_hash = AuditRecord.compute_hash(
+            0, original.time, original.agent_id, True, {}, original.previous_hash
+        )
+        log._records[0] = AuditRecord(
+            index=0, time=original.time, agent_id=original.agent_id,
+            ok=True, detail={}, previous_hash=original.previous_hash,
+            record_hash=forged_hash,
+        )
+        with pytest.raises(IntegrityError, match="chain break"):
+            log.verify_chain()
+
+    def test_records_filter_by_agent(self):
+        log = AuditLog()
+        log.append(1.0, "a1", ok=True)
+        log.append(2.0, "a2", ok=True)
+        assert len(log.records("a1")) == 1
+        assert len(log.records()) == 2
+
+    def test_summary(self):
+        log = AuditLog()
+        log.append(1.0, "a1", ok=True)
+        log.append(2.0, "a1", ok=False)
+        summary = log.tamper_evident_summary()
+        assert summary["records"] == 2
+        assert summary["failures"] == 1
+        assert summary["head"] == log.head_hash
+
+
+class TestMeasuredBootPolicy:
+    def test_capture_golden_covers_boot_pcrs(self, machine):
+        golden = capture_golden(machine)
+        assert golden.pcr_selection == list(range(8))
+
+    def test_matching_boot_passes(self, machine):
+        golden = capture_golden(machine)
+        values = {i: machine.tpm.read_pcr(i) for i in range(8)}
+        assert golden.verify(values) == []
+
+    def test_different_kernel_fails(self, machine):
+        golden = capture_golden(machine)
+        machine.pending_kernel = "6.6.6-evil"
+        machine.reboot()
+        values = {i: machine.tpm.read_pcr(i) for i in range(8)}
+        mismatches = golden.verify(values)
+        assert mismatches
+        assert any(m.index == 4 for m in mismatches)  # kernel goes into PCR 4
+
+    def test_missing_pcr_is_mismatch(self, machine):
+        golden = capture_golden(machine)
+        values = {i: machine.tpm.read_pcr(i) for i in range(7)}  # drop PCR 7
+        mismatches = golden.verify(values)
+        assert any(m.index == 7 and m.actual == "<absent>" for m in mismatches)
+
+    def test_allow_alternative_value(self, machine):
+        golden = capture_golden(machine)
+        assert golden.allow(4, "ab" * 32)
+        assert not golden.allow(4, "ab" * 32)  # duplicate
+        values = {i: machine.tpm.read_pcr(i) for i in range(8)}
+        values[4] = "ab" * 32
+        assert golden.verify(values) == []
+
+    def test_golden_for_kernel_returns_to_original(self, machine):
+        original_kernel = machine.current_kernel
+        policy = golden_for_kernel(machine, "5.15.0-99-generic")
+        assert machine.current_kernel == original_kernel
+        assert policy.pcr_selection == list(range(8))
+
+    def test_golden_for_kernel_differs_from_current(self, machine):
+        current = capture_golden(machine)
+        other = golden_for_kernel(machine, "5.15.0-99-generic")
+        assert current.golden[4] != other.golden[4]
+
+
+class TestVerifierIntegration:
+    def test_measured_boot_green_then_kernel_swap_detected(self, small_testbed):
+        """End-to-end: golden boot values catch an unapproved kernel."""
+        from repro.keylime.verifier import FailureKind
+
+        testbed = small_testbed
+        golden = capture_golden(testbed.machine)
+        slot = testbed.verifier._slot(testbed.agent_id)
+        slot.measured_boot = golden
+        assert testbed.poll().ok
+
+        # An attacker installs and boots an unapproved kernel.
+        testbed.machine.pending_kernel = "6.6.6-evil"
+        testbed.machine.reboot()
+        result = testbed.poll()
+        assert not result.ok
+        assert result.failures[0].kind is FailureKind.MEASURED_BOOT
+
+    def test_approved_kernel_rollout_stays_green(self, small_testbed):
+        testbed = small_testbed
+        golden = capture_golden(testbed.machine)
+        new_golden = golden_for_kernel(testbed.machine, "5.15.0-99-generic")
+        for index, values in new_golden.golden.items():
+            for value in values:
+                golden.allow(index, value)
+        slot = testbed.verifier._slot(testbed.agent_id)
+        slot.measured_boot = golden
+        assert testbed.poll().ok
+        testbed.machine.pending_kernel = "5.15.0-99-generic"
+        testbed.machine.reboot()
+        assert testbed.poll().ok
+
+    def test_verifier_writes_audit_and_notifies(self, small_testbed):
+        testbed = small_testbed
+        audit = AuditLog()
+        notifier = RevocationNotifier()
+        quarantine = QuarantineListener()
+        notifier.subscribe(quarantine)
+        testbed.verifier.audit = audit
+        testbed.verifier.notifier = notifier
+
+        assert testbed.poll().ok
+        testbed.machine.install_file("/usr/bin/evil", b"x", executable=True)
+        testbed.machine.exec_file("/usr/bin/evil")
+        testbed.poll()
+
+        audit.verify_chain()
+        assert audit.tamper_evident_summary()["failures"] == 1
+        assert quarantine.is_quarantined(testbed.agent_id)
+        assert notifier.history[0].path == "/usr/bin/evil"

@@ -1,0 +1,134 @@
+"""Tests for the agent, registrar, and tenant."""
+
+import pytest
+
+from repro.common.clock import Scheduler
+from repro.common.errors import NotFoundError, StateError
+from repro.common.rng import SeededRng
+from repro.keylime.agent import KeylimeAgent
+from repro.keylime.policy import RuntimePolicy, build_policy_from_machine
+from repro.keylime.registrar import KeylimeRegistrar, RegistrationError
+from repro.keylime.tenant import KeylimeTenant
+from repro.keylime.verifier import AgentState, KeylimeVerifier
+from repro.kernelsim.kernel import Machine
+from repro.tpm.device import TpmManufacturer
+
+
+@pytest.fixture()
+def agent(machine: Machine) -> KeylimeAgent:
+    return KeylimeAgent("agent-1", machine)
+
+
+@pytest.fixture()
+def registrar(manufacturer: TpmManufacturer) -> KeylimeRegistrar:
+    return KeylimeRegistrar([manufacturer.root_certificate])
+
+
+class TestAgent:
+    def test_attest_requires_registration(self, agent):
+        with pytest.raises(StateError):
+            agent.attest("nonce")
+
+    def test_provision_ak_idempotent(self, agent):
+        first = agent.provision_ak()
+        second = agent.provision_ak()
+        assert first.public.fingerprint() == second.public.fingerprint()
+
+    def test_attest_ships_full_log(self, agent, machine):
+        agent.provision_ak()
+        machine.install_file("/usr/bin/x", b"x", executable=True)
+        machine.exec_file("/usr/bin/x")
+        evidence = agent.attest("nonce-1")
+        assert evidence.offset == 0
+        assert evidence.total_entries == 2  # boot_aggregate + /usr/bin/x
+        assert len(evidence.ima_log_lines) == 2
+
+    def test_attest_with_offset_ships_suffix(self, agent, machine):
+        agent.provision_ak()
+        machine.install_file("/usr/bin/x", b"x", executable=True)
+        machine.exec_file("/usr/bin/x")
+        evidence = agent.attest("nonce", offset=1)
+        assert evidence.offset == 1
+        assert len(evidence.ima_log_lines) == 1
+
+    def test_stale_offset_falls_back_to_full_log(self, agent, machine):
+        agent.provision_ak()
+        evidence = agent.attest("nonce", offset=99)
+        assert evidence.offset == 0
+
+    def test_quote_bound_to_nonce(self, agent):
+        agent.provision_ak()
+        evidence = agent.attest("my-nonce")
+        assert evidence.quote.nonce == "my-nonce"
+
+    def test_tpm_clock_ticks_with_machine_time(self, agent, machine):
+        agent.provision_ak()
+        first = agent.attest("n1")
+        machine.clock.advance_by(10.0)
+        second = agent.attest("n2")
+        assert second.quote.clock >= first.quote.clock + 10_000
+
+
+class TestRegistrar:
+    def test_register_valid_agent(self, registrar, agent):
+        record = registrar.register(agent)
+        assert record.agent_id == "agent-1"
+        assert "agent-1" in registrar
+
+    def test_lookup_unknown_raises(self, registrar):
+        with pytest.raises(NotFoundError):
+            registrar.lookup("ghost")
+
+    def test_spoofed_tpm_rejected(self, agent):
+        rogue_mfr = TpmManufacturer("RogueCorp", SeededRng("rogue"))
+        registrar = KeylimeRegistrar([rogue_mfr.root_certificate])
+        with pytest.raises(RegistrationError, match="EK certificate"):
+            registrar.register(agent)
+
+    def test_registered_ak_matches_agent(self, registrar, agent):
+        record = registrar.register(agent)
+        assert (
+            record.ak_public.fingerprint()
+            == agent.attestation_key.public.fingerprint()
+        )
+
+
+class TestTenant:
+    def _stack(self, registrar, agent, machine):
+        scheduler = Scheduler(machine.clock)
+        verifier = KeylimeVerifier(registrar, scheduler, SeededRng("v"))
+        return KeylimeTenant(registrar, verifier), verifier
+
+    def test_onboard(self, registrar, agent, machine):
+        tenant, verifier = self._stack(registrar, agent, machine)
+        policy = build_policy_from_machine(machine)
+        report = tenant.onboard(agent, policy, start_polling=False)
+        assert report.agent_id == "agent-1"
+        assert verifier.state_of("agent-1") is AgentState.ATTESTING
+
+    def test_onboard_starts_polling(self, registrar, agent, machine):
+        tenant, verifier = self._stack(registrar, agent, machine)
+        tenant.onboard(agent, build_policy_from_machine(machine), poll_interval=5.0)
+        verifier.scheduler.run_until(machine.clock.now + 11.0)
+        assert len(verifier.results_of("agent-1")) == 2
+
+    def test_push_policy(self, registrar, agent, machine):
+        tenant, verifier = self._stack(registrar, agent, machine)
+        tenant.onboard(agent, build_policy_from_machine(machine), start_polling=False)
+        new_policy = RuntimePolicy(name="v2")
+        tenant.push_policy("agent-1", new_policy)
+        assert verifier.policy_of("agent-1") is new_policy
+
+    def test_resolve_failure_restarts(self, registrar, agent, machine):
+        tenant, verifier = self._stack(registrar, agent, machine)
+        tenant.onboard(agent, build_policy_from_machine(machine), start_polling=False)
+        # Trip a failure.
+        machine.install_file("/usr/bin/unknown", b"x", executable=True)
+        machine.exec_file("/usr/bin/unknown")
+        verifier.poll("agent-1")
+        assert tenant.status("agent-1") is AgentState.FAILED
+        # Resolve with a corrected policy.
+        fixed = build_policy_from_machine(machine)
+        tenant.resolve_failure("agent-1", fixed)
+        assert tenant.status("agent-1") is AgentState.ATTESTING
+        assert verifier.poll("agent-1").ok

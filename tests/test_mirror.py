@@ -1,0 +1,108 @@
+"""Tests for the local mirror and its sync semantics."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, NotFoundError
+from repro.distro.archive import Release, UbuntuArchive
+from repro.distro.mirror import LocalMirror
+from repro.distro.package import Package, PackageFile, Priority
+
+
+def _pkg(name: str, version: str, repo: str = "main") -> Package:
+    return Package(
+        name=name, version=version, priority=Priority.OPTIONAL,
+        files=(PackageFile(f"/usr/bin/{name}", True),), repository=repo,
+    )
+
+
+@pytest.fixture()
+def archive() -> UbuntuArchive:
+    archive = UbuntuArchive()
+    archive.seed([_pkg("a", "1.0"), _pkg("b", "1.0")])
+    return archive
+
+
+class TestSync:
+    def test_first_sync_pulls_everything(self, archive):
+        mirror = LocalMirror(archive)
+        report = mirror.sync(0.0)
+        assert len(report.new_packages) == 2
+        assert len(mirror) == 2
+
+    def test_resync_no_changes(self, archive):
+        mirror = LocalMirror(archive)
+        mirror.sync(0.0)
+        report = mirror.sync(10.0)
+        assert report.total == 0
+
+    def test_sync_sees_due_releases_only(self, archive):
+        archive.schedule_release(Release(time=100.0, packages=(_pkg("a", "2.0", "updates"),)))
+        mirror = LocalMirror(archive)
+        mirror.sync(50.0)
+        assert mirror.latest("a").version == "1.0"
+        report = mirror.sync(150.0)
+        assert [p.name for p in report.changed_packages] == ["a"]
+        assert mirror.latest("a").version == "2.0"
+
+    def test_release_after_sync_invisible(self, archive):
+        """The timing gap behind the paper's 2024-03-27 incident."""
+        archive.schedule_release(Release(time=100.0, packages=(_pkg("a", "2.0", "updates"),)))
+        mirror = LocalMirror(archive)
+        mirror.sync(99.0)  # sync at 05:00, release lands later
+        assert mirror.latest("a").version == "1.0"
+        # The official archive, by contrast, has it once applied.
+        archive.apply_releases_until(150.0)
+        assert archive.latest_index()["a"].version == "2.0"
+
+    def test_new_vs_changed_classification(self, archive):
+        archive.schedule_release(
+            Release(time=10.0, packages=(_pkg("a", "2.0", "updates"), _pkg("c", "0.1", "updates")))
+        )
+        mirror = LocalMirror(archive)
+        mirror.sync(0.0)
+        report = mirror.sync(20.0)
+        assert [p.name for p in report.new_packages] == ["c"]
+        assert [p.name for p in report.changed_packages] == ["a"]
+
+    def test_last_sync_time_tracked(self, archive):
+        mirror = LocalMirror(archive)
+        assert mirror.last_sync_time is None
+        mirror.sync(42.0)
+        assert mirror.last_sync_time == 42.0
+
+    def test_security_beats_updates(self, archive):
+        archive.schedule_release(Release(time=10.0, packages=(_pkg("a", "1.1", "updates"),)))
+        archive.schedule_release(Release(time=20.0, packages=(_pkg("a", "1.2", "security"),)))
+        mirror = LocalMirror(archive)
+        mirror.sync(30.0)
+        assert mirror.latest("a").version == "1.2"
+
+
+class TestConfiguration:
+    def test_unknown_repo_rejected(self, archive):
+        with pytest.raises(ConfigurationError):
+            LocalMirror(archive, repositories=("universe",))
+
+    def test_subset_of_repos(self, archive):
+        mirror = LocalMirror(archive, repositories=("main",))
+        mirror.sync(0.0)
+        assert len(mirror) == 2
+
+    def test_lookup_missing(self, archive):
+        mirror = LocalMirror(archive)
+        mirror.sync(0.0)
+        with pytest.raises(NotFoundError):
+            mirror.latest("ghost")
+
+    def test_contains(self, archive):
+        mirror = LocalMirror(archive)
+        mirror.sync(0.0)
+        assert "a" in mirror
+        assert "ghost" not in mirror
+
+    def test_index_is_copy(self, archive):
+        mirror = LocalMirror(archive)
+        mirror.sync(0.0)
+        index = mirror.index()
+        index.clear()
+        assert len(mirror) == 2

@@ -1,0 +1,88 @@
+"""Tests for mitigations M1-M4."""
+
+import pytest
+
+from repro.keylime.policy import IBM_STYLE_EXCLUDES, RuntimePolicy
+from repro.kernelsim.ima import ImaPolicy
+from repro.kernelsim.vfs import FilesystemType
+from repro.mitigations import (
+    MitigationSet,
+    apply_all,
+    apply_m1_keylime_policy,
+    apply_m2_continue_polling,
+    apply_m3_reevaluation,
+    apply_m4_script_exec_control,
+    mitigated_ima_policy,
+)
+
+
+class TestM1:
+    def test_removes_tmp_excludes(self):
+        policy = RuntimePolicy(excludes=list(IBM_STYLE_EXCLUDES))
+        removed = apply_m1_keylime_policy(policy)
+        assert r"^/tmp(/.*)?$" in removed
+        assert not policy.is_excluded("/tmp/payload")
+
+    def test_keeps_benign_excludes(self):
+        policy = RuntimePolicy(excludes=list(IBM_STYLE_EXCLUDES))
+        apply_m1_keylime_policy(policy)
+        assert policy.is_excluded("/var/log/syslog")
+
+    def test_idempotent(self):
+        policy = RuntimePolicy(excludes=list(IBM_STYLE_EXCLUDES))
+        apply_m1_keylime_policy(policy)
+        assert apply_m1_keylime_policy(policy) == []
+
+    def test_mitigated_ima_measures_tmpfs(self):
+        policy = mitigated_ima_policy()
+        assert not policy.excludes_fstype(FilesystemType.TMPFS)
+        assert not policy.excludes_fstype(FilesystemType.PROC)
+        assert not policy.excludes_fstype(FilesystemType.OVERLAYFS)
+
+    def test_mitigated_ima_keeps_pure_pseudo_fs(self):
+        policy = mitigated_ima_policy()
+        assert policy.excludes_fstype(FilesystemType.SYSFS)
+        assert policy.excludes_fstype(FilesystemType.SECURITYFS)
+
+    def test_mitigated_ima_preserves_other_settings(self):
+        base = ImaPolicy(re_evaluate_on_path_change=True)
+        assert mitigated_ima_policy(base).re_evaluate_on_path_change
+
+
+class TestM2M3M4:
+    def test_m2_flips_verifier(self, small_testbed):
+        apply_m2_continue_polling(small_testbed.verifier)
+        assert small_testbed.verifier.continue_on_failure
+
+    def test_m3_flips_machine_policy(self, machine):
+        apply_m3_reevaluation(machine)
+        assert machine.ima_policy.re_evaluate_on_path_change
+        # The live engine consults the same object.
+        assert machine.require_booted().policy.re_evaluate_on_path_change
+
+    def test_m4_opts_in_interpreters(self, machine):
+        apply_m4_script_exec_control(machine)
+        assert machine.script_exec_control_enabled
+        assert "/usr/bin/python3" in machine.opted_in_interpreters
+
+
+class TestApplyAll:
+    def test_apply_all_returns_full_set(self, small_testbed):
+        mitigations = apply_all(
+            small_testbed.machine, small_testbed.verifier, small_testbed.policy
+        )
+        assert mitigations == MitigationSet(
+            m1_policy=True, m1_ima=True, m2_continue=True,
+            m3_reevaluate=True, m4_script_control=True,
+        )
+        assert mitigations.describe() == "M1+M2+M3+M4"
+
+    def test_describe_empty(self):
+        assert MitigationSet().describe() == "none"
+
+    def test_apply_all_takes_effect_on_live_engine(self, small_testbed):
+        apply_all(small_testbed.machine, small_testbed.verifier, small_testbed.policy)
+        machine = small_testbed.machine
+        machine.install_file("/dev/shm/x", b"x", executable=True)
+        result = machine.exec_file("/dev/shm/x")
+        assert result.measured  # tmpfs now measured

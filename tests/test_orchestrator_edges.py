@@ -1,0 +1,99 @@
+"""Edge-case tests for the update orchestrator and agent plumbing."""
+
+import pytest
+
+from repro.common.clock import days, hours
+from repro.experiments.testbed import build_testbed
+
+from tests.conftest import small_config
+
+
+class TestOrchestratorOptions:
+    def test_dedupe_disabled_keeps_old_digests(self):
+        testbed = build_testbed(small_config("orch-nodedupe"))
+        testbed.orchestrator.dedupe_after_update = False
+        testbed.stream.generate_day(1)
+        testbed.scheduler.clock.advance_to(days(2))
+        report = testbed.orchestrator.run_cycle()
+        assert report.deduped_digests == 0
+        if report.apt_report.packages:
+            package = report.apt_report.packages[0]
+            if package.executables:
+                path = package.executables[0].path
+                # Old + new digest both retained.
+                assert len(testbed.policy.digests_for(path)) >= 1
+
+    def test_no_reboot_option_defers_kernel(self):
+        from repro.distro.workload import ReleaseStreamConfig
+
+        config = small_config("orch-noreboot")
+        config.stream = ReleaseStreamConfig(
+            mean_packages_per_day=2.0, sd_packages_per_day=1.0,
+            mean_exec_files_per_package=4.0, kernel_release_every_days=1,
+        )
+        testbed = build_testbed(config)
+        testbed.orchestrator.reboot_on_new_kernel = False
+        old_kernel = testbed.machine.current_kernel
+        testbed.stream.generate_day(1)
+        testbed.scheduler.clock.advance_to(days(2))
+        report = testbed.orchestrator.run_cycle()
+        assert not report.rebooted
+        assert testbed.machine.current_kernel == old_kernel
+        assert testbed.machine.pending_kernel is not None
+        # The policy already admits the pending kernel, so the later
+        # (maintenance-window) reboot attests green.
+        testbed.machine.reboot()
+        assert testbed.poll().ok
+
+    def test_empty_day_cycle_is_cheap_and_green(self):
+        testbed = build_testbed(small_config("orch-empty"))
+        testbed.scheduler.clock.advance_to(days(1))
+        report = testbed.orchestrator.run_cycle()
+        assert report.apt_report.is_empty
+        assert report.policy_report.entries_added == 0
+        assert testbed.poll().ok
+
+    def test_cycle_report_day_matches_clock(self):
+        testbed = build_testbed(small_config("orch-day"))
+        testbed.scheduler.clock.advance_to(days(5) + hours(5))
+        report = testbed.orchestrator.run_cycle()
+        assert report.day == 5
+
+    def test_schedule_cycles_labels_and_cadence(self):
+        testbed = build_testbed(small_config("orch-cadence"))
+        for day in range(1, 9):
+            testbed.stream.generate_day(day)
+        testbed.orchestrator.schedule_cycles(start_day=1, n_cycles=4, cadence_days=2)
+        testbed.scheduler.run_until(days(9))
+        assert [report.day for report in testbed.orchestrator.reports] == [1, 3, 5, 7]
+
+
+class TestAgentSelection:
+    def test_custom_pcr_selection_always_includes_ima_pcr(self):
+        testbed = build_testbed(small_config("agent-sel"))
+        evidence = testbed.agent.attest("n", pcr_selection=[0, 7])
+        assert 10 in evidence.quote.pcr_values
+        assert 0 in evidence.quote.pcr_values
+
+    def test_default_selection_is_pcr10_only(self):
+        testbed = build_testbed(small_config("agent-sel2"))
+        evidence = testbed.agent.attest("n")
+        assert set(evidence.quote.pcr_values) == {10}
+
+    def test_negative_offset_treated_as_full_log(self):
+        testbed = build_testbed(small_config("agent-sel3"))
+        evidence = testbed.agent.attest("n", offset=-5)
+        assert evidence.offset == 0
+
+
+class TestTestbedPlumbing:
+    def test_new_policy_failures_window(self):
+        testbed = build_testbed(small_config("plumbing"))
+        testbed.poll()
+        start = testbed.scheduler.clock.now
+        testbed.machine.install_file("/usr/bin/evil", b"x", executable=True)
+        testbed.machine.exec_file("/usr/bin/evil")
+        testbed.poll()
+        failures = testbed.new_policy_failures(since=start)
+        assert [f.policy_failure.path for f in failures] == ["/usr/bin/evil"]
+        assert testbed.new_policy_failures(since=testbed.scheduler.clock.now + 1) == []

@@ -1,0 +1,112 @@
+"""Tests for packages, priorities, and deterministic contents."""
+
+from repro.distro.package import (
+    Package,
+    PackageFile,
+    Priority,
+    file_content,
+    file_sha256,
+    is_kernel_package,
+    kernel_version_of,
+    make_kernel_package,
+)
+
+
+def _package(**overrides) -> Package:
+    defaults = dict(
+        name="coreutils",
+        version="1.0",
+        priority=Priority.REQUIRED,
+        files=(
+            PackageFile("/usr/bin/ls", True, 1000),
+            PackageFile("/usr/share/doc/coreutils/readme", False, 100),
+        ),
+    )
+    defaults.update(overrides)
+    return Package(**defaults)
+
+
+class TestPriority:
+    def test_high_priorities(self):
+        for priority in (Priority.ESSENTIAL, Priority.REQUIRED,
+                         Priority.IMPORTANT, Priority.STANDARD):
+            assert priority.is_high
+
+    def test_low_priorities(self):
+        for priority in (Priority.OPTIONAL, Priority.EXTRA):
+            assert not priority.is_high
+
+
+class TestContent:
+    def test_deterministic(self):
+        assert file_content("p", "1.0", "/a") == file_content("p", "1.0", "/a")
+
+    def test_version_changes_content(self):
+        assert file_content("p", "1.0", "/a") != file_content("p", "1.1", "/a")
+
+    def test_path_changes_content(self):
+        assert file_content("p", "1.0", "/a") != file_content("p", "1.0", "/b")
+
+    def test_sha256_matches_content(self):
+        import hashlib
+
+        assert file_sha256("p", "1.0", "/a") == hashlib.sha256(
+            file_content("p", "1.0", "/a")
+        ).hexdigest()
+
+
+class TestPackage:
+    def test_key(self):
+        assert _package().key == ("coreutils", "1.0")
+
+    def test_executables_filter(self):
+        package = _package()
+        assert [pf.path for pf in package.executables] == ["/usr/bin/ls"]
+        assert package.has_executables
+
+    def test_no_executables(self):
+        package = _package(files=(PackageFile("/usr/share/doc/x", False),))
+        assert not package.has_executables
+
+    def test_measurements_cover_executables_only(self):
+        measurements = _package().measurements()
+        assert set(measurements) == {"/usr/bin/ls"}
+        assert measurements["/usr/bin/ls"] == _package().sha256_of("/usr/bin/ls")
+
+    def test_bump_version_same_files_new_hashes(self):
+        package = _package()
+        bumped = package.bump_version("2.0")
+        assert bumped.files == package.files
+        assert bumped.sha256_of("/usr/bin/ls") != package.sha256_of("/usr/bin/ls")
+
+    def test_compressed_size_defaults_from_payload(self):
+        package = _package()
+        assert package.compressed_size > 0
+
+    def test_compressed_size_respected_when_given(self):
+        package = _package(compressed_size=12345)
+        assert package.compressed_size == 12345
+
+
+class TestKernelPackages:
+    def test_make_kernel_package(self):
+        kernel = make_kernel_package("5.15.0-92-generic", module_count=4)
+        assert kernel.kernel_version == "5.15.0-92-generic"
+        paths = [pf.path for pf in kernel.package.files]
+        assert "/boot/vmlinuz-5.15.0-92-generic" in paths
+        assert any(p.startswith("/lib/modules/5.15.0-92-generic/") for p in paths)
+
+    def test_is_kernel_package(self):
+        kernel = make_kernel_package("5.15.0-92-generic")
+        assert is_kernel_package(kernel.package)
+        assert not is_kernel_package(_package())
+
+    def test_kernel_version_of(self):
+        kernel = make_kernel_package("5.15.0-92-generic")
+        assert kernel_version_of(kernel.package) == "5.15.0-92-generic"
+        assert kernel_version_of(_package()) is None
+
+    def test_module_count(self):
+        kernel = make_kernel_package("v", module_count=7)
+        modules = [pf for pf in kernel.package.files if pf.path.endswith(".ko")]
+        assert len(modules) == 7

@@ -1,0 +1,87 @@
+"""Tests for PCR banks and the extend/replay rule."""
+
+import pytest
+
+from repro.common.errors import StateError
+from repro.common.hexutil import sha256_hex, zero_digest
+from repro.tpm.pcr import IMA_PCR_INDEX, NUM_PCRS, PcrBank, replay_extends
+
+
+class TestPcrBank:
+    def test_all_pcrs_start_zero(self):
+        bank = PcrBank("sha256")
+        for index in range(NUM_PCRS):
+            assert bank.read(index) == zero_digest("sha256")
+
+    def test_extend_changes_value(self):
+        bank = PcrBank("sha256")
+        before = bank.read(10)
+        after = bank.extend(10, sha256_hex(b"m"))
+        assert after != before
+        assert bank.read(10) == after
+
+    def test_extend_only_touches_target(self):
+        bank = PcrBank("sha256")
+        bank.extend(10, sha256_hex(b"m"))
+        assert bank.read(11) == zero_digest("sha256")
+
+    def test_extend_chains(self):
+        bank = PcrBank("sha256")
+        bank.extend(0, sha256_hex(b"a"))
+        first = bank.read(0)
+        bank.extend(0, sha256_hex(b"b"))
+        assert bank.read(0) != first
+
+    def test_index_bounds(self):
+        bank = PcrBank("sha256")
+        with pytest.raises(StateError):
+            bank.read(NUM_PCRS)
+        with pytest.raises(StateError):
+            bank.extend(-1, sha256_hex(b"m"))
+
+    def test_reset(self):
+        bank = PcrBank("sha256")
+        bank.extend(5, sha256_hex(b"m"))
+        bank.reset()
+        assert bank.read(5) == zero_digest("sha256")
+
+    def test_read_selection_sorted_and_deduped(self):
+        bank = PcrBank("sha256")
+        selection = bank.read_selection([10, 0, 10])
+        assert sorted(selection) == [0, 10]
+
+    def test_snapshot_has_all(self):
+        bank = PcrBank("sha1")
+        snapshot = bank.snapshot()
+        assert len(snapshot) == NUM_PCRS
+        assert snapshot[0] == zero_digest("sha1")
+
+    def test_sha1_bank(self):
+        bank = PcrBank("sha1")
+        value = bank.extend(10, "ab" * 20)
+        assert len(value) == 40
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            PcrBank("md5")
+
+
+class TestReplay:
+    def test_replay_matches_bank(self):
+        bank = PcrBank("sha256")
+        values = [sha256_hex(f"entry-{i}".encode()) for i in range(5)]
+        for value in values:
+            bank.extend(IMA_PCR_INDEX, value)
+        assert replay_extends("sha256", values) == bank.read(IMA_PCR_INDEX)
+
+    def test_replay_empty_is_zero(self):
+        assert replay_extends("sha256", []) == zero_digest("sha256")
+
+    def test_replay_order_matters(self):
+        a = sha256_hex(b"a")
+        b = sha256_hex(b"b")
+        assert replay_extends("sha256", [a, b]) != replay_extends("sha256", [b, a])
+
+    def test_replay_prefix_differs(self):
+        values = [sha256_hex(f"{i}".encode()) for i in range(3)]
+        assert replay_extends("sha256", values[:2]) != replay_extends("sha256", values)

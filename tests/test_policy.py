@@ -1,0 +1,186 @@
+"""Tests for Keylime runtime policies."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.hexutil import sha256_hex
+from repro.kernelsim.ima import ImaLogEntry, template_hash
+from repro.keylime.policy import (
+    IBM_STYLE_EXCLUDES,
+    EntryVerdict,
+    RuntimePolicy,
+    build_policy_from_machine,
+)
+
+
+def _entry(path: str, content: bytes = b"content") -> ImaLogEntry:
+    digest = "sha256:" + sha256_hex(content)
+    return ImaLogEntry(
+        pcr=10, template_hash=template_hash(digest, path),
+        template="ima-ng", filedata_hash=digest, path=path,
+    )
+
+
+@pytest.fixture()
+def policy() -> RuntimePolicy:
+    policy = RuntimePolicy(excludes=list(IBM_STYLE_EXCLUDES))
+    policy.add_digest("/usr/bin/ls", sha256_hex(b"ls-v1"))
+    return policy
+
+
+class TestConstruction:
+    def test_add_digest(self, policy):
+        assert policy.covers_path("/usr/bin/ls")
+        assert policy.digests_for("/usr/bin/ls") == (sha256_hex(b"ls-v1"),)
+
+    def test_add_digest_dedupes(self, policy):
+        assert not policy.add_digest("/usr/bin/ls", sha256_hex(b"ls-v1"))
+        assert len(policy.digests_for("/usr/bin/ls")) == 1
+
+    def test_add_second_digest(self, policy):
+        assert policy.add_digest("/usr/bin/ls", sha256_hex(b"ls-v2"))
+        assert len(policy.digests_for("/usr/bin/ls")) == 2
+
+    def test_bad_digest_rejected(self, policy):
+        with pytest.raises(ConfigurationError):
+            policy.add_digest("/a", "nothex")
+
+    def test_merge_measurements(self, policy):
+        added = policy.merge_measurements({
+            "/usr/bin/ls": sha256_hex(b"ls-v1"),  # duplicate
+            "/usr/bin/cat": sha256_hex(b"cat"),
+        })
+        assert added == 1
+        assert policy.covers_path("/usr/bin/cat")
+
+    def test_line_count(self, policy):
+        policy.add_digest("/usr/bin/ls", sha256_hex(b"ls-v2"))
+        policy.add_digest("/usr/bin/cat", sha256_hex(b"cat"))
+        assert policy.line_count() == 3
+
+    def test_size_bytes_grows_with_entries(self, policy):
+        before = policy.size_bytes()
+        policy.add_digest("/usr/bin/cat", sha256_hex(b"cat"))
+        assert policy.size_bytes() > before
+
+    def test_copy_is_deep(self, policy):
+        clone = policy.copy()
+        clone.add_digest("/usr/bin/new", sha256_hex(b"new"))
+        assert not policy.covers_path("/usr/bin/new")
+
+
+class TestDedupe:
+    def test_dedupe_keeps_installed_digest(self, policy):
+        v2 = sha256_hex(b"ls-v2")
+        policy.add_digest("/usr/bin/ls", v2)
+        removed = policy.dedupe_for_paths({"/usr/bin/ls": v2})
+        assert removed == 1
+        assert policy.digests_for("/usr/bin/ls") == (v2,)
+
+    def test_dedupe_never_admits_unknown_digest(self, policy):
+        """The incident-laundering bug: dedup must not add digests."""
+        unknown = sha256_hex(b"out-of-band-install")
+        removed = policy.dedupe_for_paths({"/usr/bin/ls": unknown})
+        assert removed == 0
+        assert unknown not in policy.digests_for("/usr/bin/ls")
+
+    def test_dedupe_ignores_unknown_paths(self, policy):
+        assert policy.dedupe_for_paths({"/usr/bin/ghost": sha256_hex(b"x")}) == 0
+
+
+class TestExcludes:
+    def test_tmp_excluded_by_default_set(self, policy):
+        assert policy.is_excluded("/tmp/payload")
+        assert policy.is_excluded("/tmp")
+        assert not policy.is_excluded("/tmpfoo")
+
+    def test_var_log_excluded(self, policy):
+        assert policy.is_excluded("/var/log/syslog")
+
+    def test_usr_local_excluded(self, policy):
+        assert policy.is_excluded("/usr/local/bin/custom")
+
+    def test_usr_bin_not_excluded(self, policy):
+        assert not policy.is_excluded("/usr/bin/ls")
+
+    def test_add_exclude(self, policy):
+        policy.add_exclude(r"^/opt(/.*)?$")
+        assert policy.is_excluded("/opt/thing")
+
+    def test_remove_exclude(self, policy):
+        policy.remove_exclude(r"^/tmp(/.*)?$")
+        assert not policy.is_excluded("/tmp/payload")
+
+    def test_remove_missing_exclude_is_noop(self, policy):
+        policy.remove_exclude(r"^/nonexistent$")
+
+
+class TestEvaluation:
+    def test_accept(self, policy):
+        verdict, failure = policy.evaluate_entry(_entry("/usr/bin/ls", b"ls-v1"))
+        assert verdict is EntryVerdict.ACCEPT
+        assert failure is None
+
+    def test_hash_mismatch(self, policy):
+        verdict, failure = policy.evaluate_entry(_entry("/usr/bin/ls", b"ls-v2"))
+        assert verdict is EntryVerdict.HASH_MISMATCH
+        assert failure is not None
+        assert failure.path == "/usr/bin/ls"
+        assert "hash mismatch" in failure.describe()
+
+    def test_not_in_policy(self, policy):
+        verdict, failure = policy.evaluate_entry(_entry("/usr/bin/unknown"))
+        assert verdict is EntryVerdict.NOT_IN_POLICY
+        assert failure is not None
+        assert "not found in policy" in failure.describe()
+
+    def test_excluded_skipped(self, policy):
+        verdict, failure = policy.evaluate_entry(_entry("/tmp/anything"))
+        assert verdict is EntryVerdict.EXCLUDED
+        assert failure is None
+
+    def test_boot_aggregate_special(self, policy):
+        verdict, failure = policy.evaluate_entry(_entry("boot_aggregate"))
+        assert verdict is EntryVerdict.BOOT_AGGREGATE
+        assert failure is None
+
+    def test_failure_verdicts(self):
+        assert EntryVerdict.HASH_MISMATCH.is_failure
+        assert EntryVerdict.NOT_IN_POLICY.is_failure
+        assert not EntryVerdict.ACCEPT.is_failure
+        assert not EntryVerdict.EXCLUDED.is_failure
+
+
+class TestSerialisation:
+    def test_json_roundtrip(self, policy):
+        blob = policy.to_json()
+        restored = RuntimePolicy.from_json(blob)
+        assert restored.digests == policy.digests
+        assert restored.excludes == policy.excludes
+
+    def test_json_has_keylime_shape(self, policy):
+        import json
+
+        payload = json.loads(policy.to_json())
+        assert "digests" in payload
+        assert "excludes" in payload
+        assert payload["meta"]["version"] == 1
+
+
+class TestBuildFromMachine:
+    def test_covers_executables_only(self, machine):
+        machine.install_file("/usr/bin/tool", b"tool", executable=True)
+        machine.install_file("/etc/config", b"config", executable=False)
+        policy = build_policy_from_machine(machine)
+        assert policy.covers_path("/usr/bin/tool")
+        assert not policy.covers_path("/etc/config")
+
+    def test_skips_excluded_directories(self, machine):
+        machine.install_file("/tmp/script", b"x", executable=True)
+        policy = build_policy_from_machine(machine)
+        assert not policy.covers_path("/tmp/script")
+
+    def test_digest_matches_content(self, machine):
+        machine.install_file("/usr/bin/tool", b"tool", executable=True)
+        policy = build_policy_from_machine(machine)
+        assert policy.digests_for("/usr/bin/tool") == (sha256_hex(b"tool"),)

@@ -1,0 +1,172 @@
+"""Tests for the policy diff/statistics/lint tooling."""
+
+from repro.common.hexutil import sha256_hex
+from repro.keylime.policy import IBM_STYLE_EXCLUDES, RuntimePolicy
+from repro.keylime.policytools import (
+    diff_policies,
+    lint_excludes,
+    policy_statistics,
+)
+
+
+def _policy(entries: dict[str, bytes], excludes=()) -> RuntimePolicy:
+    policy = RuntimePolicy(excludes=list(excludes))
+    for path, content in entries.items():
+        policy.add_digest(path, sha256_hex(content))
+    return policy
+
+
+class TestDiff:
+    def test_identical_policies_empty_diff(self):
+        a = _policy({"/usr/bin/ls": b"ls"})
+        b = _policy({"/usr/bin/ls": b"ls"})
+        diff = diff_policies(a, b)
+        assert diff.is_empty
+
+    def test_added_and_removed_paths(self):
+        old = _policy({"/usr/bin/ls": b"ls", "/usr/bin/rm": b"rm"})
+        new = _policy({"/usr/bin/ls": b"ls", "/usr/bin/cat": b"cat"})
+        diff = diff_policies(old, new)
+        assert diff.added_paths == ("/usr/bin/cat",)
+        assert diff.removed_paths == ("/usr/bin/rm",)
+
+    def test_changed_digests(self):
+        old = _policy({"/usr/bin/ls": b"v1"})
+        new = _policy({"/usr/bin/ls": b"v2"})
+        diff = diff_policies(old, new)
+        assert diff.changed_paths == ("/usr/bin/ls",)
+
+    def test_update_window_digest_addition_is_a_change(self):
+        old = _policy({"/usr/bin/ls": b"v1"})
+        new = _policy({"/usr/bin/ls": b"v1"})
+        new.add_digest("/usr/bin/ls", sha256_hex(b"v2"))
+        diff = diff_policies(old, new)
+        assert diff.changed_paths == ("/usr/bin/ls",)
+
+    def test_exclude_changes(self):
+        old = _policy({}, excludes=[r"^/tmp(/.*)?$"])
+        new = _policy({}, excludes=[r"^/opt(/.*)?$"])
+        diff = diff_policies(old, new)
+        assert diff.added_excludes == (r"^/opt(/.*)?$",)
+        assert diff.removed_excludes == (r"^/tmp(/.*)?$",)
+
+    def test_summary_mentions_counts(self):
+        old = _policy({"/a": b"1"})
+        new = _policy({"/b": b"2"})
+        assert "+1 paths" in diff_policies(old, new).summary()
+
+
+class TestStatistics:
+    def test_counts(self):
+        policy = _policy({
+            "/usr/bin/ls": b"ls",
+            "/usr/bin/cat": b"cat",
+            "/usr/sbin/sshd": b"sshd",
+        }, excludes=[r"^/tmp(/.*)?$"])
+        policy.add_digest("/usr/bin/ls", sha256_hex(b"ls-v2"))
+        stats = policy_statistics(policy)
+        assert stats.paths == 3
+        assert stats.digests == 4
+        assert stats.multi_digest_paths == 1
+        assert stats.excludes == 1
+        assert stats.size_bytes > 0
+
+    def test_top_directories(self):
+        policy = _policy({
+            "/usr/bin/a": b"a", "/usr/bin/b": b"b", "/usr/sbin/c": b"c",
+        })
+        stats = policy_statistics(policy)
+        assert stats.top_directories[0] == ("/usr/bin", 2)
+
+    def test_empty_policy(self):
+        stats = policy_statistics(RuntimePolicy())
+        assert stats.paths == 0
+        assert stats.top_directories == ()
+
+
+class TestLint:
+    def test_ibm_style_excludes_flagged(self):
+        """The study's own policy trips the linter -- that is the point."""
+        policy = RuntimePolicy(excludes=list(IBM_STYLE_EXCLUDES))
+        warnings = lint_excludes(policy)
+        flagged = {warning.target for warning in warnings}
+        assert "/tmp" in flagged
+        assert "/var/tmp" in flagged
+        assert "/usr/local" in flagged
+
+    def test_mitigated_policy_cleaner(self):
+        from repro.mitigations import apply_m1_keylime_policy
+
+        policy = RuntimePolicy(excludes=list(IBM_STYLE_EXCLUDES))
+        apply_m1_keylime_policy(policy)
+        flagged = {warning.target for warning in lint_excludes(policy)}
+        assert "/tmp" not in flagged
+        assert "/var/tmp" not in flagged
+
+    def test_benign_excludes_not_flagged(self):
+        policy = RuntimePolicy(excludes=[r"^/var/log(/.*)?$"])
+        assert lint_excludes(policy) == []
+
+    def test_invalid_regex_flagged(self):
+        policy = RuntimePolicy()
+        policy.excludes.append("([unclosed")  # bypass compile-on-add
+        warnings = lint_excludes(policy)
+        assert warnings and warnings[0].target == "<invalid>"
+
+    def test_warning_describe(self):
+        policy = RuntimePolicy(excludes=[r"^/tmp(/.*)?$"])
+        warning = lint_excludes(policy)[0]
+        assert "/tmp" in warning.describe()
+
+
+class TestPolicyFromImaLog:
+    def test_bootstrap_covers_measured_files(self, machine):
+        from repro.keylime.policytools import policy_from_ima_log
+
+        machine.install_file("/usr/bin/tool", b"tool", executable=True)
+        machine.exec_file("/usr/bin/tool")
+        policy = policy_from_ima_log(machine.require_booted().log)
+        assert policy.covers_path("/usr/bin/tool")
+        assert not policy.covers_path("boot_aggregate")
+
+    def test_bootstrapped_policy_attests_green(self, machine):
+        from repro.keylime.policytools import policy_from_ima_log
+
+        machine.install_file("/usr/bin/tool", b"tool", executable=True)
+        machine.exec_file("/usr/bin/tool")
+        policy = policy_from_ima_log(machine.require_booted().log)
+        from repro.keylime.policy import EntryVerdict
+
+        for entry in machine.require_booted().log:
+            verdict, failure = policy.evaluate_entry(entry)
+            assert failure is None
+
+    def test_violations_not_allowlisted(self, machine):
+        from repro.keylime.policytools import policy_from_ima_log
+
+        machine.require_booted().record_violation("/usr/bin/vi")
+        policy = policy_from_ima_log(machine.require_booted().log)
+        assert policy.line_count() == 0
+
+    def test_excluded_paths_skipped(self, machine):
+        from repro.keylime.policytools import policy_from_ima_log
+
+        machine.install_file("/tmp/x", b"x", executable=True)
+        machine.exec_file("/tmp/x")
+        policy = policy_from_ima_log(
+            machine.require_booted().log, excludes=(r"^/tmp(/.*)?$",)
+        )
+        assert not policy.covers_path("/tmp/x")
+
+    def test_bootstrap_rots_after_update(self, machine):
+        """The method's known limit: the paper's FP mechanism."""
+        from repro.keylime.policy import EntryVerdict
+        from repro.keylime.policytools import policy_from_ima_log
+
+        machine.install_file("/usr/bin/tool", b"v1", executable=True)
+        machine.exec_file("/usr/bin/tool")
+        policy = policy_from_ima_log(machine.require_booted().log)
+        machine.install_file("/usr/bin/tool", b"v2", executable=True)
+        entry = machine.exec_file("/usr/bin/tool").entries[0]
+        verdict, failure = policy.evaluate_entry(entry)
+        assert verdict is EntryVerdict.HASH_MISMATCH

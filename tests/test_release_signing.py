@@ -1,0 +1,120 @@
+"""Tests for signed archive indexes (the InRelease model)."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import ConfigurationError, IntegrityError
+from repro.common.rng import SeededRng
+from repro.distro.archive import Release, UbuntuArchive
+from repro.distro.mirror import LocalMirror
+from repro.distro.package import Package, PackageFile, Priority
+from repro.distro.release_signing import (
+    ArchiveSigner,
+    InRelease,
+    verify_inrelease,
+)
+
+
+def _pkg(name: str, version: str, repo: str = "main") -> Package:
+    return Package(
+        name=name, version=version, priority=Priority.OPTIONAL,
+        files=(PackageFile(f"/usr/bin/{name}", True),), repository=repo,
+    )
+
+
+@pytest.fixture(scope="module")
+def signer() -> ArchiveSigner:
+    return ArchiveSigner("UbuntuArchive", SeededRng("release-signing"))
+
+
+@pytest.fixture()
+def archive(signer) -> UbuntuArchive:
+    archive = UbuntuArchive()
+    archive.seed([_pkg("a", "1.0"), _pkg("b", "1.0")])
+    archive.enable_signing(signer)
+    return archive
+
+
+class TestInRelease:
+    def test_sign_and_verify(self, archive, signer):
+        inrelease = archive.inrelease_for(("main",), now=0.0)
+        verify_inrelease(inrelease, archive.effective_index(("main",)), signer.public_key)
+
+    def test_unsigned_archive_refuses(self):
+        archive = UbuntuArchive()
+        with pytest.raises(ConfigurationError):
+            archive.inrelease_for(("main",), now=0.0)
+
+    def test_wrong_key_rejected(self, archive, signer):
+        rogue = ArchiveSigner("Rogue", SeededRng("rogue-signer"))
+        inrelease = archive.inrelease_for(("main",), now=0.0)
+        with pytest.raises(IntegrityError, match="signature"):
+            verify_inrelease(
+                inrelease, archive.effective_index(("main",)), rogue.public_key
+            )
+
+    def test_forged_index_rejected(self, archive, signer):
+        inrelease = archive.inrelease_for(("main",), now=0.0)
+        forged = dataclasses.replace(
+            inrelease, index={**inrelease.index, "a": "6.6.6"}
+        )
+        with pytest.raises(IntegrityError):
+            verify_inrelease(
+                forged, archive.effective_index(("main",)), signer.public_key
+            )
+
+    def test_tampered_serving_rejected(self, archive, signer):
+        """Genuine InRelease, but the mirror serves a swapped package."""
+        inrelease = archive.inrelease_for(("main",), now=0.0)
+        served = archive.effective_index(("main",))
+        served["a"] = _pkg("a", "6.6.6")
+        with pytest.raises(IntegrityError, match="does not match"):
+            verify_inrelease(inrelease, served, signer.public_key)
+
+    def test_inrelease_tracks_releases(self, archive, signer):
+        archive.schedule_release(
+            Release(time=100.0, packages=(_pkg("a", "2.0", "updates"),))
+        )
+        early = archive.inrelease_for(("main", "updates"), now=50.0)
+        late = archive.inrelease_for(("main", "updates"), now=150.0)
+        assert early.index["a"] == "1.0"
+        assert late.index["a"] == "2.0"
+
+
+class TestVerifiedSync:
+    def test_verified_sync_succeeds(self, archive, signer):
+        mirror = LocalMirror(archive)
+        report = mirror.sync(0.0, trusted_key=signer.public_key)
+        assert report.total == 2
+
+    def test_unverified_sync_still_works(self, archive):
+        mirror = LocalMirror(archive)
+        assert mirror.sync(0.0).total == 2
+
+    def test_tampered_archive_aborts_sync(self, archive, signer, monkeypatch):
+        """A compromised upstream cannot slip versions past the pin."""
+        mirror = LocalMirror(archive)
+        mirror.sync(0.0, trusted_key=signer.public_key)
+
+        # Capture yesterday's genuine InRelease before the new release.
+        stale = archive.inrelease_for(mirror.repositories, 0.0)
+        archive.schedule_release(
+            Release(time=43200.0, packages=(_pkg("a", "2.0", "updates"),))
+        )
+        # Attacker replays the stale (genuine!) InRelease while the
+        # archive serves today's different content.
+        monkeypatch.setattr(
+            archive, "inrelease_for", lambda repositories, now: stale
+        )
+        with pytest.raises(IntegrityError):
+            mirror.sync(86400.0 + 1.0, trusted_key=signer.public_key)
+        # The mirror kept its last good state.
+        assert mirror.latest("a").version == "1.0"
+
+    def test_sync_with_wrong_pin_aborts(self, archive):
+        rogue = ArchiveSigner("Rogue", SeededRng("rogue-pin"))
+        mirror = LocalMirror(archive)
+        with pytest.raises(IntegrityError):
+            mirror.sync(0.0, trusted_key=rogue.public_key)
+        assert len(mirror) == 0

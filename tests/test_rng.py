@@ -1,0 +1,108 @@
+"""Tests for the seeded RNG and its named sub-streams."""
+
+from repro.common.rng import SeededRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = SeededRng(42)
+        b = SeededRng(42)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = SeededRng(1)
+        b = SeededRng(2)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_string_seeds_supported(self):
+        a = SeededRng("experiment-1")
+        b = SeededRng("experiment-1")
+        assert a.randint(0, 10**9) == b.randint(0, 10**9)
+
+
+class TestFork:
+    def test_fork_is_deterministic(self):
+        a = SeededRng(7).fork("stream")
+        b = SeededRng(7).fork("stream")
+        assert a.random() == b.random()
+
+    def test_forks_are_independent(self):
+        parent = SeededRng(7)
+        child = parent.fork("child")
+        before = child.random()
+        # Drawing from the parent must not perturb the child stream.
+        parent2 = SeededRng(7)
+        _ = [parent2.random() for _ in range(100)]
+        child2 = parent2.fork("child")
+        assert child2.random() == before
+
+    def test_different_names_different_streams(self):
+        parent = SeededRng(7)
+        assert parent.fork("a").random() != parent.fork("b").random()
+
+    def test_nested_forks(self):
+        a = SeededRng(1).fork("x").fork("y")
+        b = SeededRng(1).fork("x").fork("y")
+        assert a.hexid() == b.hexid()
+
+
+class TestDraws:
+    def test_uniform_bounds(self):
+        rng = SeededRng(0)
+        for _ in range(100):
+            value = rng.uniform(2.0, 3.0)
+            assert 2.0 <= value <= 3.0
+
+    def test_randint_bounds(self):
+        rng = SeededRng(0)
+        values = {rng.randint(1, 3) for _ in range(100)}
+        assert values == {1, 2, 3}
+
+    def test_choice_and_sample(self):
+        rng = SeededRng(0)
+        items = ["a", "b", "c", "d"]
+        assert rng.choice(items) in items
+        sample = rng.sample(items, 2)
+        assert len(sample) == 2
+        assert len(set(sample)) == 2
+
+    def test_shuffle_preserves_elements(self):
+        rng = SeededRng(0)
+        items = list(range(20))
+        rng.shuffle(items)
+        assert sorted(items) == list(range(20))
+
+    def test_poisson_mean(self):
+        rng = SeededRng(0)
+        draws = [rng.poisson(4.0) for _ in range(3000)]
+        mean = sum(draws) / len(draws)
+        assert 3.7 < mean < 4.3
+
+    def test_poisson_zero_mean(self):
+        assert SeededRng(0).poisson(0.0) == 0
+
+    def test_poisson_large_mean_uses_normal_approx(self):
+        rng = SeededRng(0)
+        value = rng.poisson(1000.0)
+        assert 800 < value < 1200
+
+    def test_lognormal_positive(self):
+        rng = SeededRng(0)
+        assert all(rng.lognormal(0.0, 1.0) > 0 for _ in range(50))
+
+    def test_bernoulli_extremes(self):
+        rng = SeededRng(0)
+        assert not any(rng.bernoulli(0.0) for _ in range(20))
+        assert all(rng.bernoulli(1.0) for _ in range(20))
+
+    def test_token_length(self):
+        assert len(SeededRng(0).token(24)) == 24
+
+    def test_hexid_format(self):
+        hexid = SeededRng(0).hexid(8)
+        assert len(hexid) == 16
+        int(hexid, 16)  # parses as hex
+
+    def test_expovariate_positive(self):
+        rng = SeededRng(0)
+        assert all(rng.expovariate(2.0) >= 0 for _ in range(50))

@@ -1,0 +1,136 @@
+"""Tests for maintainer-signed package hash manifests."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import IntegrityError
+from repro.common.rng import SeededRng
+from repro.distro.package import Package, PackageFile, Priority, make_kernel_package
+from repro.dynpolicy.costmodel import CostModelConfig, GeneratorCostModel
+from repro.dynpolicy.signedhashes import (
+    ManifestAuthority,
+    SignedManifest,
+    merge_signed_manifests,
+    verify_manifest,
+)
+from repro.keylime.policy import RuntimePolicy
+
+
+@pytest.fixture(scope="module")
+def authority() -> ManifestAuthority:
+    return ManifestAuthority("Canonical", SeededRng("manifest-tests"))
+
+
+def _pkg(name: str = "tool", version: str = "1.0") -> Package:
+    return Package(
+        name=name, version=version, priority=Priority.OPTIONAL,
+        files=(
+            PackageFile(f"/usr/bin/{name}", True),
+            PackageFile(f"/usr/share/doc/{name}", False),
+        ),
+    )
+
+
+class TestSigning:
+    def test_manifest_covers_executables_only(self, authority):
+        manifest = authority.sign_package(_pkg())
+        assert set(manifest.measurements) == {"/usr/bin/tool"}
+
+    def test_manifest_verifies(self, authority):
+        manifest = authority.sign_package(_pkg())
+        verify_manifest(manifest, authority.public_key)
+
+    def test_wrong_key_rejected(self, authority):
+        other = ManifestAuthority("Rogue", SeededRng("rogue-authority"))
+        manifest = authority.sign_package(_pkg())
+        with pytest.raises(IntegrityError):
+            verify_manifest(manifest, other.public_key)
+
+    def test_tampered_measurement_rejected(self, authority):
+        manifest = authority.sign_package(_pkg())
+        forged = dataclasses.replace(
+            manifest, measurements={"/usr/bin/tool": "ab" * 32}
+        )
+        with pytest.raises(IntegrityError):
+            verify_manifest(forged, authority.public_key)
+
+    def test_tampered_version_rejected(self, authority):
+        manifest = authority.sign_package(_pkg())
+        forged = dataclasses.replace(manifest, version="6.6.6")
+        with pytest.raises(IntegrityError):
+            verify_manifest(forged, authority.public_key)
+
+    def test_sign_all(self, authority):
+        manifests = authority.sign_all([_pkg("a"), _pkg("b")])
+        assert [manifest.package for manifest in manifests] == ["a", "b"]
+
+
+class TestMerge:
+    def test_merge_valid_manifests(self, authority):
+        policy = RuntimePolicy()
+        manifests = authority.sign_all([_pkg("a"), _pkg("b")])
+        added, rejected = merge_signed_manifests(
+            policy, manifests, authority.public_key, set()
+        )
+        assert added == 2
+        assert rejected == []
+        assert policy.covers_path("/usr/bin/a")
+
+    def test_merged_digests_match_package_contents(self, authority):
+        policy = RuntimePolicy()
+        package = _pkg("a")
+        merge_signed_manifests(
+            policy, [authority.sign_package(package)], authority.public_key, set()
+        )
+        assert policy.digests_for("/usr/bin/a") == (package.sha256_of("/usr/bin/a"),)
+
+    def test_forged_manifest_rejected_not_merged(self, authority):
+        policy = RuntimePolicy()
+        good = authority.sign_package(_pkg("a"))
+        bad = dataclasses.replace(
+            authority.sign_package(_pkg("b")),
+            measurements={"/usr/bin/b": "ab" * 32},
+        )
+        added, rejected = merge_signed_manifests(
+            policy, [good, bad], authority.public_key, set()
+        )
+        assert added == 1
+        assert [manifest.package for manifest in rejected] == ["b"]
+        assert not policy.covers_path("/usr/bin/b")
+
+    def test_kernel_modules_filtered(self, authority):
+        policy = RuntimePolicy()
+        kernel = make_kernel_package("6.0.0-new", module_count=2)
+        manifest = authority.sign_package(kernel.package)
+        added, rejected = merge_signed_manifests(
+            policy, [manifest], authority.public_key, {"5.15.0-old"}
+        )
+        assert rejected == []
+        assert not any(
+            path.startswith("/lib/modules/6.0.0-new") for path in policy.digests
+        )
+
+    def test_allowed_kernel_modules_merged(self, authority):
+        policy = RuntimePolicy()
+        kernel = make_kernel_package("5.15.0-old", module_count=2)
+        merge_signed_manifests(
+            policy, [authority.sign_package(kernel.package)],
+            authority.public_key, {"5.15.0-old"},
+        )
+        assert any(
+            path.startswith("/lib/modules/5.15.0-old") for path in policy.digests
+        )
+
+
+class TestCostModel:
+    def test_manifests_much_cheaper_than_hashing(self):
+        model = GeneratorCostModel(CostModelConfig(jitter_sigma=0.0))
+        packages = [_pkg(f"p{i}") for i in range(20)]
+        hashing = model.batch_seconds(packages, include_refresh=False)
+        manifests = model.manifest_batch_seconds(len(packages), include_refresh=False)
+        assert manifests < hashing / 10
+
+    def test_manifest_cost_scales_with_count(self):
+        model = GeneratorCostModel(CostModelConfig(jitter_sigma=0.0))
+        assert model.manifest_batch_seconds(100) > model.manifest_batch_seconds(10)

@@ -1,0 +1,66 @@
+"""Tests for SNAP packages and path truncation."""
+
+import pytest
+
+from repro.common.errors import NotFoundError
+from repro.distro.snap import SnapPackage, install_snap
+from repro.kernelsim.kernel import Machine
+from repro.kernelsim.vfs import FilesystemType
+
+
+@pytest.fixture()
+def snap(machine: Machine) -> SnapPackage:
+    return install_snap(machine, "core20", 1974, ["usr/bin/chromium", "usr/bin/snapctl"])
+
+
+class TestInstall:
+    def test_mounts_squashfs(self, machine, snap):
+        stat = machine.vfs.stat("/snap/core20/1974/usr/bin/chromium")
+        assert stat.fstype is FilesystemType.SQUASHFS
+        assert stat.executable
+
+    def test_mount_root(self, snap):
+        assert snap.mount_root == "/snap/core20/1974"
+
+    def test_binary_paths(self, snap):
+        assert snap.binary_path("usr/bin/chromium") == "/snap/core20/1974/usr/bin/chromium"
+        assert snap.confined_path("usr/bin/chromium") == "/usr/bin/chromium"
+
+    def test_unknown_binary_rejected(self, snap):
+        with pytest.raises(NotFoundError):
+            snap.binary_path("usr/bin/ghost")
+
+
+class TestExecution:
+    def test_confined_run_records_truncated_path(self, machine, snap):
+        result = snap.run(machine, "usr/bin/chromium")
+        assert result.measured
+        assert result.entries[0].path == "/usr/bin/chromium"
+
+    def test_unconfined_run_records_full_path(self, machine, snap):
+        result = snap.run_unconfined(machine, "usr/bin/snapctl")
+        assert result.measured
+        assert result.entries[0].path == "/snap/core20/1974/usr/bin/snapctl"
+
+    def test_truncation_is_the_fp_mechanism(self, machine, snap):
+        """A policy holding only full SNAP paths cannot match confined runs."""
+        from repro.keylime.policy import build_policy_from_machine
+
+        policy = build_policy_from_machine(machine)
+        assert policy.covers_path("/snap/core20/1974/usr/bin/chromium")
+        result = snap.run(machine, "usr/bin/chromium")
+        verdict, failure = policy.evaluate_entry(result.entries[0])
+        assert failure is not None
+        assert failure.path == "/usr/bin/chromium"
+
+    def test_scrubbed_policy_matches_confined_runs(self, machine, snap):
+        """Solution (a): scrub SNAP prefixes into truncated duplicates."""
+        from repro.dynpolicy.generator import DynamicPolicyGenerator
+        from repro.keylime.policy import EntryVerdict, build_policy_from_machine
+
+        policy = build_policy_from_machine(machine)
+        added = DynamicPolicyGenerator.scrub_snap_prefixes(policy)
+        assert added >= 2
+        result = snap.run(machine, "usr/bin/chromium")
+        verdict, failure = policy.evaluate_entry(result.entries[0])
+        assert verdict is EntryVerdict.ACCEPT

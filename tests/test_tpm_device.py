@@ -1,0 +1,126 @@
+"""Tests for the TPM device, EK/AK lifecycle, and quotes."""
+
+import pytest
+
+from repro.common.errors import StateError
+from repro.common.hexutil import sha256_hex, zero_digest
+from repro.crypto.certs import verify_chain
+from repro.tpm.device import Tpm, TpmManufacturer
+from repro.tpm.quote import QuoteVerificationError, pcr_selection_digest, verify_quote
+
+
+@pytest.fixture()
+def ak(tpm: Tpm):
+    return tpm.create_ak()
+
+
+class TestManufacturing:
+    def test_devices_get_unique_names(self, manufacturer: TpmManufacturer):
+        a = manufacturer.manufacture()
+        b = manufacturer.manufacture()
+        assert a.name != b.name
+
+    def test_ek_certificate_chains_to_root(self, manufacturer: TpmManufacturer, tpm: Tpm):
+        verify_chain([tpm.ek_certificate], [manufacturer.root_certificate])
+
+    def test_ek_certificate_binds_ek_key(self, tpm: Tpm):
+        assert tpm.ek_certificate.public_key.fingerprint() == tpm.ek_public.fingerprint()
+
+
+class TestAttestationKeys:
+    def test_ak_binding_verifies_with_ek(self, tpm: Tpm, ak):
+        assert ak.verify_binding(tpm.ek_public)
+
+    def test_ak_binding_fails_with_other_ek(self, manufacturer: TpmManufacturer, ak):
+        other = manufacturer.manufacture()
+        assert not ak.verify_binding(other.ek_public)
+
+    def test_multiple_aks_are_distinct(self, tpm: Tpm):
+        a = tpm.create_ak()
+        b = tpm.create_ak()
+        assert a.public.fingerprint() != b.public.fingerprint()
+
+
+class TestQuoting:
+    def test_quote_verifies(self, tpm: Tpm, ak):
+        quote = tpm.quote(ak.public.fingerprint(), "nonce-1", [10])
+        verify_quote(quote, ak.public, "nonce-1")
+
+    def test_quote_covers_pcr_values(self, tpm: Tpm, ak):
+        tpm.extend(10, sha256_hex(b"measurement"))
+        quote = tpm.quote(ak.public.fingerprint(), "n", [10])
+        assert quote.pcr_values[10] == tpm.read_pcr(10)
+        assert quote.pcr_digest == pcr_selection_digest("sha256", quote.pcr_values)
+
+    def test_wrong_nonce_rejected(self, tpm: Tpm, ak):
+        quote = tpm.quote(ak.public.fingerprint(), "nonce-a", [10])
+        with pytest.raises(QuoteVerificationError, match="nonce"):
+            verify_quote(quote, ak.public, "nonce-b")
+
+    def test_wrong_ak_rejected(self, tpm: Tpm, ak):
+        other = tpm.create_ak()
+        quote = tpm.quote(ak.public.fingerprint(), "n", [10])
+        with pytest.raises(QuoteVerificationError, match="attestation key"):
+            verify_quote(quote, other.public, "n")
+
+    def test_tampered_pcr_value_rejected(self, tpm: Tpm, ak):
+        quote = tpm.quote(ak.public.fingerprint(), "n", [10])
+        tampered = type(quote)(
+            bank_algorithm=quote.bank_algorithm,
+            pcr_selection=quote.pcr_selection,
+            pcr_values={10: "f" * 64},
+            pcr_digest=quote.pcr_digest,
+            nonce=quote.nonce,
+            clock=quote.clock,
+            reset_count=quote.reset_count,
+            restart_count=quote.restart_count,
+            ak_fingerprint=quote.ak_fingerprint,
+            signature=quote.signature,
+        )
+        with pytest.raises(QuoteVerificationError, match="digest"):
+            verify_quote(tampered, ak.public, "n")
+
+    def test_unknown_ak_cannot_quote(self, tpm: Tpm):
+        with pytest.raises(StateError, match="no attestation key"):
+            tpm.quote("0" * 64, "n", [10])
+
+    def test_quote_multiple_pcrs(self, tpm: Tpm, ak):
+        quote = tpm.quote(ak.public.fingerprint(), "n", [0, 7, 10])
+        assert quote.pcr_selection == (0, 7, 10)
+        verify_quote(quote, ak.public, "n")
+
+    def test_quote_includes_clock(self, tpm: Tpm, ak):
+        tpm.tick(5000)
+        quote = tpm.quote(ak.public.fingerprint(), "n", [10])
+        assert quote.clock == 5000
+
+    def test_clock_cannot_go_backwards(self, tpm: Tpm):
+        with pytest.raises(StateError):
+            tpm.tick(-1)
+
+
+class TestReset:
+    def test_reset_clears_pcrs(self, tpm: Tpm):
+        tpm.extend(10, sha256_hex(b"m"))
+        tpm.reset()
+        assert tpm.read_pcr(10) == zero_digest("sha256")
+
+    def test_reset_bumps_counter(self, tpm: Tpm, ak):
+        before = tpm.quote(ak.public.fingerprint(), "n", [10]).reset_count
+        tpm.reset()
+        after = tpm.quote(ak.public.fingerprint(), "n2", [10]).reset_count
+        assert after == before + 1
+
+    def test_keys_survive_reset(self, tpm: Tpm, ak):
+        tpm.reset()
+        quote = tpm.quote(ak.public.fingerprint(), "n", [10])
+        verify_quote(quote, ak.public, "n")
+
+    def test_reset_zeroes_clock(self, tpm: Tpm, ak):
+        tpm.tick(1000)
+        tpm.reset()
+        assert tpm.quote(ak.public.fingerprint(), "n", [10]).clock == 0
+
+    def test_unknown_bank_rejected(self, tpm: Tpm):
+        with pytest.raises(StateError):
+            tpm.read_pcr(10, algorithm="sha384")

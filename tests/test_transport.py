@@ -1,0 +1,130 @@
+"""Tests for the serialised agent<->verifier channel."""
+
+import json
+
+import pytest
+
+from repro.common.errors import IntegrityError
+from repro.keylime.transport import (
+    JsonTransportAgent,
+    evidence_from_json,
+    evidence_to_json,
+    quote_from_dict,
+    quote_to_dict,
+)
+from repro.keylime.verifier import FailureKind
+
+from tests.conftest import small_config
+from repro.experiments.testbed import build_testbed
+
+
+@pytest.fixture()
+def testbed():
+    return build_testbed(small_config("transport"))
+
+
+class TestSerialisation:
+    def test_quote_roundtrip(self, testbed):
+        quote = testbed.agent.attest("nonce").quote
+        restored = quote_from_dict(quote_to_dict(quote))
+        assert restored == quote
+
+    def test_evidence_roundtrip(self, testbed):
+        testbed.machine.exec_file("/usr/bin/ls")
+        evidence = testbed.agent.attest("nonce")
+        restored = evidence_from_json(evidence_to_json(evidence))
+        assert restored == evidence
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(IntegrityError):
+            evidence_from_json("{not json")
+
+    def test_missing_field_rejected(self, testbed):
+        evidence = testbed.agent.attest("nonce")
+        payload = json.loads(evidence_to_json(evidence))
+        del payload["quote"]["signature"]
+        with pytest.raises(IntegrityError):
+            evidence_from_json(json.dumps(payload))
+
+    def test_non_hex_signature_rejected(self, testbed):
+        evidence = testbed.agent.attest("nonce")
+        payload = json.loads(evidence_to_json(evidence))
+        payload["quote"]["signature"] = "zz-not-hex"
+        with pytest.raises(IntegrityError):
+            evidence_from_json(json.dumps(payload))
+
+
+class TestTransportAgent:
+    def test_attestation_works_across_the_wire(self, testbed):
+        proxy = JsonTransportAgent(testbed.agent)
+        slot = testbed.verifier._slot(testbed.agent_id)
+        slot.agent = proxy
+        assert testbed.poll().ok
+        assert proxy.bytes_transferred > 0
+
+    def test_detection_works_across_the_wire(self, testbed):
+        proxy = JsonTransportAgent(testbed.agent)
+        testbed.verifier._slot(testbed.agent_id).agent = proxy
+        assert testbed.poll().ok
+        testbed.machine.install_file("/usr/bin/evil", b"x", executable=True)
+        testbed.machine.exec_file("/usr/bin/evil")
+        result = testbed.poll()
+        assert not result.ok
+        assert result.failures[0].policy_failure.path == "/usr/bin/evil"
+
+    def test_mitm_nonce_swap_detected(self, testbed):
+        """A man-in-the-middle rewriting the nonce field is caught."""
+
+        def mitm(blob: str) -> str:
+            payload = json.loads(blob)
+            payload["quote"]["nonce"] = "0" * 40
+            return json.dumps(payload)
+
+        proxy = JsonTransportAgent(testbed.agent, channel=mitm)
+        testbed.verifier._slot(testbed.agent_id).agent = proxy
+        result = testbed.poll()
+        assert not result.ok
+        assert result.failures[0].kind is FailureKind.INVALID_QUOTE
+
+    def test_mitm_log_edit_detected(self, testbed):
+        """Rewriting a log line in transit breaks the replay."""
+        testbed.machine.exec_file("/usr/bin/ls")
+
+        def mitm(blob: str) -> str:
+            payload = json.loads(blob)
+            payload["ima_log"] = [
+                line.replace("/usr/bin/ls", "/usr/bin/cp")
+                for line in payload["ima_log"]
+            ]
+            return json.dumps(payload)
+
+        proxy = JsonTransportAgent(testbed.agent, channel=mitm)
+        testbed.verifier._slot(testbed.agent_id).agent = proxy
+        result = testbed.poll()
+        assert not result.ok
+        assert result.failures[0].kind in (
+            FailureKind.LOG_TAMPERED, FailureKind.PCR_MISMATCH,
+        )
+
+    def test_mitm_signature_corruption_detected(self, testbed):
+        def mitm(blob: str) -> str:
+            payload = json.loads(blob)
+            signature = payload["quote"]["signature"]
+            payload["quote"]["signature"] = ("00" if signature[:2] != "00" else "11") + signature[2:]
+            return json.dumps(payload)
+
+        proxy = JsonTransportAgent(testbed.agent, channel=mitm)
+        testbed.verifier._slot(testbed.agent_id).agent = proxy
+        result = testbed.poll()
+        assert not result.ok
+        assert result.failures[0].kind is FailureKind.INVALID_QUOTE
+
+    def test_honest_channel_is_transparent(self, testbed):
+        """With no tampering, wire and direct attestation agree."""
+        direct = testbed.agent.attest("same-nonce")
+        proxy = JsonTransportAgent(testbed.agent)
+        # Same nonce and offset: identical evidence either way (the
+        # TPM clock tick is monotonic with machine time, unchanged here).
+        via_wire = proxy.attest("same-nonce")
+        assert via_wire.ima_log_lines == direct.ima_log_lines
+        assert via_wire.quote.pcr_values == direct.quote.pcr_values

@@ -1,0 +1,90 @@
+"""Tests for formatting and summary-statistics helpers."""
+
+import pytest
+
+from repro.common.units import (
+    format_bytes,
+    format_duration,
+    format_minutes,
+    mean,
+    percentile,
+    stddev,
+    summarize,
+)
+
+
+class TestFormatting:
+    def test_bytes_small(self):
+        assert format_bytes(512) == "512 B"
+
+    def test_kilobytes(self):
+        assert format_bytes(2048) == "2.0 KB"
+
+    def test_megabytes_two_decimals(self):
+        assert format_bytes(1.5 * 1024**2) == "1.50 MB"
+
+    def test_gigabytes(self):
+        assert format_bytes(3 * 1024**3) == "3.00 GB"
+
+    def test_minutes(self):
+        assert format_minutes(141.6) == "2.36 min"
+
+    def test_duration_ms(self):
+        assert format_duration(0.5) == "500 ms"
+
+    def test_duration_seconds(self):
+        assert format_duration(45) == "45.0 s"
+
+    def test_duration_minutes(self):
+        assert format_duration(600) == "10.0 min"
+
+    def test_duration_hours(self):
+        assert format_duration(7200) == "2.0 h"
+
+    def test_duration_days(self):
+        assert format_duration(3 * 86400) == "3.0 d"
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_mean_empty(self):
+        assert mean([]) == 0.0
+
+    def test_stddev(self):
+        assert stddev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.0)
+
+    def test_stddev_single(self):
+        assert stddev([5]) == 0.0
+
+    def test_percentile_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_percentile_interpolates(self):
+        assert percentile([0, 10], 25) == pytest.approx(2.5)
+
+    def test_percentile_bounds(self):
+        values = [3, 1, 2]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 3
+
+    def test_percentile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1, 2], 150)
+
+    def test_percentile_empty(self):
+        assert percentile([], 50) == 0.0
+
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary["n"] == 3
+        assert summary["mean"] == 2.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["median"] == 2.0
+
+    def test_summarize_empty(self):
+        summary = summarize([])
+        assert summary["n"] == 0
+        assert summary["mean"] == 0.0

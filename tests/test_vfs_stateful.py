@@ -1,0 +1,116 @@
+"""Stateful property test: the VFS against a reference model.
+
+Hypothesis drives a random sequence of filesystem operations against
+both the real VFS and a plain-dict model; any divergence in content,
+existence, or inode-identity bookkeeping fails the run.  This is the
+test that guards the inode semantics P4 rests on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.kernelsim.vfs import FilesystemType, Vfs
+
+_NAMES = st.sampled_from(
+    [f"/usr/bin/f{i}" for i in range(6)]
+    + [f"/tmp/f{i}" for i in range(4)]
+    + [f"/shm/f{i}" for i in range(3)]
+)
+_CONTENT = st.binary(min_size=0, max_size=16)
+
+
+class VfsModel(RuleBasedStateMachine):
+    """Random walks over write/append/rename/unlink/chmod."""
+
+    paths = Bundle("paths")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.vfs = Vfs()
+        self.vfs.mount("/shm", FilesystemType.TMPFS)
+        self.model: dict[str, bytes] = {}
+        self.exec_bits: dict[str, bool] = {}
+
+    @rule(target=paths, path=_NAMES, content=_CONTENT, executable=st.booleans())
+    def write(self, path: str, content: bytes, executable: bool) -> str:
+        before = self.vfs.stat(path) if path in self.model else None
+        stat = self.vfs.write_file(path, content, executable=executable)
+        self.model[path] = content
+        self.exec_bits[path] = executable
+        if before is not None:
+            assert stat.ino == before.ino, "overwrite must keep the inode"
+            assert stat.iversion == before.iversion + 1
+        return path
+
+    @rule(path=paths, content=_CONTENT)
+    def append(self, path: str, content: bytes) -> None:
+        if path not in self.model:
+            return
+        before = self.vfs.stat(path)
+        self.vfs.append_file(path, content)
+        self.model[path] = self.model[path] + content
+        assert self.vfs.stat(path).iversion == before.iversion + 1
+
+    @rule(path=paths)
+    def unlink(self, path: str) -> None:
+        if path not in self.model:
+            return
+        self.vfs.unlink(path)
+        del self.model[path]
+        del self.exec_bits[path]
+
+    @rule(target=paths, src=paths, dst=_NAMES)
+    def rename(self, src: str, dst: str) -> str:
+        if src not in self.model or src == dst:
+            return src
+        src_stat = self.vfs.stat(src)
+        dst_stat = self.vfs.rename(src, dst)
+        same_fs = src_stat.fs_id == dst_stat.fs_id
+        if same_fs:
+            assert dst_stat.ino == src_stat.ino, "same-fs rename keeps inode (P4)"
+        else:
+            assert (dst_stat.fs_id, dst_stat.ino) != (src_stat.fs_id, src_stat.ino)
+        self.model[dst] = self.model.pop(src)
+        self.exec_bits[dst] = self.exec_bits.pop(src)
+        return dst
+
+    @rule(path=paths, executable=st.booleans())
+    def chmod(self, path: str, executable: bool) -> None:
+        if path not in self.model:
+            return
+        before = self.vfs.stat(path)
+        self.vfs.chmod(path, executable)
+        self.exec_bits[path] = executable
+        assert self.vfs.stat(path).iversion == before.iversion
+
+    @invariant()
+    def contents_match_model(self) -> None:
+        for path, content in self.model.items():
+            assert self.vfs.read_file(path) == content
+            assert self.vfs.stat(path).executable == self.exec_bits[path]
+
+    @invariant()
+    def no_phantom_files(self) -> None:
+        for path in self.model:
+            assert self.vfs.exists(path)
+
+    @invariant()
+    def live_inodes_unique_per_filesystem(self) -> None:
+        seen: set[tuple[str, int]] = set()
+        for path in self.model:
+            stat = self.vfs.stat(path)
+            key = (stat.fs_id, stat.ino)
+            assert key not in seen, f"inode {key} aliased by {path}"
+            seen.add(key)
+
+
+TestVfsStateful = VfsModel.TestCase
+TestVfsStateful.settings = settings(max_examples=40, stateful_step_count=30, deadline=None)

@@ -1,0 +1,118 @@
+"""Tests for IMA measurement violations (ToMToU / open-writers)."""
+
+import pytest
+
+from repro.experiments.testbed import build_testbed
+from repro.kernelsim.ima import (
+    VIOLATION_EXTEND_VALUE,
+    VIOLATION_FILEDATA_HASH,
+    VIOLATION_TEMPLATE_HASH,
+    ImaEngine,
+    ImaPolicy,
+)
+from repro.keylime.policy import EntryVerdict, RuntimePolicy
+from repro.tpm.pcr import IMA_PCR_INDEX
+
+from tests.conftest import small_config
+
+
+class TestEngineViolations:
+    def test_violation_entry_shape(self, tpm):
+        engine = ImaEngine(ImaPolicy(), tpm)
+        entry = engine.record_violation("/usr/bin/vi", kind="ToMToU")
+        assert entry.template_hash == VIOLATION_TEMPLATE_HASH
+        assert entry.filedata_hash == VIOLATION_FILEDATA_HASH
+        assert entry.path == "/usr/bin/vi (ToMToU)"
+
+    def test_violation_extends_pcr_with_ff(self, tpm):
+        from repro.common.hexutil import extend_digest, zero_digest
+
+        engine = ImaEngine(ImaPolicy(), tpm)
+        engine.record_violation("/usr/bin/vi")
+        expected = extend_digest(
+            "sha256", zero_digest("sha256"), VIOLATION_EXTEND_VALUE
+        )
+        assert tpm.read_pcr(IMA_PCR_INDEX) == expected
+
+    def test_note_write_only_for_measured_files(self, machine):
+        machine.install_file("/usr/bin/tool", b"v1", executable=True)
+        ima = machine.require_booted()
+        stat = machine.vfs.stat("/usr/bin/tool")
+        assert not ima.note_write("/usr/bin/tool", stat)  # never measured
+        machine.exec_file("/usr/bin/tool")
+        stat = machine.vfs.stat("/usr/bin/tool")
+        assert ima.note_write("/usr/bin/tool", stat)
+
+
+class TestMachineInPlaceWrites:
+    def test_write_to_measured_file_violates(self, machine):
+        machine.install_file("/usr/bin/tool", b"v1", executable=True)
+        machine.exec_file("/usr/bin/tool")
+        assert machine.open_for_write("/usr/bin/tool", b"v2")
+
+    def test_write_to_unmeasured_file_silent(self, machine):
+        machine.install_file("/etc/config", b"v1")
+        assert not machine.open_for_write("/etc/config", b"v2")
+
+    def test_content_updated_either_way(self, machine):
+        machine.install_file("/etc/config", b"v1")
+        machine.open_for_write("/etc/config", b"v2")
+        assert machine.vfs.read_file("/etc/config") == b"v2"
+
+
+class TestPolicyEvaluation:
+    def _violation_entry(self, path="/usr/bin/vi (ToMToU)"):
+        from repro.kernelsim.ima import ImaLogEntry
+
+        return ImaLogEntry(
+            pcr=10, template_hash=VIOLATION_TEMPLATE_HASH, template="ima-ng",
+            filedata_hash=VIOLATION_FILEDATA_HASH, path=path,
+        )
+
+    def test_violation_is_failure(self):
+        policy = RuntimePolicy()
+        verdict, failure = policy.evaluate_entry(self._violation_entry())
+        assert verdict is EntryVerdict.VIOLATION
+        assert failure is not None
+        assert "violation" in failure.describe()
+
+    def test_violation_in_excluded_dir_skipped(self):
+        policy = RuntimePolicy(excludes=[r"^/tmp(/.*)?$"])
+        verdict, failure = policy.evaluate_entry(
+            self._violation_entry("/tmp/scratch (ToMToU)")
+        )
+        assert verdict is EntryVerdict.EXCLUDED
+        assert failure is None
+
+    def test_violation_verdict_is_failure_kind(self):
+        assert EntryVerdict.VIOLATION.is_failure
+
+
+class TestEndToEnd:
+    def test_inplace_patch_detected(self):
+        """Patching a running binary in place cannot be hidden."""
+        testbed = build_testbed(small_config("violation-e2e"))
+        testbed.machine.exec_file("/usr/bin/ls")
+        assert testbed.poll().ok
+        testbed.machine.open_for_write("/usr/bin/ls", b"hot-patched")
+        result = testbed.poll()
+        assert not result.ok
+        assert "violation" in result.failures[0].detail
+
+    def test_replay_stays_consistent_across_violation(self):
+        """The 0xFF extend rule keeps the PCR replay green afterwards."""
+        testbed = build_testbed(small_config("violation-replay"))
+        testbed.verifier.continue_on_failure = True
+        testbed.machine.exec_file("/usr/bin/ls")
+        testbed.machine.open_for_write("/usr/bin/ls", b"patched")
+        result = testbed.poll()
+        # Policy failure, yes -- but no PCR mismatch: the verifier knows
+        # the kernel's violation extend rule.
+        from repro.keylime.verifier import FailureKind
+
+        assert all(f.kind is FailureKind.POLICY for f in result.failures)
+        # And subsequent polls continue verifying cleanly.
+        testbed.machine.exec_file("/bin/bash")
+        result2 = testbed.poll()
+        kinds = {f.kind for f in result2.failures}
+        assert FailureKind.PCR_MISMATCH not in kinds
