@@ -23,8 +23,47 @@ from repro.experiments.fn_matrix import FnMatrixResult, run_attack_matrix
 from repro.experiments.fp_week import FpWeekResult, run_fp_week
 from repro.experiments.longrun import LongRunResult, run_longrun
 from repro.experiments.testbed import TestbedConfig
+from repro.obs import runtime as obs_runtime
 
 BENCH_SEED = "dsn2025-repro"
+
+
+@pytest.fixture(autouse=True)
+def bench_telemetry(request):
+    """Per-test telemetry, attached to the pytest-benchmark JSON.
+
+    Every bench runs with an active registry/tracer so the instrumented
+    hot paths record per-phase breakdowns; when the test also used the
+    ``benchmark`` fixture the roll-up lands in ``extra_info["obs"]`` and
+    ships with BENCH_*.json.
+    """
+    benchmark = (
+        request.getfixturevalue("benchmark")
+        if "benchmark" in request.fixturenames else None
+    )
+    telemetry = obs_runtime.activate()
+    try:
+        yield telemetry
+    finally:
+        obs_runtime.deactivate()
+        if benchmark is None:
+            return
+        spans = {
+            name: {
+                "count": stats.count,
+                "wall_total_s": round(stats.wall_total, 6),
+                "sim_total_s": round(stats.sim_total, 3),
+            }
+            for name, stats in sorted(telemetry.tracer.aggregate().items())
+        }
+        counters = {}
+        for family in telemetry.registry.families():
+            if family.kind != "counter":
+                continue
+            for labels, child in family.samples():
+                suffix = "".join(f"{{{k}={v}}}" for k, v in sorted(labels.items()))
+                counters[f"{family.name}{suffix}"] = child.value
+        benchmark.extra_info["obs"] = {"spans": spans, "counters": counters}
 
 
 @pytest.fixture()

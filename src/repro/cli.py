@@ -12,6 +12,8 @@ scale and prints the corresponding artifact:
     $ repro-cli table1 --days 14         # E5, daily vs weekly
     $ repro-cli table2                   # E7, the full attack matrix
     $ repro-cli attack Mirai --mode adaptive --mitigated
+    $ repro-cli obs fleet --days 2 --nodes 4 --prom metrics.prom
+    $ repro-cli obs fp-week --days 3 --jsonl telemetry.jsonl
 
 The console script ``repro-cli`` is installed with the package;
 ``python -m repro.cli`` works identically.
@@ -136,6 +138,47 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import runtime as obs_runtime
+    from repro.obs.exporters import console_summary, jsonl_dump, prometheus_text
+
+    with obs_runtime.session() as telemetry:
+        if args.experiment == "fp-week":
+            from repro.experiments.fp_week import run_fp_week
+
+            config = _config(args, policy_mode="static", continue_on_failure=True)
+            result = run_fp_week(config=config, n_days=args.days)
+            print(f"fp-week: {result.total_polls} polls, "
+                  f"{result.total_false_positives} distinct false positives")
+        elif args.experiment == "longrun":
+            from repro.experiments.longrun import run_longrun
+
+            result = run_longrun(config=_config(args), n_days=args.days)
+            print(f"longrun: {result.total_polls} polls, "
+                  f"{len(result.fp_incidents)} false positives")
+        else:  # fleet
+            from repro.experiments.fleet_run import run_fleet_scenario
+
+            result = run_fleet_scenario(
+                seed=args.seed, n_nodes=args.nodes, n_days=args.days,
+                n_filler_packages=args.fillers,
+            )
+            print(f"fleet: {len(result.fleet)} nodes, {result.total_polls} polls, "
+                  f"{len(result.update_reports)} update cycles")
+
+        print()
+        print(console_summary(telemetry.registry, telemetry.tracer))
+        if args.prom:
+            with open(args.prom, "w", encoding="utf-8") as handle:
+                handle.write(prometheus_text(telemetry.registry))
+            print(f"\nPrometheus exposition written to {args.prom}")
+        if args.jsonl:
+            with open(args.jsonl, "w", encoding="utf-8") as handle:
+                handle.write(jsonl_dump(telemetry.registry, telemetry.tracer))
+            print(f"JSONL telemetry written to {args.jsonl}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -179,6 +222,19 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--mode", choices=["basic", "adaptive"], default="basic")
     attack.add_argument("--mitigated", action="store_true")
     attack.set_defaults(func=_cmd_attack)
+
+    obs = commands.add_parser(
+        "obs", help="run an experiment with telemetry enabled and export it"
+    )
+    obs.add_argument(
+        "experiment", choices=["fp-week", "longrun", "fleet"],
+        help="which scenario to run under telemetry",
+    )
+    obs.add_argument("--days", type=int, default=2)
+    obs.add_argument("--nodes", type=int, default=3, help="fleet size (fleet only)")
+    obs.add_argument("--prom", default=None, help="write Prometheus text here")
+    obs.add_argument("--jsonl", default=None, help="write JSONL metrics+spans here")
+    obs.set_defaults(func=_cmd_obs)
 
     report = commands.add_parser(
         "report", help="run every experiment and emit a markdown report"

@@ -10,6 +10,7 @@ counters, which keeps measurement concerns out of the modelled system.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
@@ -47,6 +48,10 @@ class EventLog:
     def __init__(self) -> None:
         self._records: list[EventRecord] = []
         self._subscribers: list[Callable[[EventRecord], None]] = []
+        self._by_kind: dict[str, list[EventRecord]] = {}
+        self._by_source: dict[str, list[EventRecord]] = {}
+        self._times: list[float] = []
+        self._times_sorted = True
 
     def __len__(self) -> int:
         return len(self._records)
@@ -58,7 +63,14 @@ class EventLog:
         """Append a record and notify subscribers."""
         record = EventRecord(time=time, source=source, kind=kind, details=details)
         self._records.append(record)
-        for subscriber in self._subscribers:
+        self._by_kind.setdefault(kind, []).append(record)
+        self._by_source.setdefault(source, []).append(record)
+        if self._times_sorted and self._times and time < self._times[-1]:
+            self._times_sorted = False
+        self._times.append(time)
+        # Snapshot: a subscriber that (un)subscribes during its callback
+        # must not perturb this notification round.
+        for subscriber in tuple(self._subscribers):
             subscriber(record)
         return record
 
@@ -103,9 +115,29 @@ class EventLog:
                 return record
         return None
 
+    def by_kind(self, kind: str) -> list[EventRecord]:
+        """Records whose kind is exactly *kind* (indexed, O(1) lookup)."""
+        return list(self._by_kind.get(kind, ()))
+
+    def by_source(self, source: str) -> list[EventRecord]:
+        """Records whose source is exactly *source* (indexed, O(1) lookup)."""
+        return list(self._by_source.get(source, ()))
+
+    def records_between(self, t0: float, t1: float) -> list[EventRecord]:
+        """Records with ``t0 <= time <= t1``, in emission order.
+
+        Emission times are normally monotone (the simulation clock only
+        advances), so this bisects; a log with out-of-order timestamps
+        falls back to a linear scan.
+        """
+        if t1 < t0:
+            return []
+        if self._times_sorted:
+            lo = bisect_left(self._times, t0)
+            hi = bisect_right(self._times, t1)
+            return self._records[lo:hi]
+        return [record for record in self._records if t0 <= record.time <= t1]
+
     def kinds(self) -> dict[str, int]:
         """Histogram of event kinds, for quick inspection in tests."""
-        histogram: dict[str, int] = {}
-        for record in self._records:
-            histogram[record.kind] = histogram.get(record.kind, 0) + 1
-        return histogram
+        return {kind: len(records) for kind, records in self._by_kind.items()}

@@ -72,7 +72,9 @@ def percentile(values: Iterable[float], q: float) -> float:
     if low == high:
         return items[low]
     weight = rank - low
-    return items[low] * (1 - weight) + items[high] * weight
+    # Monotone form: lo*(1-w)+hi*w underflows to 0.0 for subnormal
+    # inputs (e.g. 5e-324), breaking min <= p50 <= max.
+    return items[low] + weight * (items[high] - items[low])
 
 
 def summarize(values: Iterable[float]) -> dict[str, float]:

@@ -14,11 +14,13 @@ package snapshots) to reproduce exactly that incident.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.common.errors import ConfigurationError
 from repro.common.events import EventLog
 from repro.distro.archive import STANDARD_REPOSITORIES, UbuntuArchive
 from repro.distro.package import Package
+from repro.obs import runtime as obs
 
 
 @dataclass(frozen=True)
@@ -91,26 +93,46 @@ class LocalMirror:
         and **aborts without adopting anything** when verification
         fails -- apt's behaviour on a tampered mirror.
         """
-        self.archive.apply_releases_until(now)
-        # Security wins over updates wins over main, matching the archive.
-        upstream = self.archive.effective_index(self.repositories)
+        telemetry = obs.get()
+        wall_start = perf_counter()
+        with telemetry.tracer.span("mirror.sync") as span:
+            self.archive.apply_releases_until(now)
+            # Security wins over updates wins over main, matching the archive.
+            upstream = self.archive.effective_index(self.repositories)
 
-        if trusted_key is not None:
-            from repro.distro.release_signing import verify_inrelease
+            if trusted_key is not None:
+                from repro.distro.release_signing import verify_inrelease
 
-            inrelease = self.archive.inrelease_for(self.repositories, now)
-            verify_inrelease(inrelease, upstream, trusted_key)
+                inrelease = self.archive.inrelease_for(self.repositories, now)
+                verify_inrelease(inrelease, upstream, trusted_key)
 
-        new: list[Package] = []
-        changed: list[Package] = []
-        for name, package in upstream.items():
-            existing = self._index.get(name)
-            if existing is None:
-                new.append(package)
-            elif existing.version != package.version:
-                changed.append(package)
-        self._index = upstream
-        self.last_sync_time = now
+            new: list[Package] = []
+            changed: list[Package] = []
+            for name, package in upstream.items():
+                existing = self._index.get(name)
+                if existing is None:
+                    new.append(package)
+                elif existing.version != package.version:
+                    changed.append(package)
+            self._index = upstream
+            self.last_sync_time = now
+            span.set_attribute("new", len(new))
+            span.set_attribute("changed", len(changed))
+
+        registry = telemetry.registry
+        registry.histogram(
+            "mirror_sync_wall_seconds", "Wall-clock duration of one mirror sync",
+        ).observe(perf_counter() - wall_start)
+        registry.counter("mirror_syncs_total", "Mirror syncs executed").inc()
+        packages_counter = registry.counter(
+            "mirror_packages_synced_total", "Package versions pulled", ("kind",),
+        )
+        packages_counter.labels(kind="new").inc(len(new))
+        packages_counter.labels(kind="changed").inc(len(changed))
+        registry.gauge(
+            "mirror_index_size", "Packages currently in the mirror index",
+        ).set(len(self._index))
+
         report = SyncReport(
             time=now, new_packages=tuple(new), changed_packages=tuple(changed)
         )

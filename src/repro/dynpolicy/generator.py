@@ -34,6 +34,7 @@ from repro.distro.package import (
 )
 from repro.dynpolicy.costmodel import GeneratorCostModel
 from repro.keylime.policy import RuntimePolicy
+from repro.obs import runtime as obs
 
 _MODULE_PATH = re.compile(r"^/lib/modules/([^/]+)/")
 _SNAP_PATH = re.compile(r"^/snap/[^/]+/[^/]+(/.*)$")
@@ -120,14 +121,17 @@ class DynamicPolicyGenerator:
         name: str = "dynamic-policy",
     ) -> tuple[RuntimePolicy, PolicyUpdateReport]:
         """Build the initial policy from the whole mirror (day-0 run)."""
-        packages = self.mirror.packages()
-        policy = RuntimePolicy(excludes=excludes, name=name)
-        measurements, deferred = self.measure_packages(packages, allowed_kernels)
-        added = policy.merge_measurements(measurements)
-        report = self._report(
-            packages, added, policy, deferred,
-            duration=self.cost_model.batch_seconds(packages),
-        )
+        with obs.get().tracer.span("dynpolicy.generate", mode="full") as span:
+            packages = self.mirror.packages()
+            policy = RuntimePolicy(excludes=excludes, name=name)
+            measurements, deferred = self.measure_packages(packages, allowed_kernels)
+            added = policy.merge_measurements(measurements)
+            report = self._report(
+                packages, added, policy, deferred,
+                duration=self.cost_model.batch_seconds(packages),
+            )
+            span.set_attribute("packages", report.packages_total)
+            span.set_attribute("entries_added", added)
         return policy, report
 
     def generate_update(
@@ -137,14 +141,19 @@ class DynamicPolicyGenerator:
         allowed_kernels: set[str],
     ) -> PolicyUpdateReport:
         """Append measurements for one update batch to *policy* in place."""
-        measurements, deferred = self.measure_packages(changed_packages, allowed_kernels)
-        size_before = policy.size_bytes()
-        added = policy.merge_measurements(measurements)
-        report = self._report(
-            changed_packages, added, policy, deferred,
-            duration=self.cost_model.batch_seconds(changed_packages),
-            size_before=size_before,
-        )
+        with obs.get().tracer.span("dynpolicy.generate", mode="update") as span:
+            measurements, deferred = self.measure_packages(
+                changed_packages, allowed_kernels
+            )
+            size_before = policy.size_bytes()
+            added = policy.merge_measurements(measurements)
+            report = self._report(
+                changed_packages, added, policy, deferred,
+                duration=self.cost_model.batch_seconds(changed_packages),
+                size_before=size_before,
+            )
+            span.set_attribute("packages", report.packages_total)
+            span.set_attribute("entries_added", added)
         self.events.emit(
             report.time, "dynpolicy", "policy.generated",
             packages=report.packages_total, entries=added,
@@ -172,42 +181,47 @@ class DynamicPolicyGenerator:
         """
         from repro.dynpolicy.signedhashes import merge_signed_manifests
 
-        manifests = []
-        fallback: list[Package] = []
-        for package in changed_packages:
-            manifest = self.mirror.archive.manifest_for(package)
-            if manifest is None:
-                fallback.append(package)
-            else:
-                manifests.append((package, manifest))
+        with obs.get().tracer.span("dynpolicy.generate", mode="manifests") as span:
+            manifests = []
+            fallback: list[Package] = []
+            for package in changed_packages:
+                manifest = self.mirror.archive.manifest_for(package)
+                if manifest is None:
+                    fallback.append(package)
+                else:
+                    manifests.append((package, manifest))
 
-        size_before = policy.size_bytes()
-        added, rejected = merge_signed_manifests(
-            policy, [manifest for _pkg, manifest in manifests],
-            trusted_key, allowed_kernels,
-        )
-        rejected_packages = {manifest.package for manifest in rejected}
-        fallback.extend(
-            package for package, manifest in manifests
-            if manifest.package in rejected_packages
-        )
-        deferred: set[str] = set()
-        if fallback:
-            measurements, deferred = self.measure_packages(fallback, allowed_kernels)
-            added += policy.merge_measurements(measurements)
-        for package in changed_packages:
-            for pf in package.executables:
-                match = _MODULE_PATH.match(pf.path)
-                if match and match.group(1) not in allowed_kernels:
-                    deferred.add(match.group(1))
+            size_before = policy.size_bytes()
+            added, rejected = merge_signed_manifests(
+                policy, [manifest for _pkg, manifest in manifests],
+                trusted_key, allowed_kernels,
+            )
+            rejected_packages = {manifest.package for manifest in rejected}
+            fallback.extend(
+                package for package, manifest in manifests
+                if manifest.package in rejected_packages
+            )
+            deferred: set[str] = set()
+            if fallback:
+                measurements, deferred = self.measure_packages(fallback, allowed_kernels)
+                added += policy.merge_measurements(measurements)
+            for package in changed_packages:
+                for pf in package.executables:
+                    match = _MODULE_PATH.match(pf.path)
+                    if match and match.group(1) not in allowed_kernels:
+                        deferred.add(match.group(1))
 
-        duration = self.cost_model.manifest_batch_seconds(len(manifests))
-        if fallback:
-            duration += self.cost_model.batch_seconds(fallback, include_refresh=False)
-        report = self._report(
-            changed_packages, added, policy, deferred,
-            duration=duration, size_before=size_before,
-        )
+            duration = self.cost_model.manifest_batch_seconds(len(manifests))
+            if fallback:
+                duration += self.cost_model.batch_seconds(
+                    fallback, include_refresh=False
+                )
+            report = self._report(
+                changed_packages, added, policy, deferred,
+                duration=duration, size_before=size_before,
+            )
+            span.set_attribute("packages", report.packages_total)
+            span.set_attribute("fallback", len(fallback))
         self.events.emit(
             report.time, "dynpolicy", "policy.generated.manifests",
             packages=report.packages_total, entries=added,
@@ -227,6 +241,23 @@ class DynamicPolicyGenerator:
         with_exec = [pkg for pkg in packages if pkg.has_executables]
         high = sum(1 for pkg in with_exec if pkg.priority.is_high)
         size_after = policy.size_bytes()
+        registry = obs.get().registry
+        registry.counter("dynpolicy_runs_total", "Generator runs executed").inc()
+        registry.counter(
+            "dynpolicy_packages_measured_total",
+            "Packages with executables measured into policies",
+        ).inc(len(with_exec))
+        registry.counter(
+            "dynpolicy_entries_added_total", "Policy lines appended by the generator",
+        ).inc(added)
+        registry.histogram(
+            "dynpolicy_generate_sim_seconds",
+            "Modelled generator runtime per run (simulated seconds, Fig 3)",
+            buckets=(1.0, 5.0, 15.0, 60.0, 300.0, 900.0, 3600.0),
+        ).observe(duration)
+        registry.gauge(
+            "dynpolicy_policy_lines", "Runtime policy size after the last run",
+        ).set(policy.line_count())
         return PolicyUpdateReport(
             time=self.mirror.last_sync_time or 0.0,
             duration_seconds=duration,

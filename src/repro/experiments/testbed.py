@@ -39,6 +39,7 @@ from repro.keylime.policy import (
 from repro.keylime.registrar import KeylimeRegistrar
 from repro.keylime.tenant import KeylimeTenant
 from repro.keylime.verifier import KeylimeVerifier
+from repro.obs import runtime as obs
 from repro.tpm.device import TpmManufacturer
 
 
@@ -115,6 +116,8 @@ def build_testbed(config: TestbedConfig | None = None) -> Testbed:
     rng = SeededRng(config.seed)
     scheduler = Scheduler()
     events = EventLog()
+    # Spans carry simulated timestamps when telemetry is active.
+    obs.get().bind_clock(scheduler.clock)
 
     # Upstream world.
     archive = UbuntuArchive()

@@ -32,8 +32,20 @@ from enum import Enum
 
 from repro.common.hexutil import sha256_hex
 from repro.kernelsim.vfs import FilesystemType, FileStat
+from repro.obs import runtime as obs
 from repro.tpm.device import Tpm
 from repro.tpm.pcr import IMA_PCR_INDEX
+
+
+def _count_decision(decision: str) -> None:
+    """Record one measurement decision (no-op while telemetry is off).
+
+    The ``cache_hit`` series is the directly observable evidence for the
+    paper's P4: executions suppressed by the once-per-inode rule.
+    """
+    obs.get().registry.counter(
+        "ima_events_total", "IMA measurement decisions by outcome", ("decision",),
+    ).labels(decision=decision).inc()
 
 #: Filesystems excluded by the IMA policy in Keylime's documentation;
 #: the exclusions behind the paper's P3.
@@ -204,10 +216,13 @@ class ImaEngine:
         cache suppressed measurement.
         """
         if not self.policy.measures_hook(hook):
+            _count_decision("unhooked")
             return None
         if self.policy.excludes_fstype(stat.fstype):
+            _count_decision("excluded_fstype")
             return None  # P3: whole filesystem excluded by fsmagic
 
+        decision = "measured"
         cache_key = stat.file_key
         cached = self._cache.get(cache_key)
         if cached is not None and cached.iversion == stat.iversion:
@@ -215,12 +230,15 @@ class ImaEngine:
                 self.policy.re_evaluate_on_path_change
                 and cached.recorded_path != recorded_path
             ):
-                pass  # M3: path changed, fall through and re-measure
+                decision = "remeasured_path_change"  # M3: fall through, re-measure
             else:
-                return None  # P4: same inode, unchanged content -> no re-measurement
+                # P4: same inode, unchanged content -> no re-measurement
+                _count_decision("cache_hit")
+                return None
 
         digest = "sha256:" + sha256_hex(content)
         entry = self._append(recorded_path, digest)
+        _count_decision(decision)
         self._cache[cache_key] = _CacheRecord(
             iversion=stat.iversion, recorded_path=recorded_path
         )
@@ -257,6 +275,9 @@ class ImaEngine:
         )
         self._log.append(entry)
         self._tpm.extend(IMA_PCR_INDEX, VIOLATION_EXTEND_VALUE, algorithm="sha256")
+        obs.get().registry.counter(
+            "ima_violations_total", "IMA measurement violations recorded", ("kind",),
+        ).labels(kind=kind or "unknown").inc()
         return entry
 
     def _append(self, path: str, filedata_hash: str) -> ImaLogEntry:
@@ -269,4 +290,7 @@ class ImaEngine:
         )
         self._log.append(entry)
         self._tpm.extend(IMA_PCR_INDEX, entry.template_hash, algorithm="sha256")
+        obs.get().registry.counter(
+            "ima_measurements_total", "Entries appended to the measurement list",
+        ).inc()
         return entry

@@ -14,9 +14,11 @@ already verified and receives only the suffix.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.common.errors import StateError
 from repro.kernelsim.kernel import Machine
+from repro.obs import runtime as obs
 from repro.tpm.device import AttestationKey
 from repro.tpm.pcr import IMA_PCR_INDEX
 from repro.tpm.quote import Quote
@@ -80,26 +82,49 @@ class KeylimeAgent:
         """
         if self._ak is None:
             raise StateError(f"agent {self.agent_id} cannot attest before registration")
-        ima = self.machine.require_booted()
-        lines = ima.log_lines()
+        telemetry = obs.get()
+        wall_start = perf_counter()
+        with telemetry.tracer.span(
+            "agent.attest", agent=self.agent_id, offset=offset
+        ) as span:
+            ima = self.machine.require_booted()
+            lines = ima.log_lines()
 
-        # Advance the TPM's internal clock to the machine's present.
-        now = self.machine.clock.now
-        if self._last_quote_time is not None and now > self._last_quote_time:
-            self.machine.tpm.tick(int((now - self._last_quote_time) * 1000))
-        self._last_quote_time = now
+            # Advance the TPM's internal clock to the machine's present.
+            now = self.machine.clock.now
+            if self._last_quote_time is not None and now > self._last_quote_time:
+                self.machine.tpm.tick(int((now - self._last_quote_time) * 1000))
+            self._last_quote_time = now
 
-        selection = pcr_selection if pcr_selection else [IMA_PCR_INDEX]
-        if IMA_PCR_INDEX not in selection:
-            selection = sorted(set(selection) | {IMA_PCR_INDEX})
-        quote = self.machine.tpm.quote(
-            self._ak.public.fingerprint(), nonce, selection, algorithm="sha256"
-        )
-        if offset < 0 or offset > len(lines):
-            # A rebooted machine has a shorter log than the verifier's
-            # offset; ship everything and let the verifier notice the
-            # reset counter change.
-            offset = 0
+            selection = pcr_selection if pcr_selection else [IMA_PCR_INDEX]
+            if IMA_PCR_INDEX not in selection:
+                selection = sorted(set(selection) | {IMA_PCR_INDEX})
+            with telemetry.tracer.span("agent.quote"):
+                quote_wall_start = perf_counter()
+                quote = self.machine.tpm.quote(
+                    self._ak.public.fingerprint(), nonce, selection, algorithm="sha256"
+                )
+                telemetry.registry.histogram(
+                    "tpm_quote_wall_seconds", "Wall-clock time to produce a TPM quote",
+                ).observe(perf_counter() - quote_wall_start)
+            if offset < 0 or offset > len(lines):
+                # A rebooted machine has a shorter log than the verifier's
+                # offset; ship everything and let the verifier notice the
+                # reset counter change.
+                offset = 0
+            span.set_attribute("shipped", len(lines) - offset)
+
+        registry = telemetry.registry
+        registry.histogram(
+            "agent_attest_wall_seconds",
+            "Wall-clock time for the agent to answer one challenge",
+        ).observe(perf_counter() - wall_start)
+        registry.counter(
+            "agent_attestations_total", "Challenges answered", ("agent",),
+        ).labels(agent=self.agent_id).inc()
+        registry.counter(
+            "agent_log_lines_shipped_total", "IMA log lines shipped to the verifier",
+        ).inc(len(lines) - offset)
         return AttestationEvidence(
             quote=quote,
             ima_log_lines=tuple(lines[offset:]),

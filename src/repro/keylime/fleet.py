@@ -18,6 +18,7 @@ provides that layer on top of the single-node stack:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.common.clock import Scheduler
 from repro.common.events import EventLog
@@ -32,6 +33,7 @@ from repro.keylime.registrar import KeylimeRegistrar
 from repro.keylime.revocation import QuarantineListener, RevocationNotifier
 from repro.keylime.verifier import AgentState, AttestationResult, KeylimeVerifier
 from repro.kernelsim.kernel import Machine
+from repro.obs import runtime as obs
 from repro.tpm.device import TpmManufacturer
 
 
@@ -72,6 +74,7 @@ class Fleet:
     ) -> None:
         if size < 1:
             raise ValueError("fleet needs at least one node")
+        obs.get().bind_clock(scheduler.clock)
         self.mirror = mirror
         self.scheduler = scheduler
         self.events = events if events is not None else EventLog()
@@ -122,11 +125,29 @@ class Fleet:
 
     def poll_all(self) -> dict[str, AttestationResult]:
         """One attestation round against every still-attesting node."""
+        telemetry = obs.get()
         results = {}
-        for node in self.nodes:
-            if self.verifier.state_of(node.agent.agent_id) is AgentState.ATTESTING:
-                results[node.name] = self.verifier.poll(node.agent.agent_id)
+        with telemetry.tracer.span("fleet.poll_all", nodes=len(self.nodes)) as span:
+            for node in self.nodes:
+                if self.verifier.state_of(node.agent.agent_id) is AgentState.ATTESTING:
+                    results[node.name] = self.verifier.poll(node.agent.agent_id)
+            span.set_attribute("polled", len(results))
+        self._record_rollups(telemetry.registry)
         return results
+
+    def _record_rollups(self, registry) -> None:
+        """Refresh the fleet-wide state gauges."""
+        by_state: dict[str, int] = {}
+        for state in self.status().values():
+            by_state[state] = by_state.get(state, 0) + 1
+        nodes_gauge = registry.gauge(
+            "fleet_nodes", "Fleet nodes by verifier state", ("state",),
+        )
+        for state in AgentState:
+            nodes_gauge.labels(state=state.value).set(by_state.get(state.value, 0))
+        registry.gauge(
+            "fleet_quarantined_nodes", "Nodes currently quarantined",
+        ).set(len(self.quarantine.quarantined))
 
     def start_polling(self, interval: float) -> None:
         """Continuous attestation for the whole fleet."""
@@ -158,35 +179,59 @@ class Fleet:
         amortised across the fleet (the generator's work is independent
         of fleet size, which is the operational win of the scheme).
         """
+        telemetry = obs.get()
+        wall_start = perf_counter()
         now = self.scheduler.clock.now
-        sync = self.mirror.sync(now)
-        changed = list(sync.new_packages) + list(sync.changed_packages)
-        allowed = {node.machine.current_kernel for node in self.nodes}
-        policy_report = self.generator.generate_update(self.policy, changed, allowed)
-        for node in self.nodes:
-            self.verifier.update_policy(node.agent.agent_id, self.policy)
+        with telemetry.tracer.span("fleet.update_cycle") as span:
+            sync = self.mirror.sync(now)
+            changed = list(sync.new_packages) + list(sync.changed_packages)
+            allowed = {node.machine.current_kernel for node in self.nodes}
+            policy_report = self.generator.generate_update(self.policy, changed, allowed)
+            with telemetry.tracer.span("fleet.policy_push", nodes=len(self.nodes)):
+                for node in self.nodes:
+                    self.verifier.update_policy(node.agent.agent_id, self.policy)
 
-        files_total = 0
-        updated = 0
-        rebooted: list[str] = []
-        index = self.mirror.index()
-        for node in self.nodes:
-            report = node.apt.upgrade_from(index)
-            if report.is_empty:
-                continue
-            updated += 1
-            files_total += report.files_written
-            for package in report.packages:
-                for pf in package.executables[:20]:
-                    node.machine.exec_file(pf.path)
-            if node.machine.pending_kernel is not None:
-                self.generator.prepare_for_reboot(
-                    self.policy, node.machine.pending_kernel
-                )
-                self.verifier.update_policy(node.agent.agent_id, self.policy)
-                if reboot_on_new_kernel:
-                    node.machine.reboot()
-                    rebooted.append(node.name)
+            files_total = 0
+            updated = 0
+            rebooted: list[str] = []
+            index = self.mirror.index()
+            for node in self.nodes:
+                with telemetry.tracer.span(
+                    "fleet.node_update", node=node.name
+                ) as node_span:
+                    report = node.apt.upgrade_from(index)
+                    if report.is_empty:
+                        continue
+                    updated += 1
+                    files_total += report.files_written
+                    node_span.set_attribute("files", report.files_written)
+                    for package in report.packages:
+                        for pf in package.executables[:20]:
+                            node.machine.exec_file(pf.path)
+                    if node.machine.pending_kernel is not None:
+                        self.generator.prepare_for_reboot(
+                            self.policy, node.machine.pending_kernel
+                        )
+                        self.verifier.update_policy(node.agent.agent_id, self.policy)
+                        if reboot_on_new_kernel:
+                            node.machine.reboot()
+                            rebooted.append(node.name)
+            span.set_attribute("nodes_updated", updated)
+            span.set_attribute("files_written", files_total)
+
+        registry = telemetry.registry
+        registry.histogram(
+            "fleet_update_cycle_wall_seconds",
+            "Wall-clock duration of one fleet-wide update cycle",
+        ).observe(perf_counter() - wall_start)
+        registry.counter(
+            "fleet_update_cycles_total", "Fleet-wide update cycles executed",
+        ).inc()
+        if rebooted:
+            registry.counter(
+                "fleet_nodes_rebooted_total", "Node reboots during update cycles",
+            ).inc(len(rebooted))
+        self._record_rollups(registry)
 
         self.events.emit(
             now, "keylime.fleet", "fleet.updated",

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from time import perf_counter
 
 from repro.common.clock import Scheduler
 from repro.common.errors import NotFoundError
@@ -36,6 +37,7 @@ from repro.keylime.agent import KeylimeAgent
 from repro.keylime.audit import AuditLog
 from repro.keylime.measuredboot import MeasuredBootPolicy
 from repro.keylime.policy import EntryVerdict, PolicyFailure, RuntimePolicy
+from repro.obs import runtime as obs
 from repro.keylime.registrar import KeylimeRegistrar
 from repro.keylime.revocation import RevocationEvent, RevocationNotifier
 from repro.tpm.pcr import IMA_PCR_INDEX
@@ -221,27 +223,67 @@ class KeylimeVerifier:
             slot.state = AgentState.STOPPED
 
     def poll(self, agent_id: str) -> AttestationResult:
-        """One full attestation round against the agent."""
+        """One full attestation round against the agent.
+
+        With telemetry active (:mod:`repro.obs`), the round is traced as
+        a ``verifier.poll`` root span with one child per protocol phase
+        (``verifier.challenge``, ``verifier.quote_verify``,
+        ``verifier.log_replay``, ``verifier.policy_eval``), and updates
+        the poll-latency histogram and outcome counters.
+        """
+        telemetry = obs.get()
+        wall_start = perf_counter()
+        with telemetry.tracer.span("verifier.poll", agent=agent_id) as span:
+            result = self._poll_once(agent_id, telemetry)
+            span.set_attribute("ok", result.ok)
+            span.set_attribute("entries", result.entries_processed)
+        registry = telemetry.registry
+        registry.histogram(
+            "verifier_poll_wall_seconds", "Wall-clock latency of one verifier poll",
+        ).observe(perf_counter() - wall_start)
+        registry.counter(
+            "verifier_polls_total", "Attestation rounds executed", ("result",),
+        ).labels(result="ok" if result.ok else "failed").inc()
+        if result.entries_processed:
+            registry.counter(
+                "verifier_entries_evaluated_total",
+                "IMA entries evaluated against the runtime policy",
+            ).inc(result.entries_processed)
+        if result.entries_skipped:
+            registry.counter(
+                "verifier_entries_skipped_total",
+                "IMA entries never policy-checked (halt-on-failure, P2)",
+            ).inc(result.entries_skipped)
+        return result
+
+    def _poll_once(self, agent_id: str, telemetry) -> AttestationResult:
         slot = self._slot(agent_id)
         now = self.scheduler.clock.now
         record = self.registrar.lookup(agent_id)
-        nonce = self.rng.hexid(20)
-        selection = [IMA_PCR_INDEX]
-        if slot.measured_boot is not None:
-            selection = sorted(set(selection) | set(slot.measured_boot.pcr_selection))
-        evidence = slot.agent.attest(
-            nonce, offset=slot.verified_entries, pcr_selection=selection
-        )
+        tracer = telemetry.tracer
+
+        # Step 1: challenge the agent with a fresh nonce.
+        with tracer.span("verifier.challenge"):
+            nonce = self.rng.hexid(20)
+            selection = [IMA_PCR_INDEX]
+            if slot.measured_boot is not None:
+                selection = sorted(
+                    set(selection) | set(slot.measured_boot.pcr_selection)
+                )
+            evidence = slot.agent.attest(
+                nonce, offset=slot.verified_entries, pcr_selection=selection
+            )
 
         # Step 2: quote validation.
-        try:
-            verify_quote(evidence.quote, record.ak_public, nonce)
-        except QuoteVerificationError as exc:
-            return self._fail_round(
-                slot, now,
-                [AttestationFailure(now, FailureKind.INVALID_QUOTE, str(exc))],
-                entries_processed=0, entries_skipped=len(evidence.ima_log_lines),
-            )
+        with tracer.span("verifier.quote_verify"):
+            try:
+                verify_quote(evidence.quote, record.ak_public, nonce)
+            except QuoteVerificationError as exc:
+                return self._fail_round(
+                    slot, now,
+                    [AttestationFailure(now, FailureKind.INVALID_QUOTE, str(exc))],
+                    entries_processed=0, entries_skipped=len(evidence.ima_log_lines),
+                )
 
         # Reboot detection: PCRs and the log restarted from zero.
         if slot.last_reset_count != evidence.quote.reset_count:
@@ -249,21 +291,28 @@ class KeylimeVerifier:
             slot.verified_entries = 0
             slot.last_reset_count = evidence.quote.reset_count
             if evidence.offset != 0:
-                nonce = self.rng.hexid(20)
-                evidence = slot.agent.attest(nonce, offset=0, pcr_selection=selection)
-                try:
-                    verify_quote(evidence.quote, record.ak_public, nonce)
-                except QuoteVerificationError as exc:
-                    return self._fail_round(
-                        slot, now,
-                        [AttestationFailure(now, FailureKind.INVALID_QUOTE, str(exc))],
-                        entries_processed=0,
-                        entries_skipped=len(evidence.ima_log_lines),
+                with tracer.span("verifier.challenge", reattest=True):
+                    nonce = self.rng.hexid(20)
+                    evidence = slot.agent.attest(
+                        nonce, offset=0, pcr_selection=selection
                     )
+                with tracer.span("verifier.quote_verify", reattest=True):
+                    try:
+                        verify_quote(evidence.quote, record.ak_public, nonce)
+                    except QuoteVerificationError as exc:
+                        return self._fail_round(
+                            slot, now,
+                            [AttestationFailure(
+                                now, FailureKind.INVALID_QUOTE, str(exc)
+                            )],
+                            entries_processed=0,
+                            entries_skipped=len(evidence.ima_log_lines),
+                        )
 
         # Measured boot: the quoted boot PCRs must match the golden set.
         if slot.measured_boot is not None:
-            mismatches = slot.measured_boot.verify(evidence.quote.pcr_values)
+            with tracer.span("verifier.measured_boot"):
+                mismatches = slot.measured_boot.verify(evidence.quote.pcr_values)
             if mismatches:
                 return self._fail_round(
                     slot, now,
@@ -281,72 +330,80 @@ class KeylimeVerifier:
                 )
 
         # Step 3: parse and replay the new entries.
-        entries: list[ImaLogEntry] = []
-        for line in evidence.ima_log_lines:
-            try:
-                entry = ImaLogEntry.from_line(line)
-            except ValueError as exc:
-                return self._fail_round(
-                    slot, now,
-                    [AttestationFailure(now, FailureKind.LOG_TAMPERED, str(exc))],
-                    entries_processed=len(entries),
-                    entries_skipped=len(evidence.ima_log_lines) - len(entries),
-                )
-            if not _is_violation_entry(entry):
-                expected = template_hash(entry.filedata_hash, entry.path)
-                if entry.template_hash != expected:
+        with tracer.span(
+            "verifier.log_replay", lines=len(evidence.ima_log_lines)
+        ):
+            entries: list[ImaLogEntry] = []
+            for line in evidence.ima_log_lines:
+                try:
+                    entry = ImaLogEntry.from_line(line)
+                except ValueError as exc:
                     return self._fail_round(
                         slot, now,
-                        [AttestationFailure(
-                            now, FailureKind.LOG_TAMPERED,
-                            f"template hash mismatch at {entry.path}",
-                        )],
+                        [AttestationFailure(now, FailureKind.LOG_TAMPERED, str(exc))],
                         entries_processed=len(entries),
                         entries_skipped=len(evidence.ima_log_lines) - len(entries),
                     )
-            entries.append(entry)
+                if not _is_violation_entry(entry):
+                    expected = template_hash(entry.filedata_hash, entry.path)
+                    if entry.template_hash != expected:
+                        return self._fail_round(
+                            slot, now,
+                            [AttestationFailure(
+                                now, FailureKind.LOG_TAMPERED,
+                                f"template hash mismatch at {entry.path}",
+                            )],
+                            entries_processed=len(entries),
+                            entries_skipped=len(evidence.ima_log_lines) - len(entries),
+                        )
+                entries.append(entry)
 
-        aggregate = slot.replay_aggregate
-        from repro.common.hexutil import extend_digest
-        from repro.kernelsim.ima import VIOLATION_EXTEND_VALUE
+            aggregate = slot.replay_aggregate
+            from repro.common.hexutil import extend_digest
+            from repro.kernelsim.ima import VIOLATION_EXTEND_VALUE
 
-        for entry in entries:
-            if _is_violation_entry(entry):
-                # Violations log zeros but extend 0xFF (kernel rule).
-                aggregate = extend_digest("sha256", aggregate, VIOLATION_EXTEND_VALUE)
-            else:
-                aggregate = extend_digest("sha256", aggregate, entry.template_hash)
-        quoted = evidence.quote.pcr_values[IMA_PCR_INDEX]
-        if aggregate != quoted:
-            return self._fail_round(
-                slot, now,
-                [AttestationFailure(
-                    now, FailureKind.PCR_MISMATCH,
-                    f"IMA log replay {aggregate[:16]}... does not match quoted "
-                    f"PCR10 {quoted[:16]}...",
-                )],
-                entries_processed=0, entries_skipped=len(entries),
-            )
-        slot.replay_aggregate = aggregate
-        slot.verified_entries = evidence.offset + len(entries)
+            for entry in entries:
+                if _is_violation_entry(entry):
+                    # Violations log zeros but extend 0xFF (kernel rule).
+                    aggregate = extend_digest(
+                        "sha256", aggregate, VIOLATION_EXTEND_VALUE
+                    )
+                else:
+                    aggregate = extend_digest("sha256", aggregate, entry.template_hash)
+            quoted = evidence.quote.pcr_values[IMA_PCR_INDEX]
+            if aggregate != quoted:
+                return self._fail_round(
+                    slot, now,
+                    [AttestationFailure(
+                        now, FailureKind.PCR_MISMATCH,
+                        f"IMA log replay {aggregate[:16]}... does not match quoted "
+                        f"PCR10 {quoted[:16]}...",
+                    )],
+                    entries_processed=0, entries_skipped=len(entries),
+                )
+            slot.replay_aggregate = aggregate
+            slot.verified_entries = evidence.offset + len(entries)
 
         # Step 4: policy evaluation (sequential; halts on failure unless M2).
-        failures: list[AttestationFailure] = []
-        processed = 0
-        skipped = 0
-        for index, entry in enumerate(entries):
-            verdict, policy_failure = slot.policy.evaluate_entry(entry)
-            processed += 1
-            if verdict.is_failure and policy_failure is not None:
-                failures.append(
-                    AttestationFailure(
-                        now, FailureKind.POLICY,
-                        policy_failure.describe(), policy_failure=policy_failure,
+        with tracer.span("verifier.policy_eval") as policy_span:
+            failures: list[AttestationFailure] = []
+            processed = 0
+            skipped = 0
+            for index, entry in enumerate(entries):
+                verdict, policy_failure = slot.policy.evaluate_entry(entry)
+                processed += 1
+                if verdict.is_failure and policy_failure is not None:
+                    failures.append(
+                        AttestationFailure(
+                            now, FailureKind.POLICY,
+                            policy_failure.describe(), policy_failure=policy_failure,
+                        )
                     )
-                )
-                if not self.continue_on_failure:
-                    skipped = len(entries) - index - 1
-                    break
+                    if not self.continue_on_failure:
+                        skipped = len(entries) - index - 1
+                        break
+            policy_span.set_attribute("entries", processed)
+            policy_span.set_attribute("failures", len(failures))
 
         if failures:
             return self._fail_round(
@@ -375,6 +432,11 @@ class KeylimeVerifier:
         entries_skipped: int,
     ) -> AttestationResult:
         slot.failures.extend(failures)
+        failure_counter = obs.get().registry.counter(
+            "verifier_failures_total", "Attestation failures by kind", ("kind",),
+        )
+        for failure in failures:
+            failure_counter.labels(kind=failure.kind.value).inc()
         result = AttestationResult(
             time=now, ok=False,
             entries_processed=entries_processed,

@@ -1,0 +1,53 @@
+"""Operational telemetry: metrics, span tracing, and exporters.
+
+See :mod:`repro.obs.runtime` for the activation model, and
+``docs/API.md`` ("Observability") for the tour.
+"""
+
+from repro.obs.exporters import (
+    console_summary,
+    jsonl_dump,
+    load_jsonl,
+    parse_prometheus_text,
+    prometheus_text,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricFamily,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from repro.obs.runtime import (
+    NULL_TELEMETRY,
+    Telemetry,
+    activate,
+    deactivate,
+    get,
+    session,
+)
+from repro.obs.tracing import NULL_TRACER, NullTracer, Span, SpanStats, SpanTracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TELEMETRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTracer",
+    "Span",
+    "SpanStats",
+    "SpanTracer",
+    "Telemetry",
+    "activate",
+    "console_summary",
+    "deactivate",
+    "get",
+    "jsonl_dump",
+    "load_jsonl",
+    "parse_prometheus_text",
+    "prometheus_text",
+    "session",
+]

@@ -1,0 +1,248 @@
+"""Exporters for the telemetry layer.
+
+Three formats, in increasing order of machine-friendliness:
+
+* :func:`console_summary` -- a human-readable table of every metric and
+  a per-name span roll-up, printed by ``repro-cli obs``.
+* :func:`prometheus_text` -- the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` / samples; histograms as cumulative ``le``
+  buckets plus ``_sum``/``_count``), so a scrape endpoint or ``promtool``
+  can consume a run's metrics directly.
+* :func:`jsonl_dump` -- one JSON object per line for both metrics and
+  spans, the interchange format the analysis layer and benchmarks use.
+
+:func:`parse_prometheus_text` and :func:`load_jsonl` are the matching
+readers; the exporter tests round-trip through them.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+from repro.obs.metrics import (
+    CounterChild,
+    GaugeChild,
+    HistogramChild,
+    MetricsRegistry,
+    SUMMARY_QUANTILES,
+)
+from repro.obs.tracing import Span, SpanTracer
+
+# -- Prometheus text exposition --------------------------------------------
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every metric in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for family in registry.families():
+        lines.append(f"# HELP {family.name} {family.help_text}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels, child in family.samples():
+            if isinstance(child, HistogramChild):
+                for bound, cumulative in child.cumulative_buckets():
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _format_value(bound)
+                    lines.append(
+                        f"{family.name}_bucket{_format_labels(bucket_labels)}"
+                        f" {cumulative}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_format_labels(labels)}"
+                    f" {_format_value(child.sum)}"
+                )
+                lines.append(f"{family.name}_count{_format_labels(labels)} {child.count}")
+            else:
+                lines.append(
+                    f"{family.name}{_format_labels(labels)}"
+                    f" {_format_value(child.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus_text(
+    text: str,
+) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse exposition text back into ``{(name, labels): value}``.
+
+    Labels are a sorted tuple of ``(key, value)`` pairs.  Only the
+    sample lines are parsed; HELP/TYPE comments are skipped.  This is a
+    test/analysis helper, not a full Prometheus parser.
+    """
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        labels: list[tuple[str, str]] = []
+        if "{" in name_part:
+            name, _, label_blob = name_part.partition("{")
+            label_blob = label_blob.rstrip("}")
+            for piece in _split_label_pairs(label_blob):
+                key, _, raw = piece.partition("=")
+                value = raw.strip('"')
+                value = (
+                    value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+                )
+                labels.append((key, value))
+        else:
+            name = name_part
+        samples[(name, tuple(sorted(labels)))] = float(
+            value_part.replace("+Inf", "inf")
+        )
+    return samples
+
+
+def _split_label_pairs(blob: str) -> list[str]:
+    """Split ``a="x",b="y"`` on commas outside quoted values."""
+    pieces: list[str] = []
+    current: list[str] = []
+    in_quotes = False
+    escaped = False
+    for char in blob:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+            continue
+        if char == "," and not in_quotes:
+            pieces.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if current:
+        pieces.append("".join(current))
+    return pieces
+
+
+# -- JSONL ------------------------------------------------------------------
+
+
+def _metric_record(family, labels: dict[str, str], child) -> dict[str, Any]:
+    record: dict[str, Any] = {
+        "type": "metric",
+        "kind": family.kind,
+        "name": family.name,
+        "labels": labels,
+    }
+    if isinstance(child, HistogramChild):
+        record["count"] = child.count
+        record["sum"] = child.sum
+        record["buckets"] = [
+            [("+Inf" if math.isinf(bound) else bound), cumulative]
+            for bound, cumulative in child.cumulative_buckets()
+        ]
+        record["quantiles"] = {
+            str(q): child.quantile(q) for q in SUMMARY_QUANTILES
+        }
+    else:
+        record["value"] = child.value
+    return record
+
+
+def _span_record(span: Span) -> dict[str, Any]:
+    return {
+        "type": "span",
+        "name": span.name,
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "sim_start": span.sim_start,
+        "sim_end": span.sim_end,
+        "sim_duration": span.sim_duration,
+        "wall_ms": span.wall_duration * 1000.0,
+        "attributes": span.attributes,
+    }
+
+
+def jsonl_dump(registry: MetricsRegistry, tracer: SpanTracer | None = None) -> str:
+    """One JSON object per line: every metric sample, then every span."""
+    lines: list[str] = []
+    for family in registry.families():
+        for labels, child in family.samples():
+            lines.append(json.dumps(_metric_record(family, labels, child), sort_keys=True))
+    if tracer is not None:
+        for span in tracer.iter_spans():
+            lines.append(json.dumps(_span_record(span), sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def load_jsonl(text: str) -> list[dict[str, Any]]:
+    """Parse a :func:`jsonl_dump` blob back into records."""
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+# -- console summary --------------------------------------------------------
+
+
+def console_summary(registry: MetricsRegistry, tracer: SpanTracer | None = None) -> str:
+    """A fixed-width summary table of metrics and span roll-ups."""
+    lines: list[str] = ["== telemetry summary =="]
+    families = registry.families()
+    if not families:
+        lines.append("(no metrics recorded)")
+    for family in families:
+        for labels, child in family.samples():
+            label_text = _format_labels(labels)
+            if isinstance(child, HistogramChild):
+                q50, q90, q99 = (child.quantile(q) for q in SUMMARY_QUANTILES)
+                lines.append(
+                    f"  {family.name}{label_text}: count={child.count} "
+                    f"mean={child.mean:.6f} p50={q50:.6f} p90={q90:.6f} "
+                    f"p99={q99:.6f} sum={child.sum:.6f}"
+                )
+            else:
+                lines.append(
+                    f"  {family.name}{label_text}: {_format_value(child.value)}"
+                )
+    if tracer is not None:
+        stats = tracer.aggregate()
+        if stats:
+            lines.append("-- spans (per name) --")
+            width = max(len(name) for name in stats)
+            for name in sorted(stats):
+                entry = stats[name]
+                lines.append(
+                    f"  {name.ljust(width)}  n={entry.count:<7d} "
+                    f"wall_total={entry.wall_total * 1000:10.3f}ms "
+                    f"wall_mean={entry.wall_mean * 1000:8.4f}ms "
+                    f"sim_total={entry.sim_total:10.1f}s"
+                )
+        last = tracer.last_trace()
+        if last is not None:
+            lines.append("-- last trace --")
+            lines.extend("  " + line for line in last.tree_lines())
+        if tracer.dropped_roots:
+            lines.append(f"  (dropped {tracer.dropped_roots} oldest traces)")
+    return "\n".join(lines)

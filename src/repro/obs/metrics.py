@@ -1,0 +1,339 @@
+"""A labeled metrics registry cheap enough for the attestation hot paths.
+
+The experiment harness keeps its *measurement* concerns in
+:class:`repro.common.events.EventLog`; this module is the *operational*
+side: counters, gauges and histograms that the verifier poll loop, the
+IMA engine and the mirror/generator pipeline update tens of thousands of
+times per simulated month.  The design constraints are therefore:
+
+* **Get-or-create instruments.**  Hot call sites do
+  ``registry.counter("name").inc()`` on every event; ``counter()`` must
+  be a dictionary lookup, not a registration ceremony.
+* **Labels as cached children.**  ``family.labels(kind="policy")``
+  returns a mutable child keyed by the label values, so the per-call
+  cost after the first observation is two dict lookups.
+* **Null objects.**  When telemetry is disabled (the default), the
+  module-level :data:`NULL_REGISTRY` absorbs every call without
+  allocating, so instrumented code needs no ``if enabled`` guards.
+
+Histograms keep fixed cumulative buckets (Prometheus ``le`` semantics:
+a bucket with bound ``b`` counts observations ``<= b``) *and* a bounded
+ring-buffer reservoir from which quantile summaries are computed on
+demand -- both deterministic, no sampling randomness.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterator
+
+from repro.common.errors import ConfigurationError
+
+#: Default histogram bounds, tuned for wall-clock seconds of the
+#: operations this codebase times (sub-millisecond PCR extends up to
+#: multi-second full-mirror generator runs).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Quantiles reported by summaries (console table, JSONL dump).
+SUMMARY_QUANTILES: tuple[float, ...] = (0.5, 0.9, 0.99)
+
+#: Ring-buffer capacity of the histogram quantile reservoir.
+RESERVOIR_SIZE = 1024
+
+
+class CounterChild:
+    """One (label-set, value) cell of a counter family."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ConfigurationError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+
+class GaugeChild:
+    """One cell of a gauge family; free to move in both directions."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge to *value*."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* to the gauge."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract *amount* from the gauge."""
+        self.value -= amount
+
+
+class HistogramChild:
+    """One cell of a histogram family: buckets, sum/count, reservoir."""
+
+    __slots__ = ("bounds", "bucket_counts", "sum", "count", "_reservoir")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self.bounds = bounds
+        # One slot per finite bound plus the +Inf overflow slot.
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self._reservoir: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        if len(self._reservoir) < RESERVOIR_SIZE:
+            self._reservoir.append(value)
+        else:
+            self._reservoir[self.count % RESERVOIR_SIZE] = value
+        self.count += 1
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative_count)`` pairs, +Inf last."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            running += bucket
+            out.append((bound, running))
+        out.append((float("inf"), running + self.bucket_counts[-1]))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the (bounded) reservoir.
+
+        Exact while fewer than :data:`RESERVOIR_SIZE` observations have
+        been made; an approximation over the most recent window after.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        rank = min(int(q * len(ordered)), len(ordered) - 1)
+        return ordered[rank]
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+
+_CHILD_TYPES = {
+    "counter": CounterChild,
+    "gauge": GaugeChild,
+    "histogram": HistogramChild,
+}
+
+
+class MetricFamily:
+    """A named metric plus its per-label-set children."""
+
+    def __init__(
+        self,
+        kind: str,
+        name: str,
+        help_text: str,
+        labelnames: tuple[str, ...],
+        buckets: tuple[float, ...] | None = None,
+    ) -> None:
+        self.kind = kind
+        self.name = name
+        self.help_text = help_text
+        self.labelnames = labelnames
+        self.buckets = buckets
+        self._children: dict[tuple[str, ...], object] = {}
+
+    def _new_child(self):
+        if self.kind == "histogram":
+            return HistogramChild(self.buckets or DEFAULT_BUCKETS)
+        return _CHILD_TYPES[self.kind]()
+
+    def labels(self, **labelvalues: str):
+        """The child for the given label values (created on first use)."""
+        if tuple(sorted(labelvalues)) != tuple(sorted(self.labelnames)):
+            raise ConfigurationError(
+                f"metric {self.name!r} takes labels {list(self.labelnames)}, "
+                f"got {sorted(labelvalues)}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            child = self._new_child()
+            self._children[key] = child
+        return child
+
+    def _default_child(self):
+        if self.labelnames:
+            raise ConfigurationError(
+                f"metric {self.name!r} is labeled; use .labels(...) first"
+            )
+        return self.labels()
+
+    # Unlabeled conveniences, so `registry.counter("x").inc()` works.
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the unlabeled child (counters and gauges)."""
+        self._default_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Decrement the unlabeled child (gauges)."""
+        self._default_child().dec(amount)
+
+    def set(self, value: float) -> None:
+        """Set the unlabeled child (gauges)."""
+        self._default_child().set(value)
+
+    def observe(self, value: float) -> None:
+        """Observe into the unlabeled child (histograms)."""
+        self._default_child().observe(value)
+
+    @property
+    def value(self) -> float:
+        """Value of the unlabeled child (counters and gauges)."""
+        return self._default_child().value
+
+    def samples(self) -> Iterator[tuple[dict[str, str], object]]:
+        """Yield ``(labels_dict, child)`` in insertion order."""
+        for key, child in self._children.items():
+            yield dict(zip(self.labelnames, key)), child
+
+
+class MetricsRegistry:
+    """Get-or-create home of every metric family."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def _family(
+        self,
+        kind: str,
+        name: str,
+        help_text: str,
+        labelnames: tuple[str, ...],
+        buckets: tuple[float, ...] | None = None,
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is None:
+            family = MetricFamily(kind, name, help_text, tuple(labelnames), buckets)
+            self._families[name] = family
+            return family
+        if family.kind != kind:
+            raise ConfigurationError(
+                f"metric {name!r} already registered as a {family.kind}, "
+                f"cannot re-register as a {kind}"
+            )
+        if family.labelnames != tuple(labelnames):
+            raise ConfigurationError(
+                f"metric {name!r} already registered with labels "
+                f"{list(family.labelnames)}, got {list(labelnames)}"
+            )
+        return family
+
+    def counter(
+        self, name: str, help_text: str = "", labelnames: tuple[str, ...] = ()
+    ) -> MetricFamily:
+        """Get or create a counter family."""
+        return self._family("counter", name, help_text, labelnames)
+
+    def gauge(
+        self, name: str, help_text: str = "", labelnames: tuple[str, ...] = ()
+    ) -> MetricFamily:
+        """Get or create a gauge family."""
+        return self._family("gauge", name, help_text, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        """Get or create a histogram family with the given bounds."""
+        return self._family("histogram", name, help_text, labelnames, tuple(buckets))
+
+    def families(self) -> list[MetricFamily]:
+        """Every registered family, sorted by name."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str) -> MetricFamily | None:
+        """The family registered under *name*, or ``None``."""
+        return self._families.get(name)
+
+
+class _NullInstrument:
+    """Absorbs the whole instrument API; shared singleton, no state."""
+
+    __slots__ = ()
+
+    def labels(self, **labelvalues: str) -> "_NullInstrument":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """Registry stand-in used while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def counter(self, name, help_text="", labelnames=()):  # noqa: D102
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name, help_text="", labelnames=()):  # noqa: D102
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, help_text="", labelnames=(), buckets=()):  # noqa: D102
+        return _NULL_INSTRUMENT
+
+    def families(self):  # noqa: D102
+        return []
+
+    def get(self, name):  # noqa: D102
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,235 @@
+"""Span tracing over the simulated clock.
+
+A *span* is one timed phase of work with a name, attributes, and
+parent/child nesting: one verifier poll is a ``verifier.poll`` root span
+whose children are the four protocol phases (challenge, quote-verify,
+log-replay, policy-eval), which in turn nest the spans emitted by the
+agent and the TPM quote verifier.
+
+Two timelines are recorded per span:
+
+* **Simulated time** (``sim_start``/``sim_end``) from the bound
+  :class:`repro.common.clock.SimClock` -- *when* in the experiment the
+  work happened.  Within one scheduler callback the simulated clock does
+  not advance, so nested spans of a single poll share a timestamp.
+* **Wall time** (``wall_start``/``wall_end`` via ``perf_counter``) --
+  how long the reproduction actually spent computing, which is what the
+  per-phase performance breakdowns report.
+
+Everything in the simulation is synchronous, so a simple span stack
+gives correct parentage; the tracer is not thread-safe by design.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Iterator
+
+#: Default cap on retained root spans (a 31-day run polls ~1,500 times;
+#: the cap only matters for pathological million-poll runs).
+DEFAULT_MAX_ROOTS = 20_000
+
+
+@dataclass
+class Span:
+    """One timed, attributed, nestable unit of work."""
+
+    name: str
+    span_id: int
+    trace_id: int
+    parent_id: int | None
+    sim_start: float
+    wall_start: float
+    attributes: dict[str, Any] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+    sim_end: float | None = None
+    wall_end: float | None = None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach or overwrite one attribute."""
+        self.attributes[key] = value
+
+    @property
+    def sim_duration(self) -> float:
+        """Simulated seconds covered by the span (0.0 while open)."""
+        return (self.sim_end - self.sim_start) if self.sim_end is not None else 0.0
+
+    @property
+    def wall_duration(self) -> float:
+        """Wall-clock seconds spent inside the span (0.0 while open)."""
+        return (self.wall_end - self.wall_start) if self.wall_end is not None else 0.0
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Span | None":
+        """First descendant (or self) with the given name."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def tree_lines(self, indent: int = 0) -> list[str]:
+        """Human-readable rendering of the span tree."""
+        pad = "  " * indent
+        line = (
+            f"{pad}{self.name}  sim={self.sim_duration:.1f}s "
+            f"wall={self.wall_duration * 1000:.3f}ms"
+        )
+        if self.attributes:
+            rendered = ", ".join(f"{k}={v}" for k, v in self.attributes.items())
+            line += f"  [{rendered}]"
+        lines = [line]
+        for child in self.children:
+            lines.extend(child.tree_lines(indent + 1))
+        return lines
+
+
+@dataclass
+class SpanStats:
+    """Aggregate over every finished span of one name."""
+
+    count: int = 0
+    wall_total: float = 0.0
+    sim_total: float = 0.0
+
+    @property
+    def wall_mean(self) -> float:
+        """Mean wall seconds per span."""
+        return self.wall_total / self.count if self.count else 0.0
+
+
+class SpanTracer:
+    """Records nested spans against a bindable simulated clock."""
+
+    def __init__(self, clock=None, max_roots: int = DEFAULT_MAX_ROOTS) -> None:
+        self._clock = clock
+        self._stack: list[Span] = []
+        self._roots: deque[Span] = deque(maxlen=max_roots)
+        self._ids = itertools.count(1)
+        self._traces = itertools.count(1)
+        self.dropped_roots = 0
+
+    def bind_clock(self, clock) -> None:
+        """Attach the simulated clock (anything with a ``.now`` float)."""
+        self._clock = clock
+
+    def _now(self) -> float:
+        return self._clock.now if self._clock is not None else 0.0
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, or ``None``."""
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def roots(self) -> list[Span]:
+        """Finished root spans, oldest first (bounded by ``max_roots``)."""
+        return list(self._roots)
+
+    def last_trace(self) -> Span | None:
+        """The most recently finished root span."""
+        return self._roots[-1] if self._roots else None
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Open a span; nests under the currently open span, if any."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            trace_id=parent.trace_id if parent is not None else next(self._traces),
+            parent_id=parent.span_id if parent is not None else None,
+            sim_start=self._now(),
+            wall_start=perf_counter(),
+            attributes=dict(attributes),
+        )
+        if parent is not None:
+            parent.children.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.sim_end = self._now()
+            span.wall_end = perf_counter()
+            self._stack.pop()
+            if parent is None:
+                if len(self._roots) == self._roots.maxlen:
+                    self.dropped_roots += 1
+                self._roots.append(span)
+
+    def iter_spans(self) -> Iterator[Span]:
+        """Every finished span, depth-first within each root trace."""
+        for root in self._roots:
+            yield from root.walk()
+
+    def aggregate(self) -> dict[str, SpanStats]:
+        """Per-name totals over every finished span."""
+        stats: dict[str, SpanStats] = {}
+        for span in self.iter_spans():
+            entry = stats.setdefault(span.name, SpanStats())
+            entry.count += 1
+            entry.wall_total += span.wall_duration
+            entry.sim_total += span.sim_duration
+        return stats
+
+
+class _NullSpan:
+    """Context-manager stand-in returned while tracing is disabled."""
+
+    __slots__ = ()
+    attributes: dict[str, Any] = {}
+    children: list = []
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracer stand-in used while telemetry is disabled."""
+
+    __slots__ = ()
+    dropped_roots = 0
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        """No-op span (a shared singleton context manager)."""
+        return _NULL_SPAN
+
+    def bind_clock(self, clock) -> None:  # noqa: D102
+        pass
+
+    @property
+    def current(self) -> None:  # noqa: D102
+        return None
+
+    @property
+    def roots(self) -> list:  # noqa: D102
+        return []
+
+    def last_trace(self) -> None:  # noqa: D102
+        return None
+
+    def iter_spans(self) -> Iterator[Span]:  # noqa: D102
+        return iter(())
+
+    def aggregate(self) -> dict[str, SpanStats]:  # noqa: D102
+        return {}
+
+
+NULL_TRACER = NullTracer()

@@ -17,9 +17,11 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.common.errors import IntegrityError
 from repro.crypto.rsa import RsaPublicKey
+from repro.obs import runtime as obs
 
 
 class QuoteVerificationError(IntegrityError):
@@ -111,7 +113,31 @@ def verify_quote(quote: Quote, ak_public: RsaPublicKey, expected_nonce: str) -> 
     Checks, in order: AK identity, nonce binding, the PCR digest
     recomputation, and the RSA signature.  Raises
     :class:`QuoteVerificationError` on the first failure.
+
+    With telemetry active the verification is traced as a
+    ``tpm.verify_quote`` span and recorded in the
+    ``tpm_quote_verify_wall_seconds`` histogram and the
+    ``tpm_quote_verifications_total`` outcome counter.
     """
+    telemetry = obs.get()
+    wall_start = perf_counter()
+    ok = False
+    try:
+        with telemetry.tracer.span("tpm.verify_quote"):
+            _check_quote(quote, ak_public, expected_nonce)
+        ok = True
+    finally:
+        registry = telemetry.registry
+        registry.histogram(
+            "tpm_quote_verify_wall_seconds", "Wall-clock time to verify a TPM quote",
+        ).observe(perf_counter() - wall_start)
+        registry.counter(
+            "tpm_quote_verifications_total", "Quote verifications by outcome",
+            ("result",),
+        ).labels(result="ok" if ok else "failed").inc()
+
+
+def _check_quote(quote: Quote, ak_public: RsaPublicKey, expected_nonce: str) -> None:
     if quote.ak_fingerprint != ak_public.fingerprint():
         raise QuoteVerificationError(
             "quote was signed by an unexpected attestation key",

@@ -91,6 +91,91 @@ class TestSubscribe:
         unsubscribe()
         unsubscribe()
 
+    def test_unsubscribing_during_callback_does_not_skip_siblings(self):
+        # The classic mutate-while-iterating bug: a subscriber that
+        # unsubscribes itself must not cause the *next* subscriber to be
+        # skipped for this round.
+        log = EventLog()
+        seen: list[str] = []
+        unsubscribers = []
+
+        def first(record: EventRecord) -> None:
+            seen.append("first")
+            unsubscribers[0]()
+
+        unsubscribers.append(log.subscribe(first))
+        log.subscribe(lambda record: seen.append("second"))
+        log.emit(1.0, "a", "x")
+        assert seen == ["first", "second"]
+        log.emit(2.0, "a", "y")
+        assert seen == ["first", "second", "second"]
+
+    def test_subscribing_during_callback_defers_to_next_emit(self):
+        log = EventLog()
+        seen: list[str] = []
+
+        def late(record: EventRecord) -> None:
+            seen.append("late")
+
+        def first(record: EventRecord) -> None:
+            seen.append("first")
+            log.subscribe(late)
+
+        log.subscribe(first)
+        log.emit(1.0, "a", "x")
+        assert seen == ["first"]
+        log.emit(2.0, "a", "y")
+        assert seen == ["first", "first", "late"]
+
+
+class TestIndexedQueries:
+    def _populated(self) -> EventLog:
+        log = EventLog()
+        log.emit(1.0, "keylime.verifier", "attestation.ok")
+        log.emit(2.0, "keylime.verifier", "attestation.failed.policy")
+        log.emit(3.0, "apt", "apt.upgraded")
+        log.emit(4.0, "keylime.verifier", "attestation.ok")
+        return log
+
+    def test_by_kind_is_exact(self):
+        log = self._populated()
+        assert len(log.by_kind("attestation.ok")) == 2
+        # Exact match, unlike select()'s prefix semantics.
+        assert log.by_kind("attestation") == []
+        assert log.by_kind("missing") == []
+
+    def test_by_source_is_exact(self):
+        log = self._populated()
+        assert len(log.by_source("keylime.verifier")) == 3
+        assert log.by_source("keylime") == []
+
+    def test_by_kind_returns_a_copy(self):
+        log = self._populated()
+        log.by_kind("attestation.ok").clear()
+        assert len(log.by_kind("attestation.ok")) == 2
+
+    def test_records_between_inclusive(self):
+        log = self._populated()
+        assert [r.time for r in log.records_between(2.0, 3.0)] == [2.0, 3.0]
+        assert [r.time for r in log.records_between(0.0, 10.0)] == [1.0, 2.0, 3.0, 4.0]
+        assert log.records_between(5.0, 10.0) == []
+        assert log.records_between(3.0, 2.0) == []
+
+    def test_records_between_with_out_of_order_times(self):
+        # The bisect fast path assumes monotone emission times; a log
+        # with out-of-order records must still answer correctly.
+        log = EventLog()
+        log.emit(5.0, "a", "x")
+        log.emit(1.0, "a", "y")
+        log.emit(3.0, "a", "z")
+        assert [r.time for r in log.records_between(1.0, 3.0)] == [1.0, 3.0]
+
+    def test_records_between_duplicate_timestamps(self):
+        log = EventLog()
+        for _ in range(3):
+            log.emit(2.0, "a", "x")
+        assert len(log.records_between(2.0, 2.0)) == 3
+
 
 class TestMatches:
     def test_matches_prefixes(self):

@@ -1,0 +1,102 @@
+"""Round-trip tests for the Prometheus, JSONL and console exporters."""
+
+from repro.obs.exporters import (
+    console_summary,
+    jsonl_dump,
+    load_jsonl,
+    parse_prometheus_text,
+    prometheus_text,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import SpanTracer
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    polls = registry.counter("polls_total", "polls", ("result",))
+    polls.labels(result="ok").inc(7)
+    polls.labels(result="failed").inc(2)
+    registry.gauge("nodes", "fleet size").set(3)
+    hist = registry.histogram("latency_seconds", "poll latency", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 5.0):
+        hist.observe(value)
+    return registry
+
+
+class TestPrometheus:
+    def test_help_and_type_lines(self):
+        text = prometheus_text(_populated_registry())
+        assert "# HELP polls_total polls" in text
+        assert "# TYPE polls_total counter" in text
+        assert "# TYPE nodes gauge" in text
+        assert "# TYPE latency_seconds histogram" in text
+
+    def test_round_trip_values(self):
+        text = prometheus_text(_populated_registry())
+        samples = parse_prometheus_text(text)
+        assert samples[("polls_total", (("result", "ok"),))] == 7
+        assert samples[("polls_total", (("result", "failed"),))] == 2
+        assert samples[("nodes", ())] == 3
+
+    def test_histogram_exposition(self):
+        samples = parse_prometheus_text(prometheus_text(_populated_registry()))
+        assert samples[("latency_seconds_bucket", (("le", "0.1"),))] == 1
+        assert samples[("latency_seconds_bucket", (("le", "1"),))] == 2
+        assert samples[("latency_seconds_bucket", (("le", "+Inf"),))] == 3
+        assert samples[("latency_seconds_count", ())] == 3
+        assert abs(samples[("latency_seconds_sum", ())] - 5.55) < 1e-9
+
+    def test_label_value_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        tricky = 'quoted "path", with\nnewline\\slash'
+        registry.counter("c", "h", ("path",)).labels(path=tricky).inc()
+        samples = parse_prometheus_text(prometheus_text(registry))
+        assert samples[("c", (("path", tricky),))] == 1
+
+
+class TestJsonl:
+    def test_metric_records_round_trip(self):
+        records = load_jsonl(jsonl_dump(_populated_registry()))
+        by_name = {}
+        for record in records:
+            by_name.setdefault(record["name"], []).append(record)
+        ok = next(
+            r for r in by_name["polls_total"] if r["labels"] == {"result": "ok"}
+        )
+        assert ok["kind"] == "counter" and ok["value"] == 7
+        hist = by_name["latency_seconds"][0]
+        assert hist["count"] == 3
+        assert hist["buckets"][-1] == ["+Inf", 3]
+        assert set(hist["quantiles"]) == {"0.5", "0.9", "0.99"}
+
+    def test_span_records_preserve_the_tree(self):
+        tracer = SpanTracer()
+        with tracer.span("poll", agent="a1"):
+            with tracer.span("challenge"):
+                pass
+        records = load_jsonl(jsonl_dump(MetricsRegistry(), tracer))
+        spans = {record["name"]: record for record in records}
+        assert spans["poll"]["parent_id"] is None
+        assert spans["challenge"]["parent_id"] == spans["poll"]["span_id"]
+        assert spans["challenge"]["trace_id"] == spans["poll"]["trace_id"]
+        assert spans["poll"]["attributes"] == {"agent": "a1"}
+        assert spans["poll"]["wall_ms"] >= 0.0
+
+    def test_empty_dump_is_empty(self):
+        assert jsonl_dump(MetricsRegistry()) == ""
+        assert load_jsonl("") == []
+
+
+class TestConsoleSummary:
+    def test_lists_metrics_and_spans(self):
+        tracer = SpanTracer()
+        with tracer.span("poll"):
+            pass
+        text = console_summary(_populated_registry(), tracer)
+        assert 'polls_total{result="ok"}: 7' in text
+        assert "latency_seconds" in text and "p50=" in text
+        assert "-- spans (per name) --" in text
+        assert "-- last trace --" in text
+
+    def test_empty_registry(self):
+        assert "(no metrics recorded)" in console_summary(MetricsRegistry())

@@ -1,0 +1,178 @@
+"""Tests for the metrics registry: counters, gauges, histograms."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    RESERVOIR_SIZE,
+)
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("polls_total").inc()
+        registry.counter("polls_total").inc(2.5)
+        assert registry.counter("polls_total").value == 3.5
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.counter("polls_total").inc(-1.0)
+
+    def test_labeled_children_are_independent(self):
+        registry = MetricsRegistry()
+        family = registry.counter("polls_total", "polls", ("result",))
+        family.labels(result="ok").inc(3)
+        family.labels(result="failed").inc()
+        assert family.labels(result="ok").value == 3
+        assert family.labels(result="failed").value == 1
+
+    def test_wrong_labelnames_rejected(self):
+        registry = MetricsRegistry()
+        family = registry.counter("polls_total", "polls", ("result",))
+        with pytest.raises(ConfigurationError):
+            family.labels(outcome="ok")
+        with pytest.raises(ConfigurationError):
+            family.labels()
+
+    def test_unlabeled_convenience_rejected_on_labeled_family(self):
+        registry = MetricsRegistry()
+        family = registry.counter("polls_total", "polls", ("result",))
+        with pytest.raises(ConfigurationError):
+            family.inc()
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("fleet_nodes")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 4.0
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x", "help text")
+        second = registry.counter("x")
+        assert first is second
+        assert len(registry) == 1
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x")
+
+    def test_labelname_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x", "h", ("a",))
+        with pytest.raises(ConfigurationError):
+            registry.counter("x", "h", ("b",))
+
+    def test_families_sorted_and_get(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta")
+        registry.gauge("alpha")
+        assert [family.name for family in registry.families()] == ["alpha", "zeta"]
+        assert registry.get("alpha").kind == "gauge"
+        assert registry.get("missing") is None
+        assert "zeta" in registry
+
+
+class TestHistogramBuckets:
+    def test_boundary_value_lands_in_its_le_bucket(self):
+        # Prometheus le semantics: an observation equal to a bound
+        # belongs to that bound's bucket.
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0, 2.0, 5.0))
+        child = hist._default_child()
+        hist.observe(1.0)
+        assert child.bucket_counts == [1, 0, 0, 0]
+        hist.observe(1.5)
+        assert child.bucket_counts == [1, 1, 0, 0]
+        hist.observe(5.0)
+        assert child.bucket_counts == [1, 1, 1, 0]
+
+    def test_overflow_goes_to_inf_bucket(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0, 2.0))
+        hist.observe(99.0)
+        child = hist._default_child()
+        assert child.bucket_counts == [0, 0, 1]
+        assert child.cumulative_buckets() == [(1.0, 0), (2.0, 0), (float("inf"), 1)]
+
+    def test_cumulative_buckets_are_monotone_and_end_at_count(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        child = hist._default_child()
+        cumulative = child.cumulative_buckets()
+        counts = [count for _bound, count in cumulative]
+        assert counts == sorted(counts)
+        assert cumulative[-1] == (float("inf"), child.count) == (float("inf"), 5)
+
+    def test_sum_and_mean(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for value in (1.0, 2.0, 3.0):
+            hist.observe(value)
+        child = hist._default_child()
+        assert child.sum == 6.0
+        assert child.mean == 2.0
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestHistogramQuantiles:
+    def test_exact_below_reservoir_size(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for value in range(100):
+            hist.observe(float(value))
+        child = hist._default_child()
+        assert child.quantile(0.0) == 0.0
+        assert child.quantile(0.5) == 50.0
+        assert child.quantile(1.0) == 99.0
+
+    def test_empty_histogram_quantile_is_zero(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("h")._default_child().quantile(0.5) == 0.0
+
+    def test_out_of_range_quantile_rejected(self):
+        registry = MetricsRegistry()
+        child = registry.histogram("h")._default_child()
+        with pytest.raises(ConfigurationError):
+            child.quantile(1.5)
+
+    def test_reservoir_windows_recent_observations(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h")
+        for _ in range(RESERVOIR_SIZE):
+            hist.observe(1.0)
+        for _ in range(RESERVOIR_SIZE):
+            hist.observe(100.0)
+        child = hist._default_child()
+        # The ring buffer now holds only the recent window.
+        assert child.quantile(0.5) == 100.0
+        assert child.count == 2 * RESERVOIR_SIZE
+
+
+class TestNullRegistry:
+    def test_absorbs_everything(self):
+        NULL_REGISTRY.counter("x").labels(a="b").inc()
+        NULL_REGISTRY.gauge("y").set(3)
+        NULL_REGISTRY.histogram("z").observe(1.0)
+        assert NULL_REGISTRY.counter("x").value == 0.0
+        assert NULL_REGISTRY.families() == []
+        assert NULL_REGISTRY.get("x") is None
+        assert len(NULL_REGISTRY) == 0
+        assert "x" not in NULL_REGISTRY

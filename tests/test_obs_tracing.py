@@ -1,0 +1,138 @@
+"""Tests for span tracing against the simulated clock."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.obs.tracing import NULL_TRACER, SpanTracer
+
+
+class TestNesting:
+    def test_parent_child_linkage(self):
+        tracer = SpanTracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert inner.trace_id == outer.trace_id
+        assert outer.children == [inner]
+        assert tracer.roots == [outer]
+
+    def test_siblings_share_parent(self):
+        tracer = SpanTracer()
+        with tracer.span("poll"):
+            with tracer.span("challenge"):
+                pass
+            with tracer.span("quote_verify"):
+                pass
+        root = tracer.last_trace()
+        assert [child.name for child in root.children] == [
+            "challenge", "quote_verify",
+        ]
+
+    def test_separate_roots_get_separate_traces(self):
+        tracer = SpanTracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        first, second = tracer.roots
+        assert first.trace_id != second.trace_id
+
+    def test_current_tracks_the_stack(self):
+        tracer = SpanTracer()
+        assert tracer.current is None
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+
+    def test_exception_still_closes_and_records(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        assert tracer.current is None
+        root = tracer.last_trace()
+        assert root.name == "outer"
+        assert root.wall_end is not None
+        assert root.children[0].wall_end is not None
+
+
+class TestSimClock:
+    def test_sim_duration_follows_bound_clock(self):
+        clock = SimClock()
+        tracer = SpanTracer(clock=clock)
+        with tracer.span("work") as span:
+            clock.advance_by(120.0)
+        assert span.sim_start == 0.0
+        assert span.sim_end == 120.0
+        assert span.sim_duration == 120.0
+        assert span.wall_duration >= 0.0
+
+    def test_bind_clock_after_construction(self):
+        tracer = SpanTracer()
+        clock = SimClock()
+        clock.advance_by(5.0)
+        tracer.bind_clock(clock)
+        with tracer.span("work") as span:
+            pass
+        assert span.sim_start == 5.0
+
+    def test_unbound_clock_reads_zero(self):
+        tracer = SpanTracer()
+        with tracer.span("work") as span:
+            pass
+        assert span.sim_start == 0.0 and span.sim_end == 0.0
+
+
+class TestAttributes:
+    def test_constructor_and_set_attribute(self):
+        tracer = SpanTracer()
+        with tracer.span("poll", agent="a1") as span:
+            span.set_attribute("ok", True)
+        assert span.attributes == {"agent": "a1", "ok": True}
+
+    def test_find_and_walk(self):
+        tracer = SpanTracer()
+        with tracer.span("poll"):
+            with tracer.span("challenge"):
+                with tracer.span("quote"):
+                    pass
+        root = tracer.last_trace()
+        assert [span.name for span in root.walk()] == ["poll", "challenge", "quote"]
+        assert root.find("quote").name == "quote"
+        assert root.find("missing") is None
+
+
+class TestAggregation:
+    def test_aggregate_counts_per_name(self):
+        tracer = SpanTracer()
+        for _ in range(3):
+            with tracer.span("poll"):
+                with tracer.span("challenge"):
+                    pass
+        stats = tracer.aggregate()
+        assert stats["poll"].count == 3
+        assert stats["challenge"].count == 3
+        assert stats["poll"].wall_total >= stats["poll"].wall_mean
+
+    def test_root_cap_drops_oldest(self):
+        tracer = SpanTracer(max_roots=2)
+        for index in range(4):
+            with tracer.span(f"r{index}"):
+                pass
+        assert [root.name for root in tracer.roots] == ["r2", "r3"]
+        assert tracer.dropped_roots == 2
+
+
+class TestNullTracer:
+    def test_null_span_is_a_context_manager(self):
+        with NULL_TRACER.span("anything", a=1) as span:
+            span.set_attribute("b", 2)
+        assert NULL_TRACER.roots == []
+        assert NULL_TRACER.last_trace() is None
+        assert NULL_TRACER.aggregate() == {}
+        assert list(NULL_TRACER.iter_spans()) == []
