@@ -1,0 +1,89 @@
+"""Overhead of the telemetry + health-monitoring layer on the poll loop.
+
+The anti-P2 watch only earns its keep if watching is cheap: a verifier
+operator will not run a gap detector that meaningfully slows the
+attestation loop.  This bench times the same N-poll loop three ways --
+telemetry off (the null-object fast path), telemetry on, and telemetry
+on with a :class:`repro.obs.health.HealthWatch` ticking after every
+poll -- and reports the per-poll cost of each increment.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.experiments.testbed import TestbedConfig, build_testbed
+from repro.obs import runtime as obs_runtime
+from repro.obs.health import HealthWatch
+
+N_POLLS = 200
+POLL_INTERVAL = 1800.0
+
+
+def _poll_loop_seconds(seed: str, with_watch: bool = False) -> float:
+    """Build a small rig and time N polls (build cost excluded)."""
+    testbed = build_testbed(TestbedConfig(seed=seed, n_filler_packages=15))
+    watch = None
+    if with_watch:
+        telemetry = obs_runtime.get()
+        watch = HealthWatch(tick_interval=POLL_INTERVAL)
+        watch.attach(
+            testbed.events,
+            registry=telemetry.registry if telemetry.enabled else None,
+            tracer=telemetry.tracer if telemetry.enabled else None,
+            audit=testbed.audit,
+            poll_interval=POLL_INTERVAL,
+        )
+        watch.watch_agent(testbed.agent_id, POLL_INTERVAL)
+
+    start = perf_counter()
+    for _ in range(N_POLLS):
+        testbed.scheduler.clock.advance_by(POLL_INTERVAL)
+        assert testbed.poll().ok
+        if watch is not None:
+            watch.tick(testbed.scheduler.clock.now)
+    elapsed = perf_counter() - start
+
+    if watch is not None:
+        # A healthy loop must raise no critical alerts.  (Warning-level
+        # latency anomalies are allowed: a tight bench loop has real
+        # wall-clock jitter, which is exactly what that detector reads.)
+        assert not [a for a in watch.engine.history if a.severity == "critical"]
+    return elapsed
+
+
+def test_poll_loop_overhead(benchmark, emit):
+    # Null baseline: the autouse bench fixture activated telemetry;
+    # drop to the null objects for the unobserved loop.
+    obs_runtime.deactivate()
+    try:
+        null_s = _poll_loop_seconds("obs-overhead/null")
+    finally:
+        obs_runtime.activate()
+
+    instrumented_s = _poll_loop_seconds("obs-overhead/metrics")
+    watched_s = benchmark.pedantic(
+        lambda: _poll_loop_seconds("obs-overhead/watched", with_watch=True),
+        rounds=3, iterations=1,
+    )
+
+    per_poll = lambda seconds: seconds / N_POLLS * 1e6  # noqa: E731
+    emit()
+    emit(f"Poll-loop observability overhead ({N_POLLS} polls)")
+    emit(f"  telemetry off:            {per_poll(null_s):9.1f} us/poll")
+    emit(f"  metrics+spans:            {per_poll(instrumented_s):9.1f} us/poll "
+         f"({instrumented_s / null_s - 1.0:+.1%})")
+    emit(f"  metrics+spans+healthwatch:{per_poll(watched_s):9.1f} us/poll "
+         f"({watched_s / null_s - 1.0:+.1%})")
+    emit(f"  monitoring-layer increment over bare telemetry: "
+         f"{(watched_s - instrumented_s) / N_POLLS * 1e6:.1f} us/poll")
+
+    benchmark.extra_info["overhead"] = {
+        "null_us_per_poll": round(per_poll(null_s), 2),
+        "instrumented_us_per_poll": round(per_poll(instrumented_s), 2),
+        "watched_us_per_poll": round(per_poll(watched_s), 2),
+    }
+    # Wall-clock bound kept deliberately loose for noisy CI boxes: the
+    # whole observability stack must stay within one order of magnitude
+    # of the unobserved loop.
+    assert watched_s < null_s * 10.0

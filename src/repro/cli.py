@@ -14,6 +14,8 @@ scale and prints the corresponding artifact:
     $ repro-cli attack Mirai --mode adaptive --mitigated
     $ repro-cli obs fleet --days 2 --nodes 4 --prom metrics.prom
     $ repro-cli obs fp-week --days 3 --jsonl telemetry.jsonl
+    $ repro-cli obs watch --inject-p2 --once --jsonl run.jsonl
+    $ repro-cli obs report run.jsonl
 
 The console script ``repro-cli`` is installed with the package;
 ``python -m repro.cli`` works identically.
@@ -140,7 +142,12 @@ def _cmd_attack(args: argparse.Namespace) -> int:
 
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs import runtime as obs_runtime
-    from repro.obs.exporters import console_summary, jsonl_dump, prometheus_text
+    from repro.obs.exporters import (
+        console_summary,
+        jsonl_dump,
+        prometheus_text,
+        write_text_atomic,
+    )
 
     with obs_runtime.session() as telemetry:
         if args.experiment == "fp-week":
@@ -169,13 +176,123 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         print()
         print(console_summary(telemetry.registry, telemetry.tracer))
         if args.prom:
-            with open(args.prom, "w", encoding="utf-8") as handle:
-                handle.write(prometheus_text(telemetry.registry))
+            write_text_atomic(args.prom, prometheus_text(telemetry.registry))
             print(f"\nPrometheus exposition written to {args.prom}")
         if args.jsonl:
-            with open(args.jsonl, "w", encoding="utf-8") as handle:
-                handle.write(jsonl_dump(telemetry.registry, telemetry.tracer))
+            write_text_atomic(
+                args.jsonl, jsonl_dump(telemetry.registry, telemetry.tracer)
+            )
             print(f"JSONL telemetry written to {args.jsonl}")
+    return 0
+
+
+def _cmd_obs_watch(args: argparse.Namespace) -> int:
+    from repro.obs import runtime as obs_runtime
+    from repro.obs.exporters import jsonl_dump, write_text_atomic
+    from repro.obs.health import HealthWatch, render_dashboard
+
+    def frame(now: float, live_watch: HealthWatch) -> None:
+        print(render_dashboard(live_watch, now))
+        print()
+
+    watch = HealthWatch(
+        gap_polls=args.gap_polls,
+        tick_interval=args.tick_minutes * 60.0,
+        on_frame=None if args.once else frame,
+        frame_every=0 if args.once else args.frame_every,
+    )
+    with obs_runtime.session() as telemetry:
+        if args.scenario == "fleet":
+            from repro.experiments.fleet_run import P2Injection, run_fleet_scenario
+
+            result = run_fleet_scenario(
+                seed=args.seed, n_nodes=args.nodes, n_days=args.days,
+                n_filler_packages=args.fillers,
+                p2=P2Injection() if args.inject_p2 else None,
+                watch=watch,
+            )
+            print(f"fleet: {len(result.fleet)} nodes, {result.total_polls} polls; "
+                  f"status: {result.status}")
+        else:  # longrun
+            from repro.experiments.longrun import run_longrun
+
+            result = run_longrun(
+                config=_config(args), n_days=args.days,
+                p2_on_day=args.p2_day if args.inject_p2 else None,
+                watch=watch,
+            )
+            print(f"longrun: {result.total_polls} polls, "
+                  f"{len(result.fp_incidents)} false positives")
+
+        now = watch.monitor.last_check or 0.0
+        print()
+        print(render_dashboard(watch, now))
+        if watch.engine.history:
+            print("\n-- alerts fired over the run --")
+            for alert in watch.engine.history:
+                who = f" agent={alert.agent}" if alert.agent else ""
+                print(f"  t={alert.time / 3600.0:8.2f}h [{alert.severity.upper():8s}] "
+                      f"{alert.rule}{who}: {alert.message}")
+        for incident in watch.incidents:
+            print()
+            # Agent-scoped incidents are the forensic deep dives; keep
+            # fleet-wide SLO burns to their header block on the console.
+            print(incident.render_text(include_timeline=incident.agent_id is not None))
+
+        if args.jsonl:
+            run_meta = {
+                "type": "run_meta",
+                "scenario": args.scenario,
+                "seed": str(args.seed),
+                "days": args.days,
+                "poll_interval": watch.poll_interval,
+                "gap_polls": watch.gap_polls,
+                "agents": watch.monitor.gaps.agents(),
+                "end_time": now,
+            }
+            extra = [run_meta]
+            extra += [alert.to_record() for alert in watch.engine.history]
+            extra += [incident.to_record() for incident in watch.incidents]
+            write_text_atomic(
+                args.jsonl,
+                jsonl_dump(
+                    telemetry.registry, telemetry.tracer,
+                    events=watch.monitor.events,
+                    audit=watch.correlator.audit,
+                    extra_records=extra,
+                ),
+            )
+            print(f"\nJSONL run export written to {args.jsonl}")
+    return 0
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs.exporters import load_jsonl
+    from repro.obs.incidents import reports_from_export, split_export
+
+    with open(args.export_file, "r", encoding="utf-8") as handle:
+        records = load_jsonl(handle.read())
+    groups = split_export(records)
+    meta = (groups.get("run_meta") or [{}])[0]
+    if meta:
+        print(f"run: scenario={meta.get('scenario')} seed={meta.get('seed')} "
+              f"days={meta.get('days')} agents={len(meta.get('agents', ()))}")
+    print("records: " + ", ".join(
+        f"{kind}={len(items)}" for kind, items in sorted(groups.items())
+    ))
+    for alert in groups.get("alert", ()):
+        who = f" agent={alert['agent']}" if alert.get("agent") else ""
+        print(f"  alert t={alert['time'] / 3600.0:8.2f}h "
+              f"[{alert['severity'].upper():8s}] {alert['rule']}{who}")
+    reports = reports_from_export(records)
+    if not reports:
+        print("no incidents in export (and none reconstructible from events)")
+        return 0
+    source = "embedded" if groups.get("incident") else "replayed from events"
+    print(f"\n{len(reports)} incident report(s) ({source}):")
+    for report in reports:
+        print()
+        print(report.render_text())
     return 0
 
 
@@ -224,17 +341,66 @@ def build_parser() -> argparse.ArgumentParser:
     attack.set_defaults(func=_cmd_attack)
 
     obs = commands.add_parser(
-        "obs", help="run an experiment with telemetry enabled and export it"
+        "obs", help="telemetry: instrumented runs, health watch, incident reports"
     )
-    obs.add_argument(
-        "experiment", choices=["fp-week", "longrun", "fleet"],
-        help="which scenario to run under telemetry",
+    obs_commands = obs.add_subparsers(dest="experiment", required=True)
+    for experiment in ("fp-week", "longrun", "fleet"):
+        exporter = obs_commands.add_parser(
+            experiment, help=f"run {experiment} under telemetry and export it"
+        )
+        exporter.add_argument("--days", type=int, default=2)
+        exporter.add_argument(
+            "--nodes", type=int, default=3, help="fleet size (fleet only)"
+        )
+        exporter.add_argument("--prom", default=None, help="write Prometheus text here")
+        exporter.add_argument(
+            "--jsonl", default=None, help="write JSONL metrics+spans here"
+        )
+        exporter.set_defaults(func=_cmd_obs)
+
+    watch = obs_commands.add_parser(
+        "watch",
+        help="run a scenario under the health monitor: live dashboard, "
+             "SLO burn alerts, incident reports",
     )
-    obs.add_argument("--days", type=int, default=2)
-    obs.add_argument("--nodes", type=int, default=3, help="fleet size (fleet only)")
-    obs.add_argument("--prom", default=None, help="write Prometheus text here")
-    obs.add_argument("--jsonl", default=None, help="write JSONL metrics+spans here")
-    obs.set_defaults(func=_cmd_obs)
+    watch.add_argument(
+        "--scenario", choices=["fleet", "longrun"], default="fleet",
+        help="which scenario to watch",
+    )
+    watch.add_argument("--days", type=int, default=2)
+    watch.add_argument("--nodes", type=int, default=3, help="fleet size (fleet only)")
+    watch.add_argument(
+        "--inject-p2", action="store_true",
+        help="inject the adaptive self-induced-FP attack (the paper's P2)",
+    )
+    watch.add_argument(
+        "--p2-day", type=int, default=1,
+        help="day the P2 decoy lands (longrun scenario only)",
+    )
+    watch.add_argument(
+        "--once", action="store_true",
+        help="no live frames; print one final snapshot (CI mode)",
+    )
+    watch.add_argument(
+        "--gap-polls", type=float, default=3.0,
+        help="missed poll intervals before a coverage gap fires",
+    )
+    watch.add_argument(
+        "--tick-minutes", type=float, default=30.0,
+        help="monitor tick interval, simulated minutes",
+    )
+    watch.add_argument(
+        "--frame-every", type=int, default=24,
+        help="print a live dashboard frame every N ticks",
+    )
+    watch.add_argument("--jsonl", default=None, help="write the full run export here")
+    watch.set_defaults(func=_cmd_obs_watch)
+
+    obs_report = obs_commands.add_parser(
+        "report", help="post-hoc incident reports from an obs watch JSONL export"
+    )
+    obs_report.add_argument("export_file", help="path to an obs watch --jsonl export")
+    obs_report.set_defaults(func=_cmd_obs_report)
 
     report = commands.add_parser(
         "report", help="run every experiment and emit a markdown report"

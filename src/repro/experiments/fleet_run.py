@@ -10,6 +10,14 @@ the workload behind ``repro-cli obs fleet`` and the fleet benches.
 It deliberately touches every instrumented hot path: verifier polls,
 agent attestations, TPM quote generation/verification, IMA measurement
 decisions on every node, mirror syncs, and generator runs.
+
+The optional :class:`P2Injection` reproduces the paper's worst
+observability failure *at fleet scale*: an adaptive attacker trips a
+self-induced false positive on one node, the stock verifier halts
+polling it, and the real attack lands inside the resulting coverage
+gap.  With a :class:`repro.obs.health.HealthWatch` attached, the gap
+detector alarms on the silence and the incident correlator assembles
+the forensic timeline -- the layer the paper's P2 discussion calls for.
 """
 
 from __future__ import annotations
@@ -34,6 +42,29 @@ from repro.tpm.device import TpmManufacturer
 DEFAULT_KERNEL = "5.15.0-91-generic"
 
 
+@dataclass(frozen=True)
+class P2Injection:
+    """The adaptive self-induced-FP attack, on a schedule.
+
+    At *fp_time* the attacker drops and runs a benign unknown binary on
+    node *node_index* (a NOT_IN_POLICY false positive: the verifier
+    marks the node failed and stops polling it).  *attack_delay*
+    seconds later -- inside the coverage gap -- the real backdoor is
+    installed and executed, where a halted verifier never sees it.
+    """
+
+    fp_time: float = days(1) + hours(6.5)
+    attack_delay: float = hours(6)
+    node_index: int = 0
+    decoy_name: str = "decoy-helper"
+    attack_path: str = "/usr/bin/backdoor"
+
+    @property
+    def attack_time(self) -> float:
+        """When the real attack lands."""
+        return self.fp_time + self.attack_delay
+
+
 @dataclass
 class FleetScenarioResult:
     """Outcome of one fleet scenario run."""
@@ -41,6 +72,9 @@ class FleetScenarioResult:
     fleet: Fleet
     n_days: int
     update_reports: list[FleetUpdateReport] = field(default_factory=list)
+    p2: P2Injection | None = None
+    p2_decoy_path: str | None = None
+    p2_node: str | None = None
 
     @property
     def total_polls(self) -> int:
@@ -63,8 +97,16 @@ def run_fleet_scenario(
     n_filler_packages: int = 20,
     poll_interval: float = 1800.0,
     sync_hour: float = 5.0,
+    p2: P2Injection | None = None,
+    watch=None,
 ) -> FleetScenarioResult:
-    """Provision a fleet and run *n_days* of polling plus daily updates."""
+    """Provision a fleet and run *n_days* of polling plus daily updates.
+
+    *p2* injects the adaptive self-induced-FP attack (see
+    :class:`P2Injection`); *watch* is an optional
+    :class:`repro.obs.health.HealthWatch` attached to the fleet before
+    the run starts, so its detectors observe the whole timeline.
+    """
     rng = SeededRng(seed)
     scheduler = Scheduler()
     events = EventLog()
@@ -97,9 +139,40 @@ def run_fleet_scenario(
         n_nodes, mirror, manufacturer, scheduler, rng.fork("fleet"), policy,
         events=events, kernel_version=DEFAULT_KERNEL,
     )
-    result = FleetScenarioResult(fleet=fleet, n_days=n_days)
+    result = FleetScenarioResult(fleet=fleet, n_days=n_days, p2=p2)
 
     fleet.start_polling(poll_interval)
+    if watch is not None:
+        fleet.watch_health(watch, poll_interval)
+
+    if p2 is not None:
+        from repro.attacks.problems import p2_blind_verifier
+
+        victim = fleet.nodes[p2.node_index]
+        result.p2_node = victim.agent.agent_id
+
+        def trip_false_positive() -> None:
+            result.p2_decoy_path = p2_blind_verifier(
+                victim.machine, decoy_name=p2.decoy_name
+            )
+            events.emit(
+                scheduler.clock.now, "attack.p2", "attack.decoy_executed",
+                agent=victim.agent.agent_id, path=result.p2_decoy_path,
+            )
+
+        def land_real_attack() -> None:
+            victim.machine.install_file(
+                p2.attack_path, b"backdoor payload", executable=True
+            )
+            victim.machine.exec_file(p2.attack_path)
+            events.emit(
+                scheduler.clock.now, "attack.p2", "attack.backdoor_executed",
+                agent=victim.agent.agent_id, path=p2.attack_path,
+            )
+
+        scheduler.call_at(p2.fp_time, trip_false_positive, label="p2-decoy")
+        scheduler.call_at(p2.attack_time, land_real_attack, label="p2-backdoor")
+
     for day in range(1, n_days + 1):
         # Day (d-1)'s releases are what the 05:00 sync on day d picks up,
         # mirroring the paper's daily-sync timeline.
@@ -110,4 +183,6 @@ def run_fleet_scenario(
             label=f"fleet-update-day{day}",
         )
     scheduler.run_until(days(n_days + 1))
+    if watch is not None:
+        watch.finalize(scheduler.clock.now)
     return result

@@ -17,6 +17,14 @@ official archive after the mirror's 05:00 sync, pulling versions the
 policy had never seen.  A daily "operator check" models the manual
 resolution the authors performed: regenerate the policy from the
 actually-installed packages, push, restart attestation.
+
+``p2_on_day`` injects the P2 adaptive attack instead: a self-induced
+false positive at 09:00 halts polling, and the real backdoor lands six
+hours later inside the coverage gap.  Because the decoy is not part of
+any mirrored package, the daily operator regeneration cannot absolve
+it -- every restart replays into the same failure, which is exactly
+the P2 loop.  Attach a :class:`repro.obs.health.HealthWatch` via
+*watch* to see the gap detector catch the silence.
 """
 
 from __future__ import annotations
@@ -103,12 +111,54 @@ def run_longrun(
     cadence_days: int = 1,
     official_on_days: set[int] | None = None,
     config: TestbedConfig | None = None,
+    p2_on_day: int | None = None,
+    watch=None,
 ) -> LongRunResult:
     """Run one long-run experiment; see the module docstring."""
     if config is None:
         config = TestbedConfig(seed=seed, policy_mode="dynamic")
     testbed = build_testbed(config)
     agent_id = testbed.agent_id
+
+    if watch is not None:
+        from repro.obs import runtime as obs
+
+        telemetry = obs.get()
+        watch.attach(
+            testbed.events,
+            registry=telemetry.registry if telemetry.enabled else None,
+            tracer=telemetry.tracer if telemetry.enabled else None,
+            audit=testbed.audit,
+            poll_interval=config.poll_interval_seconds,
+        )
+        watch.watch_agent(agent_id, config.poll_interval_seconds)
+        watch.schedule(testbed.scheduler)
+
+    if p2_on_day is not None:
+        from repro.attacks.problems import p2_blind_verifier
+
+        def trip_false_positive() -> None:
+            path = p2_blind_verifier(testbed.machine)
+            testbed.events.emit(
+                testbed.scheduler.clock.now, "attack.p2",
+                "attack.decoy_executed", agent=agent_id, path=path,
+            )
+
+        def land_real_attack() -> None:
+            attack = "/usr/bin/backdoor"
+            testbed.machine.install_file(attack, b"backdoor", executable=True)
+            testbed.machine.exec_file(attack)
+            testbed.events.emit(
+                testbed.scheduler.clock.now, "attack.p2",
+                "attack.backdoor_executed", agent=agent_id, path=attack,
+            )
+
+        testbed.scheduler.call_at(
+            days(p2_on_day) + hours(9), trip_false_positive, label="p2-decoy"
+        )
+        testbed.scheduler.call_at(
+            days(p2_on_day) + hours(15), land_real_attack, label="p2-backdoor"
+        )
 
     n_cycles = max(1, n_days // cadence_days)
     for day in range(1, n_days + 1):
@@ -139,6 +189,8 @@ def run_longrun(
 
     initial_lines = testbed.policy.line_count()
     testbed.scheduler.run_until(days(n_days + 1))
+    if watch is not None:
+        watch.finalize(testbed.scheduler.clock.now)
 
     fp_incidents = [
         FpIncident(

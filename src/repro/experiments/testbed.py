@@ -31,6 +31,7 @@ from repro.dynpolicy.orchestrator import UpdateOrchestrator
 from repro.kernelsim.ima import ImaPolicy
 from repro.kernelsim.kernel import Machine
 from repro.keylime.agent import KeylimeAgent
+from repro.keylime.audit import AuditLog
 from repro.keylime.policy import (
     IBM_STYLE_EXCLUDES,
     RuntimePolicy,
@@ -89,6 +90,7 @@ class Testbed:
     agent: KeylimeAgent
     registrar: KeylimeRegistrar
     verifier: KeylimeVerifier
+    audit: AuditLog
     tenant: KeylimeTenant
     workload: BenignWorkload
     orchestrator: UpdateOrchestrator
@@ -165,9 +167,12 @@ def build_testbed(config: TestbedConfig | None = None) -> Testbed:
     # Keylime stack.
     agent = KeylimeAgent("agent-prover", machine)
     registrar = KeylimeRegistrar([manufacturer.root_certificate], events=events)
+    # Poll outcomes are routed into a hash-chained audit trail, so the
+    # incident correlator can cite chain indices for any window.
+    audit = AuditLog()
     verifier = KeylimeVerifier(
         registrar, scheduler, rng.fork("verifier"), events=events,
-        continue_on_failure=config.continue_on_failure,
+        continue_on_failure=config.continue_on_failure, audit=audit,
     )
     tenant = KeylimeTenant(registrar, verifier)
     tenant.onboard(
@@ -186,6 +191,6 @@ def build_testbed(config: TestbedConfig | None = None) -> Testbed:
         config=config, rng=rng, scheduler=scheduler, events=events,
         archive=archive, stream=stream, machine=machine, apt=apt,
         mirror=mirror, generator=generator, policy=policy, agent=agent,
-        registrar=registrar, verifier=verifier, tenant=tenant,
+        registrar=registrar, verifier=verifier, audit=audit, tenant=tenant,
         workload=workload, orchestrator=orchestrator,
     )

@@ -133,6 +133,12 @@ class Fleet:
                     results[node.name] = self.verifier.poll(node.agent.agent_id)
             span.set_attribute("polled", len(results))
         self._record_rollups(telemetry.registry)
+        self.events.emit(
+            self.scheduler.clock.now, "keylime.fleet", "fleet.polled",
+            polled=len(results),
+            ok=sum(1 for result in results.values() if result.ok),
+            healthy=self.healthy_count(),
+        )
         return results
 
     def _record_rollups(self, registry) -> None:
@@ -150,9 +156,51 @@ class Fleet:
         ).set(len(self.quarantine.quarantined))
 
     def start_polling(self, interval: float) -> None:
-        """Continuous attestation for the whole fleet."""
+        """Continuous attestation for the whole fleet.
+
+        Also schedules a fleet heartbeat on the same cadence, so the
+        state roll-up (events + gauges) stays current even though each
+        agent is polled on its own verifier schedule.
+        """
         for node in self.nodes:
             self.verifier.start_polling(node.agent.agent_id, interval)
+        self.scheduler.every(interval, self._heartbeat, label="fleet-heartbeat")
+
+    def _heartbeat(self) -> None:
+        """Roll up fleet state into one event and the state gauges."""
+        by_state: dict[str, int] = {}
+        for state in self.status().values():
+            by_state[state] = by_state.get(state, 0) + 1
+        self._record_rollups(obs.get().registry)
+        self.events.emit(
+            self.scheduler.clock.now, "keylime.fleet", "fleet.heartbeat",
+            healthy=self.healthy_count(),
+            attesting=by_state.get(AgentState.ATTESTING.value, 0),
+            failed=by_state.get(AgentState.FAILED.value, 0),
+        )
+
+    def watch_health(self, watch, poll_interval: float) -> None:
+        """Attach a :class:`repro.obs.health.HealthWatch` to this fleet.
+
+        Binds the watch to the fleet's EventLog, the active telemetry
+        registry/tracer, and the fleet's hash-chained audit log, then
+        registers every node's expected poll cadence with the
+        coverage-gap detector and schedules the periodic tick.
+        """
+        telemetry = obs.get()
+        watch.attach(
+            self.events,
+            registry=telemetry.registry if telemetry.enabled else None,
+            tracer=telemetry.tracer if telemetry.enabled else None,
+            audit=self.audit,
+            poll_interval=poll_interval,
+            now=self.scheduler.clock.now,
+        )
+        for node in self.nodes:
+            watch.watch_agent(
+                node.agent.agent_id, poll_interval, now=self.scheduler.clock.now
+            )
+        watch.schedule(self.scheduler)
 
     def status(self) -> dict[str, str]:
         """node name -> verifier state value."""

@@ -244,6 +244,21 @@ class KeylimeVerifier:
         registry.counter(
             "verifier_polls_total", "Attestation rounds executed", ("result",),
         ).labels(result="ok" if result.ok else "failed").inc()
+        # Heartbeat signals for the health layer: when each agent was
+        # last polled and last verified clean, on the simulated clock.
+        # The coverage-gap detector (obs.health) alarms on their age.
+        now = self.scheduler.clock.now
+        registry.gauge(
+            "verifier_agent_last_poll_sim_seconds",
+            "Simulated time of the agent's most recent attestation round",
+            ("agent",),
+        ).labels(agent=agent_id).set(now)
+        if result.ok:
+            registry.gauge(
+                "verifier_agent_last_ok_sim_seconds",
+                "Simulated time of the agent's most recent successful attestation",
+                ("agent",),
+            ).labels(agent=agent_id).set(now)
         if result.entries_processed:
             registry.counter(
                 "verifier_entries_evaluated_total",

@@ -1,18 +1,46 @@
-"""Operational telemetry: metrics, span tracing, and exporters.
+"""Operational telemetry: metrics, tracing, health, alerting, incidents.
 
-See :mod:`repro.obs.runtime` for the activation model, and
-``docs/API.md`` ("Observability") for the tour.
+See :mod:`repro.obs.runtime` for the activation model,
+:mod:`repro.obs.health` for the monitoring layer on top of it, and
+``docs/OBSERVABILITY.md`` for the tour.
 """
 
+from repro.obs.alerts import (
+    Alert,
+    AlertEngine,
+    BurnRateRule,
+    SloSet,
+    SloTracker,
+    standard_burn_rules,
+    standard_slos,
+)
 from repro.obs.exporters import (
     console_summary,
     jsonl_dump,
     load_jsonl,
     parse_prometheus_text,
     prometheus_text,
+    write_text_atomic,
+)
+from repro.obs.health import (
+    CoverageGapDetector,
+    Ewma,
+    FailureRateDetector,
+    HealthMonitor,
+    HealthWatch,
+    LatencyAnomalyDetector,
+    SlidingWindow,
+    render_dashboard,
+)
+from repro.obs.incidents import (
+    IncidentCorrelator,
+    IncidentReport,
+    reports_from_export,
+    split_export,
 )
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    DEFAULT_MAX_LABEL_SETS,
     MetricFamily,
     MetricsRegistry,
     NULL_REGISTRY,
@@ -29,7 +57,19 @@ from repro.obs.runtime import (
 from repro.obs.tracing import NULL_TRACER, NullTracer, Span, SpanStats, SpanTracer
 
 __all__ = [
+    "Alert",
+    "AlertEngine",
+    "BurnRateRule",
+    "CoverageGapDetector",
     "DEFAULT_BUCKETS",
+    "DEFAULT_MAX_LABEL_SETS",
+    "Ewma",
+    "FailureRateDetector",
+    "HealthMonitor",
+    "HealthWatch",
+    "IncidentCorrelator",
+    "IncidentReport",
+    "LatencyAnomalyDetector",
     "MetricFamily",
     "MetricsRegistry",
     "NULL_REGISTRY",
@@ -37,6 +77,9 @@ __all__ = [
     "NULL_TRACER",
     "NullRegistry",
     "NullTracer",
+    "SlidingWindow",
+    "SloSet",
+    "SloTracker",
     "Span",
     "SpanStats",
     "SpanTracer",
@@ -49,5 +92,11 @@ __all__ = [
     "load_jsonl",
     "parse_prometheus_text",
     "prometheus_text",
+    "render_dashboard",
+    "reports_from_export",
     "session",
+    "split_export",
+    "standard_burn_rules",
+    "standard_slos",
+    "write_text_atomic",
 ]

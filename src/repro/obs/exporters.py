@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Any
+import os
+import tempfile
+from typing import Any, Iterable
 
 from repro.obs.metrics import (
     CounterChild,
@@ -35,6 +37,11 @@ from repro.obs.tracing import Span, SpanTracer
 
 def _escape_label_value(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help_text(value: str) -> str:
+    # HELP lines escape only backslash and newline (quotes stay as-is).
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _format_labels(labels: dict[str, str]) -> str:
@@ -59,7 +66,7 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     """Render every metric in the Prometheus text exposition format."""
     lines: list[str] = []
     for family in registry.families():
-        lines.append(f"# HELP {family.name} {family.help_text}")
+        lines.append(f"# HELP {family.name} {_escape_help_text(family.help_text)}")
         lines.append(f"# TYPE {family.name} {family.kind}")
         for labels, child in family.samples():
             if isinstance(child, HistogramChild):
@@ -80,6 +87,17 @@ def prometheus_text(registry: MetricsRegistry) -> str:
                     f"{family.name}{_format_labels(labels)}"
                     f" {_format_value(child.value)}"
                 )
+    overflow = registry.label_overflow()
+    if overflow:
+        name = "telemetry_label_sets_overflowed_total"
+        lines.append(
+            f"# HELP {name} Label-sets collapsed by the per-metric cardinality cap"
+        )
+        lines.append(f"# TYPE {name} counter")
+        for metric in sorted(overflow):
+            lines.append(
+                f"{name}{_format_labels({'metric': metric})} {overflow[metric]}"
+            )
     return "\n".join(lines) + "\n"
 
 
@@ -186,8 +204,45 @@ def _span_record(span: Span) -> dict[str, Any]:
     }
 
 
-def jsonl_dump(registry: MetricsRegistry, tracer: SpanTracer | None = None) -> str:
-    """One JSON object per line: every metric sample, then every span."""
+def _event_record(record) -> dict[str, Any]:
+    return {
+        "type": "event",
+        "time": record.time,
+        "source": record.source,
+        "kind": record.kind,
+        "details": record.details,
+    }
+
+
+def _audit_export_record(record) -> dict[str, Any]:
+    return {
+        "type": "audit",
+        "index": record.index,
+        "time": record.time,
+        "agent": record.agent_id,
+        "ok": record.ok,
+        "detail": record.detail,
+        "previous_hash": record.previous_hash,
+        "record_hash": record.record_hash,
+    }
+
+
+def jsonl_dump(
+    registry: MetricsRegistry,
+    tracer: SpanTracer | None = None,
+    events=None,
+    audit=None,
+    extra_records: Iterable[dict[str, Any]] | None = None,
+) -> str:
+    """One JSON object per line: metrics, spans, events, audit records.
+
+    *events* is an :class:`repro.common.events.EventLog` and *audit* an
+    :class:`repro.keylime.audit.AuditLog`; both optional.  Passing them
+    makes the export self-contained enough for ``repro-cli obs report``
+    to rebuild incident timelines post-hoc.  *extra_records* (already
+    dict-shaped, e.g. incident reports or run metadata) are appended
+    verbatim.
+    """
     lines: list[str] = []
     for family in registry.families():
         for labels, child in family.samples():
@@ -195,7 +250,41 @@ def jsonl_dump(registry: MetricsRegistry, tracer: SpanTracer | None = None) -> s
     if tracer is not None:
         for span in tracer.iter_spans():
             lines.append(json.dumps(_span_record(span), sort_keys=True))
+    if events is not None:
+        for record in events:
+            lines.append(json.dumps(_event_record(record), sort_keys=True))
+    if audit is not None:
+        for record in audit.records():
+            lines.append(json.dumps(_audit_export_record(record), sort_keys=True))
+    for record in extra_records or ():
+        lines.append(json.dumps(record, sort_keys=True))
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_text_atomic(path: str, text: str) -> None:
+    """Write *text* to *path* via a same-directory temp file + rename.
+
+    A run killed mid-export never leaves a truncated file behind: the
+    replace is atomic, so readers see either the old content or the
+    complete new one.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    handle = tempfile.NamedTemporaryFile(
+        "w", encoding="utf-8", dir=directory,
+        prefix=os.path.basename(path) + ".", suffix=".tmp", delete=False,
+    )
+    try:
+        with handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
 
 
 def load_jsonl(text: str) -> list[dict[str, Any]]:

@@ -43,6 +43,14 @@ SUMMARY_QUANTILES: tuple[float, ...] = (0.5, 0.9, 0.99)
 #: Ring-buffer capacity of the histogram quantile reservoir.
 RESERVOIR_SIZE = 1024
 
+#: Default cap on distinct label-sets per metric family.  A fleet-scale
+#: run that labels by agent id stays well under this; a bug that labels
+#: by nonce or path would otherwise grow the registry without bound.
+DEFAULT_MAX_LABEL_SETS = 2048
+
+#: Label value every over-cap label-set collapses into.
+OVERFLOW_LABEL_VALUE = "_overflow"
+
 
 class CounterChild:
     """One (label-set, value) cell of a counter family."""
@@ -150,12 +158,15 @@ class MetricFamily:
         help_text: str,
         labelnames: tuple[str, ...],
         buckets: tuple[float, ...] | None = None,
+        max_label_sets: int | None = DEFAULT_MAX_LABEL_SETS,
     ) -> None:
         self.kind = kind
         self.name = name
         self.help_text = help_text
         self.labelnames = labelnames
         self.buckets = buckets
+        self.max_label_sets = max_label_sets
+        self.overflowed_label_sets = 0
         self._children: dict[tuple[str, ...], object] = {}
 
     def _new_child(self):
@@ -173,6 +184,20 @@ class MetricFamily:
         key = tuple(str(labelvalues[name]) for name in self.labelnames)
         child = self._children.get(key)
         if child is None:
+            if (
+                self.labelnames
+                and self.max_label_sets is not None
+                and len(self._children) >= self.max_label_sets
+            ):
+                # Cardinality guard: collapse every over-cap label-set
+                # into one overflow cell instead of growing the registry.
+                self.overflowed_label_sets += 1
+                key = (OVERFLOW_LABEL_VALUE,) * len(self.labelnames)
+                child = self._children.get(key)
+                if child is None:
+                    child = self._new_child()
+                    self._children[key] = child
+                return child
             child = self._new_child()
             self._children[key] = child
         return child
@@ -214,9 +239,16 @@ class MetricFamily:
 
 
 class MetricsRegistry:
-    """Get-or-create home of every metric family."""
+    """Get-or-create home of every metric family.
 
-    def __init__(self) -> None:
+    ``max_label_sets`` bounds the distinct label-sets each family may
+    hold; past the cap, new label-sets collapse into a shared
+    ``_overflow`` cell and the family's ``overflowed_label_sets``
+    warning counter grows (see :meth:`label_overflow`).
+    """
+
+    def __init__(self, max_label_sets: int | None = DEFAULT_MAX_LABEL_SETS) -> None:
+        self.max_label_sets = max_label_sets
         self._families: dict[str, MetricFamily] = {}
 
     def __len__(self) -> int:
@@ -235,7 +267,10 @@ class MetricsRegistry:
     ) -> MetricFamily:
         family = self._families.get(name)
         if family is None:
-            family = MetricFamily(kind, name, help_text, tuple(labelnames), buckets)
+            family = MetricFamily(
+                kind, name, help_text, tuple(labelnames), buckets,
+                max_label_sets=self.max_label_sets,
+            )
             self._families[name] = family
             return family
         if family.kind != kind:
@@ -279,6 +314,14 @@ class MetricsRegistry:
     def get(self, name: str) -> MetricFamily | None:
         """The family registered under *name*, or ``None``."""
         return self._families.get(name)
+
+    def label_overflow(self) -> dict[str, int]:
+        """Per-family count of label-sets collapsed by the cardinality cap."""
+        return {
+            family.name: family.overflowed_label_sets
+            for family in self._families.values()
+            if family.overflowed_label_sets
+        }
 
 
 class _NullInstrument:
@@ -328,6 +371,9 @@ class NullRegistry:
 
     def get(self, name):  # noqa: D102
         return None
+
+    def label_overflow(self):  # noqa: D102
+        return {}
 
     def __len__(self) -> int:
         return 0

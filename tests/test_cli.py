@@ -137,3 +137,50 @@ class TestPolicyFileCommands:
         out = capsys.readouterr().out
         assert "paths:               1" in out
         assert "/usr/bin" in out
+
+
+class TestObsWatch:
+    @pytest.fixture(scope="class")
+    def watch_export(self, tmp_path_factory):
+        """One watched P2 fleet run, exported to JSONL."""
+        import contextlib
+        import io
+
+        path = tmp_path_factory.mktemp("obs") / "run.jsonl"
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            code = main([
+                "--fillers", "5", "--seed", "cli-watch",
+                "obs", "watch", "--days", "2", "--nodes", "2",
+                "--inject-p2", "--once", "--jsonl", str(path),
+            ])
+        return code, path, buffer.getvalue()
+
+    def test_parser_accepts_watch_options(self):
+        args = build_parser().parse_args([
+            "obs", "watch", "--scenario", "longrun", "--inject-p2",
+            "--p2-day", "2", "--once", "--gap-polls", "4",
+        ])
+        assert args.scenario == "longrun"
+        assert args.inject_p2 and args.once
+        assert args.gap_polls == 4.0
+
+    def test_watch_detects_the_injected_gap(self, watch_export):
+        code, path, out = watch_export
+        assert code == 0
+        assert "in coverage gap" in out
+        assert "health.coverage_gap" in out
+        assert "==== incident INC-" in out
+        assert "chain_verified=True" in out
+        assert "attack.backdoor_executed" in out
+        assert path.exists()
+
+    def test_report_renders_from_the_export(self, watch_export, capsys):
+        _, path, _ = watch_export
+        capsys.readouterr()  # drop any prior output
+        assert main(["obs", "report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario=fleet" in out
+        assert "health.coverage_gap" in out
+        assert "incident report(s) (embedded)" in out
+        assert "chain_verified=True" in out

@@ -6,6 +6,7 @@ from repro.obs.exporters import (
     load_jsonl,
     parse_prometheus_text,
     prometheus_text,
+    write_text_atomic,
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import SpanTracer
@@ -100,3 +101,81 @@ class TestConsoleSummary:
 
     def test_empty_registry(self):
         assert "(no metrics recorded)" in console_summary(MetricsRegistry())
+
+
+class TestHelpEscaping:
+    def test_newlines_and_backslashes_in_help(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "line one\nline two \\ done").inc()
+        text = prometheus_text(registry)
+        assert "# HELP x_total line one\\nline two \\\\ done" in text
+        # The exposition stays one-line-per-record parseable.
+        assert parse_prometheus_text(text)[("x_total", ())] == 1
+
+    def test_overflow_counter_is_exposed(self):
+        registry = MetricsRegistry(max_label_sets=1)
+        family = registry.counter("polls_total", "polls", ("agent",))
+        family.labels(agent="a").inc()
+        family.labels(agent="b").inc()
+        samples = parse_prometheus_text(prometheus_text(registry))
+        assert samples[(
+            "telemetry_label_sets_overflowed_total", (("metric", "polls_total"),)
+        )] == 1
+
+    def test_no_overflow_counter_when_clean(self):
+        text = prometheus_text(_populated_registry())
+        assert "telemetry_label_sets_overflowed_total" not in text
+
+
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        target = tmp_path / "out" / "metrics.prom"
+        target.parent.mkdir()
+        write_text_atomic(str(target), "first\n")
+        assert target.read_text() == "first\n"
+        write_text_atomic(str(target), "second\n")
+        assert target.read_text() == "second\n"
+        # No temp files left behind in the target directory.
+        assert [p.name for p in target.parent.iterdir()] == ["metrics.prom"]
+
+    def test_failed_write_leaves_no_temp(self, tmp_path):
+        import pytest
+
+        target = tmp_path / "metrics.prom"
+        with pytest.raises(TypeError):
+            write_text_atomic(str(target), None)
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestEventAndAuditExport:
+    def _full_dump(self) -> list[dict]:
+        from repro.common.events import EventLog
+        from repro.keylime.audit import AuditLog
+
+        events = EventLog()
+        events.emit(10.0, "keylime.verifier", "attestation.ok", agent="a")
+        audit = AuditLog()
+        audit.append(10.0, "a", True, {"kind": "poll"})
+        extra = [{"type": "run_meta", "poll_interval": 1800.0}]
+        return load_jsonl(jsonl_dump(
+            _populated_registry(), events=events, audit=audit,
+            extra_records=extra,
+        ))
+
+    def test_typed_records_present(self):
+        records = self._full_dump()
+        by_type = {}
+        for record in records:
+            by_type.setdefault(record.get("type", "metric"), []).append(record)
+        assert len(by_type["event"]) == 1
+        assert by_type["event"][0]["kind"] == "attestation.ok"
+        assert len(by_type["audit"]) == 1
+        assert by_type["audit"][0]["record_hash"]
+        assert by_type["run_meta"][0]["poll_interval"] == 1800.0
+
+    def test_audit_records_carry_the_chain_fields(self):
+        [audit] = [r for r in self._full_dump() if r.get("type") == "audit"]
+        assert set(audit) >= {
+            "index", "time", "agent", "ok", "detail",
+            "previous_hash", "record_hash",
+        }

@@ -1,0 +1,299 @@
+"""Incident correlation tests, including the P2 acceptance scenario:
+a self-induced false positive halts the verifier, the real attack
+lands inside the coverage gap, and the watch produces a gap alert plus
+an incident report citing events, spans and audit chain indices."""
+
+import json
+
+import pytest
+
+from repro.common.events import EventLog
+from repro.experiments.fleet_run import P2Injection, run_fleet_scenario
+from repro.keylime.audit import AuditLog
+from repro.obs import runtime as obs_runtime
+from repro.obs.alerts import Alert
+from repro.obs.health import HealthWatch
+from repro.obs.incidents import (
+    MAX_SECTION_RECORDS,
+    IncidentCorrelator,
+    IncidentReport,
+    _verify_exported_chain,
+    reports_from_export,
+    split_export,
+)
+
+HOUR = 3600.0
+POLL = 1800.0
+
+
+def _alert(time: float, agent: str | None = "agent-a", rule: str = "health.coverage_gap"):
+    return Alert(
+        time=time, rule=rule, severity="critical", agent=agent,
+        message="gap", detail={"gap_started": time - HOUR},
+    )
+
+
+class TestCorrelatorLive:
+    def _sources(self) -> tuple[EventLog, AuditLog]:
+        events = EventLog()
+        audit = AuditLog()
+        for tick in range(1, 9):
+            now = tick * POLL
+            ok = tick < 6
+            kind = "attestation.ok" if ok else "attestation.failed.policy"
+            events.emit(now, "keylime.verifier", kind, agent="agent-a")
+            audit.append(now, "agent-a", ok, {"kind": "poll"})
+        events.emit(2 * POLL, "keylime.verifier", "attestation.ok", agent="agent-b")
+        events.emit(3 * POLL, "mirror", "mirror.synced", new=1)
+        return events, audit
+
+    def test_window_and_agent_filtering(self):
+        events, audit = self._sources()
+        correlator = IncidentCorrelator(events, audit=audit)
+        report = correlator.build(_alert(6 * POLL), lookback=4 * POLL)
+        assert report.window == (2 * POLL, 6 * POLL)
+        times = [event["time"] for event in report.events]
+        assert min(times) >= 2 * POLL and max(times) <= 6 * POLL
+        # agent-b's record is excluded; the agent-less mirror sync stays.
+        assert all(
+            event["details"].get("agent") in (None, "agent-a")
+            for event in report.events
+        )
+        assert any(event["kind"] == "mirror.synced" for event in report.events)
+
+    def test_audit_chain_citation(self):
+        events, audit = self._sources()
+        correlator = IncidentCorrelator(events, audit=audit)
+        report = correlator.build(_alert(6 * POLL), lookback=3 * POLL)
+        chain = report.audit_chain
+        assert chain["verified"] is True
+        assert chain["head"] == audit.head_hash
+        assert chain["records_in_window"] == len(report.audit_records) > 0
+        indices = [record["index"] for record in report.audit_records]
+        assert indices == list(range(chain["first_index"], chain["last_index"] + 1))
+
+    def test_incident_ids_are_sequential(self):
+        events, audit = self._sources()
+        correlator = IncidentCorrelator(events, audit=audit)
+        first = correlator.build(_alert(5 * POLL))
+        second = correlator.build(_alert(6 * POLL))
+        assert (first.incident_id, second.incident_id) == ("INC-0001", "INC-0002")
+
+    def test_sections_are_truncated_with_counts(self):
+        events = EventLog()
+        for tick in range(MAX_SECTION_RECORDS + 50):
+            events.emit(float(tick), "keylime.verifier", "attestation.ok",
+                        agent="agent-a")
+        correlator = IncidentCorrelator(events)
+        report = correlator.build(
+            _alert(float(MAX_SECTION_RECORDS + 50)), lookback=1e9
+        )
+        assert len(report.events) == MAX_SECTION_RECORDS
+        assert report.truncated["events"] == 50
+        # The newest records are the ones kept.
+        assert report.events[-1]["time"] == MAX_SECTION_RECORDS + 49
+
+
+class TestReportSerialisation:
+    def _report(self) -> IncidentReport:
+        events, audit = TestCorrelatorLive()._sources()
+        return IncidentCorrelator(events, audit=audit).build(_alert(6 * POLL))
+
+    def test_record_round_trip(self):
+        report = self._report()
+        clone = IncidentReport.from_record(json.loads(report.to_json()))
+        assert clone.incident_id == report.incident_id
+        assert clone.window == report.window
+        assert clone.events == report.events
+        assert clone.audit_chain == report.audit_chain
+
+    def test_timeline_is_time_ordered(self):
+        times = [entry[0] for entry in self._report().timeline()]
+        assert times == sorted(times)
+
+    def test_render_text_cites_the_evidence(self):
+        text = self._report().render_text()
+        assert "==== incident INC-0001 ====" in text
+        assert "chain_verified=True" in text
+        assert "[EVT" in text and "[AUDIT" in text
+        assert "gap:" in text
+
+    def test_render_without_timeline(self):
+        text = self._report().render_text(include_timeline=False)
+        assert "-- timeline --" not in text
+        assert "timeline omitted" in text
+
+
+class TestExportedChainVerification:
+    def _exported(self) -> list[dict]:
+        audit = AuditLog()
+        for tick in range(4):
+            audit.append(float(tick), "agent-a", True, {"kind": "poll"})
+        return [
+            {
+                "index": record.index, "time": record.time,
+                "agent": record.agent_id, "ok": record.ok,
+                "detail": record.detail,
+                "previous_hash": record.previous_hash,
+                "record_hash": record.record_hash,
+            }
+            for record in audit.records()
+        ]
+
+    def test_intact_chain_verifies(self):
+        assert _verify_exported_chain(self._exported()) is True
+
+    def test_tampered_content_fails(self):
+        records = self._exported()
+        records[2]["ok"] = False
+        assert _verify_exported_chain(records) is False
+
+    def test_broken_link_fails(self):
+        records = self._exported()
+        records[2]["previous_hash"] = "0" * 64
+        records[2]["record_hash"] = __import__(
+            "repro.keylime.audit", fromlist=["AuditRecord"]
+        ).AuditRecord.compute_hash(
+            records[2]["index"], records[2]["time"], records[2]["agent"],
+            records[2]["ok"], records[2]["detail"], records[2]["previous_hash"],
+        )
+        assert _verify_exported_chain(records) is False
+
+    def test_empty_export_does_not_verify(self):
+        assert _verify_exported_chain([]) is False
+
+
+@pytest.fixture(scope="module")
+def p2_run():
+    """The acceptance scenario, run once for the whole module."""
+    with obs_runtime.session():
+        watch = HealthWatch(tick_interval=POLL)
+        result = run_fleet_scenario(
+            seed="p2-acceptance", n_nodes=2, n_days=2, n_filler_packages=5,
+            p2=P2Injection(), watch=watch,
+        )
+    return result, watch
+
+
+class TestP2AcceptanceScenario:
+    def test_stock_verifier_halts_and_the_attack_lands(self, p2_run):
+        result, _ = p2_run
+        assert result.status[result.fleet.nodes[0].name] == "failed"
+        assert result.status[result.fleet.nodes[1].name] == "attesting"
+        assert result.p2_decoy_path is not None
+        backdoors = result.fleet.events.by_kind("attack.backdoor_executed")
+        assert len(backdoors) == 1
+        assert backdoors[0].time == result.p2.attack_time
+
+    def test_coverage_gap_alert_fires_during_the_gap(self, p2_run):
+        result, watch = p2_run
+        gap_alerts = [
+            alert for alert in watch.engine.history
+            if alert.rule == "health.coverage_gap"
+        ]
+        assert len(gap_alerts) == 1
+        alert = gap_alerts[0]
+        assert alert.agent == result.p2_node
+        assert alert.detail["polling_halted_at"] == result.p2.fp_time
+        # Detection beats the attacker: the alarm sounds before the
+        # real backdoor lands in the gap.
+        assert result.p2.fp_time < alert.time < result.p2.attack_time
+
+    def test_incident_report_cites_all_three_evidence_sources(self, p2_run):
+        result, watch = p2_run
+        [incident] = [
+            report for report in watch.incidents
+            if report.alert["rule"] == "health.coverage_gap"
+        ]
+        assert incident.agent_id == result.p2_node
+        kinds = {event["kind"] for event in incident.events}
+        # The full P2 arc is in one timeline: decoy, policy failure,
+        # halt, the alert itself, and the attack inside the gap.
+        assert {
+            "attack.decoy_executed", "attestation.failed.policy",
+            "polling.halted", "alert.fired", "attack.backdoor_executed",
+        } <= kinds
+        assert incident.spans, "traced polls should appear in the window"
+        assert all(
+            (span.get("attributes") or {}).get("agent") in (None, result.p2_node)
+            for span in incident.spans
+            if span.get("parent_id") is None
+        )
+        chain = incident.audit_chain
+        assert chain["verified"] is True
+        assert chain["records_in_window"] > 0
+        assert chain["first_index"] is not None
+        assert chain["last_index"] >= chain["first_index"]
+
+    def test_slo_budget_burns_and_burn_rule_fires(self, p2_run):
+        _, watch = p2_run
+        fired_rules = {alert.rule for alert in watch.engine.history}
+        assert "slo.freshness.fast_burn" in fired_rules
+        end = watch.monitor.last_check
+        assert watch.monitor.slos.freshness.budget_remaining(86400.0, end) == 0.0
+
+    def test_detection_latency_slo_met(self, p2_run):
+        _, watch = p2_run
+        slo = watch.monitor.slos.detection_latency
+        assert slo.total == 1 and slo.total_bad == 0
+
+
+class TestPostHocReconstruction:
+    def _export(self, p2_run) -> list[dict]:
+        from repro.obs.exporters import jsonl_dump, load_jsonl
+
+        result, watch = p2_run
+        telemetry = None  # registry/tracer already captured by the watch
+        extra = [{
+            "type": "run_meta", "scenario": "fleet",
+            "poll_interval": POLL,
+            "agents": watch.monitor.gaps.agents(),
+        }]
+        extra += [alert.to_record() for alert in watch.engine.history]
+        extra += [incident.to_record() for incident in watch.incidents]
+        text = jsonl_dump(
+            watch.monitor.registry or __import__(
+                "repro.obs.metrics", fromlist=["MetricsRegistry"]
+            ).MetricsRegistry(),
+            tracer=watch.correlator.tracer,
+            events=result.fleet.events,
+            audit=result.fleet.audit,
+            extra_records=extra,
+        )
+        return load_jsonl(text)
+
+    def test_embedded_incidents_round_trip(self, p2_run):
+        _, watch = p2_run
+        records = self._export(p2_run)
+        reports = reports_from_export(records)
+        assert len(reports) == len(watch.incidents)
+        by_rule = {report.alert["rule"] for report in reports}
+        assert "health.coverage_gap" in by_rule
+
+    def test_replay_rediscovers_the_gap_without_incident_records(self, p2_run):
+        result, watch = p2_run
+        records = [
+            record for record in self._export(p2_run)
+            if record.get("type") not in ("incident", "alert")
+        ]
+        reports = reports_from_export(records)
+        gap_reports = [
+            report for report in reports
+            if report.alert["rule"] == "health.coverage_gap"
+        ]
+        assert len(gap_reports) == 1
+        replayed = gap_reports[0]
+        assert replayed.agent_id == result.p2_node
+        # Replay detects at the same tick the live watch did.
+        live = next(
+            alert for alert in watch.engine.history
+            if alert.rule == "health.coverage_gap"
+        )
+        assert replayed.alert["time"] == live.time
+        # Exported audit records still verify by recomputed hashes.
+        assert replayed.audit_chain["verified"] is True
+
+    def test_split_export_groups_by_type(self, p2_run):
+        groups = split_export(self._export(p2_run))
+        for kind in ("run_meta", "event", "audit", "alert", "incident", "metric"):
+            assert groups.get(kind), f"export should carry {kind} records"

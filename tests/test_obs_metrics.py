@@ -5,8 +5,10 @@ import pytest
 from repro.common.errors import ConfigurationError
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    DEFAULT_MAX_LABEL_SETS,
     MetricsRegistry,
     NULL_REGISTRY,
+    OVERFLOW_LABEL_VALUE,
     RESERVOIR_SIZE,
 )
 
@@ -176,3 +178,47 @@ class TestNullRegistry:
         assert NULL_REGISTRY.get("x") is None
         assert len(NULL_REGISTRY) == 0
         assert "x" not in NULL_REGISTRY
+
+
+class TestCardinalityGuard:
+    def test_overflow_collapses_into_one_cell(self):
+        registry = MetricsRegistry(max_label_sets=3)
+        family = registry.counter("polls_total", "polls", ("agent",))
+        for index in range(5):
+            family.labels(agent=f"agent-{index}").inc()
+        # Three real children plus the shared overflow cell.
+        assert family.overflowed_label_sets == 2
+        overflow = family.labels(agent=OVERFLOW_LABEL_VALUE)
+        assert overflow.value == 2.0
+
+    def test_existing_label_sets_keep_working_at_cap(self):
+        registry = MetricsRegistry(max_label_sets=2)
+        family = registry.counter("polls_total", "polls", ("agent",))
+        family.labels(agent="a").inc()
+        family.labels(agent="b").inc()
+        family.labels(agent="a").inc(5)  # known set: unaffected by the cap
+        assert family.labels(agent="a").value == 6.0
+        assert family.overflowed_label_sets == 0
+
+    def test_registry_reports_overflowing_families(self):
+        registry = MetricsRegistry(max_label_sets=1)
+        clean = registry.counter("ok_total", "ok", ("agent",))
+        clean.labels(agent="a").inc()
+        noisy = registry.gauge("age_seconds", "age", ("agent",))
+        noisy.labels(agent="a").set(1)
+        noisy.labels(agent="b").set(2)
+        assert registry.label_overflow() == {"age_seconds": 1}
+
+    def test_unlabeled_families_are_never_capped(self):
+        registry = MetricsRegistry(max_label_sets=1)
+        registry.counter("a_total").inc()
+        registry.counter("b_total").inc()
+        assert registry.label_overflow() == {}
+
+    def test_null_registry_reports_no_overflow(self):
+        assert NULL_REGISTRY.label_overflow() == {}
+
+    def test_default_cap_is_generous(self):
+        registry = MetricsRegistry()
+        family = registry.counter("polls_total", "polls", ("agent",))
+        assert family.max_label_sets == DEFAULT_MAX_LABEL_SETS
