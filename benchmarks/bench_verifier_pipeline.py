@@ -1,0 +1,160 @@
+"""Extension bench: staged verification pipeline and verdict caching.
+
+Not a paper figure -- the paper times one verifier against one VM --
+but the pipeline refactor's performance claim needs numbers: a fleet
+of same-distro nodes measures nearly identical files, so a shared
+:class:`~repro.keylime.policy.VerdictCache` should turn per-node policy
+evaluation from O(entries) regex-and-dict work into O(entries) dict
+hits, with only the first node paying full price.
+
+The headline metric is **policy-eval stage entries/sec**, read from the
+``verifier_stage_wall_seconds{stage=policy_eval}`` histogram the
+pipeline records (the full poll also pays quote crypto, which is
+cache-independent and would compress the ratio).  Full-poll entries/sec
+is reported alongside for context.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI) shrinks the fleet and
+skips the ratio assertion -- sub-millisecond stage timings are too
+noisy to gate a workflow on.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+from repro.common.clock import Scheduler
+from repro.common.rng import SeededRng
+from repro.distro.archive import UbuntuArchive
+from repro.distro.mirror import LocalMirror
+from repro.distro.workload import build_base_system
+from repro.dynpolicy.generator import DynamicPolicyGenerator
+from repro.keylime.fleet import Fleet
+from repro.keylime.policy import IBM_STYLE_EXCLUDES
+from repro.obs import runtime as obs_runtime
+from repro.tpm.device import TpmManufacturer
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: (fleet size, workload binaries per node, measured re-poll rounds)
+FLEET_SIZE, WORKLOAD, ROUNDS = (6, 10, 2) if SMOKE else (50, 60, 5)
+
+#: Acceptance floor: shared-cache fleet throughput vs cache-off.
+MIN_SPEEDUP = 5.0
+
+
+def _build_fleet(size: int) -> Fleet:
+    rng = SeededRng(f"pipeline-bench-{size}")
+    scheduler = Scheduler()
+    archive = UbuntuArchive()
+    base = build_base_system(
+        rng.fork("base"), n_filler_packages=20, mean_exec_files=5
+    )
+    archive.seed(base)
+    mirror = LocalMirror(archive)
+    mirror.sync(0.0)
+    generator = DynamicPolicyGenerator(mirror, rng=rng.fork("gen"))
+    policy, _ = generator.generate_full(
+        list(IBM_STYLE_EXCLUDES), {"5.15.0-91-generic"}
+    )
+    manufacturer = TpmManufacturer("Bench", rng.fork("tpm"))
+    return Fleet(size, mirror, manufacturer, scheduler, rng.fork("fleet"), policy)
+
+
+def _run_workload(fleet: Fleet, limit: int) -> int:
+    """Execute the same *limit* binaries on every node; returns the count."""
+    paths = [
+        stat.path
+        for stat in fleet.nodes[0].machine.vfs.walk("/")
+        if stat.executable
+    ][:limit]
+    for node in fleet.nodes:
+        for path in paths:
+            node.machine.exec_file(path)
+    return len(paths)
+
+
+def _repoll(fleet: Fleet) -> None:
+    """Re-attest every node from the top of its log (same entries)."""
+    for node in fleet.nodes:
+        fleet.verifier.restart_attestation(node.agent.agent_id)
+    results = fleet.poll_all()
+    assert all(result.ok for result in results.values())
+
+
+def _policy_eval_seconds() -> float:
+    """Cumulative policy-eval stage wall seconds from the live registry."""
+    family = obs_runtime.get().registry.get("verifier_stage_wall_seconds")
+    if family is None:
+        return 0.0
+    for labels, child in family.samples():
+        if labels.get("stage") == "policy_eval":
+            return child.sum
+    return 0.0
+
+
+def _measure(fleet: Fleet, entries_per_round: int) -> dict[str, float]:
+    """Entries/sec over ROUNDS full re-polls of the fleet."""
+    _repoll(fleet)  # prime: steady-state replay, cache warmed (if any)
+    stage_before = _policy_eval_seconds()
+    wall_before = perf_counter()
+    for _ in range(ROUNDS):
+        _repoll(fleet)
+    wall = perf_counter() - wall_before
+    stage = _policy_eval_seconds() - stage_before
+    entries = ROUNDS * entries_per_round
+    return {
+        "entries": entries,
+        "stage_eps": entries / stage if stage else float("inf"),
+        "poll_eps": entries / wall if wall else float("inf"),
+    }
+
+
+def test_pipeline_cache_speedup(benchmark, emit):
+    scenarios = {}
+    for label, size, cached in (
+        ("single/cache-off", 1, False),
+        ("single/cache-on", 1, True),
+        (f"fleet-{FLEET_SIZE}/cache-off", FLEET_SIZE, False),
+        (f"fleet-{FLEET_SIZE}/cache-on", FLEET_SIZE, True),
+    ):
+        fleet = _build_fleet(size)
+        per_node = _run_workload(fleet, WORKLOAD) + 1  # + boot aggregate
+        if not cached:
+            fleet.verifier.verdict_cache = None
+        scenarios[label] = _measure(fleet, entries_per_round=size * per_node)
+        if label == f"fleet-{FLEET_SIZE}/cache-on":
+            benchmark(lambda fleet=fleet: _repoll(fleet))
+
+    emit()
+    emit(
+        f"Verifier pipeline throughput ({ROUNDS} re-polls, "
+        f"{WORKLOAD} shared binaries/node{', SMOKE' if SMOKE else ''})"
+    )
+    emit(f"  {'scenario':<22} {'policy-eval entries/s':>22} {'full-poll entries/s':>20}")
+    for label, stats in scenarios.items():
+        emit(f"  {label:<22} {stats['stage_eps']:>22,.0f} {stats['poll_eps']:>20,.0f}")
+
+    on = scenarios[f"fleet-{FLEET_SIZE}/cache-on"]
+    off = scenarios[f"fleet-{FLEET_SIZE}/cache-off"]
+    speedup = on["stage_eps"] / off["stage_eps"]
+    emit(
+        f"  shared-cache speedup (fleet policy-eval stage): {speedup:.1f}x "
+        f"(floor {MIN_SPEEDUP:.0f}x{', not asserted in smoke' if SMOKE else ''})"
+    )
+    benchmark.extra_info["pipeline"] = {
+        "smoke": SMOKE,
+        "fleet_size": FLEET_SIZE,
+        "rounds": ROUNDS,
+        "scenarios": {
+            label: {key: round(value, 2) for key, value in stats.items()}
+            for label, stats in scenarios.items()
+        },
+        "fleet_cache_speedup": round(speedup, 2),
+    }
+    assert on["stage_eps"] > 0 and off["stage_eps"] > 0
+    if not SMOKE:
+        assert speedup >= MIN_SPEEDUP, (
+            f"shared verdict cache speedup {speedup:.2f}x below "
+            f"the {MIN_SPEEDUP:.0f}x floor"
+        )

@@ -49,10 +49,21 @@ from repro.keylime.revocation import (
     RevocationEvent,
     RevocationNotifier,
 )
+from repro.keylime.pipeline import (
+    ChallengeStage,
+    LogReplayStage,
+    MeasuredBootStage,
+    PolicyEvalStage,
+    QuoteVerifyStage,
+    RoundContext,
+    VerificationPipeline,
+)
 from repro.keylime.policy import (
     EntryVerdict,
+    ExcludeIndex,
     PolicyFailure,
     RuntimePolicy,
+    VerdictCache,
     build_policy_from_machine,
 )
 from repro.keylime.registrar import KeylimeRegistrar, RegistrationError
@@ -66,21 +77,30 @@ __all__ = [
     "AuditLog",
     "AuditRecord",
     "BootPcrMismatch",
+    "ChallengeStage",
     "EntryVerdict",
+    "ExcludeIndex",
     "JsonTransportAgent",
     "KeylimeAgent",
     "KeylimeRegistrar",
     "KeylimeTenant",
     "KeylimeVerifier",
+    "LogReplayStage",
     "MeasuredBootPolicy",
+    "MeasuredBootStage",
     "PolicyDiff",
+    "PolicyEvalStage",
     "PolicyFailure",
     "PolicyStatistics",
     "QuarantineListener",
+    "QuoteVerifyStage",
     "RegistrationError",
     "RevocationEvent",
     "RevocationNotifier",
+    "RoundContext",
     "RuntimePolicy",
+    "VerdictCache",
+    "VerificationPipeline",
     "build_policy_from_machine",
     "capture_golden",
     "diff_policies",

@@ -12,7 +12,12 @@ provides that layer on top of the single-node stack:
 * fleet-wide operations: sync-once/update-everywhere cycles, polling
   every node, and status roll-ups;
 * revocation wiring: a fleet-level :class:`QuarantineListener` so a
-  single compromised node is fenced without touching its siblings.
+  single compromised node is fenced without touching its siblings;
+* a :class:`VerificationScheduler` that batches the whole fleet's
+  attestation rounds into one tick and shares a single
+  :class:`repro.keylime.policy.VerdictCache` across every node --
+  same-distro nodes measure nearly identical files, so policy
+  evaluation costs O(unique digests), not O(nodes x entries).
 """
 
 from __future__ import annotations
@@ -28,7 +33,7 @@ from repro.distro.mirror import LocalMirror
 from repro.dynpolicy.generator import DynamicPolicyGenerator, PolicyUpdateReport
 from repro.keylime.agent import KeylimeAgent
 from repro.keylime.audit import AuditLog
-from repro.keylime.policy import RuntimePolicy
+from repro.keylime.policy import RuntimePolicy, VerdictCache
 from repro.keylime.registrar import KeylimeRegistrar
 from repro.keylime.revocation import QuarantineListener, RevocationNotifier
 from repro.keylime.verifier import AgentState, AttestationResult, KeylimeVerifier
@@ -55,6 +60,64 @@ class FleetUpdateReport:
     nodes_updated: int
     files_written_total: int
     rebooted_nodes: tuple[str, ...] = ()
+
+
+class VerificationScheduler:
+    """Batches many agents' attestation rounds into shared ticks.
+
+    Instead of one scheduler timer per agent, the fleet registers every
+    agent here and the scheduler drives them all through the verifier's
+    staged pipeline in a single ``fleet.poll_batch`` span per tick.
+    Because the rounds run back-to-back against one verifier (and
+    therefore one shared :class:`~repro.keylime.policy.VerdictCache`),
+    the first node of a same-distro batch warms the cache and every
+    subsequent node's policy evaluation is almost entirely hits.
+    """
+
+    def __init__(self, verifier: KeylimeVerifier) -> None:
+        self.verifier = verifier
+        self._agents: list[str] = []
+        self._stop: object | None = None
+
+    def register(self, agent_id: str) -> None:
+        """Add an agent to the batch (order = poll order within a tick)."""
+        if agent_id not in self._agents:
+            self._agents.append(agent_id)
+
+    @property
+    def agents(self) -> tuple[str, ...]:
+        """Registered agent ids, in batch order."""
+        return tuple(self._agents)
+
+    def poll_batch(self) -> dict[str, AttestationResult]:
+        """One attestation round for every still-attesting agent."""
+        telemetry = obs.get()
+        results: dict[str, AttestationResult] = {}
+        with telemetry.tracer.span(
+            "fleet.poll_batch", agents=len(self._agents)
+        ) as span:
+            for agent_id in self._agents:
+                if self.verifier.state_of(agent_id) is AgentState.ATTESTING:
+                    results[agent_id] = self.verifier.poll(agent_id)
+            span.set_attribute("polled", len(results))
+            cache = self.verifier.verdict_cache
+            if cache is not None:
+                span.set_attribute("cache_hit_ratio", round(cache.hit_ratio, 4))
+        return results
+
+    def start(self, scheduler: Scheduler, interval: float) -> None:
+        """Tick the batch every *interval* simulated seconds."""
+        self.stop()
+        self._stop = scheduler.every(
+            interval, self.poll_batch, label="fleet-poll-batch"
+        )
+
+    def stop(self) -> None:
+        """Cancel the periodic batch tick.  Idempotent."""
+        stop = self._stop
+        if callable(stop):
+            self._stop = None
+            stop()
 
 
 class Fleet:
@@ -89,11 +152,17 @@ class Fleet:
         self.registrar = KeylimeRegistrar(
             [manufacturer.root_certificate], events=self.events
         )
+        # One verdict cache for the whole fleet: identically provisioned
+        # nodes measure the same files, so node 0's evaluations answer
+        # everyone else's.
+        self.verdict_cache = VerdictCache()
         self.verifier = KeylimeVerifier(
             self.registrar, scheduler, rng.fork("verifier"), events=self.events,
             continue_on_failure=continue_on_failure,
             notifier=self.notifier, audit=self.audit,
+            verdict_cache=self.verdict_cache,
         )
+        self.poll_scheduler = VerificationScheduler(self.verifier)
 
         self.nodes: list[FleetNode] = []
         baseline = mirror.index()
@@ -109,6 +178,7 @@ class Fleet:
             agent = KeylimeAgent(f"agent-{name}", machine)
             self.registrar.register(agent)
             self.verifier.add_agent(agent, policy)
+            self.poll_scheduler.register(agent.agent_id)
             self.nodes.append(FleetNode(name=name, machine=machine, apt=apt, agent=agent))
 
     def __len__(self) -> int:
@@ -124,14 +194,16 @@ class Fleet:
     # -- attestation -------------------------------------------------------
 
     def poll_all(self) -> dict[str, AttestationResult]:
-        """One attestation round against every still-attesting node."""
+        """One attestation round against every still-attesting node.
+
+        Rounds are routed through the shared
+        :class:`VerificationScheduler` batch, so all nodes of the tick
+        hit one verdict cache back-to-back.
+        """
         telemetry = obs.get()
-        results = {}
-        with telemetry.tracer.span("fleet.poll_all", nodes=len(self.nodes)) as span:
-            for node in self.nodes:
-                if self.verifier.state_of(node.agent.agent_id) is AgentState.ATTESTING:
-                    results[node.name] = self.verifier.poll(node.agent.agent_id)
-            span.set_attribute("polled", len(results))
+        by_agent = self.poll_scheduler.poll_batch()
+        names = {node.agent.agent_id: node.name for node in self.nodes}
+        results = {names[agent_id]: result for agent_id, result in by_agent.items()}
         self._record_rollups(telemetry.registry)
         self.events.emit(
             self.scheduler.clock.now, "keylime.fleet", "fleet.polled",
@@ -158,13 +230,23 @@ class Fleet:
     def start_polling(self, interval: float) -> None:
         """Continuous attestation for the whole fleet.
 
-        Also schedules a fleet heartbeat on the same cadence, so the
-        state roll-up (events + gauges) stays current even though each
-        agent is polled on its own verifier schedule.
+        One batch tick polls every attesting node back-to-back (sharing
+        the verdict cache within the tick), instead of N independent
+        per-agent timers.  A fleet heartbeat on the same cadence keeps
+        the state roll-up (events + gauges) current.
         """
-        for node in self.nodes:
-            self.verifier.start_polling(node.agent.agent_id, interval)
-        self.scheduler.every(interval, self._heartbeat, label="fleet-heartbeat")
+        self.poll_scheduler.start(self.scheduler, interval)
+        self._stop_heartbeat = self.scheduler.every(
+            interval, self._heartbeat, label="fleet-heartbeat"
+        )
+
+    def stop_polling(self) -> None:
+        """Cancel the fleet's batch polling and heartbeat.  Idempotent."""
+        self.poll_scheduler.stop()
+        stop = getattr(self, "_stop_heartbeat", None)
+        if callable(stop):
+            self._stop_heartbeat = None
+            stop()
 
     def _heartbeat(self) -> None:
         """Roll up fleet state into one event and the state gauges."""

@@ -21,6 +21,7 @@ experiments write look like the real thing.
 
 from __future__ import annotations
 
+import itertools
 import json
 import re
 from dataclasses import dataclass
@@ -28,8 +29,96 @@ from enum import Enum
 
 from repro.common.errors import ConfigurationError
 from repro.common.hexutil import is_hex_digest, sha256_hex
-from repro.kernelsim.ima import ImaLogEntry
+from repro.kernelsim.ima import ImaLogEntry, VIOLATION_TEMPLATE_HASH
 from repro.kernelsim.kernel import Machine
+
+#: Process-wide ids so verdict caches can key on a policy's identity
+#: without holding a reference to it.
+_POLICY_UIDS = itertools.count(1)
+
+#: Characters that disqualify an exclude body from the literal fast path.
+_REGEX_METACHARS = frozenset(".^$*+?{}[]|()\\")
+
+
+def exclude_fast_path(pattern: str) -> tuple[str, str] | None:
+    """Decompose an anchored-literal exclude into its fast-path form.
+
+    Returns ``(kind, literal)`` for the recognised shapes, ``None`` when
+    the pattern needs the regex fallback:
+
+    * ``^LIT$`` -> ``("exact", LIT)`` -- the path itself;
+    * ``^LIT(/.*)?$`` -> ``("tree", LIT)`` -- the path or anything below it
+      (the shape of every directory exclude in :data:`IBM_STYLE_EXCLUDES`);
+    * ``^LIT/.*$`` -> ``("children", LIT)`` -- strictly below the path;
+    * ``^LIT`` -> ``("prefix", LIT)`` -- raw prefix (no end anchor).
+    """
+    if not pattern.startswith("^"):
+        return None
+    body = pattern[1:]
+    if body.endswith("(/.*)?$"):
+        kind, body = "tree", body[: -len("(/.*)?$")]
+    elif body.endswith("/.*$"):
+        kind, body = "children", body[: -len("/.*$")]
+    elif body.endswith("$"):
+        kind, body = "exact", body[:-1]
+    else:
+        kind = "prefix"
+    if not body or any(ch in _REGEX_METACHARS for ch in body):
+        return None
+    return kind, body
+
+
+class ExcludeIndex:
+    """Compiled exclude patterns behind a two-tier matcher.
+
+    Anchored-literal patterns (the overwhelmingly common shape -- see
+    :func:`exclude_fast_path`) are answered with set membership and
+    string-prefix checks; everything else falls back to compiled
+    regexes, preserving ``re.match`` semantics exactly.
+    """
+
+    def __init__(self, patterns: list[str] | None = None) -> None:
+        self.rebuild(patterns or [])
+
+    def rebuild(self, patterns: list[str]) -> None:
+        """Recompile the index from scratch (mutations are rare)."""
+        exact: set[str] = set()
+        prefixes: list[str] = []
+        regexes: list[re.Pattern[str]] = []
+        fast = 0
+        for pattern in patterns:
+            decomposed = exclude_fast_path(pattern)
+            if decomposed is None:
+                regexes.append(re.compile(pattern))
+                continue
+            fast += 1
+            kind, literal = decomposed
+            if kind == "exact":
+                exact.add(literal)
+            elif kind == "tree":
+                exact.add(literal)
+                prefixes.append(literal + "/")
+            elif kind == "children":
+                prefixes.append(literal + "/")
+            else:  # prefix
+                prefixes.append(literal)
+        self._exact = exact
+        self._prefixes = tuple(prefixes)
+        self._regexes = tuple(regexes)
+        self.fast_path_count = fast
+        self.fallback_count = len(regexes)
+
+    def matches(self, path: str) -> bool:
+        """True when any exclude pattern matches *path*."""
+        if path in self._exact:
+            return True
+        for prefix in self._prefixes:
+            if path.startswith(prefix):
+                return True
+        for regex in self._regexes:
+            if regex.match(path):
+                return True
+        return False
 
 #: Exclude patterns of the study's initial (IBM Research) policy.  The
 #: /tmp exclusion is P1; the others are the usual noise suppressors.
@@ -98,14 +187,28 @@ class RuntimePolicy:
         name: str = "runtime-policy",
     ) -> None:
         self.name = name
+        self.uid = next(_POLICY_UIDS)
+        self.generation = 0
         self._digests: dict[str, list[str]] = {}
+        self._digest_sets: dict[str, set[str]] = {}
         for path, values in (digests or {}).items():
             for value in values:
                 self.add_digest(path, value)
         self.excludes: list[str] = list(excludes or [])
-        self._compiled = [re.compile(pattern) for pattern in self.excludes]
+        self._exclude_index = ExcludeIndex(self.excludes)
+        self.generation = 0  # construction is generation zero
 
     # -- construction / mutation ------------------------------------------
+
+    def bump_generation(self) -> int:
+        """Advance the generation stamp, invalidating cached verdicts.
+
+        Every mutating method calls this; :class:`VerdictCache` keys on
+        ``(uid, generation, ...)`` so a bump makes all previously cached
+        verdicts unreachable without touching the cache itself.
+        """
+        self.generation += 1
+        return self.generation
 
     def add_digest(self, path: str, digest: str) -> bool:
         """Add an accepted digest for *path*; returns True when new."""
@@ -113,23 +216,30 @@ class RuntimePolicy:
             raise ConfigurationError(
                 f"policy digest for {path!r} is not sha256 hex: {digest!r}"
             )
-        bucket = self._digests.setdefault(path, [])
-        if digest in bucket:
+        bucket = self._digest_sets.get(path)
+        if bucket is not None and digest in bucket:
             return False
-        bucket.append(digest)
+        if bucket is None:
+            self._digest_sets[path] = {digest}
+            self._digests[path] = [digest]
+        else:
+            bucket.add(digest)
+            self._digests[path].append(digest)
+        self.bump_generation()
         return True
 
     def add_exclude(self, pattern: str) -> None:
         """Add an exclude regex."""
         self.excludes.append(pattern)
-        self._compiled.append(re.compile(pattern))
+        self._exclude_index.rebuild(self.excludes)
+        self.bump_generation()
 
     def remove_exclude(self, pattern: str) -> None:
         """Remove an exclude regex (mitigation M1 narrows the excludes)."""
         if pattern in self.excludes:
-            index = self.excludes.index(pattern)
-            del self.excludes[index]
-            del self._compiled[index]
+            self.excludes.remove(pattern)
+            self._exclude_index.rebuild(self.excludes)
+            self.bump_generation()
 
     def merge_measurements(self, measurements: dict[str, str]) -> int:
         """Append path -> digest pairs; returns the number of new entries.
@@ -158,12 +268,15 @@ class RuntimePolicy:
         """
         removed = 0
         for path, digest in keep.items():
-            bucket = self._digests.get(path)
+            bucket = self._digest_sets.get(path)
             if bucket is None or digest not in bucket:
                 continue
             before = len(bucket)
             self._digests[path] = [digest]
+            self._digest_sets[path] = {digest}
             removed += before - 1
+        if removed:
+            self.bump_generation()
         return removed
 
     # -- queries ------------------------------------------------------------
@@ -182,8 +295,17 @@ class RuntimePolicy:
         return path in self._digests
 
     def is_excluded(self, path: str) -> bool:
-        """True when any exclude regex matches *path*."""
-        return any(pattern.match(path) for pattern in self._compiled)
+        """True when any exclude pattern matches *path*.
+
+        Answered by the :class:`ExcludeIndex` -- anchored-literal
+        patterns cost a set/prefix probe, the rest a regex scan.
+        """
+        return self._exclude_index.matches(path)
+
+    @property
+    def exclude_index(self) -> ExcludeIndex:
+        """The compiled exclude matcher (introspection / lint)."""
+        return self._exclude_index
 
     def line_count(self) -> int:
         """Number of (path, digest) lines -- the unit of Fig 5 / E9."""
@@ -219,7 +341,7 @@ class RuntimePolicy:
             return EntryVerdict.VIOLATION, failure
         if self.is_excluded(entry.path):
             return EntryVerdict.EXCLUDED, None
-        accepted = self._digests.get(entry.path)
+        accepted = self._digest_sets.get(entry.path)
         if accepted is None:
             failure = PolicyFailure(
                 verdict=EntryVerdict.NOT_IN_POLICY,
@@ -232,7 +354,7 @@ class RuntimePolicy:
                 verdict=EntryVerdict.HASH_MISMATCH,
                 path=entry.path,
                 measured_digest=measured,
-                expected_digests=tuple(accepted),
+                expected_digests=tuple(self._digests[entry.path]),
             )
             return EntryVerdict.HASH_MISMATCH, failure
         return EntryVerdict.ACCEPT, None
@@ -265,6 +387,114 @@ class RuntimePolicy:
             excludes=list(self.excludes),
             name=name or self.name,
         )
+
+
+class VerdictCache:
+    """Fleet-wide memo of per-entry policy verdicts.
+
+    A policy verdict is a pure function of ``(policy state, path,
+    filedata hash)``, and a fleet of same-distro nodes measures nearly
+    identical files -- so evaluation cost should be O(unique digests),
+    not O(agents x entries).  Buckets are keyed by ``(policy.uid,
+    policy.generation)``: any policy mutation (or a verifier
+    ``update_policy`` push) bumps the generation, making every
+    previously cached verdict unreachable without an explicit flush.
+
+    Within a generation, entries are keyed by their IMA **template
+    hash** -- already a collision-resistant digest of ``(filedata hash,
+    path)``, and already verified against the log by the replay stage
+    before policy evaluation sees the entry -- so a lookup costs one
+    string-keyed ``dict.get``.  Violation entries are the one exception
+    (the kernel logs them with a constant zero template), so their key
+    gets the path appended; see :meth:`entry_key`.
+
+    The cache stores the exact ``(EntryVerdict, PolicyFailure | None)``
+    pair :meth:`RuntimePolicy.evaluate_entry` returns; both are
+    immutable, so sharing across agents is safe.  Size is bounded by
+    FIFO eviction (stale generations age out with it).
+    """
+
+    def __init__(self, max_entries: int = 262_144) -> None:
+        if max_entries < 1:
+            raise ConfigurationError("verdict cache needs at least one slot")
+        self.max_entries = max_entries
+        #: ``(policy uid, generation) -> {entry key -> outcome}``.
+        #: Read-only to callers; all writes go through :meth:`insert`.
+        self.store: dict[
+            tuple[int, int], dict[str, tuple[EntryVerdict, PolicyFailure | None]]
+        ] = {}
+        self._size = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @staticmethod
+    def entry_key(entry: ImaLogEntry) -> str:
+        """Bucket key for *entry*: its (verified) template hash.
+
+        Violation entries all share the zero template, but their
+        verdict depends on the path (excludes apply), so the path is
+        appended to keep them distinct.
+        """
+        key = entry.template_hash
+        if key == VIOLATION_TEMPLATE_HASH:
+            key += entry.path
+        return key
+
+    def view(self, policy: RuntimePolicy) -> dict:
+        """The live lookup table for *policy*'s current generation.
+
+        The pipeline's hot loop fetches this once per round and probes
+        it directly -- one ``dict.get`` per entry, no method call.
+        """
+        gen_key = (policy.uid, policy.generation)
+        bucket = self.store.get(gen_key)
+        if bucket is None:
+            bucket = self.store[gen_key] = {}
+        return bucket
+
+    def insert(
+        self, policy: RuntimePolicy, entry: ImaLogEntry
+    ) -> tuple[EntryVerdict, PolicyFailure | None]:
+        """Evaluate *entry* uncached and memoise it (the miss path)."""
+        self.misses += 1
+        outcome = policy.evaluate_entry(entry)
+        if self._size >= self.max_entries:
+            while True:  # oldest entry of the oldest non-empty bucket
+                gen_key, bucket = next(iter(self.store.items()))
+                if bucket:
+                    del bucket[next(iter(bucket))]
+                    break
+                del self.store[gen_key]
+            self.evictions += 1
+            self._size -= 1
+        self.view(policy)[self.entry_key(entry)] = outcome
+        self._size += 1
+        return outcome
+
+    def evaluate(
+        self, policy: RuntimePolicy, entry: ImaLogEntry
+    ) -> tuple[EntryVerdict, PolicyFailure | None]:
+        """Evaluate *entry* against *policy*, memoised across agents."""
+        cached = self.view(policy).get(self.entry_key(entry))
+        if cached is not None:
+            self.hits += 1
+            return cached
+        return self.insert(policy, entry)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups answered from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop every cached verdict (stats are kept)."""
+        self.store.clear()
+        self._size = 0
 
 
 def build_policy_from_machine(

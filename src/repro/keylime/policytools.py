@@ -14,7 +14,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
-from repro.keylime.policy import RuntimePolicy
+from repro.keylime.policy import RuntimePolicy, exclude_fast_path
 
 #: Writable locations an exclude should never blanket-cover; each is a
 #: place the paper (or its attack corpus) demonstrates payload staging.
@@ -160,7 +160,17 @@ def lint_excludes(policy: RuntimePolicy) -> list[ExcludeWarning]:
     A pattern is flagged when it matches a risky directory itself or a
     representative path inside it -- i.e. when executing a payload
     there would be skipped by the verifier, the precondition of the
-    paper's P1 evasions.
+    paper's P1 evasions (see docs/THREATMODEL.md, residual gap 3).
+
+    Two additional findings target the verification pipeline's
+    anchored-prefix fast path (``repro.keylime.policy.ExcludeIndex``):
+
+    * an **unanchored** pattern (no leading ``^``) or a ``.*``-leading
+      one can never be answered by the prefix index, so every IMA entry
+      of every poll pays a regex scan for it;
+    * a ``.*``-leading pattern additionally matches its suffix *anywhere*
+      in the filesystem -- the wildcard-exclusion over-breadth the paper
+      warns about, one directory short of P1.
     """
     warnings = []
     for pattern in policy.excludes:
@@ -180,4 +190,39 @@ def lint_excludes(policy: RuntimePolicy) -> list[ExcludeWarning]:
                 warnings.append(
                     ExcludeWarning(pattern=pattern, target=target, reason=reason)
                 )
+        stripped = pattern[1:] if pattern.startswith("^") else pattern
+        if stripped.startswith(".*"):
+            warnings.append(
+                ExcludeWarning(
+                    pattern=pattern, target="<fast-path>",
+                    reason=(
+                        ".*-leading pattern matches anywhere in the tree "
+                        "(wildcard over-breadth, P1-adjacent) and defeats "
+                        "the anchored-prefix fast path: every entry pays "
+                        "a regex scan"
+                    ),
+                )
+            )
+        elif not pattern.startswith("^"):
+            warnings.append(
+                ExcludeWarning(
+                    pattern=pattern, target="<fast-path>",
+                    reason=(
+                        "unanchored pattern defeats the anchored-prefix "
+                        "fast path; anchor it (^/dir(/.*)?$) so the "
+                        "exclude index can answer it without a regex scan"
+                    ),
+                )
+            )
     return warnings
+
+
+def fast_path_coverage(policy: RuntimePolicy) -> tuple[int, int]:
+    """(fast-path patterns, regex-fallback patterns) for *policy*.
+
+    A convenience wrapper over the policy's compiled
+    :class:`~repro.keylime.policy.ExcludeIndex`; the classification
+    itself is :func:`repro.keylime.policy.exclude_fast_path`.
+    """
+    fast = sum(1 for pattern in policy.excludes if exclude_fast_path(pattern))
+    return fast, len(policy.excludes) - fast

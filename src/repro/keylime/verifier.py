@@ -12,19 +12,31 @@ Each poll of an agent performs the four steps of Fig 1:
 4. **Policy evaluation** -- each new entry is checked against the
    runtime policy (excludes, then allowlist).
 
+The steps themselves live in :mod:`repro.keylime.pipeline` as
+composable stage objects; this module is the thin orchestrator around
+them: agent lifecycle, polling schedules, failure side-effects
+(revocation fan-out, audit append, event emission) and telemetry
+roll-ups.
+
 Failure behaviour is the paper's **P2**: the stock verifier processes
 entries *sequentially and stops at the first policy failure*, marks the
 agent failed, and **stops polling** -- leaving an incomplete attestation
 log.  Restarting attestation replays the log from scratch, hits the same
 unresolved failure, and halts again.  The ``continue_on_failure`` switch
 implements the proposed **M2** fix: every entry is always evaluated and
-polling never stops, so later malicious entries still surface.
+polling never stops, so later malicious entries still surface.  Both are
+pipeline configuration (:class:`repro.keylime.pipeline
+.VerificationPipeline`), not verifier branches.
+
+Policy verdicts are memoised through a
+:class:`repro.keylime.policy.VerdictCache` (enabled by default, and
+shareable across every agent of a fleet); ``update_policy`` bumps the
+policy's generation stamp so a cached verdict can never outlive the
+policy state that produced it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from enum import Enum
 from time import perf_counter
 
 from repro.common.clock import Scheduler
@@ -32,79 +44,35 @@ from repro.common.errors import NotFoundError
 from repro.common.events import EventLog
 from repro.common.hexutil import zero_digest
 from repro.common.rng import SeededRng
-from repro.kernelsim.ima import ImaLogEntry, template_hash
 from repro.keylime.agent import KeylimeAgent
 from repro.keylime.audit import AuditLog
 from repro.keylime.measuredboot import MeasuredBootPolicy
-from repro.keylime.policy import EntryVerdict, PolicyFailure, RuntimePolicy
-from repro.obs import runtime as obs
+from repro.keylime.pipeline import (
+    AgentSlot,
+    AgentState,
+    AttestationFailure,
+    AttestationResult,
+    FailureKind,
+    RoundContext,
+    VerificationPipeline,
+)
+from repro.keylime.policy import RuntimePolicy, VerdictCache
 from repro.keylime.registrar import KeylimeRegistrar
 from repro.keylime.revocation import RevocationEvent, RevocationNotifier
-from repro.tpm.pcr import IMA_PCR_INDEX
-from repro.tpm.quote import QuoteVerificationError, verify_quote
+from repro.obs import runtime as obs
 
+__all__ = [
+    "AgentSlot",
+    "AgentState",
+    "AttestationFailure",
+    "AttestationResult",
+    "FailureKind",
+    "KeylimeVerifier",
+]
 
-def _is_violation_entry(entry: ImaLogEntry) -> bool:
-    """True for IMA violation entries (zero template + zero filedata)."""
-    from repro.kernelsim.ima import VIOLATION_FILEDATA_HASH, VIOLATION_TEMPLATE_HASH
-
-    return (
-        entry.template_hash == VIOLATION_TEMPLATE_HASH
-        and entry.filedata_hash == VIOLATION_FILEDATA_HASH
-    )
-
-
-class AgentState(Enum):
-    """Verifier-side lifecycle of an attested agent."""
-
-    ATTESTING = "attesting"
-    FAILED = "failed"
-    STOPPED = "stopped"
-
-
-class FailureKind(Enum):
-    """Why an attestation round failed."""
-
-    INVALID_QUOTE = "invalid_quote"
-    LOG_TAMPERED = "log_tampered"
-    PCR_MISMATCH = "pcr_mismatch"
-    MEASURED_BOOT = "measured_boot"
-    POLICY = "policy"
-
-
-@dataclass(frozen=True)
-class AttestationFailure:
-    """One recorded failure, with enough detail for the experiments."""
-
-    time: float
-    kind: FailureKind
-    detail: str
-    policy_failure: PolicyFailure | None = None
-
-
-@dataclass(frozen=True)
-class AttestationResult:
-    """Outcome of one poll."""
-
-    time: float
-    ok: bool
-    entries_processed: int
-    entries_skipped: int  # entries after a halt (never policy-checked)
-    failures: tuple[AttestationFailure, ...] = ()
-
-
-@dataclass
-class _AgentSlot:
-    agent: KeylimeAgent
-    policy: RuntimePolicy
-    measured_boot: MeasuredBootPolicy | None = None
-    state: AgentState = AgentState.ATTESTING
-    verified_entries: int = 0
-    replay_aggregate: str = field(default_factory=lambda: zero_digest("sha256"))
-    last_reset_count: int | None = None
-    failures: list[AttestationFailure] = field(default_factory=list)
-    results: list[AttestationResult] = field(default_factory=list)
-    stop_polling: object | None = None  # callable from Scheduler.every
+#: Backwards-compatible alias; the slot dataclass moved to the pipeline
+#: module alongside the stages that mutate it.
+_AgentSlot = AgentSlot
 
 
 class KeylimeVerifier:
@@ -119,15 +87,44 @@ class KeylimeVerifier:
         continue_on_failure: bool = False,
         notifier: RevocationNotifier | None = None,
         audit: AuditLog | None = None,
+        pipeline: VerificationPipeline | None = None,
+        verdict_cache: VerdictCache | None = None,
+        cache_verdicts: bool = True,
     ) -> None:
+        """Build the verifier.
+
+        *pipeline* defaults to the stock Fig 1 stage sequence.
+        *verdict_cache* installs a shared cache (a fleet passes one
+        cache for all of its nodes); with ``None`` the verifier creates
+        its own, and ``cache_verdicts=False`` disables memoisation
+        entirely (every entry is evaluated from scratch).
+        """
         self.registrar = registrar
         self.scheduler = scheduler
         self.rng = rng.fork("verifier")
         self.events = events if events is not None else EventLog()
-        self.continue_on_failure = continue_on_failure
+        self.pipeline = (
+            pipeline if pipeline is not None
+            else VerificationPipeline(continue_on_failure=continue_on_failure)
+        )
+        if pipeline is not None and continue_on_failure:
+            self.pipeline.continue_on_failure = True
         self.notifier = notifier
         self.audit = audit
-        self._slots: dict[str, _AgentSlot] = {}
+        if verdict_cache is not None:
+            self.verdict_cache: VerdictCache | None = verdict_cache
+        else:
+            self.verdict_cache = VerdictCache() if cache_verdicts else None
+        self._slots: dict[str, AgentSlot] = {}
+
+    @property
+    def continue_on_failure(self) -> bool:
+        """The P2-vs-M2 switch; delegated to the pipeline configuration."""
+        return self.pipeline.continue_on_failure
+
+    @continue_on_failure.setter
+    def continue_on_failure(self, value: bool) -> None:
+        self.pipeline.continue_on_failure = value
 
     # -- agent management ---------------------------------------------------
 
@@ -144,11 +141,11 @@ class KeylimeVerifier:
         every poll.
         """
         self.registrar.lookup(agent.agent_id)  # raises when unknown
-        self._slots[agent.agent_id] = _AgentSlot(
+        self._slots[agent.agent_id] = AgentSlot(
             agent=agent, policy=policy, measured_boot=measured_boot
         )
 
-    def _slot(self, agent_id: str) -> _AgentSlot:
+    def _slot(self, agent_id: str) -> AgentSlot:
         try:
             return self._slots[agent_id]
         except KeyError:
@@ -175,9 +172,12 @@ class KeylimeVerifier:
 
         The replay state is untouched: already-verified entries are not
         re-evaluated against the new policy (matching Keylime, which
-        only checks entries as they stream in).
+        only checks entries as they stream in).  The policy's generation
+        stamp is bumped so any verdicts cached under the previous state
+        become unreachable.
         """
         self._slot(agent_id).policy = policy
+        policy.bump_generation()
         self.events.emit(
             self.scheduler.clock.now, "keylime.verifier", "policy.updated",
             agent=agent_id, lines=policy.line_count(),
@@ -214,22 +214,29 @@ class KeylimeVerifier:
         )
 
     def stop_polling(self, agent_id: str) -> None:
-        """Cancel the periodic poll for the agent."""
+        """Cancel the periodic poll for the agent.
+
+        Idempotent: a second call (or a call for an agent that was never
+        scheduled) is a no-op, and cancelling never rewrites a FAILED
+        agent's state -- only a still-ATTESTING agent becomes STOPPED.
+        """
         slot = self._slot(agent_id)
-        if callable(slot.stop_polling):
-            slot.stop_polling()
+        cancel = slot.stop_polling
+        if cancel is not None:
             slot.stop_polling = None
-        if slot.state is AgentState.ATTESTING:
-            slot.state = AgentState.STOPPED
+            cancel()
+            if slot.state is AgentState.ATTESTING:
+                slot.state = AgentState.STOPPED
 
     def poll(self, agent_id: str) -> AttestationResult:
         """One full attestation round against the agent.
 
         With telemetry active (:mod:`repro.obs`), the round is traced as
-        a ``verifier.poll`` root span with one child per protocol phase
+        a ``verifier.poll`` root span with one child per pipeline stage
         (``verifier.challenge``, ``verifier.quote_verify``,
-        ``verifier.log_replay``, ``verifier.policy_eval``), and updates
-        the poll-latency histogram and outcome counters.
+        ``verifier.log_replay``, ``verifier.policy_eval``), updates the
+        poll-latency histogram and outcome counters, and records the
+        per-stage ``verifier_stage_wall_seconds{stage}`` breakdown.
         """
         telemetry = obs.get()
         wall_start = perf_counter()
@@ -273,191 +280,42 @@ class KeylimeVerifier:
 
     def _poll_once(self, agent_id: str, telemetry) -> AttestationResult:
         slot = self._slot(agent_id)
-        now = self.scheduler.clock.now
-        record = self.registrar.lookup(agent_id)
-        tracer = telemetry.tracer
-
-        # Step 1: challenge the agent with a fresh nonce.
-        with tracer.span("verifier.challenge"):
-            nonce = self.rng.hexid(20)
-            selection = [IMA_PCR_INDEX]
-            if slot.measured_boot is not None:
-                selection = sorted(
-                    set(selection) | set(slot.measured_boot.pcr_selection)
-                )
-            evidence = slot.agent.attest(
-                nonce, offset=slot.verified_entries, pcr_selection=selection
-            )
-
-        # Step 2: quote validation.
-        with tracer.span("verifier.quote_verify"):
-            try:
-                verify_quote(evidence.quote, record.ak_public, nonce)
-            except QuoteVerificationError as exc:
-                return self._fail_round(
-                    slot, now,
-                    [AttestationFailure(now, FailureKind.INVALID_QUOTE, str(exc))],
-                    entries_processed=0, entries_skipped=len(evidence.ima_log_lines),
-                )
-
-        # Reboot detection: PCRs and the log restarted from zero.
-        if slot.last_reset_count != evidence.quote.reset_count:
-            slot.replay_aggregate = zero_digest("sha256")
-            slot.verified_entries = 0
-            slot.last_reset_count = evidence.quote.reset_count
-            if evidence.offset != 0:
-                with tracer.span("verifier.challenge", reattest=True):
-                    nonce = self.rng.hexid(20)
-                    evidence = slot.agent.attest(
-                        nonce, offset=0, pcr_selection=selection
-                    )
-                with tracer.span("verifier.quote_verify", reattest=True):
-                    try:
-                        verify_quote(evidence.quote, record.ak_public, nonce)
-                    except QuoteVerificationError as exc:
-                        return self._fail_round(
-                            slot, now,
-                            [AttestationFailure(
-                                now, FailureKind.INVALID_QUOTE, str(exc)
-                            )],
-                            entries_processed=0,
-                            entries_skipped=len(evidence.ima_log_lines),
-                        )
-
-        # Measured boot: the quoted boot PCRs must match the golden set.
-        if slot.measured_boot is not None:
-            with tracer.span("verifier.measured_boot"):
-                mismatches = slot.measured_boot.verify(evidence.quote.pcr_values)
-            if mismatches:
-                return self._fail_round(
-                    slot, now,
-                    [
-                        AttestationFailure(
-                            now, FailureKind.MEASURED_BOOT,
-                            f"boot PCR {mismatch.index} diverges from golden "
-                            f"value ({mismatch.actual[:16]}... != "
-                            f"{mismatch.expected[:16]}...)",
-                        )
-                        for mismatch in mismatches
-                    ],
-                    entries_processed=0,
-                    entries_skipped=len(evidence.ima_log_lines),
-                )
-
-        # Step 3: parse and replay the new entries.
-        with tracer.span(
-            "verifier.log_replay", lines=len(evidence.ima_log_lines)
-        ):
-            entries: list[ImaLogEntry] = []
-            for line in evidence.ima_log_lines:
-                try:
-                    entry = ImaLogEntry.from_line(line)
-                except ValueError as exc:
-                    return self._fail_round(
-                        slot, now,
-                        [AttestationFailure(now, FailureKind.LOG_TAMPERED, str(exc))],
-                        entries_processed=len(entries),
-                        entries_skipped=len(evidence.ima_log_lines) - len(entries),
-                    )
-                if not _is_violation_entry(entry):
-                    expected = template_hash(entry.filedata_hash, entry.path)
-                    if entry.template_hash != expected:
-                        return self._fail_round(
-                            slot, now,
-                            [AttestationFailure(
-                                now, FailureKind.LOG_TAMPERED,
-                                f"template hash mismatch at {entry.path}",
-                            )],
-                            entries_processed=len(entries),
-                            entries_skipped=len(evidence.ima_log_lines) - len(entries),
-                        )
-                entries.append(entry)
-
-            aggregate = slot.replay_aggregate
-            from repro.common.hexutil import extend_digest
-            from repro.kernelsim.ima import VIOLATION_EXTEND_VALUE
-
-            for entry in entries:
-                if _is_violation_entry(entry):
-                    # Violations log zeros but extend 0xFF (kernel rule).
-                    aggregate = extend_digest(
-                        "sha256", aggregate, VIOLATION_EXTEND_VALUE
-                    )
-                else:
-                    aggregate = extend_digest("sha256", aggregate, entry.template_hash)
-            quoted = evidence.quote.pcr_values[IMA_PCR_INDEX]
-            if aggregate != quoted:
-                return self._fail_round(
-                    slot, now,
-                    [AttestationFailure(
-                        now, FailureKind.PCR_MISMATCH,
-                        f"IMA log replay {aggregate[:16]}... does not match quoted "
-                        f"PCR10 {quoted[:16]}...",
-                    )],
-                    entries_processed=0, entries_skipped=len(entries),
-                )
-            slot.replay_aggregate = aggregate
-            slot.verified_entries = evidence.offset + len(entries)
-
-        # Step 4: policy evaluation (sequential; halts on failure unless M2).
-        with tracer.span("verifier.policy_eval") as policy_span:
-            failures: list[AttestationFailure] = []
-            processed = 0
-            skipped = 0
-            for index, entry in enumerate(entries):
-                verdict, policy_failure = slot.policy.evaluate_entry(entry)
-                processed += 1
-                if verdict.is_failure and policy_failure is not None:
-                    failures.append(
-                        AttestationFailure(
-                            now, FailureKind.POLICY,
-                            policy_failure.describe(), policy_failure=policy_failure,
-                        )
-                    )
-                    if not self.continue_on_failure:
-                        skipped = len(entries) - index - 1
-                        break
-            policy_span.set_attribute("entries", processed)
-            policy_span.set_attribute("failures", len(failures))
-
-        if failures:
-            return self._fail_round(
-                slot, now, failures,
-                entries_processed=processed, entries_skipped=skipped,
-            )
-
-        result = AttestationResult(
-            time=now, ok=True, entries_processed=processed, entries_skipped=0
+        ctx = RoundContext(
+            agent_id=agent_id,
+            slot=slot,
+            record=self.registrar.lookup(agent_id),
+            now=self.scheduler.clock.now,
+            rng=self.rng,
+            tracer=telemetry.tracer,
+            cache=self.verdict_cache,
         )
-        slot.results.append(result)
-        if self.audit is not None:
-            self.audit.append(now, agent_id, ok=True, detail={"entries": processed})
-        self.events.emit(
-            now, "keylime.verifier", "attestation.ok",
-            agent=agent_id, entries=processed,
-        )
-        return result
+        result = self.pipeline.run(ctx, telemetry.registry)
+        if result.ok:
+            slot.results.append(result)
+            if self.audit is not None:
+                self.audit.append(
+                    result.time, agent_id, ok=True,
+                    detail={"entries": result.entries_processed},
+                )
+            self.events.emit(
+                result.time, "keylime.verifier", "attestation.ok",
+                agent=agent_id, entries=result.entries_processed,
+            )
+            return result
+        return self._record_failed_round(slot, result)
 
-    def _fail_round(
-        self,
-        slot: _AgentSlot,
-        now: float,
-        failures: list[AttestationFailure],
-        entries_processed: int,
-        entries_skipped: int,
+    def _record_failed_round(
+        self, slot: AgentSlot, result: AttestationResult
     ) -> AttestationResult:
+        """Side effects of a failed round: audit, revocation, halt."""
+        failures = list(result.failures)
+        now = result.time
         slot.failures.extend(failures)
         failure_counter = obs.get().registry.counter(
             "verifier_failures_total", "Attestation failures by kind", ("kind",),
         )
         for failure in failures:
             failure_counter.labels(kind=failure.kind.value).inc()
-        result = AttestationResult(
-            time=now, ok=False,
-            entries_processed=entries_processed,
-            entries_skipped=entries_skipped,
-            failures=tuple(failures),
-        )
         slot.results.append(result)
         if self.audit is not None:
             self.audit.append(

@@ -555,6 +555,40 @@ class HealthWatch:
         return refreshed
 
 
+def pipeline_stage_breakdown(registry) -> list[str]:
+    """Per-stage verifier pipeline lines for dashboards and reports.
+
+    Reads the ``verifier_stage_wall_seconds{stage}`` histogram and the
+    ``verifier_verdict_cache_total{result}`` counters recorded by
+    :class:`repro.keylime.pipeline.VerificationPipeline`; returns an
+    empty list when no pipeline has run under this registry.
+    """
+    if registry is None:
+        return []
+    family = registry.get("verifier_stage_wall_seconds")
+    if family is None:
+        return []
+    lines = ["  -- verification pipeline (wall per stage) --"]
+    for labels, child in family.samples():
+        stage = labels.get("stage", "?")
+        lines.append(
+            f"    {stage:<14s} n={child.count:<8d} "
+            f"mean={child.mean * 1000.0:8.4f}ms total={child.sum * 1000.0:10.2f}ms"
+        )
+    cache = registry.get("verifier_verdict_cache_total")
+    if cache is not None:
+        counts = {labels.get("result"): child.value for labels, child in cache.samples()}
+        hits = counts.get("hit", 0)
+        misses = counts.get("miss", 0)
+        total = hits + misses
+        if total:
+            lines.append(
+                f"    verdict cache: {hits:.0f} hits / {misses:.0f} misses "
+                f"({hits / total:.1%} hit ratio)"
+            )
+    return lines
+
+
 def render_dashboard(watch: HealthWatch, now: float) -> str:
     """A console snapshot of the watch state: health, SLOs, alerts."""
     lines = [f"== obs watch @ t={now / 3600.0:.1f}h (day {now / 86400.0:.2f}) =="]
@@ -590,6 +624,7 @@ def render_dashboard(watch: HealthWatch, now: float) -> str:
             )
     else:
         lines.append("  -- no active alerts --")
+    lines.extend(pipeline_stage_breakdown(monitor.registry))
     if watch.incidents:
         lines.append(f"  incidents on file: {len(watch.incidents)}")
     return "\n".join(lines)

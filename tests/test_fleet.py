@@ -145,3 +145,73 @@ class TestFleetUpdates:
         report = fleet.run_update_cycle()
         assert report.nodes_updated == 0
         assert all(result.ok for result in fleet.poll_all().values())
+
+
+def _run_common_workload(fleet, limit: int = 20) -> list[str]:
+    """Execute the same binaries on every node (they are identically
+    provisioned, so the measured digests coincide)."""
+    paths = [
+        stat.path
+        for stat in fleet.nodes[0].machine.vfs.walk("/")
+        if stat.executable
+    ][:limit]
+    for node in fleet.nodes:
+        for path in paths:
+            node.machine.exec_file(path)
+    return paths
+
+
+class TestSharedVerdictCache:
+    def test_first_sweep_shares_verdicts_across_nodes(self, world):
+        """Same-distro nodes measure the same files: node one misses,
+        the other three hit the shared cache."""
+        fleet, _, _ = world
+        paths = _run_common_workload(fleet)
+        results = fleet.poll_all()
+        assert all(result.ok for result in results.values())
+        cache = fleet.verdict_cache
+        assert fleet.verifier.verdict_cache is cache
+        # Every node past the first re-uses the first node's verdicts;
+        # only the per-node boot aggregates stay unshared.
+        assert cache.hits == (len(fleet) - 1) * len(paths)
+        assert cache.misses == len(paths) + len(fleet)
+
+    def test_second_sweep_with_no_new_entries_is_free(self, world):
+        fleet, _, _ = world
+        fleet.poll_all()
+        hits, misses = fleet.verdict_cache.hits, fleet.verdict_cache.misses
+        fleet.poll_all()  # no new measurements: nothing to evaluate
+        assert fleet.verdict_cache.misses == misses
+        assert fleet.verdict_cache.hits == hits
+
+    def test_batch_scheduler_registers_every_agent(self, world):
+        fleet, _, _ = world
+        assert set(fleet.poll_scheduler.agents) == {
+            node.agent.agent_id for node in fleet.nodes
+        }
+
+    def test_stop_polling_idempotent(self, world):
+        fleet, _, scheduler = world
+        fleet.start_polling(600.0)
+        scheduler.run_until(1900.0)
+        fleet.stop_polling()
+        fleet.stop_polling()  # second stop: no error
+        counts = [
+            len(fleet.verifier.results_of(node.agent.agent_id))
+            for node in fleet.nodes
+        ]
+        scheduler.run_until(4000.0)
+        assert [
+            len(fleet.verifier.results_of(node.agent.agent_id))
+            for node in fleet.nodes
+        ] == counts
+
+    def test_batch_skips_failed_nodes(self, world):
+        fleet, _, _ = world
+        victim = fleet.node("node-001")
+        victim.machine.install_file("/usr/bin/implant", b"x", executable=True)
+        victim.machine.exec_file("/usr/bin/implant")
+        fleet.poll_all()
+        results = fleet.poll_scheduler.poll_batch()
+        assert victim.agent.agent_id not in results  # FAILED: not re-polled
+        assert len(results) == len(fleet) - 1

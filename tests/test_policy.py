@@ -184,3 +184,155 @@ class TestBuildFromMachine:
         machine.install_file("/usr/bin/tool", b"tool", executable=True)
         policy = build_policy_from_machine(machine)
         assert policy.digests_for("/usr/bin/tool") == (sha256_hex(b"tool"),)
+
+
+class TestExcludeFastPath:
+    """Classifier for the anchored-literal exclude fast path."""
+
+    def test_tree_shape(self):
+        from repro.keylime.policy import exclude_fast_path
+
+        assert exclude_fast_path(r"^/tmp(/.*)?$") == ("tree", "/tmp")
+
+    def test_exact_children_prefix_shapes(self):
+        from repro.keylime.policy import exclude_fast_path
+
+        assert exclude_fast_path(r"^/opt/app$") == ("exact", "/opt/app")
+        assert exclude_fast_path(r"^/srv/.*$") == ("children", "/srv")
+        assert exclude_fast_path(r"^/boot") == ("prefix", "/boot")
+
+    def test_fallback_shapes(self):
+        from repro.keylime.policy import exclude_fast_path
+
+        assert exclude_fast_path(r"^/home/[^/]+/\.cache(/.*)?$") is None
+        assert exclude_fast_path(r".*\.cache$") is None  # unanchored
+        assert exclude_fast_path(r"^$") is None  # empty body
+        assert exclude_fast_path("/tmp") is None  # no anchor
+
+
+class TestExcludeIndex:
+    PATTERNS = list(IBM_STYLE_EXCLUDES) + [
+        r"^/opt/app$",
+        r"^/srv/.*$",
+        r"^/boot",
+        r".*\.pyc$",
+    ]
+    CORPUS = [
+        "/tmp", "/tmp/x", "/tmpfile", "/var/tmp/evil", "/var/tmpz",
+        "/run/lock/f", "/var/log/syslog", "/usr/local/bin/tool",
+        "/home/alice/.cache/x", "/home/alice/.cachet", "/home/.cache/x",
+        "/opt/app", "/opt/app/bin", "/srv", "/srv/www/a", "/boot/vmlinuz",
+        "/bootstrap", "/usr/lib/mod.pyc", "/usr/bin/ls", "boot_aggregate",
+    ]
+
+    def test_matches_re_match_semantics_exactly(self):
+        import re
+
+        from repro.keylime.policy import ExcludeIndex
+
+        index = ExcludeIndex(self.PATTERNS)
+        compiled = [re.compile(p) for p in self.PATTERNS]
+        for path in self.CORPUS:
+            expected = any(regex.match(path) for regex in compiled)
+            assert index.matches(path) == expected, path
+
+    def test_fast_path_accounting(self):
+        from repro.keylime.policy import ExcludeIndex
+
+        index = ExcludeIndex(self.PATTERNS)
+        # IBM set: 5 anchored-literal trees + 1 regex; extras: 3 fast + 1.
+        assert index.fast_path_count == 8
+        assert index.fallback_count == 2
+
+    def test_rebuild_follows_mutation(self):
+        policy = RuntimePolicy(excludes=[r"^/tmp(/.*)?$"])
+        assert policy.is_excluded("/tmp/x")
+        policy.remove_exclude(r"^/tmp(/.*)?$")
+        assert not policy.is_excluded("/tmp/x")
+        policy.add_exclude(r"^/data(/.*)?$")
+        assert policy.is_excluded("/data/blob")
+
+
+class TestGenerationStamp:
+    def test_construction_is_generation_zero(self):
+        policy = RuntimePolicy(
+            digests={"/usr/bin/ls": [sha256_hex(b"ls")]},
+            excludes=list(IBM_STYLE_EXCLUDES),
+        )
+        assert policy.generation == 0
+
+    def test_mutations_bump(self, policy):
+        generation = policy.generation
+        policy.add_digest("/usr/bin/cp", sha256_hex(b"cp"))
+        assert policy.generation == generation + 1
+        policy.add_exclude(r"^/scratch(/.*)?$")
+        assert policy.generation == generation + 2
+        policy.remove_exclude(r"^/scratch(/.*)?$")
+        assert policy.generation == generation + 3
+
+    def test_duplicate_digest_does_not_bump(self, policy):
+        policy.add_digest("/usr/bin/cp", sha256_hex(b"cp"))
+        generation = policy.generation
+        assert policy.add_digest("/usr/bin/cp", sha256_hex(b"cp")) is False
+        assert policy.generation == generation
+
+    def test_uids_are_distinct(self):
+        assert RuntimePolicy().uid != RuntimePolicy().uid
+
+
+class TestVerdictCache:
+    def test_miss_then_hit(self, policy):
+        from repro.keylime.policy import VerdictCache
+
+        cache = VerdictCache()
+        entry = _entry("/usr/bin/ls", b"ls-v1")
+        first = cache.evaluate(policy, entry)
+        second = cache.evaluate(policy, entry)
+        assert first == second == (EntryVerdict.ACCEPT, None)
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_ratio == 0.5
+
+    def test_generation_bump_invalidates(self, policy):
+        from repro.keylime.policy import VerdictCache
+
+        cache = VerdictCache()
+        entry = _entry("/usr/bin/new", b"new")
+        verdict, _ = cache.evaluate(policy, entry)
+        assert verdict is EntryVerdict.NOT_IN_POLICY
+        policy.add_digest("/usr/bin/new", sha256_hex(b"new"))
+        verdict, _ = cache.evaluate(policy, entry)
+        assert verdict is EntryVerdict.ACCEPT  # stale verdict not served
+        assert cache.misses == 2
+
+    def test_distinct_policies_do_not_collide(self, policy):
+        from repro.keylime.policy import VerdictCache
+
+        cache = VerdictCache()
+        other = RuntimePolicy()  # same generation (0), different uid
+        entry = _entry("/usr/bin/ls", b"ls-v1")
+        assert cache.evaluate(policy, entry)[0] is EntryVerdict.ACCEPT
+        assert cache.evaluate(other, entry)[0] is EntryVerdict.NOT_IN_POLICY
+
+    def test_fifo_eviction_bounds_size(self, policy):
+        from repro.keylime.policy import VerdictCache
+
+        cache = VerdictCache(max_entries=2)
+        for index in range(4):
+            cache.evaluate(policy, _entry(f"/usr/bin/t{index}", b"x"))
+        assert len(cache) == 2
+        assert cache.evictions == 2
+
+    def test_clear_keeps_stats(self, policy):
+        from repro.keylime.policy import VerdictCache
+
+        cache = VerdictCache()
+        cache.evaluate(policy, _entry("/usr/bin/ls", b"ls-v1"))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.misses == 1
+
+    def test_zero_slots_rejected(self):
+        from repro.keylime.policy import VerdictCache
+
+        with pytest.raises(ConfigurationError):
+            VerdictCache(max_entries=0)

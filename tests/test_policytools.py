@@ -170,3 +170,36 @@ class TestPolicyFromImaLog:
         entry = machine.exec_file("/usr/bin/tool").entries[0]
         verdict, failure = policy.evaluate_entry(entry)
         assert verdict is EntryVerdict.HASH_MISMATCH
+
+
+class TestFastPathLint:
+    def test_wildcard_leading_pattern_flagged(self):
+        policy = RuntimePolicy()
+        policy.add_exclude(r".*\.cache$")
+        warnings = [w for w in lint_excludes(policy) if w.target == "<fast-path>"]
+        assert len(warnings) == 1
+        assert "anywhere" in warnings[0].reason
+
+    def test_anchored_wildcard_also_flagged(self):
+        policy = RuntimePolicy()
+        policy.add_exclude(r"^.*/tmp$")
+        warnings = [w for w in lint_excludes(policy) if w.target == "<fast-path>"]
+        assert len(warnings) == 1
+
+    def test_unanchored_literal_flagged(self):
+        policy = RuntimePolicy()
+        policy.add_exclude(r"/var/log(/.*)?$")
+        warnings = [w for w in lint_excludes(policy) if w.target == "<fast-path>"]
+        assert len(warnings) == 1
+        assert "anchor" in warnings[0].reason
+
+    def test_anchored_literal_clean(self):
+        policy = RuntimePolicy(excludes=[r"^/var/log(/.*)?$"])
+        assert [w for w in lint_excludes(policy) if w.target == "<fast-path>"] == []
+
+    def test_fast_path_coverage_on_ibm_policy(self):
+        from repro.keylime.policytools import fast_path_coverage
+
+        policy = RuntimePolicy(excludes=list(IBM_STYLE_EXCLUDES))
+        fast, fallback = fast_path_coverage(policy)
+        assert (fast, fallback) == (5, 1)  # only the /home regex falls back
