@@ -1,0 +1,97 @@
+"""Overhead of trace propagation, span storage, and exemplar capture.
+
+PR 4 moved the tracer from a blind deque to a full pipeline: every root
+trace is ingested into an indexed :class:`repro.obs.tracestore
+.SpanStore`, every attestation round crosses the JSON wire formats with
+a ``traceparent`` field, and the stage histograms capture per-bucket
+exemplars.  None of that is free, and all of it sits on the verifier
+poll loop -- the paper's core continuous-attestation path.  This bench
+times the same N-poll loop three ways:
+
+* telemetry off (null objects, the disabled fast path);
+* tracer only (spans recorded, no store) -- the pre-PR-4 shape;
+* the full pipeline (spans + SpanStore ingestion + exemplars).
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the loop so CI can assert
+the bound without paying the full measurement.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+from repro.experiments.testbed import TestbedConfig, build_testbed
+from repro.obs import runtime as obs_runtime
+from repro.obs.runtime import Telemetry
+from repro.obs.tracing import SpanTracer
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+N_POLLS = 40 if SMOKE else 200
+POLL_INTERVAL = 1800.0
+
+
+def _poll_loop_seconds(seed: str) -> float:
+    """Build a small rig and time N polls (build cost excluded)."""
+    testbed = build_testbed(TestbedConfig(seed=seed, n_filler_packages=15))
+    start = perf_counter()
+    for _ in range(N_POLLS):
+        testbed.scheduler.clock.advance_by(POLL_INTERVAL)
+        assert testbed.poll().ok
+    return perf_counter() - start
+
+
+def test_trace_pipeline_overhead(benchmark, emit):
+    # Null baseline: the autouse bench fixture activated telemetry;
+    # drop to the null objects for the unobserved loop.
+    obs_runtime.deactivate()
+    try:
+        null_s = _poll_loop_seconds("trace-overhead/null")
+
+        # Tracer without a store: spans recorded into the deque only.
+        bare = Telemetry()
+        bare.tracer = SpanTracer()
+        obs_runtime.activate(bare)
+        try:
+            tracer_s = _poll_loop_seconds("trace-overhead/tracer")
+        finally:
+            obs_runtime.deactivate()
+    finally:
+        obs_runtime.activate()
+
+    # Full pipeline: SpanStore ingestion + indexing + exemplars.
+    telemetry = obs_runtime.get()
+    full_s = benchmark.pedantic(
+        lambda: _poll_loop_seconds("trace-overhead/store"),
+        rounds=1 if SMOKE else 3, iterations=1,
+    )
+
+    store = telemetry.store
+    assert len(store) > 0, "full pipeline must have ingested traces"
+    p99 = store.percentile(0.99, name="verifier.poll")
+    stage_family = telemetry.registry.get("verifier_stage_wall_seconds")
+    exemplars = sum(
+        len(child.exemplars) for _, child in stage_family.samples()
+    ) if stage_family is not None else 0
+
+    per_poll = lambda seconds: seconds / N_POLLS * 1e6  # noqa: E731
+    emit()
+    emit(f"Trace-pipeline overhead ({N_POLLS} polls"
+         f"{', smoke' if SMOKE else ''})")
+    emit(f"  telemetry off:        {per_poll(null_s):9.1f} us/poll")
+    emit(f"  tracer only:          {per_poll(tracer_s):9.1f} us/poll "
+         f"({tracer_s / null_s - 1.0:+.1%})")
+    emit(f"  tracer+store+exemplars:{per_poll(full_s):8.1f} us/poll "
+         f"({full_s / null_s - 1.0:+.1%})")
+    emit(f"  store: {store.stats()}  p99(verifier.poll)={p99 * 1000:.3f}ms  "
+         f"stage exemplars={exemplars}")
+
+    benchmark.extra_info["trace_overhead"] = {
+        "null_us_per_poll": round(per_poll(null_s), 2),
+        "tracer_us_per_poll": round(per_poll(tracer_s), 2),
+        "full_us_per_poll": round(per_poll(full_s), 2),
+        "store": store.stats(),
+    }
+    # The full trace pipeline must stay within one order of magnitude
+    # of the unobserved loop (loose bound for noisy CI boxes).
+    assert full_s < null_s * 10.0

@@ -296,6 +296,122 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_span_store(path: str):
+    from repro.obs.exporters import load_jsonl
+    from repro.obs.tracestore import SpanStore
+
+    with open(path, "r", encoding="utf-8") as handle:
+        records = load_jsonl(handle.read())
+    return SpanStore.from_records(records)
+
+
+def _cmd_obs_trace(args: argparse.Namespace) -> int:
+    import json as json_module
+    import os as os_module
+
+    from repro.obs import profiling
+    from repro.obs.exporters import write_text_atomic
+    from repro.obs.tracestore import perfetto_trace
+
+    if args.trace_command == "diff":
+        store_a = _load_span_store(args.export_file)
+        store_b = _load_span_store(args.export_file_b)
+        profile_a = profiling.profile(
+            root for entry in store_a.entries() for root in entry.roots
+        )
+        profile_b = profiling.profile(
+            root for entry in store_b.entries() for root in entry.roots
+        )
+        print(profiling.render_diff(
+            profiling.diff_profiles(profile_a, profile_b),
+            a_label=os_module.path.basename(args.export_file),
+            b_label=os_module.path.basename(args.export_file_b),
+        ))
+        return 0
+
+    store = _load_span_store(args.export_file)
+    if not len(store):
+        print("no spans in export")
+        return 1
+
+    if args.trace_command == "show":
+        if args.trace is not None:
+            entry = store.get(args.trace)
+            if entry is None:
+                print(f"no trace {args.trace!r} in export")
+                return 1
+        else:
+            entry = store.entries()[-1]
+        stats = store.stats()
+        print(f"store: {stats['traces']} traces, {stats['spans']} spans "
+              f"(names: {', '.join(store.names())})")
+        print(f"trace {entry.trace_id:032x}  agent={entry.agent or '-'} "
+              f"sim_start={entry.sim_start / 3600.0:.2f}h "
+              f"wall={entry.wall_duration * 1000:.3f}ms "
+              f"error={entry.error}")
+        for root in entry.roots:
+            for line in root.tree_lines():
+                print("  " + line)
+        return 0
+
+    if args.trace_command == "query":
+        matched = store.query(
+            name=args.name,
+            agent=args.agent,
+            errors_only=args.errors_only,
+            since=args.since_hours * 3600.0 if args.since_hours is not None else None,
+            until=args.until_hours * 3600.0 if args.until_hours is not None else None,
+            min_wall=(
+                args.min_wall_ms / 1000.0 if args.min_wall_ms is not None else None
+            ),
+            limit=args.limit,
+        )
+        print(f"{len(matched)} matching trace(s):")
+        for entry in matched:
+            print(f"  {entry.trace_id:032x}  {entry.name:<18s} "
+                  f"agent={entry.agent or '-':<16s} "
+                  f"t={entry.sim_start / 3600.0:8.2f}h "
+                  f"wall={entry.wall_duration * 1000:9.3f}ms "
+                  f"spans={entry.span_count:<4d} "
+                  f"{'ERROR' if entry.error else 'ok'}")
+        return 0
+
+    if args.trace_command == "critical-path":
+        if args.trace is not None:
+            entry = store.get(args.trace)
+            if entry is None:
+                print(f"no trace {args.trace!r} in export")
+                return 1
+            root = entry.heaviest(args.name) or entry.primary
+        else:
+            slowest = store.slowest(1, name=args.name)
+            if slowest:
+                root = slowest[0].heaviest(args.name) or slowest[0].primary
+            else:
+                root = store.slowest(1)[0].primary
+        print(profiling.render_critical_path(root))
+        return 0
+
+    # export
+    if args.format == "perfetto":
+        text = json_module.dumps(
+            perfetto_trace(store.entries()), sort_keys=True, indent=1
+        ) + "\n"
+    elif args.format == "collapsed":
+        roots = [root for entry in store.entries() for root in entry.roots]
+        text = profiling.collapsed_text(roots) + "\n"
+    else:  # jsonl
+        text = store.dump_jsonl()
+    if args.out:
+        write_text_atomic(args.out, text)
+        stats = store.stats()
+        print(f"{args.format} export of {stats['traces']} traces "
+              f"({stats['spans']} spans) written to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -401,6 +517,73 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_report.add_argument("export_file", help="path to an obs watch --jsonl export")
     obs_report.set_defaults(func=_cmd_obs_report)
+
+    trace = obs_commands.add_parser(
+        "trace",
+        help="inspect traces from a JSONL export: show, query, Perfetto "
+             "export, critical path, run diff",
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_show = trace_commands.add_parser("show", help="print one trace tree")
+    trace_show.add_argument("export_file", help="path to a --jsonl export")
+    trace_show.add_argument(
+        "--trace", default=None, help="trace id (decimal or hex); default: last"
+    )
+    trace_show.set_defaults(func=_cmd_obs_trace)
+
+    trace_query = trace_commands.add_parser(
+        "query", help="filter traces by name/agent/error/time/duration"
+    )
+    trace_query.add_argument("export_file", help="path to a --jsonl export")
+    trace_query.add_argument("--name", default=None, help="primary span name")
+    trace_query.add_argument("--agent", default=None, help="agent id")
+    trace_query.add_argument(
+        "--errors-only", action="store_true", help="error-status traces only"
+    )
+    trace_query.add_argument(
+        "--since-hours", type=float, default=None, help="simulated window start"
+    )
+    trace_query.add_argument(
+        "--until-hours", type=float, default=None, help="simulated window end"
+    )
+    trace_query.add_argument(
+        "--min-wall-ms", type=float, default=None, help="wall-duration floor"
+    )
+    trace_query.add_argument("--limit", type=int, default=20)
+    trace_query.set_defaults(func=_cmd_obs_trace)
+
+    trace_export = trace_commands.add_parser(
+        "export", help="re-export traces (Perfetto JSON, span JSONL, flamegraph folds)"
+    )
+    trace_export.add_argument("export_file", help="path to a --jsonl export")
+    trace_export.add_argument(
+        "--format", choices=["perfetto", "jsonl", "collapsed"], default="perfetto",
+    )
+    trace_export.add_argument(
+        "--out", default=None, help="output path (default: stdout)"
+    )
+    trace_export.set_defaults(func=_cmd_obs_trace)
+
+    trace_cp = trace_commands.add_parser(
+        "critical-path", help="where the wall time of one trace went"
+    )
+    trace_cp.add_argument("export_file", help="path to a --jsonl export")
+    trace_cp.add_argument(
+        "--trace", default=None, help="trace id (decimal or hex); default: slowest"
+    )
+    trace_cp.add_argument(
+        "--name", default="verifier.poll",
+        help="root name to pick the slowest trace from",
+    )
+    trace_cp.set_defaults(func=_cmd_obs_trace)
+
+    trace_diff = trace_commands.add_parser(
+        "diff", help="self-time profile delta between two run exports"
+    )
+    trace_diff.add_argument("export_file", help="baseline --jsonl export")
+    trace_diff.add_argument("export_file_b", help="comparison --jsonl export")
+    trace_diff.set_defaults(func=_cmd_obs_trace)
 
     report = commands.add_parser(
         "report", help="run every experiment and emit a markdown report"

@@ -99,6 +99,7 @@ def run_fleet_scenario(
     sync_hour: float = 5.0,
     p2: P2Injection | None = None,
     watch=None,
+    wire_transport: bool = True,
 ) -> FleetScenarioResult:
     """Provision a fleet and run *n_days* of polling plus daily updates.
 
@@ -106,6 +107,9 @@ def run_fleet_scenario(
     :class:`P2Injection`); *watch* is an optional
     :class:`repro.obs.health.HealthWatch` attached to the fleet before
     the run starts, so its detectors observe the whole timeline.
+    *wire_transport* routes every verifier/agent round through the JSON
+    wire formats (traceparent propagation included); see
+    :class:`repro.keylime.fleet.Fleet`.
     """
     rng = SeededRng(seed)
     scheduler = Scheduler()
@@ -138,6 +142,7 @@ def run_fleet_scenario(
     fleet = Fleet(
         n_nodes, mirror, manufacturer, scheduler, rng.fork("fleet"), policy,
         events=events, kernel_version=DEFAULT_KERNEL,
+        wire_transport=wire_transport,
     )
     result = FleetScenarioResult(fleet=fleet, n_days=n_days, p2=p2)
 

@@ -19,6 +19,7 @@ from time import perf_counter
 from repro.common.errors import StateError
 from repro.kernelsim.kernel import Machine
 from repro.obs import runtime as obs
+from repro.obs.tracing import exemplar_of
 from repro.tpm.device import AttestationKey
 from repro.tpm.pcr import IMA_PCR_INDEX
 from repro.tpm.quote import Quote
@@ -118,7 +119,7 @@ class KeylimeAgent:
         registry.histogram(
             "agent_attest_wall_seconds",
             "Wall-clock time for the agent to answer one challenge",
-        ).observe(perf_counter() - wall_start)
+        ).observe(perf_counter() - wall_start, exemplar=exemplar_of(span))
         registry.counter(
             "agent_attestations_total", "Challenges answered", ("agent",),
         ).labels(agent=self.agent_id).inc()

@@ -36,6 +36,7 @@ from repro.keylime.audit import AuditLog
 from repro.keylime.policy import RuntimePolicy, VerdictCache
 from repro.keylime.registrar import KeylimeRegistrar
 from repro.keylime.revocation import QuarantineListener, RevocationNotifier
+from repro.keylime.transport import JsonTransportAgent
 from repro.keylime.verifier import AgentState, AttestationResult, KeylimeVerifier
 from repro.kernelsim.kernel import Machine
 from repro.obs import runtime as obs
@@ -134,7 +135,19 @@ class Fleet:
         events: EventLog | None = None,
         kernel_version: str = "5.15.0-91-generic",
         continue_on_failure: bool = False,
+        wire_transport: bool = True,
     ) -> None:
+        """Provision, register and onboard *size* identical nodes.
+
+        With ``wire_transport`` (the default) the verifier talks to each
+        agent through a :class:`repro.keylime.transport
+        .JsonTransportAgent` proxy: every challenge and every piece of
+        evidence crosses the JSON wire formats, traceparent propagation
+        included, exactly as it would between separate processes.  The
+        round-trip is lossless, so verdicts and RNG draws are unchanged;
+        set it ``False`` to shave the serialisation cost in
+        pure-throughput experiments.
+        """
         if size < 1:
             raise ValueError("fleet needs at least one node")
         obs.get().bind_clock(scheduler.clock)
@@ -177,7 +190,8 @@ class Fleet:
             apt.upgrade_from(baseline, install_new=True)
             agent = KeylimeAgent(f"agent-{name}", machine)
             self.registrar.register(agent)
-            self.verifier.add_agent(agent, policy)
+            verifier_side = JsonTransportAgent(agent) if wire_transport else agent
+            self.verifier.add_agent(verifier_side, policy)
             self.poll_scheduler.register(agent.agent_id)
             self.nodes.append(FleetNode(name=name, machine=machine, apt=apt, agent=agent))
 

@@ -47,6 +47,7 @@ from repro.kernelsim.ima import (
 from repro.keylime.agent import KeylimeAgent
 from repro.keylime.measuredboot import MeasuredBootPolicy
 from repro.keylime.policy import PolicyFailure, RuntimePolicy, VerdictCache
+from repro.obs.tracing import exemplar_of
 from repro.tpm.pcr import IMA_PCR_INDEX
 from repro.tpm.quote import QuoteVerificationError, verify_quote
 
@@ -435,8 +436,11 @@ class VerificationPipeline:
             except RoundAborted:
                 break
             finally:
+                # Exemplar: the enclosing poll span, so a slow bucket in
+                # the histogram resolves to the trace that produced it.
                 stage_histogram.labels(stage=stage.name).observe(
-                    perf_counter() - wall_start
+                    perf_counter() - wall_start,
+                    exemplar=exemplar_of(ctx.tracer.current),
                 )
         if ctx.cache_hits or ctx.cache_misses:
             cache_counter = registry.counter(

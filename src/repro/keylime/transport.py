@@ -8,15 +8,28 @@ every attestation round through serialisation -- so tests can prove the
 security properties hold across (and *because of*) the encoding: a
 tampered byte anywhere in the channel surfaces as a verification
 failure, never as silently different data.
+
+The challenge (request) side of the wire carries a ``traceparent``
+field alongside the nonce, so the spans the *agent* records join the
+verifier's ``verifier.poll`` trace even though they are recorded on the
+far side of the serialised channel (see
+:meth:`repro.obs.tracing.SpanTracer.remote_context`).  The traceparent
+is observability metadata, not a security input: tampering with it can
+sever the trace linkage (the agent spans show up detached, flagged
+``traceparent.resolved=False``) but can neither graft spans onto a
+live trace it does not own nor affect verification.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from typing import Any
 
 from repro.common.errors import IntegrityError
 from repro.keylime.agent import AttestationEvidence, KeylimeAgent
+from repro.obs import runtime as obs
+from repro.obs.tracing import format_traceparent
 from repro.tpm.quote import Quote
 
 
@@ -57,6 +70,61 @@ def quote_from_dict(payload: dict[str, Any]) -> Quote:
         raise IntegrityError(f"malformed quote payload: {exc}") from exc
 
 
+@dataclass(frozen=True)
+class Challenge:
+    """One decoded challenge (the request side of an attestation round)."""
+
+    nonce: str
+    offset: int
+    pcr_selection: tuple[int, ...] | None
+    traceparent: str | None
+
+
+def challenge_to_json(
+    nonce: str,
+    offset: int = 0,
+    pcr_selection=None,
+    traceparent: str | None = None,
+) -> str:
+    """Serialise one challenge (verifier -> agent)."""
+    return json.dumps(
+        {
+            "nonce": nonce,
+            "offset": offset,
+            "pcr_selection": (
+                list(pcr_selection) if pcr_selection is not None else None
+            ),
+            "traceparent": traceparent,
+        },
+        sort_keys=True,
+    )
+
+
+def challenge_from_json(blob: str) -> Challenge:
+    """Deserialise one challenge; :class:`IntegrityError` on malformed input.
+
+    A malformed *traceparent* is not an integrity failure -- the field is
+    observability metadata and its validation happens at span-creation
+    time (an invalid value merely detaches the agent's trace).
+    """
+    try:
+        payload = json.loads(blob)
+        selection = payload["pcr_selection"]
+        traceparent = payload.get("traceparent")
+        return Challenge(
+            nonce=str(payload["nonce"]),
+            offset=int(payload["offset"]),
+            pcr_selection=(
+                tuple(int(index) for index in selection)
+                if selection is not None
+                else None
+            ),
+            traceparent=traceparent if isinstance(traceparent, str) else None,
+        )
+    except (KeyError, ValueError, TypeError, json.JSONDecodeError) as exc:
+        raise IntegrityError(f"malformed challenge payload: {exc}") from exc
+
+
 def evidence_to_json(evidence: AttestationEvidence) -> str:
     """Serialise one attestation response."""
     return json.dumps(
@@ -87,16 +155,25 @@ def evidence_from_json(blob: str) -> AttestationEvidence:
 
 
 class JsonTransportAgent:
-    """An agent proxy that routes every response through the wire format.
+    """An agent proxy that routes every round through the wire formats.
 
-    Drop-in for :class:`KeylimeAgent` on the verifier side.  The
-    optional ``channel`` hook sees (and may tamper with) the raw JSON --
-    which is how the adversarial tests model a man-in-the-middle.
+    Drop-in for :class:`KeylimeAgent` on the verifier side.  Both
+    directions are serialised: the challenge (nonce, offset, PCR
+    selection, traceparent) crosses as JSON before the agent sees it,
+    and the evidence crosses as JSON on the way back.  The optional
+    ``channel`` hook sees (and may tamper with) the raw response JSON,
+    ``request_channel`` the raw challenge JSON -- which is how the
+    adversarial tests model a man-in-the-middle on either leg.
+
+    ``bytes_transferred`` counts both legs; the active telemetry (if
+    any) additionally gets ``transport_bytes_total{direction}`` and
+    ``transport_roundtrips_total`` counters.
     """
 
-    def __init__(self, agent: KeylimeAgent, channel=None) -> None:
+    def __init__(self, agent: KeylimeAgent, channel=None, request_channel=None) -> None:
         self._agent = agent
         self._channel = channel
+        self._request_channel = request_channel
         self.bytes_transferred = 0
 
     @property
@@ -120,9 +197,38 @@ class JsonTransportAgent:
 
     def attest(self, nonce: str, offset: int = 0, pcr_selection=None) -> AttestationEvidence:
         """One challenge/response round across the serialised channel."""
-        evidence = self._agent.attest(nonce, offset, pcr_selection=pcr_selection)
+        telemetry = obs.get()
+        tracer = telemetry.tracer
+        request = challenge_to_json(
+            nonce,
+            offset,
+            pcr_selection=pcr_selection,
+            traceparent=format_traceparent(tracer.current),
+        )
+        if self._request_channel is not None:
+            request = self._request_channel(request)
+        challenge = challenge_from_json(request)
+        # The agent runs on the far side of the wire: its spans take
+        # their parentage from the propagated traceparent alone.
+        with tracer.remote_context(challenge.traceparent):
+            evidence = self._agent.attest(
+                challenge.nonce,
+                challenge.offset,
+                pcr_selection=challenge.pcr_selection,
+            )
         blob = evidence_to_json(evidence)
         if self._channel is not None:
             blob = self._channel(blob)
-        self.bytes_transferred += len(blob)
+        self.bytes_transferred += len(request) + len(blob)
+        bytes_total = telemetry.registry.counter(
+            "transport_bytes_total",
+            "Bytes crossing the serialised agent/verifier channel",
+            labelnames=("direction",),
+        )
+        bytes_total.labels(direction="request").inc(len(request))
+        bytes_total.labels(direction="response").inc(len(blob))
+        telemetry.registry.counter(
+            "transport_roundtrips_total",
+            "Challenge/response rounds completed across the wire",
+        ).inc()
         return evidence_from_json(blob)

@@ -60,6 +60,7 @@ from repro.keylime.policy import RuntimePolicy, VerdictCache
 from repro.keylime.registrar import KeylimeRegistrar
 from repro.keylime.revocation import RevocationEvent, RevocationNotifier
 from repro.obs import runtime as obs
+from repro.obs.tracing import exemplar_of
 
 __all__ = [
     "AgentSlot",
@@ -247,7 +248,7 @@ class KeylimeVerifier:
         registry = telemetry.registry
         registry.histogram(
             "verifier_poll_wall_seconds", "Wall-clock latency of one verifier poll",
-        ).observe(perf_counter() - wall_start)
+        ).observe(perf_counter() - wall_start, exemplar=exemplar_of(span))
         registry.counter(
             "verifier_polls_total", "Attestation rounds executed", ("result",),
         ).labels(result="ok" if result.ok else "failed").inc()

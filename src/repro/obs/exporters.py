@@ -62,20 +62,44 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _format_exemplar(exemplar: dict) -> str:
+    """OpenMetrics-style exemplar suffix for a ``_bucket`` sample line.
+
+    ``# {trace_id="...",span_id="..."} value`` -- trace/span ids in the
+    W3C fixed-width hex the traceparent wire field uses, so the ids in
+    a scrape match the ids in a trace export byte-for-byte.
+    """
+    labels = {
+        "trace_id": f"{int(exemplar['trace_id']):032x}",
+        "span_id": f"{int(exemplar['span_id']):016x}",
+    }
+    return f" # {_format_labels(labels)} {_format_value(exemplar.get('value', 0.0))}"
+
+
 def prometheus_text(registry: MetricsRegistry) -> str:
-    """Render every metric in the Prometheus text exposition format."""
+    """Render every metric in the Prometheus text exposition format.
+
+    Histogram buckets that captured an exemplar carry an
+    OpenMetrics-style ``# {trace_id=...,span_id=...} value`` suffix;
+    :func:`parse_prometheus_text` (and plain Prometheus scrapers in
+    OpenMetrics mode) tolerate it.
+    """
     lines: list[str] = []
     for family in registry.families():
         lines.append(f"# HELP {family.name} {_escape_help_text(family.help_text)}")
         lines.append(f"# TYPE {family.name} {family.kind}")
         for labels, child in family.samples():
             if isinstance(child, HistogramChild):
-                for bound, cumulative in child.cumulative_buckets():
+                for index, (bound, cumulative) in enumerate(
+                    child.cumulative_buckets()
+                ):
                     bucket_labels = dict(labels)
                     bucket_labels["le"] = _format_value(bound)
+                    exemplar = child.exemplars.get(index)
                     lines.append(
                         f"{family.name}_bucket{_format_labels(bucket_labels)}"
                         f" {cumulative}"
+                        + (_format_exemplar(exemplar) if exemplar else "")
                     )
                 lines.append(
                     f"{family.name}_sum{_format_labels(labels)}"
@@ -115,6 +139,9 @@ def parse_prometheus_text(
         line = line.strip()
         if not line or line.startswith("#"):
             continue
+        # Drop an OpenMetrics exemplar suffix (` # {...} value`) so the
+        # sample value parses cleanly.
+        line = line.split(" # ", 1)[0].rstrip()
         name_part, _, value_part = line.rpartition(" ")
         labels: list[tuple[str, str]] = []
         if "{" in name_part:
@@ -184,6 +211,11 @@ def _metric_record(family, labels: dict[str, str], child) -> dict[str, Any]:
         record["quantiles"] = {
             str(q): child.quantile(q) for q in SUMMARY_QUANTILES
         }
+        if child.exemplars:
+            record["exemplars"] = {
+                _format_value(child.bucket_bound(index)): exemplar
+                for index, exemplar in sorted(child.exemplars.items())
+            }
     else:
         record["value"] = child.value
     return record
@@ -200,6 +232,7 @@ def _span_record(span: Span) -> dict[str, Any]:
         "sim_end": span.sim_end,
         "sim_duration": span.sim_duration,
         "wall_ms": span.wall_duration * 1000.0,
+        "status": span.status,
         "attributes": span.attributes,
     }
 

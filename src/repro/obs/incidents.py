@@ -31,6 +31,8 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.common.events import EventLog
+from repro.obs.profiling import critical_path, self_wall
+from repro.obs.tracestore import build_spans
 
 #: Cap on records per section of one report, so a month-long window
 #: cannot produce a megabyte of timeline.
@@ -51,6 +53,9 @@ class IncidentReport:
     audit_records: list[dict[str, Any]] = field(default_factory=list)
     audit_chain: dict[str, Any] = field(default_factory=dict)
     truncated: dict[str, int] = field(default_factory=dict)
+    #: The heaviest-child chain of the window's last relevant poll --
+    #: where the wall time of the round that preceded the alert went.
+    critical_path: list[dict[str, Any]] = field(default_factory=list)
 
     def to_record(self) -> dict[str, Any]:
         """Dict form for the JSONL export (``type: incident``)."""
@@ -66,6 +71,7 @@ class IncidentReport:
             "audit_records": self.audit_records,
             "audit_chain": self.audit_chain,
             "truncated": self.truncated,
+            "critical_path": self.critical_path,
         }
 
     def to_json(self) -> str:
@@ -86,6 +92,7 @@ class IncidentReport:
             audit_records=list(record.get("audit_records", ())),
             audit_chain=dict(record.get("audit_chain", ())),
             truncated=dict(record.get("truncated", ())),
+            critical_path=list(record.get("critical_path", ())),
         )
 
     # -- rendering ---------------------------------------------------------
@@ -158,6 +165,14 @@ class IncidentReport:
         )
         for section, dropped in sorted(self.truncated.items()):
             lines.append(f"          ({section}: {dropped} older records truncated)")
+        if self.critical_path:
+            lines.append("-- critical path (last poll before the alert) --")
+            for depth, step in enumerate(self.critical_path):
+                pad = "  " * depth
+                lines.append(
+                    f"  {pad}{step['name']}  wall={step['wall_ms']:.3f}ms "
+                    f"self={step['self_ms']:.3f}ms  ({step['share'] * 100:5.1f}%)"
+                )
         if include_timeline:
             lines.append("-- timeline --")
             for time, tag, text in self.timeline():
@@ -178,6 +193,7 @@ def _span_to_dict(span) -> dict[str, Any]:
         "sim_start": span.sim_start,
         "sim_end": span.sim_end,
         "wall_ms": span.wall_duration * 1000.0,
+        "status": span.status,
         "attributes": span.attributes,
     }
 
@@ -330,6 +346,8 @@ class IncidentCorrelator:
             truncated["spans"] = len(spans) - MAX_SECTION_RECORDS
             spans = spans[-MAX_SECTION_RECORDS:]
 
+        path = _poll_critical_path(spans, agent)
+
         audit_records, chain = self._audit_in_window(t0, t1, agent)
         if len(audit_records) > MAX_SECTION_RECORDS:
             truncated["audit_records"] = len(audit_records) - MAX_SECTION_RECORDS
@@ -347,7 +365,40 @@ class IncidentCorrelator:
             audit_records=audit_records,
             audit_chain=chain,
             truncated=truncated,
+            critical_path=path,
         )
+
+
+def _poll_critical_path(
+    spans: list[dict[str, Any]], agent: str | None
+) -> list[dict[str, Any]]:
+    """Critical path of the last ``verifier.poll`` among *spans*.
+
+    Rebuilds span trees from the window's flat span dicts, picks the
+    most recent poll matching *agent* (any agent when ``None``) --
+    wherever it sits in its tree: fleet runs nest polls inside
+    ``fleet.poll_batch`` roots -- and returns its heaviest-child chain
+    as serialisable steps.
+    """
+    polls = [
+        span
+        for root in build_spans(spans)
+        for span in root.walk()
+        if span.name == "verifier.poll"
+        and (agent is None or span.attributes.get("agent") == agent)
+    ]
+    if not polls:
+        return []
+    root = max(polls, key=lambda span: span.sim_start)
+    return [
+        {
+            "name": step.span.name,
+            "wall_ms": step.span.wall_duration * 1000.0,
+            "self_ms": self_wall(step.span) * 1000.0,
+            "share": round(step.share, 4),
+        }
+        for step in critical_path(root)
+    ]
 
 
 def _verify_exported_chain(records: list[dict[str, Any]]) -> bool:

@@ -89,9 +89,16 @@ class GaugeChild:
 
 
 class HistogramChild:
-    """One cell of a histogram family: buckets, sum/count, reservoir."""
+    """One cell of a histogram family: buckets, sum/count, reservoir.
 
-    __slots__ = ("bounds", "bucket_counts", "sum", "count", "_reservoir")
+    Passing an *exemplar* (a ``{"trace_id": ..., "span_id": ...}`` dict,
+    see :func:`repro.obs.tracing.exemplar_of`) to :meth:`observe` keeps
+    one exemplar per bucket -- the latest sample that landed there, a
+    deterministic rule under the deterministic sim -- so a p99 bucket in
+    the export links straight to the trace that produced it.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "sum", "count", "_reservoir", "exemplars")
 
     def __init__(self, bounds: tuple[float, ...]) -> None:
         self.bounds = bounds
@@ -100,16 +107,44 @@ class HistogramChild:
         self.sum = 0.0
         self.count = 0
         self._reservoir: list[float] = []
+        #: bucket index -> the latest exemplar that landed in it.
+        self.exemplars: dict[int, dict] = {}
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
-        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+    def observe(self, value: float, exemplar: dict | None = None) -> None:
+        """Record one observation (optionally carrying a trace exemplar)."""
+        bucket = bisect_left(self.bounds, value)
+        self.bucket_counts[bucket] += 1
         self.sum += value
+        if exemplar is not None:
+            self.exemplars[bucket] = {**exemplar, "value": value}
         if len(self._reservoir) < RESERVOIR_SIZE:
             self._reservoir.append(value)
         else:
             self._reservoir[self.count % RESERVOIR_SIZE] = value
         self.count += 1
+
+    def bucket_bound(self, index: int) -> float:
+        """The ``le`` bound of bucket *index* (+Inf for the overflow slot)."""
+        return self.bounds[index] if index < len(self.bounds) else float("inf")
+
+    def exemplar_for_quantile(self, q: float) -> dict | None:
+        """The exemplar of the bucket the q-quantile falls in, if any.
+
+        Prefers the quantile's own bucket, then the nearest populated
+        bucket above it (a slower tail sample), then below -- so "the
+        p99 trace" resolves even when the exact p99 bucket saw no
+        exemplar-carrying sample.
+        """
+        if not self.exemplars:
+            return None
+        target = bisect_left(self.bounds, self.quantile(q))
+        for bucket in range(target, len(self.bucket_counts)):
+            if bucket in self.exemplars:
+                return self.exemplars[bucket]
+        for bucket in range(target - 1, -1, -1):
+            if bucket in self.exemplars:
+                return self.exemplars[bucket]
+        return None
 
     def cumulative_buckets(self) -> list[tuple[float, int]]:
         """Prometheus-style ``(le, cumulative_count)`` pairs, +Inf last."""
@@ -223,9 +258,9 @@ class MetricFamily:
         """Set the unlabeled child (gauges)."""
         self._default_child().set(value)
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: dict | None = None) -> None:
         """Observe into the unlabeled child (histograms)."""
-        self._default_child().observe(value)
+        self._default_child().observe(value, exemplar=exemplar)
 
     @property
     def value(self) -> float:
@@ -341,7 +376,7 @@ class _NullInstrument:
     def set(self, value: float) -> None:
         pass
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: dict | None = None) -> None:
         pass
 
     @property

@@ -184,3 +184,90 @@ class TestObsWatch:
         assert "health.coverage_gap" in out
         assert "incident report(s) (embedded)" in out
         assert "chain_verified=True" in out
+
+
+class TestObsTrace:
+    @pytest.fixture(scope="class")
+    def fleet_export(self, tmp_path_factory):
+        """One small fleet run exported to JSONL (spans included)."""
+        import contextlib
+        import io
+
+        path = tmp_path_factory.mktemp("trace") / "run.jsonl"
+        with contextlib.redirect_stdout(io.StringIO()):
+            code = main([
+                "--fillers", "5", "--seed", "cli-trace",
+                "obs", "fleet", "--days", "1", "--nodes", "2",
+                "--jsonl", str(path),
+            ])
+        assert code == 0
+        return path
+
+    def test_show_prints_a_tree(self, fleet_export, capsys):
+        assert main(["obs", "trace", "show", str(fleet_export)]) == 0
+        out = capsys.readouterr().out
+        assert "traces" in out
+        assert "verifier.poll" in out
+
+    def test_query_finds_child_span_names(self, fleet_export, capsys):
+        assert main([
+            "obs", "trace", "query", str(fleet_export),
+            "--name", "verifier.poll", "--limit", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        # Fleet polls batch per round: the traces match by the child
+        # span name but display their batch root.
+        assert "3 matching trace(s)" in out
+        assert "fleet.poll_batch" in out
+
+    def test_export_perfetto_is_loadable_chrome_json(
+        self, fleet_export, tmp_path, capsys
+    ):
+        import json
+
+        out_path = tmp_path / "trace.perfetto.json"
+        assert main([
+            "obs", "trace", "export", str(fleet_export),
+            "--format", "perfetto", "--out", str(out_path),
+        ]) == 0
+        doc = json.loads(out_path.read_text())
+        events = doc["traceEvents"]
+        assert events
+        completes = [e for e in events if e["ph"] == "X"]
+        assert all("ts" in e and "dur" in e and "pid" in e for e in completes)
+        # Agent-side spans made it across the wire into the same doc.
+        assert any(e["name"] == "agent.attest" for e in completes)
+
+    def test_export_collapsed_stacks(self, fleet_export, capsys):
+        assert main([
+            "obs", "trace", "export", str(fleet_export),
+            "--format", "collapsed",
+        ]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line]
+        assert lines
+        assert all(line.rsplit(" ", 1)[1].isdigit() for line in lines)
+
+    def test_critical_path_attributes_the_poll(self, fleet_export, capsys):
+        assert main([
+            "obs", "trace", "critical-path", str(fleet_export),
+            "--name", "verifier.poll",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "verifier.poll" in out
+        assert "coverage" in out
+
+    def test_diff_of_a_run_against_itself(self, fleet_export, capsys):
+        assert main([
+            "obs", "trace", "diff", str(fleet_export), str(fleet_export),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "run.jsonl" in out
+
+    def test_query_with_no_matches(self, fleet_export, capsys):
+        assert main([
+            "obs", "trace", "query", str(fleet_export),
+            "--name", "no.such.span",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 matching trace(s)" in out

@@ -55,6 +55,56 @@ class TestPrometheus:
         assert samples[("c", (("path", tricky),))] == 1
 
 
+class TestExemplarExposition:
+    def _registry_with_exemplar(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "latency_seconds", "poll latency", buckets=(0.1, 1.0)
+        )
+        hist.observe(0.5, exemplar={"trace_id": 258, "span_id": 16})
+        hist.observe(5.0)
+        return registry
+
+    def test_bucket_line_carries_the_exemplar_suffix(self):
+        text = prometheus_text(self._registry_with_exemplar())
+        line = next(
+            l for l in text.splitlines()
+            if l.startswith('latency_seconds_bucket{le="1"')
+        )
+        sample, _, suffix = line.partition(" # ")
+        assert sample.endswith(" 1")
+        assert 'trace_id="' + "0" * 29 + '102"' in suffix
+        assert 'span_id="' + "0" * 14 + '10"' in suffix
+        assert suffix.endswith(" 0.5")
+        # Buckets without an exemplar stay plain.
+        assert 'le="+Inf"} 2\n' in text or text.endswith('le="+Inf"} 2')
+
+    def test_parse_strips_exemplar_suffixes(self):
+        registry = self._registry_with_exemplar()
+        parsed = parse_prometheus_text(prometheus_text(registry))
+        assert parsed[("latency_seconds_bucket", (("le", "1"),))] == 1.0
+        assert parsed[("latency_seconds_bucket", (("le", "+Inf"),))] == 2.0
+
+    def test_jsonl_metric_records_carry_exemplars(self):
+        records = jsonl_dump(registry=self._registry_with_exemplar())
+        metric = next(
+            r for r in load_jsonl(records) if r["name"] == "latency_seconds"
+        )
+        assert metric["exemplars"]["1"]["trace_id"] == 258
+        assert metric["exemplars"]["1"]["value"] == 0.5
+
+    def test_span_records_carry_status(self):
+        tracer = SpanTracer()
+        try:
+            with tracer.span("poll"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        records = load_jsonl(jsonl_dump(MetricsRegistry(), tracer=tracer))
+        span = next(r for r in records if r.get("type") == "span")
+        assert span["status"] == "error"
+
+
 class TestJsonl:
     def test_metric_records_round_trip(self):
         records = load_jsonl(jsonl_dump(_populated_registry()))

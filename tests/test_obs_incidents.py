@@ -94,6 +94,68 @@ class TestCorrelatorLive:
         assert report.events[-1]["time"] == MAX_SECTION_RECORDS + 49
 
 
+class TestCriticalPathSection:
+    def _correlated(self) -> IncidentReport:
+        from repro.common.clock import SimClock
+        from repro.obs.tracing import SpanTracer
+
+        events, audit = TestCorrelatorLive()._sources()
+        clock = SimClock()
+        tracer = SpanTracer(clock=clock)
+        clock.advance_by(5 * POLL)
+        with tracer.span("verifier.poll", agent="agent-a"):
+            with tracer.span("verifier.challenge"):
+                with tracer.span("agent.attest"):
+                    pass
+            with tracer.span("verifier.log_replay"):
+                pass
+        correlator = IncidentCorrelator(events, tracer=tracer, audit=audit)
+        return correlator.build(_alert(6 * POLL))
+
+    def test_report_carries_the_poll_critical_path(self):
+        report = self._correlated()
+        names = [step["name"] for step in report.critical_path]
+        assert names[0] == "verifier.poll"
+        assert "agent.attest" in names or "verifier.challenge" in names
+        for step in report.critical_path:
+            assert step["wall_ms"] >= 0.0
+            assert step["self_ms"] >= 0.0
+            assert 0.0 <= step["share"] <= 1.0
+
+    def test_critical_path_round_trips_and_renders(self):
+        report = self._correlated()
+        clone = IncidentReport.from_record(json.loads(report.to_json()))
+        assert clone.critical_path == report.critical_path
+        text = report.render_text()
+        assert "-- critical path (last poll before the alert) --" in text
+        assert "verifier.poll" in text
+
+    def test_poll_nested_in_a_fleet_batch_is_found(self):
+        """Fleet runs root their polls under fleet.poll_batch."""
+        from repro.common.clock import SimClock
+        from repro.obs.tracing import SpanTracer
+
+        events, audit = TestCorrelatorLive()._sources()
+        clock = SimClock()
+        tracer = SpanTracer(clock=clock)
+        clock.advance_by(5 * POLL)
+        with tracer.span("fleet.poll_batch"):
+            with tracer.span("verifier.poll", agent="agent-a"):
+                with tracer.span("verifier.challenge"):
+                    pass
+        correlator = IncidentCorrelator(events, tracer=tracer, audit=audit)
+        report = correlator.build(_alert(6 * POLL))
+        assert [step["name"] for step in report.critical_path][0] == (
+            "verifier.poll"
+        )
+
+    def test_no_polls_means_no_path(self):
+        events, audit = TestCorrelatorLive()._sources()
+        report = IncidentCorrelator(events, audit=audit).build(_alert(6 * POLL))
+        assert report.critical_path == []
+        assert "-- critical path" not in report.render_text()
+
+
 class TestReportSerialisation:
     def _report(self) -> IncidentReport:
         events, audit = TestCorrelatorLive()._sources()

@@ -79,6 +79,63 @@ class TestImaInstrumentation:
         assert telemetry.registry.get("ima_measurements_total").value == 2
 
 
+class TestExemplarAcceptance:
+    """The ISSUE's acceptance bar: a p99 histogram bucket resolves to a
+    stored trace through its exemplar."""
+
+    def _run_polls(self, telemetry, n=6):
+        testbed = build_testbed(TestbedConfig(seed="obs-ex", n_filler_packages=5))
+        for _ in range(n):
+            testbed.scheduler.clock.advance_by(1800.0)
+            assert testbed.poll().ok
+        return testbed
+
+    def test_stage_p99_exemplar_resolves_in_the_store(self, telemetry):
+        self._run_polls(telemetry)
+        family = telemetry.registry.get("verifier_stage_wall_seconds")
+        for labels, child in family.samples():
+            exemplar = child.exemplar_for_quantile(0.99)
+            assert exemplar is not None, f"stage {labels} lost its exemplar"
+            entry = telemetry.store.resolve_exemplar(exemplar)
+            assert entry is not None, f"stage {labels} exemplar unresolvable"
+            assert entry.find("verifier.poll") is not None
+
+    def test_poll_p99_exemplar_resolves_and_is_the_slow_trace(self, telemetry):
+        self._run_polls(telemetry)
+        child = telemetry.registry.get(
+            "verifier_poll_wall_seconds"
+        )._default_child()
+        exemplar = child.exemplar_for_quantile(0.99)
+        entry = telemetry.store.resolve_exemplar(exemplar)
+        assert entry is not None
+        assert entry.primary.name == "verifier.poll"
+
+    def test_store_ingests_every_poll(self, telemetry):
+        self._run_polls(telemetry, n=4)
+        assert len(telemetry.store.query(name="verifier.poll")) == 4
+        assert telemetry.store.percentile(0.5, name="verifier.poll") > 0.0
+
+    def test_dropped_roots_exported_as_a_counter(self):
+        from repro.obs.runtime import Telemetry
+        from repro.obs.tracing import SpanTracer
+
+        telemetry = Telemetry()
+        dropped = telemetry.registry.get("obs_tracer_dropped_roots_total")
+        telemetry.tracer = SpanTracer(
+            max_roots=2, store=telemetry.store, on_drop=dropped.inc
+        )
+        obs_runtime.activate(telemetry)
+        try:
+            for index in range(5):
+                with telemetry.tracer.span(f"r{index}"):
+                    pass
+        finally:
+            obs_runtime.deactivate()
+        counter = telemetry.registry.get("obs_tracer_dropped_roots_total")
+        assert counter.value == 3.0
+        assert telemetry.tracer.dropped_roots == 3
+
+
 class TestDisabledTelemetry:
     def test_hot_paths_run_without_an_active_session(self):
         assert obs_runtime.get() is obs_runtime.NULL_TELEMETRY

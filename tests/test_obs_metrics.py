@@ -168,11 +168,67 @@ class TestHistogramQuantiles:
         assert child.count == 2 * RESERVOIR_SIZE
 
 
+class TestExemplars:
+    def _hist(self):
+        registry = MetricsRegistry()
+        return registry.histogram(
+            "wall_seconds", buckets=(0.1, 1.0, 10.0)
+        )._default_child()
+
+    def test_latest_exemplar_wins_per_bucket(self):
+        child = self._hist()
+        child.observe(0.5, exemplar={"trace_id": 1, "span_id": 10})
+        child.observe(0.6, exemplar={"trace_id": 2, "span_id": 20})
+        child.observe(0.7)  # no exemplar: does not clobber
+        assert child.exemplars == {
+            1: {"trace_id": 2, "span_id": 20, "value": 0.6},
+        }
+
+    def test_bucket_bound(self):
+        child = self._hist()
+        assert child.bucket_bound(0) == 0.1
+        assert child.bucket_bound(2) == 10.0
+        assert child.bucket_bound(3) == float("inf")
+
+    def test_exemplar_for_quantile_prefers_own_bucket(self):
+        child = self._hist()
+        for _ in range(99):
+            child.observe(0.5, exemplar={"trace_id": 1, "span_id": 1})
+        child.observe(5.0, exemplar={"trace_id": 2, "span_id": 2})
+        # p99 lands in the (1, 10] bucket: its own exemplar wins.
+        assert child.exemplar_for_quantile(0.99)["trace_id"] == 2
+        # p50 lands in the (0.1, 1] bucket.
+        assert child.exemplar_for_quantile(0.5)["trace_id"] == 1
+
+    def test_exemplar_for_quantile_falls_back_above_then_below(self):
+        child = self._hist()
+        child.observe(0.5)  # p-anything bucket has no exemplar
+        child.observe(5.0, exemplar={"trace_id": 9, "span_id": 9})
+        assert child.exemplar_for_quantile(0.5)["trace_id"] == 9
+
+        below = self._hist()
+        below.observe(5.0)
+        below.observe(0.05, exemplar={"trace_id": 7, "span_id": 7})
+        assert below.exemplar_for_quantile(0.99)["trace_id"] == 7
+
+    def test_empty_histogram_has_no_exemplar(self):
+        assert self._hist().exemplar_for_quantile(0.99) is None
+
+    def test_family_observe_passes_exemplar_through(self):
+        registry = MetricsRegistry()
+        family = registry.histogram("wall_seconds", buckets=(1.0,))
+        family.observe(0.5, exemplar={"trace_id": 3, "span_id": 4})
+        assert family._default_child().exemplars[0]["trace_id"] == 3
+
+
 class TestNullRegistry:
     def test_absorbs_everything(self):
         NULL_REGISTRY.counter("x").labels(a="b").inc()
         NULL_REGISTRY.gauge("y").set(3)
         NULL_REGISTRY.histogram("z").observe(1.0)
+        NULL_REGISTRY.histogram("z").observe(
+            1.0, exemplar={"trace_id": 1, "span_id": 2}
+        )
         assert NULL_REGISTRY.counter("x").value == 0.0
         assert NULL_REGISTRY.families() == []
         assert NULL_REGISTRY.get("x") is None

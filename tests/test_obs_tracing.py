@@ -3,7 +3,13 @@
 import pytest
 
 from repro.common.clock import SimClock
-from repro.obs.tracing import NULL_TRACER, SpanTracer
+from repro.obs.tracing import (
+    NULL_TRACER,
+    SpanTracer,
+    exemplar_of,
+    format_traceparent,
+    parse_traceparent,
+)
 
 
 class TestNesting:
@@ -128,6 +134,145 @@ class TestAggregation:
         assert tracer.dropped_roots == 2
 
 
+class TestErrorStatus:
+    def test_exception_marks_span_error(self):
+        tracer = SpanTracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("bad")
+        root = tracer.last_trace()
+        assert root.status == "error"
+        assert root.attributes["error.type"] == "ValueError"
+        inner = root.children[0]
+        assert inner.status == "error"
+        assert inner.attributes["error.type"] == "ValueError"
+
+    def test_clean_exit_stays_ok(self):
+        tracer = SpanTracer()
+        with tracer.span("work"):
+            pass
+        assert tracer.last_trace().status == "ok"
+
+
+class TestTraceparent:
+    def test_format_parse_roundtrip(self):
+        tracer = SpanTracer()
+        with tracer.span("poll") as span:
+            header = format_traceparent(span)
+        assert header == f"00-{span.trace_id:032x}-{span.span_id:016x}-01"
+        assert parse_traceparent(header) == (span.trace_id, span.span_id)
+
+    def test_format_of_nothing_is_none(self):
+        assert format_traceparent(None) is None
+        with NULL_TRACER.span("x") as null_span:
+            assert format_traceparent(null_span) is None
+
+    @pytest.mark.parametrize("bad", [
+        None, "", "garbage", "00-abc-def-01",
+        "01-" + "0" * 31 + "1-" + "0" * 15 + "1-01",  # wrong version
+        "00-" + "0" * 32 + "-" + "0" * 15 + "1-01",   # zero trace id
+        "00-" + "0" * 31 + "1-" + "0" * 16 + "-01",   # zero span id
+        "00-" + "z" * 32 + "-" + "0" * 15 + "1-01",   # non-hex
+        "00-" + "0" * 30 + "1-" + "0" * 15 + "1-01",  # short trace id
+    ])
+    def test_malformed_traceparent_rejected(self, bad):
+        assert parse_traceparent(bad) is None
+
+    def test_exemplar_of(self):
+        tracer = SpanTracer()
+        with tracer.span("poll") as span:
+            pass
+        assert exemplar_of(span) == {
+            "trace_id": span.trace_id, "span_id": span.span_id,
+        }
+        assert exemplar_of(None) is None
+        with NULL_TRACER.span("x") as null_span:
+            assert exemplar_of(null_span) is None
+
+
+class TestRemoteContext:
+    def test_honest_context_joins_the_open_trace(self):
+        """A traceparent naming a live local span re-attaches to it."""
+        tracer = SpanTracer()
+        with tracer.span("verifier.challenge") as challenge:
+            header = format_traceparent(challenge)
+            with tracer.remote_context(header):
+                with tracer.span("agent.attest") as attest:
+                    pass
+        assert attest.parent_id == challenge.span_id
+        assert attest.trace_id == challenge.trace_id
+        assert challenge.children == [attest]
+        assert "traceparent.resolved" not in attest.attributes
+
+    def test_boundary_hides_local_spans(self):
+        """Inside a boundary, `current` is what a remote process sees."""
+        tracer = SpanTracer()
+        with tracer.span("verifier.challenge") as challenge:
+            with tracer.remote_context(format_traceparent(challenge)):
+                assert tracer.current is None
+                with tracer.span("agent.attest") as attest:
+                    assert tracer.current is attest
+            assert tracer.current is challenge
+
+    def test_forged_context_stays_detached(self):
+        """A valid-shaped traceparent naming no live span never grafts."""
+        tracer = SpanTracer()
+        with tracer.span("victim") as victim:
+            forged = f"00-{victim.trace_id:032x}-{9999:016x}-01"
+            with tracer.remote_context(forged):
+                with tracer.span("agent.attest") as attest:
+                    pass
+            assert victim.children == []
+        assert attest.trace_id == victim.trace_id
+        assert attest.parent_id == 9999
+        assert attest.attributes["traceparent.resolved"] is False
+
+    def test_absent_context_yields_fresh_flagged_trace(self):
+        tracer = SpanTracer()
+        with tracer.span("verifier.challenge") as challenge:
+            with tracer.remote_context(None):
+                with tracer.span("agent.attest") as attest:
+                    pass
+            assert challenge.children == []
+        assert attest.trace_id != challenge.trace_id
+        assert attest.parent_id is None
+        assert attest.attributes["traceparent.resolved"] is False
+
+    def test_detached_roots_are_recorded(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.remote_context("tampered-garbage"):
+                with tracer.span("remote"):
+                    pass
+        names = [root.name for root in tracer.roots]
+        assert names == ["remote", "outer"]
+
+
+class TestStoreAndDropHooks:
+    def test_finished_roots_feed_the_store(self):
+        ingested = []
+
+        class FakeStore:
+            def ingest(self, root):
+                ingested.append(root.name)
+
+        tracer = SpanTracer(store=FakeStore())
+        with tracer.span("poll"):
+            with tracer.span("challenge"):
+                pass
+        assert ingested == ["poll"]
+
+    def test_on_drop_fires_per_evicted_root(self):
+        drops = []
+        tracer = SpanTracer(max_roots=2, on_drop=lambda: drops.append(1))
+        for index in range(5):
+            with tracer.span(f"r{index}"):
+                pass
+        assert len(drops) == 3
+        assert tracer.dropped_roots == 3
+
+
 class TestNullTracer:
     def test_null_span_is_a_context_manager(self):
         with NULL_TRACER.span("anything", a=1) as span:
@@ -136,3 +281,20 @@ class TestNullTracer:
         assert NULL_TRACER.last_trace() is None
         assert NULL_TRACER.aggregate() == {}
         assert list(NULL_TRACER.iter_spans()) == []
+
+    def test_null_span_state_is_immutable(self):
+        """The shared singleton cannot be cross-contaminated."""
+        with NULL_TRACER.span("a") as span:
+            with pytest.raises(TypeError):
+                span.attributes["leak"] = 1
+            with pytest.raises(AttributeError):
+                span.children.append(object())
+        assert span.attributes == {}
+        assert span.children == ()
+        assert span.status == "ok"
+
+    def test_null_remote_context_is_a_noop(self):
+        with NULL_TRACER.remote_context("00-" + "1" * 32 + "-" + "1" * 16 + "-01"):
+            with NULL_TRACER.span("inside"):
+                pass
+        assert NULL_TRACER.roots == []

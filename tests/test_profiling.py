@@ -1,0 +1,148 @@
+"""Tests for critical-path and self-time analysis over traces."""
+
+from repro.obs.profiling import (
+    SELF_LABEL,
+    attribution,
+    collapsed_stacks,
+    collapsed_text,
+    coverage,
+    critical_path,
+    diff_profiles,
+    profile,
+    render_critical_path,
+    render_diff,
+    render_profile,
+    self_wall,
+)
+from repro.obs.tracing import Span
+
+
+def _span(name, wall, children=(), trace_id=1, parent=None):
+    span = Span(
+        name=name, span_id=id(name) % 100_000, trace_id=trace_id,
+        parent_id=parent, sim_start=0.0, wall_start=0.0,
+        sim_end=0.0, wall_end=wall,
+    )
+    span.children = list(children)
+    return span
+
+
+def _poll_tree():
+    """A poll whose wall time decomposes 10 = 6 + 3 + 1(self)."""
+    challenge = _span("challenge", 6.0, [_span("agent.attest", 5.0)])
+    replay = _span("log_replay", 3.0)
+    return _span("verifier.poll", 10.0, [challenge, replay])
+
+
+class TestSelfWall:
+    def test_self_is_wall_minus_children(self):
+        root = _poll_tree()
+        assert self_wall(root) == 1.0
+        assert self_wall(root.children[0]) == 1.0
+        assert self_wall(root.children[1]) == 3.0
+
+    def test_clamped_at_zero(self):
+        over = _span("parent", 1.0, [_span("child", 2.0)])
+        assert self_wall(over) == 0.0
+
+
+class TestCriticalPath:
+    def test_heaviest_child_chain(self):
+        path = critical_path(_poll_tree())
+        assert [step.name for step in path] == [
+            "verifier.poll", "challenge", "agent.attest",
+        ]
+        assert path[0].share == 1.0
+        assert path[1].share == 0.6
+        assert path[2].share == 0.5
+
+    def test_leaf_root_is_its_own_path(self):
+        path = critical_path(_span("solo", 2.0))
+        assert [step.name for step in path] == ["solo"]
+
+
+class TestAttribution:
+    def test_stages_plus_self_cover_the_root(self):
+        root = _poll_tree()
+        stages = attribution(root)
+        assert stages == {"challenge": 6.0, "log_replay": 3.0, SELF_LABEL: 1.0}
+        assert sum(stages.values()) == root.wall_duration
+        assert coverage(root) == 1.0
+
+    def test_repeated_stage_names_are_summed(self):
+        root = _span(
+            "poll", 10.0, [_span("challenge", 2.0), _span("challenge", 3.0)]
+        )
+        assert attribution(root)["challenge"] == 5.0
+
+    def test_coverage_meets_the_95_percent_bar(self):
+        """The acceptance criterion: >=95% of poll wall attributed."""
+        assert coverage(_poll_tree()) >= 0.95
+
+
+class TestProfile:
+    def test_per_name_totals_and_critical_hits(self):
+        entries = profile([_poll_tree(), _poll_tree()])
+        assert entries["verifier.poll"].count == 2
+        assert entries["verifier.poll"].total_wall == 20.0
+        assert entries["verifier.poll"].self_wall == 2.0
+        assert entries["verifier.poll"].on_critical_path == 2
+        assert entries["agent.attest"].on_critical_path == 2
+        assert entries["log_replay"].on_critical_path == 0
+        assert entries["challenge"].mean_wall == 6.0
+
+    def test_diff_sorted_by_self_time_movement(self):
+        a = profile([_poll_tree()])
+        slow_replay = _span("verifier.poll", 14.0, [
+            _span("challenge", 6.0, [_span("agent.attest", 5.0)]),
+            _span("log_replay", 7.0),
+        ])
+        b = profile([slow_replay])
+        deltas = diff_profiles(a, b)
+        assert deltas[0].name == "log_replay"
+        assert deltas[0].delta_self == 4.0
+        assert deltas[0].delta_total == 4.0
+        by_name = {d.name: d for d in deltas}
+        assert by_name["agent.attest"].delta_self == 0.0
+
+    def test_diff_handles_one_sided_names(self):
+        a = profile([_span("only.a", 1.0)])
+        b = profile([_span("only.b", 2.0)])
+        by_name = {d.name: d for d in diff_profiles(a, b)}
+        assert by_name["only.a"].delta_self == -1.0
+        assert by_name["only.b"].delta_self == 2.0
+
+
+class TestCollapsedStacks:
+    def test_folds_accumulate_self_micros(self):
+        folds = collapsed_stacks([_poll_tree()])
+        assert folds["verifier.poll"] == 1_000_000
+        assert folds["verifier.poll;challenge"] == 1_000_000
+        assert folds["verifier.poll;challenge;agent.attest"] == 5_000_000
+        assert folds["verifier.poll;log_replay"] == 3_000_000
+
+    def test_text_format(self):
+        lines = collapsed_text([_poll_tree()]).splitlines()
+        assert "verifier.poll;challenge;agent.attest 5000000" in lines
+        assert all(len(line.rsplit(" ", 1)) == 2 for line in lines)
+
+    def test_zero_self_spans_are_omitted(self):
+        root = _span("parent", 1.0, [_span("child", 1.0)])
+        assert "parent" not in collapsed_stacks([root])
+
+
+class TestRendering:
+    def test_render_critical_path_mentions_coverage(self):
+        text = render_critical_path(_poll_tree())
+        assert "coverage 100.0%" in text
+        assert "agent.attest" in text
+        assert SELF_LABEL in text
+
+    def test_render_profile_and_diff(self):
+        entries = profile([_poll_tree()])
+        assert "verifier.poll" in render_profile(entries)
+        deltas = diff_profiles(entries, entries)
+        text = render_diff(deltas, a_label="before", b_label="after")
+        assert "before" in text and "after" in text
+        assert render_profile({}).endswith("(no spans)")
+        assert render_diff([]).endswith("(no spans on either side)")

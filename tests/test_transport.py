@@ -7,12 +7,15 @@ import pytest
 from repro.common.errors import IntegrityError
 from repro.keylime.transport import (
     JsonTransportAgent,
+    challenge_from_json,
+    challenge_to_json,
     evidence_from_json,
     evidence_to_json,
     quote_from_dict,
     quote_to_dict,
 )
 from repro.keylime.verifier import FailureKind
+from repro.obs import runtime as obs_runtime
 
 from tests.conftest import small_config
 from repro.experiments.testbed import build_testbed
@@ -52,6 +55,46 @@ class TestSerialisation:
         payload["quote"]["signature"] = "zz-not-hex"
         with pytest.raises(IntegrityError):
             evidence_from_json(json.dumps(payload))
+
+
+class TestChallengeSerialisation:
+    def test_roundtrip(self):
+        blob = challenge_to_json(
+            "abc123", offset=7, pcr_selection=(10,),
+            traceparent="00-" + "1" * 32 + "-" + "2" * 16 + "-01",
+        )
+        challenge = challenge_from_json(blob)
+        assert challenge.nonce == "abc123"
+        assert challenge.offset == 7
+        assert challenge.pcr_selection == (10,)
+        assert challenge.traceparent == (
+            "00-" + "1" * 32 + "-" + "2" * 16 + "-01"
+        )
+
+    def test_defaults_roundtrip(self):
+        challenge = challenge_from_json(challenge_to_json("n"))
+        assert challenge.offset == 0
+        assert challenge.pcr_selection is None
+        assert challenge.traceparent is None
+
+    @pytest.mark.parametrize("blob", [
+        "{not json",
+        json.dumps([1, 2]),
+        json.dumps({"offset": 0}),          # missing nonce
+        json.dumps({"nonce": 5}),           # nonce not a string
+        json.dumps({"nonce": "n", "offset": "x"}),
+    ])
+    def test_malformed_challenge_rejected(self, blob):
+        with pytest.raises(IntegrityError):
+            challenge_from_json(blob)
+
+    def test_malformed_traceparent_is_not_an_integrity_failure(self):
+        """The traceparent is observability metadata, never a gate."""
+        payload = json.loads(challenge_to_json("n"))
+        payload["traceparent"] = 12345  # wrong type, still decodes
+        challenge = challenge_from_json(json.dumps(payload))
+        assert challenge.nonce == "n"
+        assert challenge.traceparent is None
 
 
 class TestTransportAgent:
@@ -128,3 +171,104 @@ class TestTransportAgent:
         via_wire = proxy.attest("same-nonce")
         assert via_wire.ima_log_lines == direct.ima_log_lines
         assert via_wire.quote.pcr_values == direct.quote.pcr_values
+
+    def test_request_channel_nonce_tamper_detected(self, testbed):
+        """Tampering the challenge leg makes the agent quote the wrong
+        nonce, which the verifier's freshness check catches."""
+
+        def mitm(blob: str) -> str:
+            payload = json.loads(blob)
+            payload["nonce"] = "f" * 40
+            return json.dumps(payload)
+
+        proxy = JsonTransportAgent(testbed.agent, request_channel=mitm)
+        testbed.verifier._slot(testbed.agent_id).agent = proxy
+        result = testbed.poll()
+        assert not result.ok
+        assert result.failures[0].kind is FailureKind.INVALID_QUOTE
+
+    def test_bytes_counted_on_both_legs(self, testbed):
+        proxy = JsonTransportAgent(testbed.agent)
+        testbed.verifier._slot(testbed.agent_id).agent = proxy
+        with obs_runtime.session() as telemetry:
+            assert testbed.poll().ok
+            response_bytes = telemetry.registry.get(
+                "transport_bytes_total"
+            ).labels(direction="response").value
+            request_bytes = telemetry.registry.get(
+                "transport_bytes_total"
+            ).labels(direction="request").value
+            rounds = telemetry.registry.get(
+                "transport_roundtrips_total"
+            ).value
+        assert request_bytes > 0 and response_bytes > 0
+        assert rounds == 1
+        # bytes_transferred is the wire total: both legs, not just the
+        # evidence response.
+        assert proxy.bytes_transferred == request_bytes + response_bytes
+        assert proxy.bytes_transferred > response_bytes
+
+
+class TestWireTracePropagation:
+    """The traceparent field joins agent spans across the wire."""
+
+    def _wire_poll(self, testbed, request_channel=None):
+        proxy = JsonTransportAgent(
+            testbed.agent, request_channel=request_channel
+        )
+        testbed.verifier._slot(testbed.agent_id).agent = proxy
+        return testbed.poll()
+
+    def test_agent_spans_join_the_poll_trace(self, testbed):
+        with obs_runtime.session() as telemetry:
+            assert self._wire_poll(testbed).ok
+            root = telemetry.tracer.last_trace()
+        assert root.name == "verifier.poll"
+        attest = root.find("agent.attest")
+        assert attest is not None
+        challenge = root.find("verifier.challenge")
+        assert attest.parent_id == challenge.span_id
+        assert attest.trace_id == root.trace_id
+        assert "traceparent.resolved" not in attest.attributes
+
+    def test_tampered_traceparent_detaches_but_does_not_fail(self, testbed):
+        """A rewritten traceparent corrupts observability, not
+        verification: the poll still passes, the agent spans become
+        detached roots flagged as unresolved."""
+
+        def mitm(blob: str) -> str:
+            payload = json.loads(blob)
+            payload["traceparent"] = "00-" + "d" * 32 + "-" + "d" * 16 + "-01"
+            return json.dumps(payload)
+
+        with obs_runtime.session() as telemetry:
+            assert self._wire_poll(testbed, request_channel=mitm).ok
+            roots = list(telemetry.tracer.roots)
+        poll = next(r for r in roots if r.name == "verifier.poll")
+        assert poll.find("agent.attest") is None
+        detached = next(r for r in roots if r.name == "agent.attest")
+        assert detached.attributes["traceparent.resolved"] is False
+        assert detached.trace_id != poll.trace_id
+
+    def test_stripped_traceparent_detaches(self, testbed):
+        def strip(blob: str) -> str:
+            payload = json.loads(blob)
+            payload.pop("traceparent", None)
+            return json.dumps(payload)
+
+        with obs_runtime.session() as telemetry:
+            assert self._wire_poll(testbed, request_channel=strip).ok
+            roots = list(telemetry.tracer.roots)
+        detached = next(r for r in roots if r.name == "agent.attest")
+        assert detached.attributes["traceparent.resolved"] is False
+
+    def test_unobserved_wire_sends_no_traceparent(self, testbed):
+        """With telemetry off, the challenge omits the header entirely."""
+        seen = []
+
+        def record(blob: str) -> str:
+            seen.append(json.loads(blob))
+            return blob
+
+        assert self._wire_poll(testbed, request_channel=record).ok
+        assert seen and seen[0]["traceparent"] is None
