@@ -1,0 +1,108 @@
+"""Overhead of the fault-injection layer and the retry machinery.
+
+PR 5 put a deterministic chaos layer on the agent<->verifier wire: a
+:class:`repro.keylime.faults.FaultPlan` wrapping every attestation round
+plus a :class:`repro.keylime.retrypolicy.RetryPolicy` re-asking through
+transient weather.  Both sit on the verifier poll loop -- the paper's
+core continuous-attestation path -- so their cost budget matters in two
+very different regimes:
+
+* **clean plan installed**: the production shape.  A fault layer with no
+  matching specs must be near-free *and* perturbation-free (zero RNG
+  draws, bit-identical verdicts -- the determinism suite proves the
+  latter; this bench prices the former).
+* **flaky weather**: drops and delays firing, retries burning budget.
+  The cost of chaos itself, paid only in chaos experiments.
+
+This bench times the same N-poll loop three ways: bare (no fault layer),
+clean plan, and the ``flaky`` profile with a 4-attempt retry budget.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the loop so CI can assert
+the bounds without paying the full measurement.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+from repro.common.rng import SeededRng
+from repro.experiments.testbed import TestbedConfig, build_testbed
+from repro.keylime.faults import chaos_profile
+from repro.keylime.retrypolicy import RetryPolicy
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+N_POLLS = 40 if SMOKE else 200
+POLL_INTERVAL = 1800.0
+
+
+def _run_loop(seed: str, profile: str | None):
+    """Build a small rig, optionally install a fault plan, time N polls.
+
+    Returns ``(seconds, entries_sequence, plan, degraded_rounds)``;
+    build cost is excluded from the timing.
+    """
+    testbed = build_testbed(TestbedConfig(seed=seed, n_filler_packages=15))
+    plan = None
+    degraded = 0
+    if profile is not None:
+        plan = chaos_profile(profile, SeededRng(f"chaos-bench/{profile}"))
+        plan.bind_clock(testbed.scheduler.clock)
+        slot = testbed.verifier._slot(testbed.agent_id)
+        slot.agent = plan.wrap(testbed.agent)
+        testbed.verifier.retry_policy = RetryPolicy(max_attempts=4)
+        # Cumulative suspect windows must never end the loop early: this
+        # bench prices the weather, it does not study quarantine.
+        testbed.verifier.quarantine_after = 10**9
+    start = perf_counter()
+    entries = []
+    for _ in range(N_POLLS):
+        testbed.scheduler.clock.advance_by(POLL_INTERVAL)
+        result = testbed.poll()
+        assert result.ok or result.transient, result.failures
+        degraded += result.transient
+        entries.append(result.entries_processed)
+    return perf_counter() - start, entries, plan, degraded
+
+
+def test_chaos_layer_overhead(benchmark, emit):
+    bare_s, bare_entries, _, _ = _run_loop("chaos-overhead", None)
+
+    clean_s, clean_entries, clean_plan, clean_degraded = _run_loop(
+        "chaos-overhead", "clean"
+    )
+    # The zero-perturbation guarantee, verdict form: a clean plan's loop
+    # processes exactly the bare loop's entry stream and injects nothing.
+    assert clean_plan.injections == []
+    assert clean_degraded == 0
+    assert clean_entries == bare_entries
+
+    flaky_s, _, flaky_plan, flaky_degraded = benchmark.pedantic(
+        lambda: _run_loop("chaos-overhead", "flaky"),
+        rounds=1 if SMOKE else 3, iterations=1,
+    )
+
+    per_poll = lambda seconds: seconds / N_POLLS * 1e6  # noqa: E731
+    emit()
+    emit(f"Chaos-layer overhead ({N_POLLS} polls{', smoke' if SMOKE else ''})")
+    emit(f"  no fault layer:     {per_poll(bare_s):9.1f} us/poll")
+    emit(f"  clean plan installed:{per_poll(clean_s):8.1f} us/poll "
+         f"({clean_s / bare_s - 1.0:+.1%})")
+    emit(f"  flaky profile:      {per_poll(flaky_s):9.1f} us/poll "
+         f"({flaky_s / bare_s - 1.0:+.1%})")
+    emit(f"  flaky weather: {dict(flaky_plan.counts_by_kind())} injected, "
+         f"{flaky_degraded} degraded round(s)")
+
+    benchmark.extra_info["chaos_overhead"] = {
+        "bare_us_per_poll": round(per_poll(bare_s), 2),
+        "clean_us_per_poll": round(per_poll(clean_s), 2),
+        "flaky_us_per_poll": round(per_poll(flaky_s), 2),
+        "flaky_injected": dict(flaky_plan.counts_by_kind()),
+        "flaky_degraded_rounds": flaky_degraded,
+    }
+    assert flaky_plan.injections, "flaky profile injected nothing to price"
+    # The clean-installed layer must stay within an order of magnitude
+    # of the bare loop (loose bound for noisy CI boxes); chaos itself
+    # pays for serialisation + retries but still bounded.
+    assert clean_s < bare_s * 10.0
+    assert flaky_s < bare_s * 10.0

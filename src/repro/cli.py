@@ -202,17 +202,34 @@ def _cmd_obs_watch(args: argparse.Namespace) -> int:
         frame_every=0 if args.once else args.frame_every,
     )
     with obs_runtime.session() as telemetry:
+        chaos = None
         if args.scenario == "fleet":
-            from repro.experiments.fleet_run import P2Injection, run_fleet_scenario
+            from repro.experiments.fleet_run import (
+                ChaosInjection,
+                P2Injection,
+                run_fleet_scenario,
+            )
 
+            if args.chaos_profile is not None:
+                chaos = ChaosInjection(
+                    profile=args.chaos_profile, chaos_seed=args.chaos_seed
+                )
             result = run_fleet_scenario(
                 seed=args.seed, n_nodes=args.nodes, n_days=args.days,
                 n_filler_packages=args.fillers,
                 p2=P2Injection() if args.inject_p2 else None,
                 watch=watch,
+                chaos=chaos,
             )
             print(f"fleet: {len(result.fleet)} nodes, {result.total_polls} polls; "
                   f"status: {result.status}")
+            if result.fault_plan is not None:
+                counts = result.fault_plan.counts_by_kind()
+                injected = ", ".join(
+                    f"{kind}={count}" for kind, count in sorted(counts.items())
+                ) or "none fired"
+                print(f"chaos: profile={result.chaos.profile} "
+                      f"seed={result.chaos.chaos_seed} injected: {injected}")
         else:  # longrun
             from repro.experiments.longrun import run_longrun
 
@@ -250,6 +267,9 @@ def _cmd_obs_watch(args: argparse.Namespace) -> int:
                 "agents": watch.monitor.gaps.agents(),
                 "end_time": now,
             }
+            if chaos is not None:
+                run_meta["chaos_profile"] = chaos.profile
+                run_meta["chaos_seed"] = str(chaos.chaos_seed)
             extra = [run_meta]
             extra += [alert.to_record() for alert in watch.engine.history]
             extra += [incident.to_record() for incident in watch.incidents]
@@ -492,6 +512,16 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument(
         "--p2-day", type=int, default=1,
         help="day the P2 decoy lands (longrun scenario only)",
+    )
+    watch.add_argument(
+        "--chaos-profile", default=None,
+        help="inject seeded transport faults: a repro.keylime.faults "
+             "profile name (drops, flaky, partition, transient-mixed, "
+             "corruption, replay, mixed; fleet scenario only)",
+    )
+    watch.add_argument(
+        "--chaos-seed", default="chaos",
+        help="seed for the fault plan RNG (independent of --seed)",
     )
     watch.add_argument(
         "--once", action="store_true",

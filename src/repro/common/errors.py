@@ -46,6 +46,27 @@ class IntegrityError(ReproError):
         self.context: dict = dict(context or {})
 
 
+class TransientTransportError(ReproError):
+    """The wire between verifier and agent failed, not the evidence.
+
+    Raised for injected (or modelled) network faults -- dropped
+    messages, delays past the per-attempt timeout, partitions.  This is
+    the *retryable* half of the fault taxonomy: a transient transport
+    error says nothing about the prover's integrity, so the verifier's
+    retry policy may re-issue the round.  Contrast
+    :class:`IntegrityError`, which is terminal for the round: corrupt
+    or replayed evidence must never be retried away (a retry would let
+    an attacker disguise tampering as packet loss).
+
+    ``kind`` names the fault family (``drop``/``delay``/``partition``/
+    ``...``) for metrics and event details.
+    """
+
+    def __init__(self, message: str, kind: str = "transport") -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
 class NotFoundError(ReproError):
     """A named entity (file, package, agent, policy entry) is missing."""
 

@@ -35,11 +35,56 @@ from repro.distro.workload import (
     build_base_system,
 )
 from repro.dynpolicy.generator import DynamicPolicyGenerator
+from repro.keylime.faults import FaultPlan, chaos_profile
 from repro.keylime.fleet import Fleet, FleetUpdateReport
 from repro.keylime.policy import IBM_STYLE_EXCLUDES
+from repro.keylime.retrypolicy import RetryPolicy
 from repro.tpm.device import TpmManufacturer
 
 DEFAULT_KERNEL = "5.15.0-91-generic"
+
+
+@dataclass(frozen=True)
+class ChaosInjection:
+    """Seeded fault injection for a fleet run.
+
+    *profile* names a :data:`repro.keylime.faults.CHAOS_PROFILES` entry
+    (``drops``, ``flaky``, ``partition``, ``transient-mixed``,
+    ``corruption``, ``replay``, ``mixed``, ...); *chaos_seed* seeds the
+    fault plan's RNG independently of the scenario seed, so the same
+    workload can be replayed under different weather (or the same
+    weather over different workloads).  ``node_indices`` restricts the
+    faults to those nodes (None = whole fleet); ``start``/``end`` bound
+    the injection window in simulated seconds.
+
+    The retry/degraded-mode knobs ride along because chaos without a
+    retry policy would degrade every faulted round on its first drop.
+    """
+
+    profile: str = "flaky"
+    chaos_seed: int | str = "chaos"
+    node_indices: tuple[int, ...] | None = None
+    start: float = 0.0
+    end: float = float("inf")
+    max_attempts: int = 4
+    quarantine_after: int = 3
+
+    def build_plan(self, node_ids: list[str]) -> FaultPlan:
+        """Materialise the profile into a plan over *node_ids*."""
+        nodes = None
+        if self.node_indices is not None:
+            nodes = tuple(node_ids[index] for index in self.node_indices)
+        return chaos_profile(
+            self.profile,
+            SeededRng(self.chaos_seed),
+            nodes=nodes,
+            start=self.start,
+            end=self.end,
+        )
+
+    def build_retry_policy(self) -> RetryPolicy:
+        """The retry policy paired with this injection."""
+        return RetryPolicy(max_attempts=self.max_attempts)
 
 
 @dataclass(frozen=True)
@@ -75,6 +120,8 @@ class FleetScenarioResult:
     p2: P2Injection | None = None
     p2_decoy_path: str | None = None
     p2_node: str | None = None
+    chaos: ChaosInjection | None = None
+    fault_plan: FaultPlan | None = None
 
     @property
     def total_polls(self) -> int:
@@ -100,6 +147,7 @@ def run_fleet_scenario(
     p2: P2Injection | None = None,
     watch=None,
     wire_transport: bool = True,
+    chaos: ChaosInjection | None = None,
 ) -> FleetScenarioResult:
     """Provision a fleet and run *n_days* of polling plus daily updates.
 
@@ -109,7 +157,10 @@ def run_fleet_scenario(
     the run starts, so its detectors observe the whole timeline.
     *wire_transport* routes every verifier/agent round through the JSON
     wire formats (traceparent propagation included); see
-    :class:`repro.keylime.fleet.Fleet`.
+    :class:`repro.keylime.fleet.Fleet`.  *chaos* installs a seeded
+    fault plan on every node's wire plus the paired retry policy and
+    quarantine budget (see :class:`ChaosInjection`); the run stays
+    deterministic per (seed, chaos) pair.
     """
     rng = SeededRng(seed)
     scheduler = Scheduler()
@@ -139,12 +190,26 @@ def run_fleet_scenario(
     policy, _ = generator.generate_full(list(IBM_STYLE_EXCLUDES), {DEFAULT_KERNEL})
 
     manufacturer = TpmManufacturer("Infineon", rng.fork("tpm"))
+    fault_plan = None
+    retry_policy = None
+    quarantine_after = 3
+    if chaos is not None:
+        # Node ids are deterministic (f"agent-node-{i:03d}"), so the
+        # plan can be scoped to node indices before the fleet exists.
+        node_ids = [f"agent-node-{index:03d}" for index in range(n_nodes)]
+        fault_plan = chaos.build_plan(node_ids)
+        retry_policy = chaos.build_retry_policy()
+        quarantine_after = chaos.quarantine_after
     fleet = Fleet(
         n_nodes, mirror, manufacturer, scheduler, rng.fork("fleet"), policy,
         events=events, kernel_version=DEFAULT_KERNEL,
         wire_transport=wire_transport,
+        fault_plan=fault_plan, retry_policy=retry_policy,
+        quarantine_after=quarantine_after,
     )
-    result = FleetScenarioResult(fleet=fleet, n_days=n_days, p2=p2)
+    result = FleetScenarioResult(
+        fleet=fleet, n_days=n_days, p2=p2, chaos=chaos, fault_plan=fault_plan
+    )
 
     fleet.start_polling(poll_interval)
     if watch is not None:

@@ -66,12 +66,28 @@ from repro.keylime.policy import (
     VerdictCache,
     build_policy_from_machine,
 )
+from repro.keylime.faults import (
+    CHAOS_PROFILES,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    chaos_profile,
+)
 from repro.keylime.registrar import KeylimeRegistrar, RegistrationError
+from repro.keylime.retrypolicy import RetryBudgetExceeded, RetryPolicy, classify
 from repro.keylime.tenant import KeylimeTenant
 from repro.keylime.verifier import AgentState, AttestationResult, KeylimeVerifier
 
 __all__ = [
     "AgentState",
+    "CHAOS_PROFILES",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryBudgetExceeded",
+    "RetryPolicy",
+    "chaos_profile",
+    "classify",
     "AttestationEvidence",
     "AttestationResult",
     "AuditLog",

@@ -36,8 +36,15 @@ from repro.keylime.audit import AuditLog
 from repro.keylime.policy import RuntimePolicy, VerdictCache
 from repro.keylime.registrar import KeylimeRegistrar
 from repro.keylime.revocation import QuarantineListener, RevocationNotifier
+from repro.keylime.faults import FaultPlan
+from repro.keylime.retrypolicy import RetryPolicy
 from repro.keylime.transport import JsonTransportAgent
-from repro.keylime.verifier import AgentState, AttestationResult, KeylimeVerifier
+from repro.keylime.verifier import (
+    POLLABLE_STATES,
+    AgentState,
+    AttestationResult,
+    KeylimeVerifier,
+)
 from repro.kernelsim.kernel import Machine
 from repro.obs import runtime as obs
 from repro.tpm.device import TpmManufacturer
@@ -98,7 +105,9 @@ class VerificationScheduler:
             "fleet.poll_batch", agents=len(self._agents)
         ) as span:
             for agent_id in self._agents:
-                if self.verifier.state_of(agent_id) is AgentState.ATTESTING:
+                # SUSPECT nodes stay in the batch (the anti-P2
+                # invariant); only FAILED/STOPPED/QUARANTINED drop out.
+                if self.verifier.state_of(agent_id) in POLLABLE_STATES:
                     results[agent_id] = self.verifier.poll(agent_id)
             span.set_attribute("polled", len(results))
             cache = self.verifier.verdict_cache
@@ -136,6 +145,9 @@ class Fleet:
         kernel_version: str = "5.15.0-91-generic",
         continue_on_failure: bool = False,
         wire_transport: bool = True,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+        quarantine_after: int = 3,
     ) -> None:
         """Provision, register and onboard *size* identical nodes.
 
@@ -147,6 +159,13 @@ class Fleet:
         round-trip is lossless, so verdicts and RNG draws are unchanged;
         set it ``False`` to shave the serialisation cost in
         pure-throughput experiments.
+
+        A *fault_plan* (:mod:`repro.keylime.faults`) interposes on both
+        wire legs of every node; pair it with a *retry_policy* so
+        transient injections are retried and exhausted budgets degrade
+        to SUSPECT instead of crashing a batch tick.  A plan with no
+        matching fault specs is bit-identical to no plan at all.
+        ``quarantine_after`` is the verifier's suspect-window budget.
         """
         if size < 1:
             raise ValueError("fleet needs at least one node")
@@ -169,11 +188,15 @@ class Fleet:
         # nodes measure the same files, so node 0's evaluations answer
         # everyone else's.
         self.verdict_cache = VerdictCache()
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            fault_plan.bind_clock(scheduler.clock)
         self.verifier = KeylimeVerifier(
             self.registrar, scheduler, rng.fork("verifier"), events=self.events,
             continue_on_failure=continue_on_failure,
             notifier=self.notifier, audit=self.audit,
             verdict_cache=self.verdict_cache,
+            retry_policy=retry_policy, quarantine_after=quarantine_after,
         )
         self.poll_scheduler = VerificationScheduler(self.verifier)
 
@@ -190,7 +213,12 @@ class Fleet:
             apt.upgrade_from(baseline, install_new=True)
             agent = KeylimeAgent(f"agent-{name}", machine)
             self.registrar.register(agent)
-            verifier_side = JsonTransportAgent(agent) if wire_transport else agent
+            if fault_plan is not None:
+                verifier_side = fault_plan.wrap(agent)
+            elif wire_transport:
+                verifier_side = JsonTransportAgent(agent)
+            else:
+                verifier_side = agent
             self.verifier.add_agent(verifier_side, policy)
             self.poll_scheduler.register(agent.agent_id)
             self.nodes.append(FleetNode(name=name, machine=machine, apt=apt, agent=agent))
@@ -273,6 +301,8 @@ class Fleet:
             healthy=self.healthy_count(),
             attesting=by_state.get(AgentState.ATTESTING.value, 0),
             failed=by_state.get(AgentState.FAILED.value, 0),
+            suspect=by_state.get(AgentState.SUSPECT.value, 0),
+            quarantined=by_state.get(AgentState.QUARANTINED.value, 0),
         )
 
     def watch_health(self, watch, poll_interval: float) -> None:

@@ -36,6 +36,7 @@ from enum import Enum
 from time import perf_counter
 from typing import Callable
 
+from repro.common.errors import IntegrityError, TransientTransportError
 from repro.common.hexutil import extend_digest, zero_digest
 from repro.kernelsim.ima import (
     ImaLogEntry,
@@ -61,11 +62,29 @@ def is_violation_entry(entry: ImaLogEntry) -> bool:
 
 
 class AgentState(Enum):
-    """Verifier-side lifecycle of an attested agent."""
+    """Verifier-side lifecycle of an attested agent.
+
+    ``SUSPECT`` and ``QUARANTINED`` are the degraded-mode states: a
+    node whose wire keeps failing *transiently* (retry budget
+    exhausted) is SUSPECT -- still polled every tick, which is the
+    anti-P2 invariant: the attestation history must never go silently
+    dark over operational noise.  Repeated suspect windows escalate to
+    QUARANTINED, an operator-attention state that does stop polling
+    (and is announced, so the gap it opens is explained).  FAILED
+    remains reserved for integrity verdicts.
+    """
 
     ATTESTING = "attesting"
     FAILED = "failed"
     STOPPED = "stopped"
+    SUSPECT = "suspect"
+    QUARANTINED = "quarantined"
+
+
+#: States the poll schedulers keep ticking: a SUSPECT node is polled
+#: exactly like a healthy one (recovery is detected by polling, and the
+#: log gap P2 warns about never opens silently).
+POLLABLE_STATES = frozenset({AgentState.ATTESTING, AgentState.SUSPECT})
 
 
 class FailureKind(Enum):
@@ -76,6 +95,11 @@ class FailureKind(Enum):
     PCR_MISMATCH = "pcr_mismatch"
     MEASURED_BOOT = "measured_boot"
     POLICY = "policy"
+    #: The wire payload itself failed to decode (corrupt challenge or
+    #: evidence).  An integrity failure -- never retried -- because a
+    #: network that "merely" flips bytes is indistinguishable from an
+    #: attacker who does.
+    TRANSPORT_CORRUPT = "transport_corrupt"
 
 
 @dataclass(frozen=True)
@@ -90,13 +114,24 @@ class AttestationFailure:
 
 @dataclass(frozen=True)
 class AttestationResult:
-    """Outcome of one poll."""
+    """Outcome of one poll.
+
+    ``transient`` marks a *degraded* round: the wire failed every retry
+    attempt, so no evidence was verified -- but nothing about the
+    prover's integrity was concluded either.  A transient result is
+    never a verdict: ``ok`` is False yet ``failures`` is empty, and the
+    verifier routes it to the SUSPECT state machine instead of the
+    failure path (no revocation, no FAILED, no halted polling).
+    """
 
     time: float
     ok: bool
     entries_processed: int
     entries_skipped: int  # entries after a halt (never policy-checked)
     failures: tuple[AttestationFailure, ...] = ()
+    transient: bool = False
+    retry_attempts: int = 0  # wire attempts beyond the first, this round
+    transport_error: str | None = None
 
 
 @dataclass
@@ -113,6 +148,10 @@ class AgentSlot:
     failures: list[AttestationFailure] = field(default_factory=list)
     results: list[AttestationResult] = field(default_factory=list)
     stop_polling: Callable[[], None] | None = None  # Scheduler.every cancel handle
+    # Degraded-mode bookkeeping: when the current suspect window opened
+    # (None while healthy) and how many windows the node has entered.
+    suspect_since: float | None = None
+    suspect_windows: int = 0
 
 
 class RoundAborted(Exception):
@@ -135,6 +174,9 @@ class RoundContext:
     tracer: object  # active span tracer (or the null tracer)
     continue_on_failure: bool = False
     cache: VerdictCache | None = None
+    retry_policy: object | None = None  # RetryPolicy; None = single attempt
+    retry_rng: object | None = None  # SeededRng stream for backoff jitter
+    registry: object | None = None  # metrics registry (set by the pipeline)
     nonce: str | None = None
     selection: list[int] = field(default_factory=lambda: [IMA_PCR_INDEX])
     evidence: object | None = None  # AttestationEvidence once challenged
@@ -144,6 +186,8 @@ class RoundContext:
     entries_skipped: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    retry_attempts: int = 0  # wire re-attempts consumed this round
+    transport_error: str | None = None  # set when the round degrades
 
     def abort(
         self,
@@ -174,6 +218,49 @@ class RoundContext:
         raise RoundAborted()
 
 
+def wire_attest(ctx: RoundContext, offset: int, pcr_selection) -> object:
+    """One challenge/response across the (possibly faulty) wire.
+
+    Runs the agent round under the context's retry policy: transient
+    transport errors are retried with backoff (jitter drawn from the
+    context's dedicated stream -- no draws unless a retry actually
+    happens), integrity errors abort the round as a
+    ``TRANSPORT_CORRUPT`` failure, and an exhausted retry budget
+    propagates :class:`~repro.keylime.retrypolicy.RetryBudgetExceeded`
+    for the pipeline to turn into a degraded (transient) result.  The
+    nonce is the caller's and is reused across attempts: a retry
+    re-asks the *same* question, it never relaxes freshness.
+    """
+    def attempt():
+        return ctx.slot.agent.attest(
+            ctx.nonce, offset=offset, pcr_selection=pcr_selection
+        )
+
+    try:
+        if ctx.retry_policy is None:
+            return attempt()
+        attempted = [0]
+
+        def counted_attempt():
+            attempted[0] += 1
+            return attempt()
+
+        try:
+            return ctx.retry_policy.run(
+                counted_attempt,
+                rng=ctx.retry_rng,
+                tracer=ctx.tracer,
+                registry=ctx.registry,
+            )
+        finally:
+            ctx.retry_attempts += max(0, attempted[0] - 1)
+    except IntegrityError as exc:
+        ctx.abort(
+            FailureKind.TRANSPORT_CORRUPT,
+            f"wire payload failed verification-grade decoding: {exc}",
+        )
+
+
 class Stage:
     """One protocol phase; subclasses advance the :class:`RoundContext`."""
 
@@ -199,8 +286,8 @@ class ChallengeStage(Stage):
                     set(selection) | set(ctx.slot.measured_boot.pcr_selection)
                 )
             ctx.selection = selection
-            ctx.evidence = ctx.slot.agent.attest(
-                ctx.nonce, offset=ctx.slot.verified_entries, pcr_selection=selection
+            ctx.evidence = wire_attest(
+                ctx, offset=ctx.slot.verified_entries, pcr_selection=selection
             )
 
 
@@ -228,8 +315,8 @@ class QuoteVerifyStage(Stage):
             if ctx.evidence.offset != 0:
                 with ctx.tracer.span("verifier.challenge", reattest=True):
                     ctx.nonce = ctx.rng.hexid(20)
-                    ctx.evidence = slot.agent.attest(
-                        ctx.nonce, offset=0, pcr_selection=ctx.selection
+                    ctx.evidence = wire_attest(
+                        ctx, offset=0, pcr_selection=ctx.selection
                     )
                 with ctx.tracer.span("verifier.quote_verify", reattest=True):
                     try:
@@ -424,6 +511,7 @@ class VerificationPipeline:
         per round (not per entry) to keep the hot loop lean.
         """
         ctx.continue_on_failure = self.continue_on_failure
+        ctx.registry = registry
         stage_histogram = registry.histogram(
             "verifier_stage_wall_seconds",
             "Wall-clock latency of one verification pipeline stage",
@@ -435,6 +523,21 @@ class VerificationPipeline:
                 stage.run(ctx)
             except RoundAborted:
                 break
+            except TransientTransportError as exc:
+                # Degraded round: the wire never delivered, no verdict
+                # was (or could be) reached.  Not a failure result --
+                # the verifier routes it to the SUSPECT machine.
+                ctx.transport_error = str(exc)
+                return AttestationResult(
+                    time=ctx.now,
+                    ok=False,
+                    entries_processed=0,
+                    entries_skipped=0,
+                    failures=(),
+                    transient=True,
+                    retry_attempts=ctx.retry_attempts,
+                    transport_error=ctx.transport_error,
+                )
             finally:
                 # Exemplar: the enclosing poll span, so a slow bucket in
                 # the histogram resolves to the trace that produced it.
@@ -457,4 +560,5 @@ class VerificationPipeline:
             entries_processed=ctx.entries_processed,
             entries_skipped=ctx.entries_skipped,
             failures=tuple(ctx.failures),
+            retry_attempts=ctx.retry_attempts,
         )

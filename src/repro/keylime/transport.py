@@ -33,6 +33,35 @@ from repro.obs.tracing import format_traceparent
 from repro.tpm.quote import Quote
 
 
+#: Everything a hostile or fault-corrupted payload can raise out of the
+#: decoding expressions below.  One shared tuple so every wire decoder
+#: fails the same way -- :class:`IntegrityError` -- instead of leaking a
+#: bare ``KeyError``/``TypeError``/``OverflowError`` for some byte
+#: offsets and an ``IntegrityError`` for others.  (``json.JSONDecodeError``
+#: and ``UnicodeDecodeError`` are ``ValueError`` subclasses; ``OverflowError``
+#: covers ``int(float("Infinity"))`` from a corrupted numeric field.)
+_DECODE_ERRORS = (KeyError, ValueError, TypeError, AttributeError, OverflowError)
+
+
+def _loads(blob: str | bytes | bytearray) -> Any:
+    """``json.loads`` for wire payloads; accepts raw bytes off the channel.
+
+    A fault layer (or a real network) hands the receiver *bytes*; a
+    corrupted byte sequence may not even be valid UTF-8, which must
+    surface as a payload integrity failure, not a ``UnicodeDecodeError``
+    from the middle of the decoder.
+    """
+    return json.loads(blob)
+
+
+def _checked_count(value: Any, what: str) -> int:
+    """Decode a non-negative integer field (offsets, entry counts)."""
+    count = int(value)
+    if count < 0:
+        raise IntegrityError(f"negative {what} in wire payload: {count}")
+    return count
+
+
 def quote_to_dict(quote: Quote) -> dict[str, Any]:
     """JSON-safe encoding of a quote."""
     return {
@@ -60,13 +89,15 @@ def quote_from_dict(payload: dict[str, Any]) -> Quote:
             },
             pcr_digest=payload["pcr_digest"],
             nonce=payload["nonce"],
-            clock=int(payload["clock"]),
-            reset_count=int(payload["reset_count"]),
-            restart_count=int(payload["restart_count"]),
+            clock=_checked_count(payload["clock"], "clock"),
+            reset_count=_checked_count(payload["reset_count"], "reset_count"),
+            restart_count=_checked_count(payload["restart_count"], "restart_count"),
             ak_fingerprint=payload["ak"],
             signature=bytes.fromhex(payload["signature"]),
         )
-    except (KeyError, ValueError, TypeError, AttributeError) as exc:
+    except IntegrityError:
+        raise
+    except _DECODE_ERRORS as exc:
         raise IntegrityError(f"malformed quote payload: {exc}") from exc
 
 
@@ -100,20 +131,24 @@ def challenge_to_json(
     )
 
 
-def challenge_from_json(blob: str) -> Challenge:
+def challenge_from_json(blob: str | bytes) -> Challenge:
     """Deserialise one challenge; :class:`IntegrityError` on malformed input.
 
-    A malformed *traceparent* is not an integrity failure -- the field is
-    observability metadata and its validation happens at span-creation
-    time (an invalid value merely detaches the agent's trace).
+    Any truncation or corruption -- invalid JSON, invalid UTF-8 bytes,
+    a missing or mistyped field, a numeric field driven to
+    ``Infinity``, a negative offset -- raises :class:`IntegrityError`,
+    never a bare decoding exception.  A malformed *traceparent* is the
+    one exception: the field is observability metadata and its
+    validation happens at span-creation time (an invalid value merely
+    detaches the agent's trace).
     """
     try:
-        payload = json.loads(blob)
+        payload = _loads(blob)
         selection = payload["pcr_selection"]
         traceparent = payload.get("traceparent")
         return Challenge(
             nonce=str(payload["nonce"]),
-            offset=int(payload["offset"]),
+            offset=_checked_count(payload["offset"], "challenge offset"),
             pcr_selection=(
                 tuple(int(index) for index in selection)
                 if selection is not None
@@ -121,7 +156,9 @@ def challenge_from_json(blob: str) -> Challenge:
             ),
             traceparent=traceparent if isinstance(traceparent, str) else None,
         )
-    except (KeyError, ValueError, TypeError, json.JSONDecodeError) as exc:
+    except IntegrityError:
+        raise
+    except _DECODE_ERRORS as exc:
         raise IntegrityError(f"malformed challenge payload: {exc}") from exc
 
 
@@ -138,19 +175,30 @@ def evidence_to_json(evidence: AttestationEvidence) -> str:
     )
 
 
-def evidence_from_json(blob: str) -> AttestationEvidence:
-    """Deserialise one attestation response."""
+def evidence_from_json(blob: str | bytes) -> AttestationEvidence:
+    """Deserialise one attestation response.
+
+    Same contract as :func:`challenge_from_json`: every way a payload
+    can be truncated or corrupted surfaces as :class:`IntegrityError`.
+    The log lines are normalised to strings so a corrupted array of
+    non-strings cannot smuggle arbitrary objects into the replay stage.
+    """
     try:
-        payload = json.loads(blob)
+        payload = _loads(blob)
+        lines = payload["ima_log"]
+        if not isinstance(lines, list):
+            raise IntegrityError("evidence ima_log is not a list")
         return AttestationEvidence(
             quote=quote_from_dict(payload["quote"]),
-            ima_log_lines=tuple(payload["ima_log"]),
-            offset=int(payload["offset"]),
-            total_entries=int(payload["total_entries"]),
+            ima_log_lines=tuple(str(line) for line in lines),
+            offset=_checked_count(payload["offset"], "evidence offset"),
+            total_entries=_checked_count(
+                payload["total_entries"], "evidence entry count"
+            ),
         )
     except IntegrityError:
         raise
-    except (KeyError, ValueError, TypeError, json.JSONDecodeError) as exc:
+    except _DECODE_ERRORS as exc:
         raise IntegrityError(f"malformed evidence payload: {exc}") from exc
 
 
@@ -163,7 +211,12 @@ class JsonTransportAgent:
     and the evidence crosses as JSON on the way back.  The optional
     ``channel`` hook sees (and may tamper with) the raw response JSON,
     ``request_channel`` the raw challenge JSON -- which is how the
-    adversarial tests model a man-in-the-middle on either leg.
+    adversarial tests model a man-in-the-middle on either leg.  A
+    channel may also *refuse delivery* by raising
+    :class:`repro.common.errors.TransientTransportError` (how the fault
+    layer in :mod:`repro.keylime.faults` models drops, partitions and
+    timed-out delays); that propagates to the caller unchanged so the
+    retry layer can classify it.
 
     ``bytes_transferred`` counts both legs; the active telemetry (if
     any) additionally gets ``transport_bytes_total{direction}`` and

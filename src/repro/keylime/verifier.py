@@ -48,6 +48,7 @@ from repro.keylime.agent import KeylimeAgent
 from repro.keylime.audit import AuditLog
 from repro.keylime.measuredboot import MeasuredBootPolicy
 from repro.keylime.pipeline import (
+    POLLABLE_STATES,
     AgentSlot,
     AgentState,
     AttestationFailure,
@@ -58,6 +59,7 @@ from repro.keylime.pipeline import (
 )
 from repro.keylime.policy import RuntimePolicy, VerdictCache
 from repro.keylime.registrar import KeylimeRegistrar
+from repro.keylime.retrypolicy import RetryPolicy
 from repro.keylime.revocation import RevocationEvent, RevocationNotifier
 from repro.obs import runtime as obs
 from repro.obs.tracing import exemplar_of
@@ -69,6 +71,8 @@ __all__ = [
     "AttestationResult",
     "FailureKind",
     "KeylimeVerifier",
+    "POLLABLE_STATES",
+    "RetryPolicy",
 ]
 
 #: Backwards-compatible alias; the slot dataclass moved to the pipeline
@@ -91,6 +95,8 @@ class KeylimeVerifier:
         pipeline: VerificationPipeline | None = None,
         verdict_cache: VerdictCache | None = None,
         cache_verdicts: bool = True,
+        retry_policy: RetryPolicy | None = None,
+        quarantine_after: int = 3,
     ) -> None:
         """Build the verifier.
 
@@ -99,10 +105,27 @@ class KeylimeVerifier:
         cache for all of its nodes); with ``None`` the verifier creates
         its own, and ``cache_verdicts=False`` disables memoisation
         entirely (every entry is evaluated from scratch).
+
+        *retry_policy* enables the transient-fault retry path: wire
+        errors are retried with backoff and an exhausted budget routes
+        the node into SUSPECT instead of halting its polling.  A node
+        entering its *quarantine_after*-th suspect window escalates to
+        QUARANTINED (polling stops, loudly).  With ``retry_policy=None``
+        the wire gets exactly one attempt per round, as before -- but a
+        transient error still degrades the round rather than crashing
+        the poll tick.
         """
         self.registrar = registrar
         self.scheduler = scheduler
         self.rng = rng.fork("verifier")
+        # Dedicated jitter stream: forked hash-based (no parent draws),
+        # and only ever drawn from when a retry actually happens -- so
+        # installing the retry layer cannot perturb a clean run.
+        self._retry_rng = rng.fork("retry-jitter")
+        self.retry_policy = retry_policy
+        if quarantine_after < 1:
+            raise ValueError(f"quarantine_after must be >= 1, got {quarantine_after}")
+        self.quarantine_after = quarantine_after
         self.events = events if events is not None else EventLog()
         self.pipeline = (
             pipeline if pipeline is not None
@@ -195,6 +218,10 @@ class KeylimeVerifier:
         slot.verified_entries = 0
         slot.replay_aggregate = zero_digest("sha256")
         slot.last_reset_count = None
+        # Degraded-mode bookkeeping resets too: the operator gets a
+        # fresh quarantine budget along with the fresh replay state.
+        slot.suspect_since = None
+        slot.suspect_windows = 0
         self.events.emit(
             self.scheduler.clock.now, "keylime.verifier", "attestation.restarted",
             agent=agent_id,
@@ -207,7 +234,10 @@ class KeylimeVerifier:
         slot = self._slot(agent_id)
 
         def tick() -> None:
-            if slot.state is AgentState.ATTESTING:
+            # SUSPECT nodes keep getting polled (the anti-P2 invariant:
+            # transient noise must never silently stop the attestation
+            # history); only FAILED/STOPPED/QUARANTINED go quiet.
+            if slot.state in POLLABLE_STATES:
                 self.poll(agent_id)
 
         slot.stop_polling = self.scheduler.every(
@@ -218,15 +248,16 @@ class KeylimeVerifier:
         """Cancel the periodic poll for the agent.
 
         Idempotent: a second call (or a call for an agent that was never
-        scheduled) is a no-op, and cancelling never rewrites a FAILED
-        agent's state -- only a still-ATTESTING agent becomes STOPPED.
+        scheduled) is a no-op, and cancelling never rewrites a FAILED or
+        QUARANTINED agent's state -- only a still-pollable agent
+        (ATTESTING or SUSPECT) becomes STOPPED.
         """
         slot = self._slot(agent_id)
         cancel = slot.stop_polling
         if cancel is not None:
             slot.stop_polling = None
             cancel()
-            if slot.state is AgentState.ATTESTING:
+            if slot.state in POLLABLE_STATES:
                 slot.state = AgentState.STOPPED
 
     def poll(self, agent_id: str) -> AttestationResult:
@@ -249,9 +280,10 @@ class KeylimeVerifier:
         registry.histogram(
             "verifier_poll_wall_seconds", "Wall-clock latency of one verifier poll",
         ).observe(perf_counter() - wall_start, exemplar=exemplar_of(span))
+        outcome = "ok" if result.ok else ("degraded" if result.transient else "failed")
         registry.counter(
             "verifier_polls_total", "Attestation rounds executed", ("result",),
-        ).labels(result="ok" if result.ok else "failed").inc()
+        ).labels(result=outcome).inc()
         # Heartbeat signals for the health layer: when each agent was
         # last polled and last verified clean, on the simulated clock.
         # The coverage-gap detector (obs.health) alarms on their age.
@@ -289,6 +321,8 @@ class KeylimeVerifier:
             rng=self.rng,
             tracer=telemetry.tracer,
             cache=self.verdict_cache,
+            retry_policy=self.retry_policy,
+            retry_rng=self._retry_rng,
         )
         result = self.pipeline.run(ctx, telemetry.registry)
         if result.ok:
@@ -302,8 +336,108 @@ class KeylimeVerifier:
                 result.time, "keylime.verifier", "attestation.ok",
                 agent=agent_id, entries=result.entries_processed,
             )
+            if slot.state is AgentState.SUSPECT:
+                self._recover(slot, result.time)
             return result
+        if result.transient:
+            return self._record_degraded_round(slot, result)
         return self._record_failed_round(slot, result)
+
+    def _transition(self, slot: AgentSlot, to_state: AgentState, now: float) -> None:
+        """Move the slot between lifecycle states, with a metrics trail."""
+        from_state = slot.state
+        slot.state = to_state
+        obs.get().registry.counter(
+            "verifier_state_transitions_total",
+            "Agent lifecycle transitions on the verifier",
+            ("from_state", "to_state"),
+        ).labels(from_state=from_state.value, to_state=to_state.value).inc()
+
+    def _recover(self, slot: AgentSlot, now: float) -> None:
+        """A SUSPECT node attested clean again: back to ATTESTING."""
+        outage = now - slot.suspect_since if slot.suspect_since is not None else 0.0
+        slot.suspect_since = None
+        self._transition(slot, AgentState.ATTESTING, now)
+        self.events.emit(
+            now, "keylime.verifier", "node.recovered",
+            agent=slot.agent.agent_id, outage_seconds=outage,
+            suspect_windows=slot.suspect_windows,
+        )
+
+    def _record_degraded_round(
+        self, slot: AgentSlot, result: AttestationResult
+    ) -> AttestationResult:
+        """Side effects of a degraded (transient-exhausted) round.
+
+        Nothing here treats the round as a verdict: no FAILED state, no
+        failure counter, no revocation for the round itself.  The node
+        moves (or stays) SUSPECT and -- critically -- keeps being
+        polled.  Only the *quarantine_after*-th suspect window escalates
+        to QUARANTINED, which does stop polling but announces the
+        coverage gap it opens (event + revocation with reason
+        ``degraded_transport``) instead of leaving the silent log gap
+        the paper's P2 describes.
+        """
+        now = result.time
+        agent_id = slot.agent.agent_id
+        slot.results.append(result)
+        obs.get().registry.counter(
+            "verifier_degraded_rounds_total",
+            "Attestation rounds abandoned after exhausting transport retries",
+        ).inc()
+        if self.audit is not None:
+            self.audit.append(
+                now, agent_id, ok=False,
+                detail={
+                    "degraded": True,
+                    "transport_error": result.transport_error,
+                    "retry_attempts": result.retry_attempts,
+                },
+            )
+        self.events.emit(
+            now, "keylime.verifier", "attestation.degraded",
+            agent=agent_id, error=result.transport_error,
+            retry_attempts=result.retry_attempts,
+        )
+        if slot.state is AgentState.ATTESTING:
+            slot.suspect_windows += 1
+            slot.suspect_since = now
+            if slot.suspect_windows >= self.quarantine_after:
+                self._quarantine(slot, now)
+            else:
+                self._transition(slot, AgentState.SUSPECT, now)
+                self.events.emit(
+                    now, "keylime.verifier", "node.suspect",
+                    agent=agent_id, window=slot.suspect_windows,
+                    error=result.transport_error,
+                )
+        return result
+
+    def _quarantine(self, slot: AgentSlot, now: float) -> None:
+        """Escalate a repeatedly-degraded node to operator attention."""
+        agent_id = slot.agent.agent_id
+        cancel = slot.stop_polling
+        if cancel is not None:
+            slot.stop_polling = None
+            cancel()
+        self._transition(slot, AgentState.QUARANTINED, now)
+        self.events.emit(
+            now, "keylime.verifier", "node.quarantined",
+            agent=agent_id, suspect_windows=slot.suspect_windows,
+        )
+        if self.notifier is not None:
+            self.notifier.notify(
+                RevocationEvent(
+                    time=now,
+                    agent_id=agent_id,
+                    reason="degraded_transport",
+                    detail=(
+                        f"agent entered its {slot.suspect_windows}th suspect "
+                        "window; transport considered unreliable"
+                    ),
+                    path=None,
+                )
+            )
 
     def _record_failed_round(
         self, slot: AgentSlot, result: AttestationResult

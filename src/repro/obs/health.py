@@ -201,6 +201,14 @@ class _WatchedAgent:
     last_poll: float | None = None
     halted_at: float | None = None
     gap_open_since: float | None = None
+    # Degraded-mode context: how many rounds degraded on transport
+    # faults, and when the verifier marked the node SUSPECT (None while
+    # healthy).  A coverage gap with these set is *explained* -- the
+    # verifier kept polling, the wire kept failing -- which is exactly
+    # the distinction the paper's P2 verifier cannot make.
+    degraded_rounds: int = 0
+    suspect_since: float | None = None
+    quarantined_at: float | None = None
 
 
 class CoverageGapDetector:
@@ -251,6 +259,45 @@ class CoverageGapDetector:
         if agent is not None:
             agent.halted_at = now
 
+    def record_degraded(self, agent_id: str, now: float) -> None:
+        """Note a degraded round: polling happened, the wire did not.
+
+        Counts toward the gap *explanation*, not the gap itself -- the
+        reference point stays the last successful attestation, so a
+        wire that fails for long enough still opens a coverage gap; the
+        alert just carries the transport context.
+        """
+        agent = self._agents.get(agent_id)
+        if agent is not None:
+            agent.last_poll = now
+            agent.degraded_rounds += 1
+
+    def record_suspect(self, agent_id: str, now: float) -> None:
+        """Note that the verifier marked the node SUSPECT."""
+        agent = self._agents.get(agent_id)
+        if agent is not None:
+            agent.suspect_since = now
+
+    def record_recovered(self, agent_id: str, now: float) -> None:
+        """Note that a SUSPECT node attested clean again."""
+        agent = self._agents.get(agent_id)
+        if agent is not None:
+            agent.suspect_since = None
+
+    def record_quarantined(self, agent_id: str, now: float) -> None:
+        """Note a quarantine: polling stops, but announced, not silent."""
+        agent = self._agents.get(agent_id)
+        if agent is not None:
+            agent.quarantined_at = now
+            agent.halted_at = now
+
+    def suspects(self) -> list[str]:
+        """Agents currently marked SUSPECT, in watch order."""
+        return [
+            agent.agent_id for agent in self._agents.values()
+            if agent.suspect_since is not None
+        ]
+
     def freshness(self, agent_id: str, now: float) -> float:
         """Seconds since the agent's last successful attestation."""
         agent = self._agents[agent_id]
@@ -281,6 +328,20 @@ class CoverageGapDetector:
             }
             if agent.halted_at is not None:
                 detail["polling_halted_at"] = agent.halted_at
+            if agent.degraded_rounds:
+                detail["degraded_rounds"] = agent.degraded_rounds
+            if agent.suspect_since is not None:
+                detail["suspect_since"] = agent.suspect_since
+            if agent.quarantined_at is not None:
+                detail["quarantined_at"] = agent.quarantined_at
+            if agent.quarantined_at is not None:
+                why = ", node quarantined"
+            elif agent.suspect_since is not None:
+                why = ", node suspect (transport degraded)"
+            elif agent.halted_at is not None:
+                why = ", polling halted"
+            else:
+                why = ""
             alerts.append(
                 Alert(
                     time=now,
@@ -291,7 +352,7 @@ class CoverageGapDetector:
                         f"no successful attestation from {agent.agent_id} for "
                         f"{age / 3600.0:.1f}h "
                         f"(~{int(age // agent.poll_interval)} missed polls"
-                        + (", polling halted" if agent.halted_at is not None else "")
+                        + why
                         + ")"
                     ),
                     detail=detail,
@@ -343,6 +404,18 @@ class HealthMonitor:
         elif record.kind.startswith("attestation.failed"):
             self.gaps.record_failure(agent, record.time)
             self.slos.poll_success.record(record.time, False)
+        elif record.kind == "attestation.degraded":
+            # A degraded round burns poll-success budget (the FP study's
+            # operational-noise cost) without counting as an integrity
+            # failure anywhere.
+            self.gaps.record_degraded(agent, record.time)
+            self.slos.poll_success.record(record.time, False)
+        elif record.kind == "node.suspect":
+            self.gaps.record_suspect(agent, record.time)
+        elif record.kind == "node.recovered":
+            self.gaps.record_recovered(agent, record.time)
+        elif record.kind == "node.quarantined":
+            self.gaps.record_quarantined(agent, record.time)
         elif record.kind == "polling.halted":
             self.gaps.record_halt(agent, record.time)
 
@@ -605,6 +678,15 @@ def render_dashboard(watch: HealthWatch, now: float) -> str:
         f"  agents: {len(agents)} watched, {fresh} fresh, "
         f"{stale} in coverage gap"
     )
+    suspects = monitor.gaps.suspects()
+    degraded_total = sum(
+        agent.degraded_rounds for agent in monitor.gaps._agents.values()
+    )
+    if suspects or degraded_total:
+        lines.append(
+            f"  degraded transport: {degraded_total} degraded rounds, "
+            f"{len(suspects)} node(s) currently suspect"
+        )
     lines.append("  -- SLOs (error budget over trailing day) --")
     for tracker in monitor.slos.all():
         total, bad = tracker.window_counts(86400.0, now)

@@ -1,0 +1,216 @@
+"""Stateful model-based test of the verifier's degraded-mode lifecycle.
+
+Hypothesis drives a real :class:`KeylimeVerifier` through random
+interleavings of clean polls, transport-degraded polls, integrity
+failures, ``stop_polling`` and ``restart_attestation``, and checks it
+step-by-step against a plain-dict reference model of the intended
+state machine:
+
+    ATTESTING --degraded--> SUSPECT --clean poll--> ATTESTING
+    ATTESTING --degraded (window budget spent)--> QUARANTINED
+    any pollable --integrity--> FAILED
+    ATTESTING/SUSPECT --stop_polling--> STOPPED
+    anything --restart_attestation--> ATTESTING (fresh budget)
+
+The interesting edges this guards (beyond the happy path):
+
+* ``stop_polling`` never rewrites FAILED or QUARANTINED to STOPPED --
+  a verdict or an escalation survives the operator cancelling the
+  schedule (the PR-3 edge, generalised to the new state set).
+* ``suspect_windows`` increments only on the ATTESTING -> SUSPECT
+  entry, never while already SUSPECT, so the quarantine budget counts
+  distinct outage windows, not degraded rounds.
+* QUARANTINED is reached at *exactly* ``quarantine_after`` windows.
+* Every poll of a pollable node appends a result -- the per-step form
+  of the "no silent gap" invariant.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.common.clock import Scheduler
+from repro.common.errors import IntegrityError, TransientTransportError
+from repro.common.rng import SeededRng
+from repro.keylime.audit import AuditLog
+from repro.keylime.retrypolicy import RetryPolicy
+from repro.keylime.verifier import POLLABLE_STATES, AgentState, KeylimeVerifier
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+_RIG = None
+
+
+def _rig():
+    """One shared testbed (machine + registered agent); verifiers are
+    cheap and built fresh per machine instance."""
+    global _RIG
+    if _RIG is None:
+        from conftest import small_config
+        from repro.experiments.testbed import build_testbed
+
+        _RIG = build_testbed(small_config("degraded-stateful-rig"))
+    return _RIG
+
+
+class _ModeAgent:
+    """Wraps the real agent; ``attest`` obeys a switchable fault mode."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.mode = "ok"
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def attest(self, *args, **kwargs):
+        if self.mode == "transient":
+            raise TransientTransportError("stateful: injected drop", kind="drop")
+        if self.mode == "integrity":
+            raise IntegrityError("stateful: injected tamper")
+        return self._inner.attest(*args, **kwargs)
+
+
+class DegradedModeMachine(RuleBasedStateMachine):
+    QUARANTINE_AFTER = 3
+
+    def __init__(self):
+        super().__init__()
+        rig = _rig()
+        self.scheduler = Scheduler()
+        self.verifier = KeylimeVerifier(
+            rig.registrar,
+            self.scheduler,
+            SeededRng("degraded-stateful-verifier"),
+            audit=AuditLog(),
+            retry_policy=RetryPolicy(max_attempts=2),
+            quarantine_after=self.QUARANTINE_AFTER,
+        )
+        self.agent = _ModeAgent(rig.agent)
+        self.agent_id = rig.agent.agent_id
+        self.verifier.add_agent(self.agent, rig.policy)
+        # Install a real cancel handle so stop_polling's state edge is
+        # exercised (the schedule itself never fires: we poll directly).
+        self.verifier.start_polling(self.agent_id, interval=600.0)
+        # Reference model.
+        self.model_state = AgentState.ATTESTING
+        self.model_windows = 0
+        self.model_suspect_since_set = False
+        self.model_handle = True
+        self.model_results = 0
+
+    # -- driving ----------------------------------------------------------
+
+    def _poll(self):
+        """Mirror the periodic tick's guard: only pollable nodes poll."""
+        if self.verifier.state_of(self.agent_id) not in POLLABLE_STATES:
+            return None
+        self.scheduler.clock.advance_by(60.0)
+        result = self.verifier.poll(self.agent_id)
+        self.model_results += 1
+        return result
+
+    @rule()
+    def poll_clean(self):
+        self.agent.mode = "ok"
+        result = self._poll()
+        if result is None:
+            return
+        assert result.ok and not result.transient
+        if self.model_state is AgentState.SUSPECT:
+            # Recovery: back to ATTESTING, window budget NOT refunded.
+            self.model_state = AgentState.ATTESTING
+            self.model_suspect_since_set = False
+
+    @rule()
+    def poll_degraded(self):
+        self.agent.mode = "transient"
+        result = self._poll()
+        if result is None:
+            return
+        # Degraded, never a verdict: no failures, budget fully burned.
+        assert result.transient and not result.ok
+        assert result.failures == ()
+        assert result.retry_attempts == self.verifier.retry_policy.max_attempts - 1
+        if self.model_state is AgentState.ATTESTING:
+            self.model_windows += 1
+            self.model_suspect_since_set = True
+            if self.model_windows >= self.QUARANTINE_AFTER:
+                self.model_state = AgentState.QUARANTINED
+                self.model_handle = False  # quarantine cancels the schedule
+            else:
+                self.model_state = AgentState.SUSPECT
+        # Already SUSPECT: stays SUSPECT, window count unchanged.
+
+    @rule()
+    def poll_tampered(self):
+        self.agent.mode = "integrity"
+        result = self._poll()
+        if result is None:
+            return
+        # An integrity error is a verdict, never retried or degraded.
+        assert not result.ok and not result.transient
+        assert result.failures
+        self.model_state = AgentState.FAILED
+
+    @rule()
+    def stop_polling(self):
+        self.verifier.stop_polling(self.agent_id)
+        if self.model_handle:
+            self.model_handle = False
+            # Only a still-pollable node becomes STOPPED; FAILED and
+            # QUARANTINED survive the cancel untouched.
+            if self.model_state in (AgentState.ATTESTING, AgentState.SUSPECT):
+                self.model_state = AgentState.STOPPED
+
+    @rule()
+    def restart_attestation(self):
+        self.verifier.restart_attestation(self.agent_id)
+        self.model_state = AgentState.ATTESTING
+        self.model_windows = 0
+        self.model_suspect_since_set = False
+        # restart does NOT reinstall the schedule: model_handle unchanged.
+
+    # -- invariants -------------------------------------------------------
+
+    @invariant()
+    def state_matches_model(self):
+        assert self.verifier.state_of(self.agent_id) is self.model_state
+
+    @invariant()
+    def window_budget_matches_model(self):
+        slot = self.verifier._slot(self.agent_id)
+        assert slot.suspect_windows == self.model_windows
+        assert (slot.suspect_since is not None) == self.model_suspect_since_set
+        assert slot.suspect_windows <= self.QUARANTINE_AFTER
+
+    @invariant()
+    def quarantine_means_budget_exactly_spent(self):
+        if self.model_state is AgentState.QUARANTINED:
+            slot = self.verifier._slot(self.agent_id)
+            assert slot.suspect_windows == self.QUARANTINE_AFTER
+
+    @invariant()
+    def failed_has_evidence(self):
+        if self.model_state is AgentState.FAILED:
+            assert self.verifier.failures_of(self.agent_id)
+
+    @invariant()
+    def no_silent_gap(self):
+        # Every poll of a pollable node produced a recorded result.
+        assert len(self.verifier.results_of(self.agent_id)) == self.model_results
+
+    @invariant()
+    def handle_matches_model(self):
+        slot = self.verifier._slot(self.agent_id)
+        assert (slot.stop_polling is not None) == self.model_handle
+
+
+TestDegradedStateful = DegradedModeMachine.TestCase
+TestDegradedStateful.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

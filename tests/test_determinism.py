@@ -1,8 +1,14 @@
 """Determinism guarantees: same seed => bit-identical results.
 
 DESIGN.md promises every figure and table is reproducible bit-for-bit
-from a seed.  These tests hold the experiment harnesses to it.
+from a seed.  These tests hold the experiment harnesses to it --
+including chaos runs: the fault schedule is part of the seed space, so
+one (seed, chaos profile, chaos seed) triple must replay byte-for-byte,
+and a chaos layer that injects nothing must be indistinguishable from
+no chaos layer at all.
 """
+
+import json
 
 from repro.attacks import AttackMode
 from repro.experiments.fn_matrix import run_attack_trial
@@ -11,6 +17,43 @@ from repro.experiments.longrun import run_longrun
 from repro.attacks.botnets import Mirai
 
 from tests.conftest import small_config
+
+
+def _event_dump(result) -> str:
+    """The run's full event log as one canonical JSON blob."""
+    return json.dumps(
+        [
+            [record.time, record.source, record.kind, dict(record.details)]
+            for record in result.fleet.events
+        ],
+        sort_keys=True,
+        default=str,
+    )
+
+
+def _verdict_sequences(result):
+    """Per-node (ok, transient, entries) verdict streams."""
+    return {
+        node.name: [
+            (r.ok, r.transient, r.entries_processed, r.retry_attempts)
+            for r in result.fleet.verifier.results_of(node.agent.agent_id)
+        ]
+        for node in result.fleet.nodes
+    }
+
+
+def _counter_snapshot(registry) -> dict:
+    """Counters and gauges only: wall-clock histograms are excluded
+    (perf_counter latencies are real time, not simulated time)."""
+    snapshot = {}
+    for family in registry.families():
+        if family.kind == "histogram":
+            continue
+        snapshot[family.name] = sorted(
+            (tuple(sorted(labels.items())), child.value)
+            for labels, child in family.samples()
+        )
+    return snapshot
 
 
 class TestExperimentDeterminism:
@@ -54,3 +97,78 @@ class TestExperimentDeterminism:
             Mirai(), AttackMode.BASIC, mitigated=False, config=small_config("det-atk")
         )
         assert a == b
+
+
+class TestChaosDeterminism:
+    """Same (seed, chaos profile, chaos seed) => byte-identical runs."""
+
+    _ARGS = dict(seed="det-chaos", n_nodes=2, n_days=1, n_filler_packages=8)
+
+    def _run(self, chaos=None, instrument=False):
+        from repro.experiments.fleet_run import run_fleet_scenario
+        from repro.obs import runtime as obs_runtime
+
+        if not instrument:
+            return run_fleet_scenario(chaos=chaos, **self._ARGS), None
+        with obs_runtime.session() as telemetry:
+            result = run_fleet_scenario(chaos=chaos, **self._ARGS)
+            return result, _counter_snapshot(telemetry.registry)
+
+    def test_chaos_run_bitwise_stable(self):
+        from repro.experiments.fleet_run import ChaosInjection
+
+        chaos = ChaosInjection(profile="mixed", chaos_seed="det-weather")
+        a, metrics_a = self._run(chaos=chaos, instrument=True)
+        b, metrics_b = self._run(
+            chaos=ChaosInjection(profile="mixed", chaos_seed="det-weather"),
+            instrument=True,
+        )
+        assert _event_dump(a) == _event_dump(b)
+        assert _verdict_sequences(a) == _verdict_sequences(b)
+        assert metrics_a == metrics_b
+        # The fault schedules themselves replayed identically.
+        assert [
+            (r.time, r.agent_id, r.kind, r.leg, r.detail)
+            for r in a.fault_plan.injections
+        ] == [
+            (r.time, r.agent_id, r.kind, r.leg, r.detail)
+            for r in b.fault_plan.injections
+        ]
+        assert a.fault_plan.injections, "chaos run injected nothing to compare"
+
+    def test_chaos_seed_sensitivity(self):
+        from repro.experiments.fleet_run import ChaosInjection
+
+        a, _ = self._run(chaos=ChaosInjection(profile="mixed", chaos_seed="w-a"))
+        b, _ = self._run(chaos=ChaosInjection(profile="mixed", chaos_seed="w-b"))
+        assert a.fault_plan.counts_by_kind() != b.fault_plan.counts_by_kind() or [
+            (r.time, r.kind) for r in a.fault_plan.injections
+        ] != [(r.time, r.kind) for r in b.fault_plan.injections]
+
+    def test_clean_plan_is_bit_identical_to_no_plan(self):
+        """The zero-perturbation guarantee: installing the fault layer
+        with no matching specs changes nothing -- not one event, not
+        one verdict, not one RNG draw downstream."""
+        from repro.experiments.fleet_run import ChaosInjection
+
+        bare, _ = self._run(chaos=None)
+        clean, _ = self._run(
+            chaos=ChaosInjection(profile="clean", chaos_seed="irrelevant")
+        )
+        assert clean.fault_plan.injections == []
+        assert _event_dump(bare) == _event_dump(clean)
+        assert _verdict_sequences(bare) == _verdict_sequences(clean)
+
+    def test_windowed_chaos_quiet_outside_window(self):
+        """A plan scoped to a window injects only inside it, and the
+        schedule replays exactly."""
+        from repro.common.clock import hours
+        from repro.experiments.fleet_run import ChaosInjection
+
+        chaos = ChaosInjection(
+            profile="drops", chaos_seed="windowed",
+            start=hours(3), end=hours(9),
+        )
+        result, _ = self._run(chaos=chaos)
+        for record in result.fault_plan.injections:
+            assert hours(3) <= record.time < hours(9)

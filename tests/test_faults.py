@@ -1,0 +1,341 @@
+"""Unit tests for the fault-injection layer and the retry policy.
+
+The chaos property suite (test_chaos_properties.py) proves system-wide
+invariants over whole runs; this module pins the component contracts
+those invariants rest on: spec matching, per-channel RNG isolation,
+zero-draw clean plans, the retry classifier, and backoff arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.common.errors import IntegrityError, TransientTransportError
+from repro.common.rng import SeededRng
+from repro.keylime.faults import (
+    CHAOS_PROFILES,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    INTEGRITY_KINDS,
+    TRANSIENT_KINDS,
+    chaos_profile,
+)
+from repro.keylime.retrypolicy import (
+    RetryBudgetExceeded,
+    RetryPolicy,
+    classify,
+)
+from repro.keylime.transport import challenge_to_json
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+
+class TestFaultSpec:
+    def test_validates_probability(self):
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.DROP, probability=1.5)
+
+    def test_validates_leg(self):
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.DROP, leg="sideways")
+
+    def test_validates_window(self):
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.DROP, start=10.0, end=5.0)
+
+    def test_matches_window_half_open(self):
+        spec = FaultSpec(FaultKind.DROP, start=10.0, end=20.0)
+        assert not spec.matches("a", "request", 9.9)
+        assert spec.matches("a", "request", 10.0)
+        assert spec.matches("a", "request", 19.9)
+        assert not spec.matches("a", "request", 20.0)
+
+    def test_matches_nodes_and_leg(self):
+        spec = FaultSpec(FaultKind.DROP, leg="response", nodes=("a", "b"))
+        assert spec.matches("a", "response", 0.0)
+        assert not spec.matches("a", "request", 0.0)
+        assert not spec.matches("c", "response", 0.0)
+
+    def test_kind_taxonomy_is_total(self):
+        assert TRANSIENT_KINDS | INTEGRITY_KINDS == frozenset(FaultKind)
+        assert not TRANSIENT_KINDS & INTEGRITY_KINDS
+
+
+class TestFaultPlan:
+    def _blob(self, nonce: str = "aa" * 10) -> str:
+        return challenge_to_json(nonce, 0)
+
+    def test_clean_plan_is_identity_and_draws_nothing(self):
+        rng = SeededRng("clean")
+        before = rng.fork("chaos/a/request").random()
+        plan = FaultPlan(SeededRng("clean"))
+        channel = plan.channel("a", "request")
+        blob = self._blob()
+        for _ in range(50):
+            assert channel(blob) == blob
+        # The channel stream was forked but never drawn from: its next
+        # draw equals the first draw of a fresh fork.
+        assert plan._channel_rngs[("a", "request")].random() == before
+        assert plan.injections == []
+
+    def test_non_matching_specs_draw_nothing(self):
+        plan = FaultPlan(
+            SeededRng("s"),
+            specs=(FaultSpec(FaultKind.DROP, probability=0.5, nodes=("other",)),),
+        )
+        channel = plan.channel("a", "request")
+        blob = self._blob()
+        for _ in range(20):
+            assert channel(blob) == blob
+        fresh = SeededRng("s").fork("chaos/a/request").random()
+        assert plan._channel_rngs[("a", "request")].random() == fresh
+
+    def test_drop_raises_transient(self):
+        plan = FaultPlan(SeededRng("s"), specs=(FaultSpec(FaultKind.DROP),))
+        with pytest.raises(TransientTransportError) as info:
+            plan.channel("a", "request")(self._blob())
+        assert info.value.kind == "drop"
+        assert plan.counts_by_kind() == {"drop": 1}
+
+    def test_partition_is_window_scoped(self):
+        plan = FaultPlan(
+            SeededRng("s"),
+            specs=(FaultSpec(FaultKind.PARTITION, start=0.0, end=100.0),),
+        )
+        clock = FakeClock(50.0)
+        plan.bind_clock(clock)
+        channel = plan.channel("a", "response")
+        with pytest.raises(TransientTransportError):
+            channel(self._blob())
+        clock.now = 100.0  # window closed
+        assert channel(self._blob()) == self._blob()
+
+    def test_delay_below_timeout_delivers_and_records(self):
+        plan = FaultPlan(
+            SeededRng("s"),
+            specs=(FaultSpec(FaultKind.DELAY, delay_range=(0.1, 0.2)),),
+            attempt_timeout=1.0,
+        )
+        blob = self._blob()
+        assert plan.channel("a", "response")(blob) == blob
+        assert plan.counts_by_kind() == {"delay": 1}
+
+    def test_delay_past_timeout_is_transient(self):
+        plan = FaultPlan(
+            SeededRng("s"),
+            specs=(FaultSpec(FaultKind.DELAY, delay_range=(5.0, 6.0)),),
+            attempt_timeout=1.0,
+        )
+        with pytest.raises(TransientTransportError) as info:
+            plan.channel("a", "response")(self._blob())
+        assert info.value.kind == "delay"
+
+    def test_duplicate_is_payload_noop(self):
+        plan = FaultPlan(SeededRng("s"), specs=(FaultSpec(FaultKind.DUPLICATE),))
+        blob = self._blob()
+        assert plan.channel("a", "response")(blob) == blob
+        assert plan.counts_by_kind() == {"duplicate": 1}
+
+    def test_replay_delivers_previous_round(self):
+        plan = FaultPlan(SeededRng("s"), specs=(FaultSpec(FaultKind.REPLAY),))
+        channel = plan.channel("a", "request")
+        first = self._blob("aa" * 10)
+        second = self._blob("bb" * 10)
+        assert channel(first) == first  # nothing stale yet: no-op
+        assert channel(second) == first  # stale payload substituted
+        assert plan.counts_by_kind() == {"replay": 1}
+
+    def test_corrupt_request_flips_the_nonce(self):
+        import json
+
+        plan = FaultPlan(SeededRng("s"), specs=(FaultSpec(FaultKind.CORRUPT),))
+        blob = self._blob("ab" * 10)
+        corrupted = plan.channel("a", "request")(blob)
+        assert corrupted != blob
+        original = json.loads(blob)
+        flipped = json.loads(corrupted)
+        assert flipped["nonce"] != original["nonce"]
+        assert len(flipped["nonce"]) == len(original["nonce"])
+        # Everything else is untouched: the flip is semantic, not random.
+        for key in ("offset", "pcr_selection", "traceparent"):
+            assert flipped[key] == original[key]
+
+    def test_corrupt_unparseable_blob_flips_raw_byte(self):
+        plan = FaultPlan(SeededRng("s"), specs=(FaultSpec(FaultKind.CORRUPT),))
+        corrupted = plan.channel("a", "request")("not json at all")
+        assert corrupted != "not json at all"
+        assert len(corrupted) == len("not json at all")
+
+    def test_channels_are_rng_isolated(self):
+        # Node b's injection sequence must not depend on node a's
+        # traffic volume: each channel draws from its own fork.
+        def run(extra_a_traffic: int) -> list[str]:
+            plan = FaultPlan(
+                SeededRng("iso"),
+                specs=(FaultSpec(FaultKind.DROP, probability=0.3),),
+            )
+            a = plan.channel("a", "request")
+            b = plan.channel("b", "request")
+            for _ in range(extra_a_traffic):
+                try:
+                    a(self._blob())
+                except TransientTransportError:
+                    pass
+            outcomes = []
+            for _ in range(20):
+                try:
+                    b(self._blob())
+                    outcomes.append("ok")
+                except TransientTransportError:
+                    outcomes.append("drop")
+            return outcomes
+
+        assert run(0) == run(37)
+
+    def test_injections_for_filters_by_node_and_time(self):
+        plan = FaultPlan(SeededRng("s"), specs=(FaultSpec(FaultKind.DROP),))
+        clock = FakeClock(5.0)
+        plan.bind_clock(clock)
+        for agent in ("a", "b"):
+            with pytest.raises(TransientTransportError):
+                plan.channel(agent, "request")(self._blob())
+        assert len(plan.injections_for("a")) == 1
+        assert plan.injections_for("a", since=6.0) == []
+        assert len(plan.injections_for("b", since=0.0, until=5.0)) == 1
+
+
+class TestChaosProfiles:
+    def test_every_profile_builds(self):
+        for name in CHAOS_PROFILES:
+            plan = chaos_profile(name, SeededRng("p"))
+            assert plan.name == name
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            chaos_profile("hurricane", SeededRng("p"))
+
+    def test_transient_only_flags_match_specs(self):
+        for name, transient_only in CHAOS_PROFILES.items():
+            plan = chaos_profile(name, SeededRng("p"))
+            kinds = {spec.kind for spec in plan.specs}
+            assert (kinds <= TRANSIENT_KINDS) == transient_only, name
+
+    def test_profile_scoping_flows_into_specs(self):
+        plan = chaos_profile(
+            "mixed", SeededRng("p"), nodes=("n1",), start=10.0, end=20.0
+        )
+        for spec in plan.specs:
+            assert spec.nodes == ("n1",)
+            assert (spec.start, spec.end) == (10.0, 20.0)
+
+
+class TestClassifier:
+    def test_integrity_never_transient(self):
+        assert classify(IntegrityError("bad")) == "integrity"
+        assert classify(TransientTransportError("drop")) == "transient"
+        assert classify(RuntimeError("boom")) == "other"
+
+    def test_budget_exceeded_stays_transient(self):
+        exc = RetryBudgetExceeded(3, TransientTransportError("x", kind="drop"))
+        assert classify(exc) == "transient"
+        assert exc.kind == "drop"
+        assert exc.attempts == 3
+
+
+class TestRetryPolicy:
+    def test_validates_fields(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_backoff=-1.0)
+
+    def test_success_first_try_draws_no_jitter(self):
+        rng = SeededRng("jitter")
+        expected = SeededRng("jitter").random()
+        policy = RetryPolicy()
+        assert policy.run(lambda: 42, rng=rng) == 42
+        assert rng.random() == expected  # untouched stream
+
+    def test_transient_retried_to_success(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise TransientTransportError("drop", kind="drop")
+            return "evidence"
+
+        policy = RetryPolicy(max_attempts=4)
+        assert policy.run(flaky, rng=SeededRng("r")) == "evidence"
+        assert len(calls) == 3
+
+    def test_budget_exhaustion(self):
+        def always_down():
+            raise TransientTransportError("gone", kind="partition")
+
+        policy = RetryPolicy(max_attempts=3)
+        with pytest.raises(RetryBudgetExceeded) as info:
+            policy.run(always_down, rng=SeededRng("r"))
+        assert info.value.attempts == 3
+        assert info.value.kind == "partition"
+
+    def test_integrity_error_never_retried(self):
+        calls = []
+
+        def tampered():
+            calls.append(1)
+            raise IntegrityError("flipped byte")
+
+        policy = RetryPolicy(max_attempts=5)
+        with pytest.raises(IntegrityError):
+            policy.run(tampered, rng=SeededRng("r"))
+        assert len(calls) == 1  # exactly one attempt: no laundering
+
+    def test_backoff_caps_and_jitters_deterministically(self):
+        policy = RetryPolicy(base_backoff=1.0, backoff_cap=4.0, jitter=0.1)
+        assert policy.backoff_for(1) == 1.0  # no rng: no jitter
+        assert policy.backoff_for(10) == 4.0  # capped
+        a = policy.backoff_for(2, SeededRng("j"))
+        b = policy.backoff_for(2, SeededRng("j"))
+        assert a == b
+        assert 2.0 * 0.9 <= a <= 2.0 * 1.1
+
+    def test_sleep_receives_backoffs(self):
+        slept = []
+
+        def flaky():
+            if len(slept) < 2:
+                raise TransientTransportError("drop")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=4, base_backoff=0.5, jitter=0.0)
+        assert policy.run(flaky, sleep=slept.append) == "ok"
+        assert slept == [0.5, 1.0]
+
+    def test_attempt_counter_outcomes(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise TransientTransportError("drop")
+            return "ok"
+
+        RetryPolicy(max_attempts=3).run(flaky, registry=registry)
+        family = registry.get("verifier_retry_attempts_total")
+        counts = {
+            labels.get("outcome"): child.value
+            for labels, child in family.samples()
+        }
+        assert counts == {"transient": 1, "ok": 1}

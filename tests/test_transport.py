@@ -209,6 +209,107 @@ class TestTransportAgent:
         assert proxy.bytes_transferred > response_bytes
 
 
+class TestDecodeRobustnessSweep:
+    """Exhaustive corruption sweep over the wire decoders.
+
+    The regression net for the latent decode bugs: for *every* byte
+    offset of a valid blob -- substitution, truncation, or raw byte
+    garbage -- the decoder must either still decode (the corruption hit
+    an ignorable field, e.g. the traceparent) or raise
+    :class:`IntegrityError`.  It must never leak a bare ``KeyError`` /
+    ``TypeError`` / ``UnicodeDecodeError`` / ``OverflowError`` for some
+    offsets and an ``IntegrityError`` for others: the chaos layer's
+    classifier treats anything else as an infrastructure crash.
+    """
+
+    #: Substitution characters chosen to break JSON structure, string
+    #: delimiters, hex fields, and numeric fields respectively.
+    _MUTATIONS = ('}', '"', 'z', '9')
+
+    @staticmethod
+    def _decodes_or_integrity_error(decode, blob, context):
+        try:
+            decode(blob)
+        except IntegrityError:
+            pass
+        except Exception as exc:  # pragma: no cover - the failure net
+            raise AssertionError(
+                f"{context}: decoder leaked {type(exc).__name__}: {exc}"
+            ) from exc
+
+    def _sweep(self, decode, blob: str):
+        for offset in range(len(blob)):
+            for char in self._MUTATIONS:
+                if blob[offset] == char:
+                    continue
+                mutated = blob[:offset] + char + blob[offset + 1:]
+                self._decodes_or_integrity_error(
+                    decode, mutated, f"substitute {char!r} at byte {offset}"
+                )
+            self._decodes_or_integrity_error(
+                decode, blob[:offset], f"truncate at byte {offset}"
+            )
+
+    def test_challenge_corrupt_at_every_byte_offset(self):
+        blob = challenge_to_json(
+            "abc123", offset=7, pcr_selection=(0, 10),
+            traceparent="00-" + "1" * 32 + "-" + "2" * 16 + "-01",
+        )
+        self._sweep(challenge_from_json, blob)
+
+    def test_evidence_corrupt_at_every_byte_offset(self, testbed):
+        testbed.machine.exec_file("/usr/bin/ls")
+        blob = evidence_to_json(testbed.agent.attest("nonce"))
+        self._sweep(evidence_from_json, blob)
+
+    @pytest.mark.parametrize("payload", [
+        b"\xff\xfe not utf-8 \x80\x81",
+        b"\x00" * 16,
+        bytes(range(256)),
+    ])
+    def test_raw_byte_garbage_is_an_integrity_error(self, payload):
+        """A real channel hands the receiver bytes; invalid UTF-8 must
+        surface as a payload integrity failure, not UnicodeDecodeError."""
+        with pytest.raises(IntegrityError):
+            evidence_from_json(payload)
+        with pytest.raises(IntegrityError):
+            challenge_from_json(payload)
+
+    @pytest.mark.parametrize("offset", ["Infinity", "-Infinity", "NaN", -1, 1e400])
+    def test_hostile_challenge_offsets_rejected(self, offset):
+        """json accepts Infinity/NaN; int() of those raises Overflow /
+        ValueError, and negatives would index backwards into the log --
+        all must decode-fail as IntegrityError."""
+        payload = json.loads(challenge_to_json("n"))
+        payload["offset"] = offset
+        with pytest.raises(IntegrityError):
+            challenge_from_json(json.dumps(payload))
+
+    @pytest.mark.parametrize("field,value", [
+        ("clock", "Infinity"),
+        ("reset_count", "NaN"),
+        ("reset_count", -3),
+        ("restart_count", "-Infinity"),
+        ("signature", "abc"),       # odd-length hex
+        ("selection", [1, "x"]),
+        ("pcr_values", [1, 2, 3]),  # list where dict expected
+    ])
+    def test_hostile_quote_fields_rejected(self, testbed, field, value):
+        evidence = testbed.agent.attest("nonce")
+        payload = json.loads(evidence_to_json(evidence))
+        payload["quote"][field] = value
+        with pytest.raises(IntegrityError):
+            evidence_from_json(json.dumps(payload))
+
+    def test_hostile_ima_log_shapes_rejected(self, testbed):
+        evidence = testbed.agent.attest("nonce")
+        for bad_log in ({"a": 1}, "one big string", 42):
+            payload = json.loads(evidence_to_json(evidence))
+            payload["ima_log"] = bad_log
+            with pytest.raises(IntegrityError):
+                evidence_from_json(json.dumps(payload))
+
+
 class TestWireTracePropagation:
     """The traceparent field joins agent spans across the wire."""
 
