@@ -188,20 +188,27 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 
 def _cmd_obs_watch(args: argparse.Namespace) -> int:
     from repro.obs import runtime as obs_runtime
-    from repro.obs.exporters import jsonl_dump, write_text_atomic
+    from repro.obs.exporters import jsonl_records, write_jsonl_atomic
     from repro.obs.health import HealthWatch, render_dashboard
 
     def frame(now: float, live_watch: HealthWatch) -> None:
         print(render_dashboard(live_watch, now))
         print()
 
+    observatory = None
+    if args.tsdb:
+        from repro.obs.rules import Observatory
+
+        observatory = Observatory(poll_interval=args.tick_minutes * 60.0)
     watch = HealthWatch(
         gap_polls=args.gap_polls,
         tick_interval=args.tick_minutes * 60.0,
         on_frame=None if args.once else frame,
         frame_every=0 if args.once else args.frame_every,
+        observatory=observatory,
     )
     with obs_runtime.session() as telemetry:
+        telemetry.observatory = observatory
         chaos = None
         if args.scenario == "fleet":
             from repro.experiments.fleet_run import (
@@ -273,16 +280,124 @@ def _cmd_obs_watch(args: argparse.Namespace) -> int:
             extra = [run_meta]
             extra += [alert.to_record() for alert in watch.engine.history]
             extra += [incident.to_record() for incident in watch.incidents]
-            write_text_atomic(
+            if watch.observatory is not None:
+                extra += list(watch.observatory.store.export_records())
+            # Stream record-by-record: a long TSDB-backed run exports in
+            # O(1) memory while keeping the atomic-replace guarantee.
+            lines = write_jsonl_atomic(
                 args.jsonl,
-                jsonl_dump(
+                jsonl_records(
                     telemetry.registry, telemetry.tracer,
                     events=watch.monitor.events,
                     audit=watch.correlator.audit,
                     extra_records=extra,
                 ),
             )
-            print(f"\nJSONL run export written to {args.jsonl}")
+            print(f"\nJSONL run export written to {args.jsonl} "
+                  f"({lines} records)")
+    return 0
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.obs.dashboard import render_top, top_frame_record
+    from repro.obs.exporters import write_jsonl_atomic
+    from repro.obs.tsdb import TsdbStore
+
+    poll_interval = args.tick_minutes * 60.0
+
+    if args.replay:
+        from repro.obs.exporters import load_jsonl
+
+        with open(args.replay, "r", encoding="utf-8") as handle:
+            records = load_jsonl(handle.read())
+        store = TsdbStore.from_records(records)
+        if not len(store):
+            print(f"no TSDB series in {args.replay}")
+            return 1
+        span = store.time_span()
+        now = span[1] if span else 0.0
+        frames = [r for r in records if r.get("type") == "top_frame"]
+        staleness = frames[-1].get("sources") if frames else None
+        print(render_top(
+            store, now, staleness=staleness, poll_interval=poll_interval
+        ))
+        return 0
+
+    from repro.experiments.fleet_run import ChaosInjection
+    from repro.experiments.observatory import run_federated_observatory
+
+    chaos = None
+    if args.chaos_profile is not None:
+        chaos = ChaosInjection(
+            profile=args.chaos_profile, chaos_seed=args.chaos_seed
+        )
+
+    def frame(now: float, hub) -> dict:
+        record = top_frame_record(
+            hub.store, now, hub.staleness(now), poll_interval
+        )
+        if not args.once:
+            print(render_top(
+                hub.store, now, hub.staleness(now),
+                poll_interval=poll_interval,
+            ))
+            print()
+        return record
+
+    result = run_federated_observatory(
+        seed=args.seed,
+        n_shards=args.shards,
+        nodes_per_shard=args.nodes,
+        n_days=args.days,
+        n_filler_packages=args.fillers,
+        poll_interval=poll_interval,
+        scrape_interval=poll_interval,
+        chaos=chaos,
+        on_frame=frame,
+        frame_every=args.frame_every,
+    )
+    hub = result.hub
+    end = result.end_time
+    staleness = hub.staleness(end)
+    print(render_top(hub.store, end, staleness, poll_interval=poll_interval))
+    for shard in result.shards:
+        alerts = len(shard.watch.engine.history)
+        print(f"  {shard.name}: {len(shard.fleet)} nodes, "
+              f"{shard.snapshots_sent} snapshots shipped, "
+              f"{alerts} alert(s) fired")
+
+    if args.jsonl:
+        final = top_frame_record(hub.store, end, staleness, poll_interval)
+
+        def records():
+            yield {
+                "type": "run_meta",
+                "scenario": "observatory",
+                "seed": str(args.seed),
+                "days": args.days,
+                "shards": args.shards,
+                "nodes_per_shard": args.nodes,
+                "poll_interval": poll_interval,
+                "end_time": end,
+                "sources": {
+                    shard.name: shard.snapshots_sent
+                    for shard in result.shards
+                },
+            }
+            yield from hub.store.export_records()
+            for _, captured in result.frames:
+                yield captured
+            yield final
+
+        lines = write_jsonl_atomic(args.jsonl, records())
+        print(f"\nTSDB export written to {args.jsonl} ({lines} records)")
+    if args.json_summary:
+        print(json_module.dumps(
+            top_frame_record(hub.store, end, staleness, poll_interval),
+            sort_keys=True,
+        ))
     return 0
 
 
@@ -300,6 +415,16 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     print("records: " + ", ".join(
         f"{kind}={len(items)}" for kind, items in sorted(groups.items())
     ))
+    if groups.get("tsdb_series"):
+        from repro.obs.tsdb import TsdbStore
+
+        store = TsdbStore.from_records(records)
+        stats = store.stats()
+        span = store.time_span()
+        window = (span[1] - span[0]) / 3600.0 if span else 0.0
+        print(f"tsdb: {stats['series']} series, {stats['samples']} samples "
+              f"over {window:.1f}h, {stats['scrapes']} scrapes, "
+              f"{stats['counter_resets']} counter resets")
     for alert in groups.get("alert", ()):
         who = f" agent={alert['agent']}" if alert.get("agent") else ""
         print(f"  alert t={alert['time'] / 3600.0:8.2f}h "
@@ -540,7 +665,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a live dashboard frame every N ticks",
     )
     watch.add_argument("--jsonl", default=None, help="write the full run export here")
+    watch.add_argument(
+        "--tsdb", action="store_true",
+        help="drive detectors and SLO burn from the embedded TSDB "
+             "(recording rules) instead of private ad-hoc windows",
+    )
     watch.set_defaults(func=_cmd_obs_watch)
+
+    top = obs_commands.add_parser(
+        "top",
+        help="federated mission control: N telemetry shards merged into "
+             "one TSDB, live fleet rollups, freshness heatmap, SLO burn",
+    )
+    top.add_argument("--shards", type=int, default=2, help="independent registries")
+    top.add_argument("--nodes", type=int, default=2, help="nodes per shard")
+    top.add_argument("--days", type=int, default=1)
+    top.add_argument(
+        "--chaos-profile", default=None,
+        help="inject a seeded fault profile into shard 0",
+    )
+    top.add_argument("--chaos-seed", default="chaos")
+    top.add_argument(
+        "--tick-minutes", type=float, default=30.0,
+        help="poll/scrape interval, simulated minutes",
+    )
+    top.add_argument(
+        "--frame-every", type=int, default=24,
+        help="render a dashboard frame every N scrape slices",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="no live frames; print one final frame (CI mode)",
+    )
+    top.add_argument(
+        "--jsonl", default=None,
+        help="write run_meta + full TSDB export + captured frames here",
+    )
+    top.add_argument(
+        "--json-summary", action="store_true",
+        help="also print the final frame as one JSON line (CI assertions)",
+    )
+    top.add_argument(
+        "--replay", default=None, metavar="EXPORT",
+        help="post-hoc: render the dashboard from a --jsonl export "
+             "instead of running a fleet",
+    )
+    top.set_defaults(func=_cmd_obs_top)
 
     obs_report = obs_commands.add_parser(
         "report", help="post-hoc incident reports from an obs watch JSONL export"

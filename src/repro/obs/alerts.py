@@ -210,7 +210,7 @@ class SloSet:
         return (self.freshness, self.poll_success, self.detection_latency)
 
 
-def standard_slos(max_window: float = 7 * 86400.0) -> SloSet:
+def standard_slos(max_window: float = 7 * 86400.0, make=SloTracker) -> SloSet:
     """The default SLO definitions.
 
     * **attestation freshness** (99%): at every monitor tick, every
@@ -221,19 +221,23 @@ def standard_slos(max_window: float = 7 * 86400.0) -> SloSet:
       E1 false-positive problem showing up operationally.
     * **detection latency** (95%): gap/anomaly alerts raised within
       their target after the underlying condition began.
+
+    *make* is the tracker factory -- :class:`SloTracker` by default;
+    :func:`repro.obs.rules.tsdb_slos` passes a TSDB-backed one so the
+    same definitions drive store-resident trackers.
     """
     return SloSet(
-        freshness=SloTracker(
+        freshness=make(
             "attestation_freshness", 0.99,
             "watched agents have a fresh successful attestation",
             max_window=max_window,
         ),
-        poll_success=SloTracker(
+        poll_success=make(
             "poll_success", 0.995,
             "attestation rounds that verify clean (FP budget)",
             max_window=max_window,
         ),
-        detection_latency=SloTracker(
+        detection_latency=make(
             "detection_latency", 0.95,
             "alerts raised within their detection-latency target",
             max_window=max_window,

@@ -1,0 +1,329 @@
+"""Mission-control rendering of a (possibly federated) TSDB store.
+
+``repro-cli obs top`` is the fleet-over-time counterpart to the
+point-in-time ``obs watch`` dashboard: every line is answered from
+:class:`~repro.obs.tsdb.TsdbStore` queries -- instants for the current
+state, ranges for the sparkline trends, windowed increases for the SLO
+burn -- so the same renderer works live against a local observatory,
+against a :class:`~repro.obs.federation.FederationHub` merging N
+registries, or post-hoc against a store rebuilt from a JSONL export.
+
+Rendering is plain console text in the existing ``render_dashboard``
+idiom; :func:`top_frame_record` is the machine-readable twin for
+``--jsonl`` output, carrying the same numbers as typed records.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.tsdb import TsdbStore
+
+#: Unicode block glyphs, lowest to highest.
+SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+#: Freshness heat glyphs: index = whole missed poll intervals, capped.
+HEAT_GLYPHS = ("·", "▁", "▂", "▄", "▅", "▆", "▇", "█")
+
+#: SLO objectives used when rendering burn from scraped
+#: ``slo_events_total`` series (matches ``standard_slos``).
+STANDARD_OBJECTIVES = {
+    "attestation_freshness": 0.99,
+    "poll_success": 0.995,
+    "detection_latency": 0.95,
+}
+
+
+def sparkline(values: list[float], width: int = 32) -> str:
+    """Render *values* as a fixed-width unicode sparkline.
+
+    The series is resampled to *width* points (last value per cell);
+    a flat series renders as a line of the lowest glyph.
+    """
+    if not values:
+        return " " * width
+    if len(values) > width:
+        step = len(values) / width
+        values = [values[min(int((i + 1) * step) - 1, len(values) - 1)]
+                  for i in range(width)]
+    low = min(values)
+    high = max(values)
+    span = high - low
+    out = []
+    for value in values:
+        if span <= 0:
+            out.append(SPARK_GLYPHS[0])
+        else:
+            index = int((value - low) / span * (len(SPARK_GLYPHS) - 1))
+            out.append(SPARK_GLYPHS[index])
+    return "".join(out).ljust(width)
+
+
+def heat_row(ages: list[float | None], poll_interval: float) -> str:
+    """Freshness glyphs for one agent: one cell per sampled instant.
+
+    Each cell encodes the attestation age at that instant in whole
+    missed poll intervals -- ``·`` fresh, darkening blocks as the gap
+    grows, a space where the store holds no data yet.
+    """
+    cells = []
+    for age in ages:
+        if age is None:
+            cells.append(" ")
+            continue
+        missed = int(age // poll_interval) if poll_interval > 0 else 0
+        cells.append(HEAT_GLYPHS[min(missed, len(HEAT_GLYPHS) - 1)])
+    return "".join(cells)
+
+
+def _series_total(store: TsdbStore, name: str, at: float, **filters) -> float:
+    """Sum of instants at *at* across matching series (0.0 when none)."""
+    total = 0.0
+    for series in store.select(name, **filters):
+        value = series.instant(at)
+        if value is not None:
+            total += value
+    return total
+
+
+def _grouped_instants(
+    store: TsdbStore, name: str, label: str, at: float
+) -> dict[str, float]:
+    """``{label_value: summed instant}`` across matching series."""
+    out: dict[str, float] = {}
+    for series in store.select(name):
+        value = series.instant(at)
+        if value is None:
+            continue
+        key = series.label(label) or ""
+        out[key] = out.get(key, 0.0) + value
+    return out
+
+
+def slo_burn(
+    store: TsdbStore,
+    now: float,
+    window: float = 86400.0,
+    objectives: dict[str, float] | None = None,
+) -> list[dict[str, Any]]:
+    """Burn-rate summary per SLO from store history.
+
+    Prefers the exact-time ``slo:{name}:total``/``:bad`` series a
+    :class:`~repro.obs.rules.TsdbSloTracker` writes; falls back to the
+    scrape-grid ``slo_events_total{slo,outcome}`` counters, which is
+    what a federation hub sees from remote registries.
+    """
+    objectives = objectives or STANDARD_OBJECTIVES
+    start = now - window
+    out = []
+    for name, objective in sorted(objectives.items()):
+        total = store.increase(f"slo:{name}:total", None, start, now)
+        bad = store.increase(f"slo:{name}:bad", None, start, now)
+        if total <= 0:
+            total = sum(
+                series.increase(start, now)
+                for series in store.select("slo_events_total", slo=name)
+            )
+            bad = sum(
+                series.increase(start, now)
+                for series in store.select(
+                    "slo_events_total", slo=name, outcome="bad"
+                )
+            )
+        if total <= 0:
+            continue
+        bad_fraction = bad / total
+        burn = bad_fraction / (1.0 - objective)
+        out.append({
+            "slo": name,
+            "objective": objective,
+            "window": window,
+            "total": int(round(total)),
+            "bad": int(round(bad)),
+            "burn_rate": round(burn, 3),
+            "budget_remaining": round(1.0 - min(1.0, burn), 4),
+        })
+    return out
+
+
+def _agent_heat(
+    store: TsdbStore, now: float, poll_interval: float, width: int
+) -> list[tuple[str, str, float | None]]:
+    """``(agent, heat_glyphs, current_age)`` rows, worst-first."""
+    span = width * poll_interval
+    ticks = [now - span + (i + 1) * poll_interval for i in range(width)]
+    by_agent: dict[str, list] = {}
+    for series in store.select("obs_agent_attestation_age_seconds"):
+        agent = series.label("agent")
+        if agent is None:
+            continue
+        # Shards reuse agent ids; keep federated rows apart by source.
+        origin = series.label("source")
+        if origin:
+            agent = f"{origin}/{agent}"
+        by_agent.setdefault(agent, []).append(series)
+    rows = []
+    for agent, serieses in sorted(by_agent.items()):
+        ages: list[float | None] = []
+        for tick in ticks:
+            best: float | None = None
+            for series in serieses:
+                value = series.instant(tick)
+                if value is not None and (best is None or value > best):
+                    best = value
+            ages.append(best)
+        rows.append((agent, heat_row(ages, poll_interval), ages[-1]))
+    rows.sort(key=lambda row: -(row[2] if row[2] is not None else -1.0))
+    return rows
+
+
+def render_top(
+    store: TsdbStore,
+    now: float,
+    staleness: dict[str, float | None] | None = None,
+    poll_interval: float = 1800.0,
+    width: int = 32,
+    max_heat_rows: int = 12,
+) -> str:
+    """One full mission-control frame as console text."""
+    lines = [
+        f"== obs top @ t={now / 3600.0:.1f}h (day {now / 86400.0:.2f}) =="
+    ]
+
+    # Federation sources and their staleness.
+    if staleness:
+        parts = []
+        for name, age in sorted(staleness.items()):
+            if age is None:
+                parts.append(f"{name}: never")
+            elif age > 2 * poll_interval:
+                parts.append(f"{name}: {age / 60.0:.0f}m STALE")
+            else:
+                parts.append(f"{name}: {age / 60.0:.0f}m")
+        lines.append(f"  sources: {len(staleness)} federated [{', '.join(parts)}]")
+
+    # Fleet rollup: nodes by verifier state, summed across sources.
+    states = _grouped_instants(store, "fleet_nodes", "state", now)
+    if states:
+        total = sum(states.values())
+        by_state = " ".join(
+            f"{state}={int(count)}" for state, count in sorted(states.items())
+        )
+        quarantined = _series_total(store, "fleet_quarantined_nodes", now)
+        lines.append(
+            f"  fleet: {int(total)} nodes [{by_state}] "
+            f"quarantined={int(quarantined)}"
+        )
+    gaps = _series_total(store, "fleet:coverage_gaps_active", now) or \
+        _series_total(store, "obs_coverage_gaps_active", now)
+    age_max = _series_total(store, "fleet:attestation_age_max", now)
+    lines.append(
+        f"  coverage: {int(gaps)} open gap(s), "
+        f"oldest attestation {age_max / 3600.0:.1f}h"
+    )
+
+    # Trend sparklines from the recording-rule series.
+    span = width * poll_interval
+    for title, name, scale, unit in (
+        ("poll rate", "fleet:poll_rate", 3600.0, "/h"),
+        ("poll latency", "fleet:poll_latency_mean", 1000.0, "ms"),
+    ):
+        points = store.range_values(name, None, now - span, now)
+        values = [value * scale for _, value in points]
+        current = f"{values[-1]:8.2f}{unit}" if values else "      --"
+        lines.append(f"  {title:<13s}{sparkline(values, width)} {current}")
+
+    # SLO burn over the trailing day.
+    burns = slo_burn(store, now, window=86400.0)
+    if burns:
+        lines.append("  -- SLO burn (trailing day) --")
+        for burn in burns:
+            marker = " !!" if burn["burn_rate"] >= 1.0 else ""
+            lines.append(
+                f"    {burn['slo']:<22s} burn={burn['burn_rate']:6.2f}x "
+                f"bad={burn['bad']}/{burn['total']} "
+                f"budget_left={burn['budget_remaining']:6.1%}{marker}"
+            )
+
+    # Chaos / degraded-mode counters (cumulative, all sources).
+    faults = _grouped_instants(
+        store, "transport_faults_injected_total", "kind", now
+    )
+    degraded = _series_total(store, "verifier_degraded_rounds_total", now)
+    if faults or degraded:
+        by_kind = " ".join(
+            f"{kind}={int(count)}" for kind, count in sorted(faults.items())
+        )
+        lines.append(
+            f"  chaos: {int(sum(faults.values()))} faults injected "
+            f"[{by_kind}] degraded_rounds={int(degraded)}"
+        )
+
+    # Per-agent freshness heatmap, worst first.
+    rows = _agent_heat(store, now, poll_interval, width)
+    if rows:
+        lines.append(
+            f"  -- attestation freshness (last {span / 3600.0:.0f}h, "
+            f"{poll_interval / 60.0:.0f}m cells; darker = staler) --"
+        )
+        for agent, heat, current in rows[:max_heat_rows]:
+            age = f"{current / 3600.0:5.1f}h" if current is not None else "    --"
+            lines.append(f"    {agent:<24s} {heat} {age}")
+        if len(rows) > max_heat_rows:
+            lines.append(f"    ... {len(rows) - max_heat_rows} more agents")
+
+    stats = store.stats()
+    lines.append(
+        f"  tsdb: {stats['series']} series, {stats['samples']} samples "
+        f"(budget {stats['budget']}), {stats['scrapes']} scrapes, "
+        f"{stats['counter_resets']} counter resets"
+    )
+    return "\n".join(lines)
+
+
+def top_frame_record(
+    store: TsdbStore,
+    now: float,
+    staleness: dict[str, float | None] | None = None,
+    poll_interval: float = 1800.0,
+) -> dict[str, Any]:
+    """The machine-readable twin of :func:`render_top` (``--jsonl``)."""
+    states = _grouped_instants(store, "fleet_nodes", "state", now)
+    faults = _grouped_instants(
+        store, "transport_faults_injected_total", "kind", now
+    )
+    agents = {}
+    for series in store.select("obs_agent_attestation_age_seconds"):
+        agent = series.label("agent")
+        value = series.instant(now)
+        if agent is None or value is None:
+            continue
+        origin = series.label("source")
+        if origin:
+            agent = f"{origin}/{agent}"
+        agents[agent] = max(value, agents.get(agent, 0.0))
+    return {
+        "type": "top_frame",
+        "time": now,
+        "sources": dict(staleness or {}),
+        "fleet_nodes": {state: int(count) for state, count in states.items()},
+        "quarantined": int(_series_total(store, "fleet_quarantined_nodes", now)),
+        "coverage_gaps_active": int(
+            _series_total(store, "fleet:coverage_gaps_active", now)
+            or _series_total(store, "obs_coverage_gaps_active", now)
+        ),
+        "poll_rate_per_hour": (
+            (store.instant("fleet:poll_rate", None, now) or 0.0) * 3600.0
+        ),
+        "poll_latency_mean_ms": (
+            (store.instant("fleet:poll_latency_mean", None, now) or 0.0)
+            * 1000.0
+        ),
+        "slo_burn": slo_burn(store, now, window=86400.0),
+        "chaos_faults": {kind: int(count) for kind, count in faults.items()},
+        "degraded_rounds": int(
+            _series_total(store, "verifier_degraded_rounds_total", now)
+        ),
+        "attestation_age_seconds": agents,
+        "tsdb": store.stats(),
+    }

@@ -260,6 +260,37 @@ def _audit_export_record(record) -> dict[str, Any]:
     }
 
 
+def jsonl_records(
+    registry: MetricsRegistry,
+    tracer: SpanTracer | None = None,
+    events=None,
+    audit=None,
+    extra_records: Iterable[dict[str, Any]] | None = None,
+) -> Iterable[dict[str, Any]]:
+    """Yield every export record, in dump order, one dict at a time.
+
+    This is the streaming core of :func:`jsonl_dump`: nothing here
+    materialises the full record list, so a long TSDB-backed run can be
+    exported in O(1) memory via :func:`write_jsonl_atomic`.
+    *extra_records* may itself be a generator (e.g.
+    :meth:`repro.obs.tsdb.TsdbStore.export_records`).
+    """
+    for family in registry.families():
+        for labels, child in family.samples():
+            yield _metric_record(family, labels, child)
+    if tracer is not None:
+        for span in tracer.iter_spans():
+            yield _span_record(span)
+    if events is not None:
+        for record in events:
+            yield _event_record(record)
+    if audit is not None:
+        for record in audit.records():
+            yield _audit_export_record(record)
+    for record in extra_records or ():
+        yield record
+
+
 def jsonl_dump(
     registry: MetricsRegistry,
     tracer: SpanTracer | None = None,
@@ -275,32 +306,24 @@ def jsonl_dump(
     to rebuild incident timelines post-hoc.  *extra_records* (already
     dict-shaped, e.g. incident reports or run metadata) are appended
     verbatim.
+
+    Convenient for tests and small runs; writers should prefer
+    :func:`write_jsonl_atomic`, which streams the same records to disk
+    without building the whole blob in memory.
     """
-    lines: list[str] = []
-    for family in registry.families():
-        for labels, child in family.samples():
-            lines.append(json.dumps(_metric_record(family, labels, child), sort_keys=True))
-    if tracer is not None:
-        for span in tracer.iter_spans():
-            lines.append(json.dumps(_span_record(span), sort_keys=True))
-    if events is not None:
-        for record in events:
-            lines.append(json.dumps(_event_record(record), sort_keys=True))
-    if audit is not None:
-        for record in audit.records():
-            lines.append(json.dumps(_audit_export_record(record), sort_keys=True))
-    for record in extra_records or ():
-        lines.append(json.dumps(record, sort_keys=True))
+    lines = [
+        json.dumps(record, sort_keys=True)
+        for record in jsonl_records(
+            registry, tracer, events=events, audit=audit,
+            extra_records=extra_records,
+        )
+    ]
     return "\n".join(lines) + ("\n" if lines else "")
 
 
-def write_text_atomic(path: str, text: str) -> None:
-    """Write *text* to *path* via a same-directory temp file + rename.
-
-    A run killed mid-export never leaves a truncated file behind: the
-    replace is atomic, so readers see either the old content or the
-    complete new one.
-    """
+def _atomic_writer(path: str, write) -> None:
+    """Run *write(handle)* against a same-directory temp file, then
+    fsync + rename over *path* -- the shared atomicity core."""
     directory = os.path.dirname(os.path.abspath(path))
     handle = tempfile.NamedTemporaryFile(
         "w", encoding="utf-8", dir=directory,
@@ -308,7 +331,7 @@ def write_text_atomic(path: str, text: str) -> None:
     )
     try:
         with handle:
-            handle.write(text)
+            write(handle)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(handle.name, path)
@@ -318,6 +341,37 @@ def write_text_atomic(path: str, text: str) -> None:
         except OSError:
             pass
         raise
+
+
+def write_text_atomic(path: str, text: str) -> None:
+    """Write *text* to *path* via a same-directory temp file + rename.
+
+    A run killed mid-export never leaves a truncated file behind: the
+    replace is atomic, so readers see either the old content or the
+    complete new one.
+    """
+    _atomic_writer(path, lambda handle: handle.write(text))
+
+
+def write_jsonl_atomic(path: str, records: Iterable[dict[str, Any]]) -> int:
+    """Stream *records* to *path* as JSONL, atomically; returns lines.
+
+    Each record is serialised and written as it is produced -- O(1)
+    memory regardless of export size -- while keeping the temp-file +
+    ``os.replace`` guarantee of :func:`write_text_atomic`: a crash
+    mid-stream leaves the previous file intact, never a truncated one.
+    """
+    written = 0
+
+    def _write(handle) -> None:
+        nonlocal written
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+            written += 1
+
+    _atomic_writer(path, _write)
+    return written
 
 
 def load_jsonl(text: str) -> list[dict[str, Any]]:

@@ -32,6 +32,7 @@ engine + incident correlator + periodic tick.
 from __future__ import annotations
 
 import math
+import sys
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -68,12 +69,28 @@ class Ewma:
 
 
 class SlidingWindow:
-    """Bounded window with O(1) mean/std via running sums."""
+    """Bounded window with O(1) mean/std via running sums.
+
+    The running-sums variance ``E[x^2] - E[x]^2`` cancels
+    catastrophically on near-constant large samples: both terms are
+    ~1e18 for 1e9-scale latencies, their true difference is ~0, and
+    the float subtraction leaves pure rounding noise.  Clamping at
+    zero is not enough -- *positive* noise yields a tiny bogus sigma
+    that turns nanoseconds of jitter into huge z-scores.  Two guards:
+    a relative noise floor (variance below the cancellation error of
+    the inputs is reported as exactly 0.0), and a periodic recompute
+    of the running sums from the retained window so drift from
+    evicted samples cannot accumulate over a long run.
+    """
+
+    #: Pushes between full recomputations of the running sums.
+    RESYNC_EVERY = 4096
 
     def __init__(self, size: int) -> None:
         self._window: deque[float] = deque(maxlen=size)
         self._sum = 0.0
         self._sum_sq = 0.0
+        self._pushes = 0
 
     def __len__(self) -> int:
         return len(self._window)
@@ -87,6 +104,10 @@ class SlidingWindow:
         self._window.append(value)
         self._sum += value
         self._sum_sq += value * value
+        self._pushes += 1
+        if self._pushes % self.RESYNC_EVERY == 0:
+            self._sum = sum(self._window)
+            self._sum_sq = sum(v * v for v in self._window)
 
     @property
     def mean(self) -> float:
@@ -99,7 +120,15 @@ class SlidingWindow:
         n = len(self._window)
         if n < 2:
             return 0.0
-        variance = max(0.0, self._sum_sq / n - self.mean**2)
+        mean_sq = self.mean**2
+        variance = self._sum_sq / n - mean_sq
+        # Anything below the cancellation error of the two ~equal terms
+        # is numerical noise, not spread.
+        noise_floor = 16.0 * sys.float_info.epsilon * max(
+            self._sum_sq / n, mean_sq
+        )
+        if variance <= noise_floor:
+            return 0.0
         return math.sqrt(variance)
 
     def zscore(self, value: float) -> float:
@@ -361,6 +390,44 @@ class CoverageGapDetector:
         return alerts
 
 
+class RegistrySampleSource:
+    """Counter/histogram instants read straight off a live registry.
+
+    This is the seed sampling path, factored behind the same API
+    :class:`repro.obs.rules.TsdbSampleSource` serves from TSDB history,
+    so :class:`HealthMonitor` is source-agnostic: ``None`` answers mean
+    "no data yet" and leave the monitor's delta bookkeeping untouched.
+    """
+
+    def __init__(self, registry) -> None:
+        self.registry = registry
+
+    def counter_value(
+        self, name: str, labels: dict[str, str], at: float
+    ) -> float | None:
+        """Current cumulative value of one counter child."""
+        family = self.registry.get(name)
+        if family is None:
+            return None
+        try:
+            return family.labels(**labels).value if labels else family.value
+        except Exception:
+            return None
+
+    def histogram_totals(
+        self, name: str, at: float
+    ) -> tuple[float, float] | None:
+        """The default child's current ``(count, sum)``."""
+        family = self.registry.get(name)
+        if family is None:
+            return None
+        try:
+            child = family._default_child()
+        except Exception:
+            return None
+        return child.count, child.sum
+
+
 class HealthMonitor:
     """Wires the detectors to one run's EventLog and metrics registry."""
 
@@ -372,9 +439,13 @@ class HealthMonitor:
         gap_polls: float = DEFAULT_GAP_POLLS,
         freshness_target_polls: float = 2.0,
         detection_target_polls: float = 4.0,
+        source=None,
     ) -> None:
         self.events = events
         self.registry = registry
+        if source is None and registry is not None:
+            source = RegistrySampleSource(registry)
+        self.source = source
         self.slos = slos if slos is not None else standard_slos()
         self.gaps = CoverageGapDetector(gap_polls=gap_polls)
         self.latency = LatencyAnomalyDetector()
@@ -425,33 +496,34 @@ class HealthMonitor:
         """Watch one agent's attestation cadence from *now* on."""
         self.gaps.watch(agent_id, poll_interval, now=now)
 
-    # -- registry sampling -------------------------------------------------
+    # -- telemetry sampling ------------------------------------------------
+    #
+    # The monitor owns the delta bookkeeping (previous cumulative value
+    # per sampled key); the *source* only answers "what is the value at
+    # now" -- from the live registry (seed path) or from TSDB history.
 
-    def _counter_delta(self, name: str, **labels: str) -> float:
-        family = self.registry.get(name) if self.registry is not None else None
-        if family is None:
+    def _counter_delta(self, name: str, now: float, **labels: str) -> float:
+        if self.source is None:
             return 0.0
-        try:
-            current = family.labels(**labels).value if labels else family.value
-        except Exception:
+        current = self.source.counter_value(name, labels, now)
+        if current is None:
             return 0.0
         key = name + "".join(f"|{k}={v}" for k, v in sorted(labels.items()))
         delta = current - self._sampled.get(key, 0.0)
         self._sampled[key] = current
         return delta
 
-    def _histogram_delta(self, name: str) -> tuple[float, float]:
-        family = self.registry.get(name) if self.registry is not None else None
-        if family is None:
+    def _histogram_delta(self, name: str, now: float) -> tuple[float, float]:
+        if self.source is None:
             return 0.0, 0.0
-        try:
-            child = family._default_child()
-        except Exception:
+        totals = self.source.histogram_totals(name, now)
+        if totals is None:
             return 0.0, 0.0
-        d_count = child.count - self._sampled.get(name + "|count", 0.0)
-        d_sum = child.sum - self._sampled.get(name + "|sum", 0.0)
-        self._sampled[name + "|count"] = child.count
-        self._sampled[name + "|sum"] = child.sum
+        count, total = totals
+        d_count = count - self._sampled.get(name + "|count", 0.0)
+        d_sum = total - self._sampled.get(name + "|sum", 0.0)
+        self._sampled[name + "|count"] = count
+        self._sampled[name + "|sum"] = total
         return d_count, d_sum
 
     # -- the tick ----------------------------------------------------------
@@ -461,15 +533,17 @@ class HealthMonitor:
         alerts: list[Alert] = []
 
         # Poll-latency stream: per-tick mean from the histogram deltas.
-        d_count, d_sum = self._histogram_delta("verifier_poll_wall_seconds")
+        d_count, d_sum = self._histogram_delta("verifier_poll_wall_seconds", now)
         if d_count > 0:
             anomaly = self.latency.observe(now, d_sum / d_count)
             if anomaly is not None:
                 alerts.append(anomaly)
 
         # Failure-rate stream: per-tick fractions from the counters.
-        failed = self._counter_delta("verifier_polls_total", result="failed")
-        ok = self._counter_delta("verifier_polls_total", result="ok")
+        failed = self._counter_delta(
+            "verifier_polls_total", now, result="failed"
+        )
+        ok = self._counter_delta("verifier_polls_total", now, result="ok")
         spike = self.failure_rate.observe(now, int(failed), int(failed + ok))
         if spike is not None:
             alerts.append(spike)
@@ -526,12 +600,18 @@ class HealthWatch:
         on_frame: Callable[[float, "HealthWatch"], None] | None = None,
         frame_every: int = 0,
         incident_lookback_polls: float = 8.0,
+        observatory=None,
     ) -> None:
         self.gap_polls = gap_polls
         self.tick_interval = tick_interval
         self.on_frame = on_frame
         self.frame_every = frame_every
         self.incident_lookback_polls = incident_lookback_polls
+        # When a repro.obs.rules.Observatory is supplied, the monitor's
+        # detectors and SLO trackers run on TSDB history instead of
+        # private registry sampling; each tick collects (scrape + rules)
+        # before checking, so instants at `now` are this tick's scrape.
+        self.observatory = observatory
         self.monitor: HealthMonitor | None = None
         self.engine: AlertEngine | None = None
         self.correlator: IncidentCorrelator | None = None
@@ -551,8 +631,16 @@ class HealthWatch:
     ) -> "HealthWatch":
         """Bind to a run's plumbing; returns self for chaining."""
         self.poll_interval = poll_interval
+        source = None
+        slos = None
+        if self.observatory is not None:
+            if registry is not None and not self.observatory.bound:
+                self.observatory.bind(registry)
+            source = self.observatory.health_source()
+            slos = self.observatory.slos()
         self.monitor = HealthMonitor(
-            events, registry=registry, gap_polls=self.gap_polls
+            events, registry=registry, gap_polls=self.gap_polls,
+            source=source, slos=slos,
         )
         self.engine = AlertEngine(events)
         self.engine.add_rules(
@@ -580,6 +668,8 @@ class HealthWatch:
 
     def tick(self, now: float) -> list[Alert]:
         """One watch cycle: detect, alert, correlate; returns new alerts."""
+        if self.observatory is not None:
+            self.observatory.collect(now)
         signals = self.monitor.check(now)
         fired = self.engine.ingest(signals, now)
         fired.extend(self.engine.evaluate(now))

@@ -358,6 +358,17 @@ class MetricsRegistry:
             if family.overflowed_label_sets
         }
 
+    def series_count(self) -> int:
+        """Distinct (family, label-set) cells currently registered.
+
+        This is the scrape cardinality: how many time-series one TSDB
+        scrape of this registry produces, histogram bucket expansion
+        aside.
+        """
+        return sum(
+            len(family._children) or 1 for family in self._families.values()
+        )
+
 
 class _NullInstrument:
     """Absorbs the whole instrument API; shared singleton, no state."""
@@ -409,6 +420,9 @@ class NullRegistry:
 
     def label_overflow(self):  # noqa: D102
         return {}
+
+    def series_count(self) -> int:  # noqa: D102
+        return 0
 
     def __len__(self) -> int:
         return 0

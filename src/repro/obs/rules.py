@@ -1,0 +1,526 @@
+"""Recording rules and TSDB-backed health/SLO evaluation.
+
+The TSDB (:mod:`repro.obs.tsdb`) gives the telemetry layer *history*;
+this module gives it *derivation*.  A recording rule reads raw scraped
+series at evaluation time and writes a named derived series back into
+the same store -- the Prometheus recording-rule shape -- so dashboards,
+health detectors and the federation hub all consume one shared set of
+windows instead of each keeping a private ad-hoc deque:
+
+* :class:`RateRule` / :class:`IncreaseRule` -- reset-adjusted
+  per-second rate / raw increase of a counter over a trailing window,
+  optionally grouped by label (``by=("result",)`` keeps the ok/failed
+  split; an empty ``by`` collapses every source and shard into one
+  fleet-level number).
+* :class:`RatioRule` -- rate(numerator)/rate(denominator); the mean
+  poll latency is ``increase(_sum) / increase(_count)``.
+* :class:`QuantileOverTimeRule` -- ``histogram_quantile`` over the
+  windowed increase of the scraped ``_bucket`` series, with the usual
+  linear interpolation inside the winning bucket.
+* :class:`AggregateRule` -- instant sum/avg/min/max/count across the
+  matching series (fleet node-state rollups across federated sources).
+
+:class:`RuleEngine` evaluates a rule set against a store at a
+timestamp; :func:`standard_recording_rules` is the default set the
+observatory and the federation hub both run.
+
+The second half wires the store back into the existing alerting stack:
+
+* :class:`TsdbSampleSource` exposes the store through the sampling
+  API :class:`repro.obs.health.HealthMonitor` uses, so the z-score and
+  EWMA detectors read their counter/histogram instants from TSDB
+  history instead of from a live registry.
+* :class:`TsdbSloTracker` is a drop-in :class:`repro.obs.alerts
+  .SloTracker` whose samples live in the store as cumulative counter
+  series (at exact event times, so window math matches the seed
+  implementation sample-for-sample) instead of a private deque.
+* :class:`Observatory` bundles store + scraper + rule engine into the
+  one object runs attach: ``bind(registry)``, then ``collect(now)``
+  each tick (idempotent per timestamp, so a scheduled collector and a
+  health-watch tick landing on the same instant scrape once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.common.errors import ConfigurationError
+from repro.obs.alerts import SloSet, SloTracker, standard_slos
+from repro.obs.tsdb import (
+    RegistryScraper,
+    Series,
+    TsdbStore,
+    meta_registry_reset_hook,
+)
+
+#: Aggregations :class:`AggregateRule` understands.
+AGGREGATIONS = ("sum", "avg", "min", "max", "count")
+
+
+def _group_key(
+    series: Series, by: tuple[str, ...]
+) -> tuple[tuple[str, str], ...]:
+    """The projected label identity of *series* under a ``by`` clause."""
+    return tuple((name, series.label(name) or "") for name in by)
+
+
+def histogram_quantile(
+    q: float, buckets: list[tuple[float, float]]
+) -> float | None:
+    """Prometheus-style quantile over ``(le, windowed_count)`` buckets.
+
+    *buckets* carry cumulative-in-``le`` counts (as scraped); linear
+    interpolation inside the winning bucket, the ``+Inf`` bucket
+    degrades to the highest finite bound.  ``None`` when the window
+    holds no observations.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+    finite = sorted(
+        ((le, count) for le, count in buckets), key=lambda pair: pair[0]
+    )
+    if not finite:
+        return None
+    total = finite[-1][1]
+    if total <= 0:
+        return None
+    rank = q * total
+    previous_bound = 0.0
+    previous_count = 0.0
+    for bound, count in finite:
+        if count >= rank:
+            if bound == float("inf"):
+                return previous_bound
+            if count == previous_count:
+                return bound
+            fraction = (rank - previous_count) / (count - previous_count)
+            return previous_bound + (bound - previous_bound) * fraction
+        previous_bound = bound if bound != float("inf") else previous_bound
+        previous_count = count
+    return previous_bound
+
+
+class _WindowRule:
+    """Shared machinery for rules that group a source series set."""
+
+    def _write(
+        self,
+        store: TsdbStore,
+        record: str,
+        groups: dict[tuple[tuple[str, str], ...], float],
+        at: float,
+    ) -> int:
+        written = 0
+        for key, value in sorted(groups.items()):
+            store.append(record, dict(key), value, at, kind="gauge")
+            written += 1
+        return written
+
+
+@dataclass(frozen=True)
+class IncreaseRule(_WindowRule):
+    """``record = sum by(by) (increase(source[window]))``."""
+
+    record: str
+    source: str
+    window: float
+    by: tuple[str, ...] = ()
+
+    def evaluate(self, store: TsdbStore, at: float) -> int:
+        groups: dict[tuple[tuple[str, str], ...], float] = {}
+        for series in store.select(self.source):
+            key = _group_key(series, self.by)
+            groups[key] = groups.get(key, 0.0) + series.increase(
+                at - self.window, at
+            )
+        return self._write(store, self.record, groups, at)
+
+
+@dataclass(frozen=True)
+class RateRule(_WindowRule):
+    """``record = sum by(by) (rate(source[window]))`` (per second)."""
+
+    record: str
+    source: str
+    window: float
+    by: tuple[str, ...] = ()
+
+    def evaluate(self, store: TsdbStore, at: float) -> int:
+        groups: dict[tuple[tuple[str, str], ...], float] = {}
+        for series in store.select(self.source):
+            key = _group_key(series, self.by)
+            groups[key] = groups.get(key, 0.0) + series.increase(
+                at - self.window, at
+            ) / self.window
+        return self._write(store, self.record, groups, at)
+
+
+@dataclass(frozen=True)
+class RatioRule(_WindowRule):
+    """``record = increase(num[window]) / increase(den[window])``.
+
+    The canonical use is a histogram's windowed mean:
+    ``_sum`` over ``_count``.  Groups with a zero denominator are
+    skipped rather than written as 0 -- "no data" and "mean of zero"
+    are different dashboard facts.
+    """
+
+    record: str
+    numerator: str
+    denominator: str
+    window: float
+    by: tuple[str, ...] = ()
+
+    def evaluate(self, store: TsdbStore, at: float) -> int:
+        start = at - self.window
+        tops: dict[tuple[tuple[str, str], ...], float] = {}
+        bottoms: dict[tuple[tuple[str, str], ...], float] = {}
+        for series in store.select(self.numerator):
+            key = _group_key(series, self.by)
+            tops[key] = tops.get(key, 0.0) + series.increase(start, at)
+        for series in store.select(self.denominator):
+            key = _group_key(series, self.by)
+            bottoms[key] = bottoms.get(key, 0.0) + series.increase(start, at)
+        groups = {
+            key: tops.get(key, 0.0) / bottom
+            for key, bottom in bottoms.items()
+            if bottom > 0
+        }
+        return self._write(store, self.record, groups, at)
+
+
+@dataclass(frozen=True)
+class QuantileOverTimeRule(_WindowRule):
+    """``record = histogram_quantile(q, increase(hist_bucket[window]))``."""
+
+    record: str
+    histogram: str
+    q: float
+    window: float
+    by: tuple[str, ...] = ()
+
+    def evaluate(self, store: TsdbStore, at: float) -> int:
+        start = at - self.window
+        grouped: dict[
+            tuple[tuple[str, str], ...], dict[float, float]
+        ] = {}
+        for series in store.select(f"{self.histogram}_bucket"):
+            raw_le = series.label("le")
+            if raw_le is None:
+                continue
+            bound = float("inf") if raw_le == "+Inf" else float(raw_le)
+            key = _group_key(series, self.by)
+            buckets = grouped.setdefault(key, {})
+            buckets[bound] = buckets.get(bound, 0.0) + series.increase(
+                start, at
+            )
+        groups: dict[tuple[tuple[str, str], ...], float] = {}
+        for key, buckets in grouped.items():
+            value = histogram_quantile(self.q, list(buckets.items()))
+            if value is not None:
+                groups[key] = value
+        return self._write(store, self.record, groups, at)
+
+
+@dataclass(frozen=True)
+class AggregateRule(_WindowRule):
+    """``record = agg by(by) (source)`` over instants at *at*."""
+
+    record: str
+    source: str
+    agg: str = "sum"
+    by: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.agg not in AGGREGATIONS:
+            raise ConfigurationError(
+                f"unknown aggregation {self.agg!r}; choose from {AGGREGATIONS}"
+            )
+
+    def evaluate(self, store: TsdbStore, at: float) -> int:
+        grouped: dict[tuple[tuple[str, str], ...], list[float]] = {}
+        for series in store.select(self.source):
+            value = series.instant(at)
+            if value is None:
+                continue
+            grouped.setdefault(_group_key(series, self.by), []).append(value)
+        reducers = {
+            "sum": sum,
+            "avg": lambda values: sum(values) / len(values),
+            "min": min,
+            "max": max,
+            "count": len,
+        }
+        reduce = reducers[self.agg]
+        groups = {
+            key: float(reduce(values)) for key, values in grouped.items()
+        }
+        return self._write(store, self.record, groups, at)
+
+
+RecordingRule = (
+    IncreaseRule | RateRule | RatioRule | QuantileOverTimeRule | AggregateRule
+)
+
+
+class RuleEngine:
+    """Evaluates a recording-rule set against one store."""
+
+    def __init__(
+        self, store: TsdbStore, rules: Iterable[Any] | None = None
+    ) -> None:
+        self.store = store
+        self.rules: list[Any] = list(rules or ())
+        self.evaluations = 0
+
+    def add(self, rule: Any) -> None:
+        """Register one more rule."""
+        self.rules.append(rule)
+
+    def evaluate(self, at: float) -> int:
+        """Run every rule at *at*; returns derived samples written."""
+        written = 0
+        for rule in self.rules:
+            written += rule.evaluate(self.store, at)
+        self.evaluations += 1
+        return written
+
+
+def standard_recording_rules(
+    poll_interval: float = 1800.0,
+) -> list[Any]:
+    """The default derived-series set for attestation fleets.
+
+    Windows are expressed in poll intervals (like the burn-rate rules)
+    so the rules stay meaningful at any cadence; every rule collapses
+    the federation ``source`` label unless it groups by something, so
+    the same set works on a single-process store and on the hub.
+    """
+    window = max(4 * poll_interval, 3600.0)
+    return [
+        RateRule("fleet:poll_rate", "verifier_polls_total", window),
+        RateRule(
+            "fleet:poll_rate_by_result", "verifier_polls_total", window,
+            by=("result",),
+        ),
+        IncreaseRule(
+            "fleet:poll_failures", "verifier_polls_total", window,
+            by=("result",),
+        ),
+        RatioRule(
+            "fleet:poll_latency_mean",
+            "verifier_poll_wall_seconds_sum",
+            "verifier_poll_wall_seconds_count",
+            window,
+        ),
+        QuantileOverTimeRule(
+            "fleet:poll_latency_p95", "verifier_poll_wall_seconds",
+            0.95, window,
+        ),
+        AggregateRule("fleet:nodes", "fleet_nodes", "sum", by=("state",)),
+        AggregateRule(
+            "fleet:quarantined_nodes", "fleet_quarantined_nodes", "sum"
+        ),
+        AggregateRule(
+            "fleet:attestation_age_max",
+            "obs_agent_attestation_age_seconds", "max",
+        ),
+        AggregateRule(
+            "fleet:coverage_gaps_active", "obs_coverage_gaps_active", "sum"
+        ),
+        IncreaseRule(
+            "fleet:chaos_faults", "transport_faults_injected_total", window,
+        ),
+        IncreaseRule(
+            "fleet:degraded_rounds", "verifier_degraded_rounds_total", window,
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Health sampling + SLO tracking over the store
+# ---------------------------------------------------------------------------
+
+
+class TsdbSampleSource:
+    """The :class:`HealthMonitor` sampling API, served from a store.
+
+    ``HealthMonitor.check(now)`` reads the current cumulative value of
+    a handful of series and diffs against its previous tick; this
+    source answers those reads with TSDB instants at *now*.  Because
+    the observatory scrapes the registry at the top of the same tick,
+    the instants equal the live registry values exactly -- which is the
+    equivalence the tests pin down.
+    """
+
+    def __init__(self, store: TsdbStore) -> None:
+        self.store = store
+
+    def counter_value(
+        self, name: str, labels: dict[str, str], at: float
+    ) -> float | None:
+        """Cumulative counter value at *at*, ``None`` if never scraped."""
+        return self.store.instant(name, labels or None, at)
+
+    def histogram_totals(
+        self, name: str, at: float
+    ) -> tuple[float, float] | None:
+        """The default child's ``(count, sum)`` at *at*."""
+        count = self.store.instant(f"{name}_count", None, at)
+        total = self.store.instant(f"{name}_sum", None, at)
+        if count is None or total is None:
+            return None
+        return count, total
+
+
+class TsdbSloTracker(SloTracker):
+    """A :class:`SloTracker` whose samples live in the TSDB.
+
+    Every ``record(now, good)`` appends the cumulative total/bad counts
+    to two counter series at the *exact* event time (not the scrape
+    grid), so ``window_counts`` -- reimplemented as reset-adjusted
+    store increases with the same left-closed ``time >= start`` edge
+    the deque implementation uses -- returns identical numbers, and
+    the burn-rate rules riding on it fire identically.  The series
+    names use the ``slo:`` prefix so they can never collide with a
+    registry-scraped family.
+
+    When a *registry* is supplied, each sample also bumps
+    ``slo_events_total{slo,outcome}`` so scrape-grid exports and the
+    federation hub see SLO activity too (display resolution only; the
+    alert math always uses the exact-time series).
+    """
+
+    def __init__(
+        self,
+        store: TsdbStore,
+        name: str,
+        objective: float,
+        description: str = "",
+        max_window: float = 7 * 86400.0,
+        registry=None,
+    ) -> None:
+        super().__init__(
+            name, objective, description=description, max_window=max_window
+        )
+        self.store = store
+        self.registry = registry
+        self._total_name = f"slo:{name}:total"
+        self._bad_name = f"slo:{name}:bad"
+
+    def record(self, now: float, good: bool) -> None:
+        """Record one sample as cumulative counter points at *now*."""
+        self.total += 1
+        if not good:
+            self.total_bad += 1
+        self.store.append(
+            self._total_name, None, float(self.total), now, kind="counter"
+        )
+        self.store.append(
+            self._bad_name, None, float(self.total_bad), now, kind="counter"
+        )
+        if self.registry is not None:
+            self.registry.counter(
+                "slo_events_total",
+                "SLO samples recorded, by objective and outcome",
+                ("slo", "outcome"),
+            ).labels(slo=self.name, outcome="good" if good else "bad").inc()
+
+    def window_counts(self, window: float, now: float) -> tuple[int, int]:
+        """``(total, bad)`` over the trailing window, from store history."""
+        start = now - window
+        total = self.store.increase(self._total_name, None, start, now)
+        bad = self.store.increase(self._bad_name, None, start, now)
+        return int(round(total)), int(round(bad))
+
+
+def tsdb_slos(
+    store: TsdbStore,
+    registry=None,
+    max_window: float = 7 * 86400.0,
+) -> SloSet:
+    """:func:`standard_slos` built on :class:`TsdbSloTracker`."""
+    def make(
+        name: str, objective: float, description: str = "",
+        max_window: float = max_window,
+    ) -> TsdbSloTracker:
+        return TsdbSloTracker(
+            store, name, objective, description=description,
+            max_window=max_window, registry=registry,
+        )
+
+    return standard_slos(max_window=max_window, make=make)
+
+
+class Observatory:
+    """Store + scraper + rule engine, bundled for one run.
+
+    Attach order per tick matters and is handled by the callers:
+    :meth:`collect` (scrape, then rules) runs *before* the health
+    monitor's check, so detector reads at ``now`` see this tick's
+    scrape.  ``collect`` is idempotent per timestamp -- a scheduled
+    fleet collector and a health-watch tick landing on the same sim
+    instant scrape once.
+    """
+
+    def __init__(
+        self,
+        store: TsdbStore | None = None,
+        registry=None,
+        rules: Iterable[Any] | None = None,
+        poll_interval: float = 1800.0,
+    ) -> None:
+        self.store = store if store is not None else TsdbStore()
+        self.poll_interval = poll_interval
+        self.engine = RuleEngine(
+            self.store,
+            rules if rules is not None
+            else standard_recording_rules(poll_interval),
+        )
+        self.registry = None
+        self.scraper: RegistryScraper | None = None
+        self.collections = 0
+        if registry is not None:
+            self.bind(registry)
+
+    def bind(self, registry) -> "Observatory":
+        """Point the observatory at a live registry; returns self."""
+        self.registry = registry
+        self.store.on_counter_reset = meta_registry_reset_hook(registry)
+        self.scraper = RegistryScraper(self.store)
+        return self
+
+    @property
+    def bound(self) -> bool:
+        """Whether :meth:`bind` has been called."""
+        return self.scraper is not None
+
+    def collect(self, now: float) -> int:
+        """One scrape + rule evaluation; returns samples appended.
+
+        No-op (returns 0) when already collected at exactly *now* or
+        when no registry is bound yet.
+        """
+        if self.scraper is None or self.store.last_scrape_at == now:
+            return 0
+        appended = self.scraper.scrape(self.registry, now)
+        appended += self.engine.evaluate(now)
+        self.collections += 1
+        return appended
+
+    def health_source(self) -> TsdbSampleSource:
+        """A :class:`HealthMonitor`-compatible sample source."""
+        return TsdbSampleSource(self.store)
+
+    def slos(self, max_window: float = 7 * 86400.0) -> SloSet:
+        """TSDB-backed standard SLO trackers for this store."""
+        return tsdb_slos(self.store, registry=self.registry, max_window=max_window)
+
+    def schedule(self, scheduler):
+        """Collect every ``poll_interval`` on *scheduler*; returns stop."""
+        return scheduler.every(
+            self.poll_interval,
+            lambda: self.collect(scheduler.clock.now),
+            label="obs.observatory",
+        )

@@ -186,6 +186,102 @@ class TestObsWatch:
         assert "chain_verified=True" in out
 
 
+class TestObsTop:
+    @pytest.fixture(scope="class")
+    def top_export(self, tmp_path_factory):
+        """One federated observatory run, exported to JSONL."""
+        import contextlib
+        import io
+
+        path = tmp_path_factory.mktemp("top") / "top.jsonl"
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            code = main([
+                "--fillers", "5", "--seed", "cli-top",
+                "obs", "top", "--shards", "2", "--nodes", "2", "--days", "1",
+                "--once", "--jsonl", str(path), "--json-summary",
+            ])
+        return code, path, buffer.getvalue()
+
+    def test_parser_accepts_top_options(self):
+        args = build_parser().parse_args([
+            "obs", "top", "--shards", "3", "--days", "2", "--once",
+            "--chaos-profile", "partition", "--replay", "x.jsonl",
+        ])
+        assert args.shards == 3 and args.once
+        assert args.chaos_profile == "partition"
+        assert args.replay == "x.jsonl"
+
+    def test_once_renders_federated_rollups(self, top_export):
+        import json
+
+        code, path, out = top_export
+        assert code == 0
+        assert "sources: 2 federated" in out
+        assert "shard-0" in out and "shard-1" in out
+        assert "fleet: 4 nodes" in out
+        assert "SLO burn" in out
+        assert "tsdb:" in out
+        assert path.exists()
+        # --json-summary emits one machine-checkable final frame.
+        summary = json.loads(out.strip().splitlines()[-1])
+        assert summary["type"] == "top_frame"
+        assert summary["fleet_nodes"]["attesting"] == 4
+
+    def test_export_carries_the_full_tsdb(self, top_export):
+        from repro.obs.exporters import load_jsonl
+        from repro.obs.tsdb import TsdbStore
+
+        _, path, _ = top_export
+        records = load_jsonl(path.read_text())
+        kinds = {record.get("type") for record in records}
+        assert {"run_meta", "tsdb_meta", "tsdb_series", "top_frame"} <= kinds
+        store = TsdbStore.from_records(records)
+        assert len(store) > 0
+        assert store.time_span() is not None
+
+    def test_replay_renders_post_hoc(self, top_export, capsys):
+        _, path, _ = top_export
+        capsys.readouterr()
+        assert main(["obs", "top", "--replay", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "fleet: 4 nodes" in out
+        assert "tsdb:" in out
+
+    def test_report_summarises_the_tsdb(self, top_export, capsys):
+        _, path, _ = top_export
+        capsys.readouterr()
+        assert main(["obs", "report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "scenario=observatory" in out
+        assert "tsdb:" in out and "series" in out
+
+    def test_replay_of_tsdb_free_export_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text('{"type": "metric", "name": "x"}\n')
+        assert main(["obs", "top", "--replay", str(path)]) == 1
+        assert "no TSDB series" in capsys.readouterr().out
+
+
+class TestObsWatchTsdb:
+    def test_watch_tsdb_flag_runs_detectors_from_the_store(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "watch.jsonl"
+        assert main([
+            "--fillers", "5", "--seed", "cli-watch-tsdb",
+            "obs", "watch", "--days", "1", "--nodes", "2", "--once",
+            "--tsdb", "--jsonl", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "SLOs" in out
+        from repro.obs.exporters import load_jsonl
+
+        records = load_jsonl(path.read_text())
+        kinds = {record.get("type") for record in records}
+        assert "tsdb_series" in kinds and "tsdb_meta" in kinds
+
+
 class TestObsTrace:
     @pytest.fixture(scope="class")
     def fleet_export(self, tmp_path_factory):

@@ -229,3 +229,65 @@ class TestEventAndAuditExport:
             "index", "time", "agent", "ok", "detail",
             "previous_hash", "record_hash",
         }
+
+
+class TestStreamingJsonl:
+    def test_jsonl_records_matches_jsonl_dump_exactly(self):
+        import json
+
+        from repro.common.events import EventLog
+        from repro.obs.exporters import jsonl_records
+
+        events = EventLog()
+        events.emit(10.0, "keylime.verifier", "attestation.ok", agent="a")
+        registry = _populated_registry()
+        extra = [{"type": "run_meta", "seed": "x"}]
+        dumped = jsonl_dump(registry, events=events, extra_records=extra)
+        streamed = "".join(
+            json.dumps(record, sort_keys=True) + "\n"
+            for record in jsonl_records(
+                registry, events=events, extra_records=extra)
+        )
+        assert streamed == dumped
+
+    def test_write_jsonl_atomic_streams_a_generator(self, tmp_path):
+        from repro.obs.exporters import write_jsonl_atomic
+
+        target = tmp_path / "out.jsonl"
+
+        def records():
+            for i in range(1000):
+                yield {"type": "x", "i": i}
+
+        assert write_jsonl_atomic(str(target), records()) == 1000
+        loaded = load_jsonl(target.read_text())
+        assert len(loaded) == 1000
+        assert loaded[-1] == {"type": "x", "i": 999}
+        assert list(tmp_path.iterdir()) == [target]  # no temp litter
+
+    def test_crash_mid_stream_keeps_previous_file(self, tmp_path):
+        import pytest
+
+        from repro.obs.exporters import write_jsonl_atomic
+
+        target = tmp_path / "out.jsonl"
+        target.write_text('{"type": "old"}\n')
+
+        def exploding():
+            yield {"type": "new"}
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            write_jsonl_atomic(str(target), exploding())
+        assert load_jsonl(target.read_text()) == [{"type": "old"}]
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_unserialisable_record_leaves_no_litter(self, tmp_path):
+        import pytest
+
+        from repro.obs.exporters import write_jsonl_atomic
+
+        target = tmp_path / "out.jsonl"
+        with pytest.raises(TypeError):
+            write_jsonl_atomic(str(target), [{"bad": object()}])
+        assert list(tmp_path.iterdir()) == []

@@ -68,6 +68,39 @@ class TestSlidingWindow:
             window.push(value)
         assert window.zscore(9.0) == pytest.approx(2.0)
 
+    def test_no_catastrophic_cancellation_on_large_constants(self):
+        """Regression: E[x^2] - E[x]^2 on ~1e9-scale near-constant
+        samples leaves positive rounding noise that used to produce a
+        tiny bogus sigma -- turning nanoseconds of jitter into huge
+        z-scores.  The noise floor must report std == 0.0 here."""
+        window = SlidingWindow(32)
+        base = 1.0e9
+        for i in range(32):
+            # Jitter far below the cancellation error of the sums.
+            window.push(base + (i % 2) * 1e-3)
+        assert window.std == 0.0
+        assert window.zscore(base + 1.0) == 0.0
+
+    def test_real_spread_on_large_values_still_measured(self):
+        window = SlidingWindow(32)
+        for i in range(32):
+            window.push(1.0e9 + (i % 2) * 1e6)
+        assert window.std == pytest.approx(5e5)
+
+    def test_resync_repairs_running_sum_drift(self):
+        window = SlidingWindow(16)
+        pushes = SlidingWindow.RESYNC_EVERY + 8
+        for i in range(pushes):
+            window.push(1.0e9 if i % 2 else 1.0e-9)
+        # After many evictions of mixed-magnitude values the running
+        # sums have been resynced from the retained window at least
+        # once; mean/std must match a from-scratch computation.
+        values = list(window._window)
+        mean = sum(values) / len(values)
+        assert window.mean == pytest.approx(mean)
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        assert window.std == pytest.approx(variance**0.5, rel=1e-6)
+
 
 class TestLatencyAnomalyDetector:
     def test_quiet_stream_never_alerts(self):

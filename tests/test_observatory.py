@@ -1,0 +1,251 @@
+"""Federated observatory runs and the seed-vs-TSDB equivalence proof."""
+
+import pytest
+
+from repro.common.clock import Scheduler, days, hours
+from repro.common.events import EventLog
+from repro.common.rng import SeededRng
+from repro.distro.archive import UbuntuArchive
+from repro.distro.mirror import LocalMirror
+from repro.distro.workload import (
+    ReleaseStreamConfig,
+    SyntheticReleaseStream,
+    build_base_system,
+)
+from repro.dynpolicy.generator import DynamicPolicyGenerator
+from repro.experiments.fleet_run import DEFAULT_KERNEL, ChaosInjection
+from repro.experiments.observatory import run_federated_observatory
+from repro.keylime.fleet import Fleet
+from repro.keylime.policy import IBM_STYLE_EXCLUDES
+from repro.obs import runtime as obs_runtime
+from repro.obs.dashboard import render_top, top_frame_record
+from repro.obs.health import HealthWatch
+from repro.obs.rules import Observatory
+from repro.tpm.device import TpmManufacturer
+
+POLL = 1800.0
+
+
+@pytest.fixture
+def fresh_runtime():
+    """Run each test under its own telemetry, restoring the previous."""
+    previous = obs_runtime.get()
+    yield
+    if previous.enabled:
+        obs_runtime.activate(previous)
+    else:
+        obs_runtime.deactivate()
+
+
+class TestFederatedObservatory:
+    @pytest.fixture(scope="class")
+    def result(self):
+        previous = obs_runtime.get()
+        try:
+            yield run_federated_observatory(
+                seed="test-fed", n_shards=2, nodes_per_shard=2, n_days=1,
+                n_filler_packages=8,
+            )
+        finally:
+            if previous.enabled:
+                obs_runtime.activate(previous)
+            else:
+                obs_runtime.deactivate()
+
+    def test_two_independent_telemetry_runtimes(self, result):
+        shard_a, shard_b = result.shards
+        assert shard_a.telemetry is not shard_b.telemetry
+        assert shard_a.telemetry.registry is not shard_b.telemetry.registry
+        # Both registries actually recorded their own fleet's activity.
+        for shard in result.shards:
+            family = shard.telemetry.registry.get("verifier_polls_total")
+            assert family is not None
+
+    def test_snapshots_flow_through_the_json_wire(self, result):
+        shard_a, shard_b = result.shards
+        assert shard_a.snapshots_sent > shard_b.snapshots_sent > 0
+        assert result.hub.source("shard-0").snapshots == shard_a.snapshots_sent
+        assert result.hub.source("shard-1").snapshots == shard_b.snapshots_sent
+
+    def test_hub_store_holds_both_sources(self, result):
+        store = result.hub.store
+        end = result.end_time
+        for source in ("shard-0", "shard-1"):
+            series = store.select("verifier_polls_total", source=source)
+            assert series, f"no federated series for {source}"
+            assert any(s.instant(end) for s in series)
+        # Fleet-level recording rules collapse the source label.
+        assert store.instant("fleet:poll_rate", None, end) is not None
+        nodes = store.select("fleet:nodes", state="attesting")
+        assert nodes and nodes[0].instant(end) == 4.0
+
+    def test_staleness_reflects_staggered_cadence(self, result):
+        ages = result.hub.staleness(result.end_time)
+        assert set(ages) == {"shard-0", "shard-1"}
+        assert all(age is not None for age in ages.values())
+
+    def test_dashboard_renders_rollups_from_both_registries(self, result):
+        frame = render_top(
+            result.hub.store, result.end_time,
+            result.hub.staleness(result.end_time), poll_interval=POLL,
+        )
+        assert "sources: 2 federated" in frame
+        assert "shard-0" in frame and "shard-1" in frame
+        assert "fleet: 4 nodes" in frame
+        assert "shard-0/agent-node-000" in frame
+        assert "shard-1/agent-node-000" in frame
+        assert "tsdb:" in frame
+
+    def test_top_frame_record_is_json_shaped(self, result):
+        import json
+
+        record = top_frame_record(
+            result.hub.store, result.end_time,
+            result.hub.staleness(result.end_time), POLL,
+        )
+        assert record["type"] == "top_frame"
+        assert record["fleet_nodes"].get("attesting") == 4
+        assert set(record["sources"]) == {"shard-0", "shard-1"}
+        assert len(record["attestation_age_seconds"]) == 4
+        json.dumps(record)  # must be serialisable as exported
+
+    def test_shard_health_watches_ran_on_tsdb(self, result):
+        for shard in result.shards:
+            assert shard.observatory.collections > 0
+            assert shard.watch.monitor.last_check is not None
+            # The watch's SLO trackers are the TSDB-backed kind.
+            from repro.obs.rules import TsdbSloTracker
+
+            assert isinstance(
+                shard.watch.monitor.slos.freshness, TsdbSloTracker)
+
+    def test_previous_runtime_restored(self, result):
+        assert obs_runtime.get() is not result.shards[0].telemetry
+
+
+def _dual_watch_fleet_run(n_nodes=3, n_days=2, chaos=None):
+    """One fleet run observed by BOTH monitor stacks simultaneously.
+
+    The seed watch samples the live registry; the TSDB watch scrapes
+    the same registry into a store at the top of the same tick and
+    reads instants back.  One timeline, two evaluation paths -- any
+    divergence in alert history is a real equivalence break, not run
+    noise (wall-clock latencies differ between runs, so two separate
+    runs could never prove this).
+    """
+    rng = SeededRng("equivalence")
+    scheduler = Scheduler()
+    events = EventLog()
+    telemetry = obs_runtime.activate(clock=None)
+    telemetry.bind_clock(scheduler.clock)
+
+    archive = UbuntuArchive()
+    base = build_base_system(
+        rng.fork("base"), n_filler_packages=8, mean_exec_files=4.0,
+        kernel_version=DEFAULT_KERNEL,
+    )
+    archive.seed(base)
+    stream = SyntheticReleaseStream(
+        archive, base, rng.fork("stream"),
+        ReleaseStreamConfig(
+            mean_packages_per_day=2.0, sd_packages_per_day=1.0,
+            mean_exec_files_per_package=4.0, kernel_release_every_days=0,
+        ),
+    )
+    mirror = LocalMirror(archive, events=events)
+    mirror.sync(0.0)
+    generator = DynamicPolicyGenerator(mirror, events=events, rng=rng.fork("gen"))
+    policy, _ = generator.generate_full(list(IBM_STYLE_EXCLUDES), {DEFAULT_KERNEL})
+
+    fault_plan = None
+    retry_policy = None
+    quarantine_after = 3
+    if chaos is not None:
+        node_ids = [f"agent-node-{i:03d}" for i in range(n_nodes)]
+        fault_plan = chaos.build_plan(node_ids)
+        retry_policy = chaos.build_retry_policy()
+        quarantine_after = chaos.quarantine_after
+    fleet = Fleet(
+        n_nodes, mirror, TpmManufacturer("Infineon", rng.fork("tpm")),
+        scheduler, rng.fork("fleet"), policy,
+        events=events, kernel_version=DEFAULT_KERNEL,
+        fault_plan=fault_plan, retry_policy=retry_policy,
+        quarantine_after=quarantine_after,
+    )
+
+    seed_watch = HealthWatch(tick_interval=POLL)
+    tsdb_watch = HealthWatch(tick_interval=POLL, observatory=Observatory())
+    fleet.start_polling(POLL)
+    # Registration order => tick order: polls, seed check, TSDB check.
+    fleet.watch_health(seed_watch, POLL)
+    fleet.watch_health(tsdb_watch, POLL)
+
+    for day in range(1, n_days + 1):
+        stream.generate_day(day - 1)
+        scheduler.call_at(
+            days(day) + hours(5.0),
+            lambda: fleet.run_update_cycle(),
+            label=f"update-day{day}",
+        )
+    scheduler.run_until(days(n_days + 1))
+    end = scheduler.clock.now
+    seed_watch.finalize(end)
+    tsdb_watch.finalize(end)
+    return seed_watch, tsdb_watch, end
+
+
+class TestSeedVsTsdbEquivalence:
+    """THE acceptance proof: detectors and SLO burn evaluated from TSDB
+    recording-rule windows fire the same alerts -- same sim-times, same
+    payload fields -- as the seed ad-hoc implementations."""
+
+    @pytest.fixture(scope="class")
+    def watches(self):
+        previous = obs_runtime.get()
+        try:
+            yield _dual_watch_fleet_run(
+                chaos=ChaosInjection(
+                    profile="partition", chaos_seed="eq-chaos",
+                    node_indices=(0,),
+                ),
+            )
+        finally:
+            if previous.enabled:
+                obs_runtime.activate(previous)
+            else:
+                obs_runtime.deactivate()
+
+    def test_alert_histories_identical(self, watches):
+        seed_watch, tsdb_watch, _ = watches
+        seed_alerts = [a.to_record() for a in seed_watch.engine.history]
+        tsdb_alerts = [a.to_record() for a in tsdb_watch.engine.history]
+        assert len(seed_alerts) > 0, "scenario must actually alert"
+        assert seed_alerts == tsdb_alerts
+
+    def test_gap_and_burn_rules_both_fired(self, watches):
+        seed_watch, _, _ = watches
+        rules = {a.rule for a in seed_watch.engine.history}
+        assert "health.coverage_gap" in rules
+        # The partitioned node burns poll-success budget, so at least
+        # one SLO burn-rate rule fired through both stacks.
+        assert any(rule.startswith("slo.") for rule in rules)
+
+    def test_slo_window_counts_identical(self, watches):
+        seed_watch, tsdb_watch, end = watches
+        for seed_tracker, tsdb_tracker in zip(
+            seed_watch.monitor.slos.all(), tsdb_watch.monitor.slos.all()
+        ):
+            assert seed_tracker.name == tsdb_tracker.name
+            for window in (POLL, 6 * POLL, 86400.0, 7 * 86400.0):
+                assert tsdb_tracker.window_counts(window, end) == \
+                    seed_tracker.window_counts(window, end), \
+                    f"{seed_tracker.name} window={window}"
+
+    def test_active_alert_sets_identical(self, watches):
+        seed_watch, tsdb_watch, _ = watches
+        assert [a.key for a in seed_watch.engine.active()] == \
+            [a.key for a in tsdb_watch.engine.active()]
+
+    def test_incident_count_identical(self, watches):
+        seed_watch, tsdb_watch, _ = watches
+        assert len(seed_watch.incidents) == len(tsdb_watch.incidents)
