@@ -1,0 +1,146 @@
+"""Acceptance bench: saturation knee vs the capacity planner.
+
+Two claims from the saturation-observability issue are checked here.
+
+**Prediction.** The planner's whole value is answering "how many nodes
+before my verifier can't keep its poll interval" *before* the fleet gets
+there.  The bench sweeps fleet sizes with
+:func:`repro.experiments.saturation.run_saturation_sweep`, measures
+the knee (the interpolated size whose mean busy time crosses the tick
+budget) and asserts the model's ``max_nodes(budget)`` lands within
+±20% of it.  The budget is auto-calibrated to the sweep midpoint so the
+knee is real measured data on any hardware, not a hard-coded constant
+that only saturates one machine.
+
+**Overhead.** Tick accounting rides inside every ``poll_batch``; it
+must not meaningfully tax the loop it measures.  The accountant times
+its own ``observe_tick`` bodies (``self_wall_seconds``), so the cost is
+measured directly in-loop -- same reasoning as the TSDB bench: on a
+shared CI box the difference of two separately-timed multi-second loops
+drifts by more than the quantity under test.  Acceptance: ≤1% of the
+50-node attestation loop.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the sweep and the loop and
+skips both assertions -- a 3-point, 2-tick sweep has too few samples
+for the fit bound to be meaningful.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+from repro.experiments.saturation import (
+    build_probe_fleet,
+    render_sweep,
+    run_saturation_sweep,
+)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: (sweep sizes, measured ticks/size) for the knee fit.
+SWEEP_SIZES, SWEEP_TICKS = ((3, 6, 10), 2) if SMOKE else ((4, 8, 16, 28), 6)
+
+#: (fleet size, ticks) for the accounting-overhead loop.
+LOOP_SIZE, LOOP_TICKS = (6, 4) if SMOKE else (50, 24)
+
+POLL_INTERVAL = 1800.0
+
+#: Planner prediction must land within ±20% of the measured knee.
+MAX_PREDICTION_ERROR = 0.20
+
+#: Accounting self-cost over the bare attestation loop.
+MAX_ACCOUNTING_OVERHEAD = 0.01
+
+
+def _accounting_overhead() -> tuple[float, float, float]:
+    """(overhead ratio, loop ms/tick, accounting ms/tick).
+
+    The loop runs with accounting fully live (budget set, so the
+    overrun/saturation path executes too) and divides the accountant's
+    own measured wall time by the rest of the same loop.
+    """
+    fleet, scheduler = build_probe_fleet(
+        LOOP_SIZE, seed="saturation-overhead", n_filler_packages=20,
+    )
+    accountant = fleet.poll_scheduler.accounting
+    accountant.configure(interval=POLL_INTERVAL, budget=POLL_INTERVAL)
+    fleet.poll_all()  # prime: first poll replays the whole log
+    accountant.self_wall_seconds = 0.0
+    start = perf_counter()
+    for _ in range(LOOP_TICKS):
+        scheduler.clock.advance_by(POLL_INTERVAL)
+        results = fleet.poll_all()
+    elapsed = perf_counter() - start
+    assert all(result.ok for result in results.values())
+    self_s = accountant.self_wall_seconds
+    bare = elapsed - self_s
+    return self_s / bare, bare / LOOP_TICKS * 1e3, self_s / LOOP_TICKS * 1e3
+
+
+def test_saturation_knee_and_accounting_overhead(benchmark, emit):
+    sweep = run_saturation_sweep(
+        sizes=SWEEP_SIZES, ticks=SWEEP_TICKS, seed="saturation-bench",
+        poll_interval=POLL_INTERVAL,
+    )
+    overhead, loop_ms, accounting_ms = _accounting_overhead()
+
+    # One extra probe at the largest sweep size so the pytest-benchmark
+    # JSON carries a real wall number for an accounted batch tick.
+    from repro.experiments.saturation import probe_tick_cost
+
+    benchmark.pedantic(
+        lambda: probe_tick_cost(
+            SWEEP_SIZES[-1], ticks=1, seed="saturation-bench",
+            poll_interval=POLL_INTERVAL,
+        ),
+        rounds=1, iterations=1,
+    )
+
+    emit()
+    emit(render_sweep(sweep))
+    emit()
+    emit(f"accounting overhead ({LOOP_SIZE} nodes, {LOOP_TICKS} ticks"
+         f"{', smoke' if SMOKE else ''})")
+    emit(f"  attestation loop: {loop_ms:8.2f} ms/tick")
+    emit(f"  + tick accounting: {accounting_ms:8.3f} ms/tick "
+         f"({overhead:+.3%})")
+    emit(f"  acceptance: prediction within ±{MAX_PREDICTION_ERROR:.0%} "
+         f"of knee, accounting ≤{MAX_ACCOUNTING_OVERHEAD:.0%} of loop"
+         f"{' (not asserted in smoke)' if SMOKE else ''}")
+
+    benchmark.extra_info["saturation"] = {
+        "smoke": SMOKE,
+        "sweep_sizes": list(sweep.sizes),
+        "budget_seconds": round(sweep.budget, 6),
+        "knee_nodes": (
+            round(sweep.knee_nodes, 2) if sweep.knee_nodes is not None
+            else None
+        ),
+        "predicted_max_nodes": round(sweep.predicted_max_nodes, 2),
+        "prediction_error": (
+            round(sweep.prediction_error, 4)
+            if sweep.prediction_error is not None else None
+        ),
+        "fit_r_squared": round(sweep.model.r_squared, 4),
+        "per_node_ms": round(sweep.model.per_node_seconds * 1e3, 4),
+        "loop_ms_per_tick": round(loop_ms, 3),
+        "accounting_ms_per_tick": round(accounting_ms, 4),
+        "accounting_overhead": round(overhead, 5),
+    }
+
+    if not SMOKE:
+        assert sweep.knee_nodes is not None, (
+            "calibrated sweep never crossed its budget; "
+            f"points={[(p.nodes, p.busy_mean_seconds) for p in sweep.points]}"
+        )
+        error = sweep.prediction_error
+        assert error is not None and error <= MAX_PREDICTION_ERROR, (
+            f"planner predicted {sweep.predicted_max_nodes:.1f} nodes vs "
+            f"measured knee {sweep.knee_nodes:.1f} "
+            f"({error:.1%} > {MAX_PREDICTION_ERROR:.0%})"
+        )
+        assert overhead <= MAX_ACCOUNTING_OVERHEAD, (
+            f"tick accounting overhead {overhead:.3%} exceeds "
+            f"{MAX_ACCOUNTING_OVERHEAD:.0%} ceiling"
+        )

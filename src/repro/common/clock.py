@@ -137,6 +137,47 @@ class EventHandle:
         self._event.cancelled = True
 
 
+class RepeatingHandle:
+    """Stop handle for :meth:`Scheduler.every`, with timer metadata.
+
+    Exposes the timer's *label* and *interval* so periodic work can be
+    attributed per timer (``fleet-poll-batch`` vs ``poll:{agent_id}``)
+    instead of globally, plus fire bookkeeping (:attr:`fires`,
+    :attr:`last_fired_at`).  The handle doubles as the stop callable --
+    ``handle()`` and ``handle.stop()`` are equivalent -- so existing
+    callers that stored a plain ``stop`` function keep working.
+    """
+
+    def __init__(self, label: str, interval: float) -> None:
+        self.label = label
+        self.interval = interval
+        self.fires = 0
+        self.last_fired_at: float | None = None
+        self._stopped = False
+        self._handle: EventHandle | None = None
+
+    @property
+    def stopped(self) -> bool:
+        """Whether the timer has been stopped."""
+        return self._stopped
+
+    def stop(self) -> None:
+        """Prevent any further repetitions.  Idempotent."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+
+    def __call__(self) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "stopped" if self._stopped else "active"
+        return (
+            f"RepeatingHandle(label={self.label!r}, "
+            f"interval={self.interval}, fires={self.fires}, {state})"
+        )
+
+
 class Scheduler:
     """A discrete-event scheduler over a :class:`SimClock`.
 
@@ -180,33 +221,30 @@ class Scheduler:
         action: Callable[[], None],
         label: str = "",
         start: float | None = None,
-    ) -> Callable[[], None]:
+    ) -> RepeatingHandle:
         """Schedule *action* to repeat every *interval* seconds.
 
-        Returns a ``stop`` callable: invoking it prevents any further
-        repetitions (the currently scheduled one is cancelled too).
+        Returns a :class:`RepeatingHandle` carrying the timer's label
+        and interval; calling it (or its ``stop()``) prevents any
+        further repetitions (the currently scheduled one is cancelled
+        too).
         """
         if interval <= 0:
             raise SimulationError(f"repeat interval must be positive, got {interval}")
-        state: dict[str, EventHandle | bool] = {"stopped": False}
+        handle = RepeatingHandle(label=label, interval=interval)
 
         def tick() -> None:
-            if state["stopped"]:
+            if handle.stopped:
                 return
+            handle.fires += 1
+            handle.last_fired_at = self.clock.now
             action()
-            if not state["stopped"]:
-                state["handle"] = self.call_in(interval, tick, label=label)
+            if not handle.stopped:
+                handle._handle = self.call_in(interval, tick, label=label)
 
         first = self.clock.now + interval if start is None else start
-        state["handle"] = self.call_at(first, tick, label=label)
-
-        def stop() -> None:
-            state["stopped"] = True
-            handle = state.get("handle")
-            if isinstance(handle, EventHandle):
-                handle.cancel()
-
-        return stop
+        handle._handle = self.call_at(first, tick, label=label)
+        return handle
 
     def step(self) -> bool:
         """Run the next pending event.  Returns ``False`` when idle."""

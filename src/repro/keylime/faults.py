@@ -371,6 +371,12 @@ def _profile_specs(
             FaultSpec(FaultKind.DELAY, probability=0.2,
                       delay_range=(0.25, 6.0), **window),
         ]
+    if name == "delay":
+        # Every wire leg pays latency, but always under the attempt
+        # timeout: nothing is lost or retried, rounds simply cost more
+        # of the tick budget -- the saturation-study profile.
+        return [FaultSpec(FaultKind.DELAY, probability=1.0,
+                          delay_range=(0.6, 1.8), **window)]
     if name == "duplicates":
         return [FaultSpec(FaultKind.DUPLICATE, probability=0.25, **window)]
     if name == "partition":
@@ -404,6 +410,7 @@ def _profile_specs(
 #: FAILED verdict, no matter the seed.
 CHAOS_PROFILES: dict[str, bool] = {
     "clean": True,
+    "delay": True,
     "drops": True,
     "flaky": True,
     "duplicates": True,

@@ -47,6 +47,7 @@ from repro.keylime.verifier import (
 )
 from repro.kernelsim.kernel import Machine
 from repro.obs import runtime as obs
+from repro.obs.capacity import TickBudgetAccountant
 from repro.tpm.device import TpmManufacturer
 
 
@@ -82,14 +83,29 @@ class VerificationScheduler:
     subsequent node's policy evaluation is almost entirely hits.
     """
 
-    def __init__(self, verifier: KeylimeVerifier) -> None:
+    def __init__(
+        self,
+        verifier: KeylimeVerifier,
+        events: EventLog | None = None,
+        tick_budget: float | None = None,
+        overrun_ticks: int = 3,
+    ) -> None:
         self.verifier = verifier
         self._agents: list[str] = []
+        # Set-backed membership index: `register` is called once per
+        # node at provision time but also on every re-onboard, and the
+        # list scan made that O(fleet) per call.  The list still owns
+        # the batch order.
+        self._registered: set[str] = set()
         self._stop: object | None = None
+        self.accounting = TickBudgetAccountant(
+            budget=tick_budget, overrun_ticks=overrun_ticks, events=events,
+        )
 
     def register(self, agent_id: str) -> None:
         """Add an agent to the batch (order = poll order within a tick)."""
-        if agent_id not in self._agents:
+        if agent_id not in self._registered:
+            self._registered.add(agent_id)
             self._agents.append(agent_id)
 
     @property
@@ -101,6 +117,8 @@ class VerificationScheduler:
         """One attestation round for every still-attesting agent."""
         telemetry = obs.get()
         results: dict[str, AttestationResult] = {}
+        skipped = 0
+        wall_start = perf_counter()
         with telemetry.tracer.span(
             "fleet.poll_batch", agents=len(self._agents)
         ) as span:
@@ -109,17 +127,47 @@ class VerificationScheduler:
                 # invariant); only FAILED/STOPPED/QUARANTINED drop out.
                 if self.verifier.state_of(agent_id) in POLLABLE_STATES:
                     results[agent_id] = self.verifier.poll(agent_id)
+                else:
+                    skipped += 1
             span.set_attribute("polled", len(results))
+            span.set_attribute("skipped", skipped)
             cache = self.verifier.verdict_cache
             if cache is not None:
                 span.set_attribute("cache_hit_ratio", round(cache.hit_ratio, 4))
+        if skipped:
+            telemetry.registry.counter(
+                "fleet_poll_skipped_total",
+                "Registered agents skipped as non-pollable during batch ticks",
+            ).inc(skipped)
+        self.accounting.observe_tick(
+            self.verifier.scheduler.clock.now,
+            wall_seconds=perf_counter() - wall_start,
+            registered=len(self._agents),
+            polled=len(results),
+            skipped=skipped,
+            registry=telemetry.registry,
+        )
         return results
 
-    def start(self, scheduler: Scheduler, interval: float) -> None:
-        """Tick the batch every *interval* simulated seconds."""
+    def start(
+        self,
+        scheduler: Scheduler,
+        interval: float,
+        tick_budget: float | None = None,
+    ) -> None:
+        """Tick the batch every *interval* simulated seconds.
+
+        *tick_budget* is the accountant's per-tick busy budget; it
+        defaults to the interval (one tick must fit in one interval).
+        """
         self.stop()
         self._stop = scheduler.every(
             interval, self.poll_batch, label="fleet-poll-batch"
+        )
+        self.accounting.configure(
+            interval=getattr(self._stop, "interval", interval),
+            budget=tick_budget,
+            timer=getattr(self._stop, "label", "fleet-poll-batch"),
         )
 
     def stop(self) -> None:
@@ -148,6 +196,7 @@ class Fleet:
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
         quarantine_after: int = 3,
+        tick_budget: float | None = None,
     ) -> None:
         """Provision, register and onboard *size* identical nodes.
 
@@ -166,6 +215,12 @@ class Fleet:
         to SUSPECT instead of crashing a batch tick.  A plan with no
         matching fault specs is bit-identical to no plan at all.
         ``quarantine_after`` is the verifier's suspect-window budget.
+
+        ``tick_budget`` seeds the batch scheduler's
+        :class:`repro.obs.capacity.TickBudgetAccountant`: the busy
+        seconds one batch tick may spend before it counts as an
+        overrun.  Left ``None`` it defaults to the polling interval
+        when :meth:`start_polling` runs.
         """
         if size < 1:
             raise ValueError("fleet needs at least one node")
@@ -198,7 +253,9 @@ class Fleet:
             verdict_cache=self.verdict_cache,
             retry_policy=retry_policy, quarantine_after=quarantine_after,
         )
-        self.poll_scheduler = VerificationScheduler(self.verifier)
+        self.poll_scheduler = VerificationScheduler(
+            self.verifier, events=self.events, tick_budget=tick_budget,
+        )
 
         self.nodes: list[FleetNode] = []
         baseline = mirror.index()
@@ -269,15 +326,19 @@ class Fleet:
             "fleet_quarantined_nodes", "Nodes currently quarantined",
         ).set(len(self.quarantine.quarantined))
 
-    def start_polling(self, interval: float) -> None:
+    def start_polling(
+        self, interval: float, tick_budget: float | None = None
+    ) -> None:
         """Continuous attestation for the whole fleet.
 
         One batch tick polls every attesting node back-to-back (sharing
         the verdict cache within the tick), instead of N independent
         per-agent timers.  A fleet heartbeat on the same cadence keeps
-        the state roll-up (events + gauges) current.
+        the state roll-up (events + gauges) current.  *tick_budget*
+        overrides the saturation accountant's per-tick busy budget
+        (defaults to the interval).
         """
-        self.poll_scheduler.start(self.scheduler, interval)
+        self.poll_scheduler.start(self.scheduler, interval, tick_budget=tick_budget)
         self._stop_heartbeat = self.scheduler.every(
             interval, self._heartbeat, label="fleet-heartbeat"
         )

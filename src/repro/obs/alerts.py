@@ -199,15 +199,22 @@ class BurnRateRule:
 
 @dataclass
 class SloSet:
-    """The three attestation SLOs the paper's setting implies."""
+    """The attestation SLOs the paper's setting implies."""
 
     freshness: SloTracker
     poll_success: SloTracker
     detection_latency: SloTracker
+    # Saturation headroom (PR 7): one sample per fleet batch tick, bad
+    # when the tick overran its budget.  Optional so SloSets built
+    # before the capacity layer keep their shape.
+    freshness_headroom: SloTracker | None = None
 
     def all(self) -> tuple[SloTracker, ...]:
         """The trackers, in declaration order."""
-        return (self.freshness, self.poll_success, self.detection_latency)
+        trackers = (self.freshness, self.poll_success, self.detection_latency)
+        if self.freshness_headroom is not None:
+            trackers += (self.freshness_headroom,)
+        return trackers
 
 
 def standard_slos(max_window: float = 7 * 86400.0, make=SloTracker) -> SloSet:
@@ -221,6 +228,10 @@ def standard_slos(max_window: float = 7 * 86400.0, make=SloTracker) -> SloSet:
       E1 false-positive problem showing up operationally.
     * **detection latency** (95%): gap/anomaly alerts raised within
       their target after the underlying condition began.
+    * **freshness headroom** (95%): fleet batch ticks that finished
+      inside their tick budget.  A burning headroom budget means the
+      verifier is *about* to start missing freshness -- the capacity
+      early-warning the saturation study (PR 7) adds.
 
     *make* is the tracker factory -- :class:`SloTracker` by default;
     :func:`repro.obs.rules.tsdb_slos` passes a TSDB-backed one so the
@@ -242,6 +253,11 @@ def standard_slos(max_window: float = 7 * 86400.0, make=SloTracker) -> SloSet:
             "alerts raised within their detection-latency target",
             max_window=max_window,
         ),
+        freshness_headroom=make(
+            "freshness_headroom", 0.95,
+            "fleet batch ticks that finished inside their tick budget",
+            max_window=max_window,
+        ),
     )
 
 
@@ -257,7 +273,7 @@ def standard_burn_rules(
     """
     fast_long = max(4 * poll_interval, 3600.0)
     slow_long = max(24 * poll_interval, 6 * 3600.0)
-    return [
+    rules = [
         BurnRateRule(
             "slo.freshness.fast_burn", slos.freshness,
             long_window=fast_long, short_window=fast_long / 4.0,
@@ -284,6 +300,16 @@ def standard_burn_rules(
             factor=4.0, severity="warning", min_samples=2,
         ),
     ]
+    if slos.freshness_headroom is not None:
+        # One sample per batch tick, so the fast window holds only ~4
+        # samples -- a lower factor and min_samples keep the rule
+        # responsive without firing on a single noisy tick.
+        rules.append(BurnRateRule(
+            "slo.freshness_headroom.burn", slos.freshness_headroom,
+            long_window=fast_long, short_window=fast_long / 4.0,
+            factor=4.0, severity="warning", min_samples=3,
+        ))
+    return rules
 
 
 class AlertEngine:

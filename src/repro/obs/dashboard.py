@@ -177,6 +177,59 @@ def _agent_heat(
     return rows
 
 
+def _series_max(store: TsdbStore, name: str, at: float) -> float | None:
+    """Max instant at *at* across matching series (``None`` when none)."""
+    best: float | None = None
+    for series in store.select(name):
+        value = series.instant(at)
+        if value is not None and (best is None or value > best):
+            best = value
+    return best
+
+
+def _saturation_panel(
+    store: TsdbStore, now: float, span: float, width: int
+) -> list[str]:
+    """Verifier-load lines for :func:`render_top` (empty without data)."""
+    ticks = _series_total(store, "fleet_ticks_total", now)
+    if ticks <= 0:
+        return []
+    lines = ["  -- verifier load --"]
+    points = store.range_values("fleet:utilization", None, now - span, now)
+    values = [value for _, value in points]
+    utilization = store.instant("fleet:utilization", None, now)
+    if utilization is None and values:
+        utilization = values[-1]
+    current = f"{utilization:8.1%}" if utilization is not None else "      --"
+    lines.append(f"  utilization  {sparkline(values, width)} {current}")
+    overruns = _series_total(store, "fleet_tick_overruns_total", now)
+    overrun_ratio = store.instant("fleet:tick_overrun_ratio", None, now)
+    budget = _series_max(store, "fleet_tick_budget_seconds", now)
+    saturated_sources = sum(
+        1 for series in store.select("fleet_saturated")
+        if (series.instant(now) or 0.0) >= 1.0
+    )
+    parts = [f"{int(overruns)} overruns/{int(ticks)} ticks"]
+    if overrun_ratio is not None:
+        parts.append(f"overrun_ratio={overrun_ratio:.1%}")
+    if budget is not None:
+        parts.append(f"budget={budget:.3f}s")
+    if saturated_sources:
+        parts.append(f"{saturated_sources} source(s) SATURATED")
+    lines.append("  " + ", ".join(parts))
+    shares = _grouped_instants(store, "fleet:stage_cost_share", "stage", now)
+    total_share = sum(shares.values())
+    if total_share > 0:
+        # Summing across federated sources can exceed 1.0; renormalise
+        # so the row always reads as a fleet-wide share.
+        ranked = sorted(shares.items(), key=lambda item: -item[1])
+        rendered = " ".join(
+            f"{stage}={share / total_share:.0%}" for stage, share in ranked[:6]
+        )
+        lines.append(f"  stage cost share: {rendered}")
+    return lines
+
+
 def render_top(
     store: TsdbStore,
     now: float,
@@ -232,6 +285,9 @@ def render_top(
         values = [value * scale for _, value in points]
         current = f"{values[-1]:8.2f}{unit}" if values else "      --"
         lines.append(f"  {title:<13s}{sparkline(values, width)} {current}")
+
+    # Verifier load / saturation, from the capacity accounting series.
+    lines.extend(_saturation_panel(store, now, span, width))
 
     # SLO burn over the trailing day.
     burns = slo_burn(store, now, window=86400.0)
@@ -318,6 +374,21 @@ def top_frame_record(
         "poll_latency_mean_ms": (
             (store.instant("fleet:poll_latency_mean", None, now) or 0.0)
             * 1000.0
+        ),
+        "ticks_total": int(_series_total(store, "fleet_ticks_total", now)),
+        "tick_overruns_total": int(
+            _series_total(store, "fleet_tick_overruns_total", now)
+        ),
+        "utilization": store.instant("fleet:utilization", None, now),
+        "tick_overrun_ratio": store.instant(
+            "fleet:tick_overrun_ratio", None, now
+        ),
+        "stage_cost_share": _grouped_instants(
+            store, "fleet:stage_cost_share", "stage", now
+        ),
+        "saturated_sources": sum(
+            1 for series in store.select("fleet_saturated")
+            if (series.instant(now) or 0.0) >= 1.0
         ),
         "slo_burn": slo_burn(store, now, window=86400.0),
         "chaos_faults": {kind: int(count) for kind, count in faults.items()},

@@ -44,6 +44,7 @@ from repro.obs.alerts import (
     standard_burn_rules,
     standard_slos,
 )
+from repro.obs.capacity import SaturationDetector, saturation_summary
 from repro.obs.incidents import IncidentCorrelator, IncidentReport
 
 #: Default number of missed poll intervals before a coverage gap fires.
@@ -450,6 +451,7 @@ class HealthMonitor:
         self.gaps = CoverageGapDetector(gap_polls=gap_polls)
         self.latency = LatencyAnomalyDetector()
         self.failure_rate = FailureRateDetector()
+        self.saturation = SaturationDetector()
         self.freshness_target_polls = freshness_target_polls
         self.detection_target_polls = detection_target_polls
         self.last_check: float | None = None
@@ -547,6 +549,39 @@ class HealthMonitor:
         spike = self.failure_rate.observe(now, int(failed), int(failed + ok))
         if spike is not None:
             alerts.append(spike)
+
+        # Saturation stream: the batch scheduler's tick-budget
+        # accounting (repro.obs.capacity).  Counter deltas give this
+        # tick's activity; the gauges give the accountant's current
+        # state -- both through the source API, so the seed registry
+        # path and the TSDB path stay alert-for-alert identical.
+        ticks = self._counter_delta("fleet_ticks_total", now)
+        overruns = self._counter_delta("fleet_tick_overruns_total", now)
+        saturated = utilization = budget = None
+        if self.source is not None:
+            saturated = self.source.counter_value("fleet_saturated", {}, now)
+            utilization = self.source.counter_value(
+                "fleet_tick_utilization", {}, now
+            )
+            budget = self.source.counter_value(
+                "fleet_tick_budget_seconds", {}, now
+            )
+        congestion = self.saturation.observe(
+            now,
+            saturated=bool(saturated),
+            utilization=utilization,
+            overruns=overruns,
+            ticks=ticks,
+            budget=budget,
+        )
+        if congestion is not None:
+            alerts.append(congestion)
+        if self.slos.freshness_headroom is not None and ticks > 0:
+            # One headroom sample per accounted tick, bad per overrun.
+            total = min(int(round(ticks)), 10_000)
+            bad = min(int(round(overruns)), total)
+            for index in range(total):
+                self.slos.freshness_headroom.record(now, index >= bad)
 
         # Coverage gaps + the freshness SLO.
         gap_alerts = self.gaps.check(now)
@@ -777,6 +812,7 @@ def render_dashboard(watch: HealthWatch, now: float) -> str:
             f"  degraded transport: {degraded_total} degraded rounds, "
             f"{len(suspects)} node(s) currently suspect"
         )
+    lines.extend(saturation_summary(monitor.registry))
     lines.append("  -- SLOs (error budget over trailing day) --")
     for tracker in monitor.slos.all():
         total, bad = tracker.window_counts(86400.0, now)

@@ -17,6 +17,9 @@ windows instead of each keeping a private ad-hoc deque:
 * :class:`QuantileOverTimeRule` -- ``histogram_quantile`` over the
   windowed increase of the scraped ``_bucket`` series, with the usual
   linear interpolation inside the winning bucket.
+* :class:`ShareRule` -- each group's fraction of the total windowed
+  increase (the per-stage cost attribution behind
+  ``fleet:stage_cost_share``).
 * :class:`AggregateRule` -- instant sum/avg/min/max/count across the
   matching series (fleet node-state rollups across federated sources).
 
@@ -224,6 +227,39 @@ class QuantileOverTimeRule(_WindowRule):
 
 
 @dataclass(frozen=True)
+class ShareRule(_WindowRule):
+    """``record = increase per group / total increase`` over the window.
+
+    The per-stage cost attribution rule: grouping
+    ``verifier_stage_wall_seconds_sum`` by ``stage`` yields each
+    pipeline stage's fraction of the window's total attestation cost.
+    Written only when the window saw any increase at all -- an idle
+    window has no shares, not a division by zero.
+    """
+
+    record: str
+    source: str
+    window: float
+    by: tuple[str, ...] = ()
+
+    def evaluate(self, store: TsdbStore, at: float) -> int:
+        start = at - self.window
+        groups: dict[tuple[tuple[str, str], ...], float] = {}
+        total = 0.0
+        for series in store.select(self.source):
+            key = _group_key(series, self.by)
+            increase = series.increase(start, at)
+            groups[key] = groups.get(key, 0.0) + increase
+            total += increase
+        if total <= 0:
+            return 0
+        shares = {
+            key: value / total for key, value in groups.items() if value > 0
+        }
+        return self._write(store, self.record, shares, at)
+
+
+@dataclass(frozen=True)
 class AggregateRule(_WindowRule):
     """``record = agg by(by) (source)`` over instants at *at*."""
 
@@ -260,7 +296,8 @@ class AggregateRule(_WindowRule):
 
 
 RecordingRule = (
-    IncreaseRule | RateRule | RatioRule | QuantileOverTimeRule | AggregateRule
+    IncreaseRule | RateRule | RatioRule | QuantileOverTimeRule
+    | ShareRule | AggregateRule
 )
 
 
@@ -334,6 +371,27 @@ def standard_recording_rules(
         ),
         IncreaseRule(
             "fleet:degraded_rounds", "verifier_degraded_rounds_total", window,
+        ),
+        # Saturation / capacity set (repro.obs.capacity): windowed
+        # busy-over-budget utilization, the overrun fraction, and the
+        # per-stage share of attestation cost.
+        RatioRule(
+            "fleet:utilization",
+            "fleet_tick_busy_seconds_total",
+            "fleet_tick_budget_seconds_total",
+            window,
+        ),
+        RatioRule(
+            "fleet:tick_overrun_ratio",
+            "fleet_tick_overruns_total",
+            "fleet_ticks_total",
+            window,
+        ),
+        ShareRule(
+            "fleet:stage_cost_share",
+            "verifier_stage_wall_seconds_sum",
+            window,
+            by=("stage",),
         ),
     ]
 

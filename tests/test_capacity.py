@@ -1,0 +1,480 @@
+"""Tests for tick-budget accounting, saturation detection and the planner."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.clock import Scheduler, days
+from repro.common.events import EventLog
+from repro.common.rng import SeededRng
+from repro.distro.archive import UbuntuArchive
+from repro.distro.mirror import LocalMirror
+from repro.distro.workload import build_base_system
+from repro.dynpolicy.generator import DynamicPolicyGenerator
+from repro.keylime.faults import chaos_profile
+from repro.keylime.fleet import Fleet
+from repro.keylime.policy import IBM_STYLE_EXCLUDES
+from repro.obs import runtime as obs_runtime
+from repro.obs.capacity import (
+    SaturationDetector,
+    TickBudgetAccountant,
+    capacity_pairs_from_store,
+    fit_capacity,
+    model_from_store,
+    plan_capacity,
+    render_capacity_plan,
+)
+from repro.obs.health import HealthWatch
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.rules import ShareRule
+from repro.obs.tsdb import TsdbStore
+from repro.tpm.device import TpmManufacturer
+
+POLL = 600.0
+
+
+@pytest.fixture
+def fresh_runtime():
+    previous = obs_runtime.get()
+    telemetry = obs_runtime.activate(clock=None)
+    yield telemetry
+    if previous.enabled:
+        obs_runtime.activate(previous)
+    else:
+        obs_runtime.deactivate()
+
+
+class TestTickBudgetAccountant:
+    def _tick(self, acct, registry, now, busy, n=3):
+        return acct.observe_tick(
+            now, wall_seconds=busy, registered=n, polled=n,
+            registry=registry, injected_delay_seconds=0.0,
+        )
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TickBudgetAccountant(budget=0.0)
+        acct = TickBudgetAccountant()
+        with pytest.raises(ValueError):
+            acct.configure(budget=-1.0)
+
+    def test_budget_defaults_to_interval(self):
+        acct = TickBudgetAccountant()
+        acct.configure(interval=1800.0)
+        assert acct.budget == 1800.0
+        # An explicit budget is not overwritten by a later interval.
+        acct2 = TickBudgetAccountant(budget=2.0)
+        acct2.configure(interval=1800.0)
+        assert acct2.budget == 2.0
+
+    def test_no_budget_means_no_utilization_and_no_overruns(self):
+        acct = TickBudgetAccountant()
+        record = self._tick(acct, MetricsRegistry(), 0.0, busy=5.0)
+        assert record.utilization is None
+        assert not record.overrun
+        assert acct.overruns == 0
+
+    def test_saturation_fires_on_third_consecutive_overrun(self):
+        events = EventLog()
+        registry = MetricsRegistry()
+        acct = TickBudgetAccountant(budget=1.0, events=events)
+        acct.configure(interval=POLL)
+        self._tick(acct, registry, 600.0, busy=0.5)
+        for at in (1200.0, 1800.0, 2400.0):
+            self._tick(acct, registry, at, busy=2.0)
+        assert acct.overruns == 3
+        assert acct.saturated and acct.saturated_since == 2400.0
+        fired = [
+            record for record in events.records_between(0.0, 1e9)
+            if record.kind == "fleet.saturated"
+        ]
+        assert [record.time for record in fired] == [2400.0]
+        assert fired[0].details["consecutive_overruns"] == 3
+        assert registry.get("fleet_saturated").value == 1.0
+        assert registry.get("fleet_tick_overruns_total").value == 3.0
+
+        # One in-budget tick clears the state and says for how long.
+        self._tick(acct, registry, 3000.0, busy=0.5)
+        assert not acct.saturated
+        cleared = [
+            record for record in events.records_between(0.0, 1e9)
+            if record.kind == "fleet.saturation_cleared"
+        ]
+        assert len(cleared) == 1
+        assert cleared[0].details["saturated_seconds"] == 600.0
+        assert registry.get("fleet_saturated").value == 0.0
+
+    def test_interrupted_overrun_run_never_saturates(self):
+        events = EventLog()
+        registry = MetricsRegistry()
+        acct = TickBudgetAccountant(budget=1.0, events=events)
+        for index, busy in enumerate((2.0, 2.0, 0.5, 2.0, 2.0, 0.5)):
+            self._tick(acct, registry, 600.0 * (index + 1), busy=busy)
+        assert acct.overruns == 4
+        assert not acct.saturated
+        assert not [
+            record for record in events.records_between(0.0, 1e9)
+            if record.kind == "fleet.saturated"
+        ]
+
+    def test_metric_families_written(self):
+        registry = MetricsRegistry()
+        acct = TickBudgetAccountant(budget=1.0, timer="my-timer")
+        acct.configure(interval=POLL)
+        acct.observe_tick(
+            600.0, wall_seconds=2.0, registered=5, polled=4, skipped=1,
+            registry=registry, injected_delay_seconds=0.5,
+        )
+        assert registry.get("fleet_ticks_total").value == 1.0
+        assert registry.get("fleet_tick_busy_seconds_total").value == 2.5
+        assert registry.get("fleet_polled_agents_total").value == 4.0
+        assert registry.get("fleet_tick_budget_seconds_total").value == 1.0
+        assert registry.get("fleet_tick_utilization").value == 2.5
+        depth = registry.get("fleet_tick_queue_depth")
+        assert {
+            labels["phase"]: child.value for labels, child in depth.samples()
+        } == {"registered": 5.0, "polled": 4.0, "skipped": 1.0}
+        timers = registry.get("fleet_timer_overruns_total")
+        assert {
+            labels["timer"]: child.value for labels, child in timers.samples()
+        } == {"my-timer": 1.0}
+
+    def test_lag_measured_against_interval(self):
+        registry = MetricsRegistry()
+        acct = TickBudgetAccountant(budget=10.0)
+        acct.configure(interval=POLL)
+        self._tick(acct, registry, 600.0, busy=0.1)
+        record = self._tick(acct, registry, 1500.0, busy=0.1)
+        assert record.lag_seconds == pytest.approx(300.0)
+
+    def test_chaos_delay_folds_into_busy_time(self):
+        registry = MetricsRegistry()
+        registry.histogram(
+            "transport_injected_delay_seconds", "injected",
+        ).observe(3.0)
+        acct = TickBudgetAccountant(budget=1.0)
+        record = acct.observe_tick(
+            600.0, wall_seconds=0.25, registered=2, polled=2,
+            registry=registry,
+        )
+        assert record.delay_seconds == 3.0
+        assert record.busy_seconds == 3.25
+        assert record.overrun
+        # Only the *delta* counts on the next tick.
+        follow = acct.observe_tick(
+            1200.0, wall_seconds=0.25, registered=2, polled=2,
+            registry=registry,
+        )
+        assert follow.delay_seconds == 0.0
+
+    def test_model_and_pairs_from_records(self):
+        acct = TickBudgetAccountant(budget=10.0)
+        registry = MetricsRegistry()
+        for index, n in enumerate((2, 4, 8)):
+            acct.observe_tick(
+                600.0 * (index + 1), wall_seconds=0.01 * n,
+                registered=n, polled=n, registry=registry,
+                injected_delay_seconds=0.0,
+            )
+        assert acct.pairs() == [(2.0, 0.02), (4.0, 0.04), (8.0, 0.08)]
+        model = acct.model()
+        assert model.per_node_seconds == pytest.approx(0.01, rel=1e-6)
+
+
+@given(
+    wall=st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    delay=st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    budget=st.floats(min_value=1e-3, max_value=100.0, allow_nan=False),
+)
+@settings(max_examples=200, deadline=None)
+def test_utilization_in_unit_interval_iff_no_overrun(wall, delay, budget):
+    """The accounting invariant: overrun <=> utilization > 1."""
+    acct = TickBudgetAccountant(budget=budget)
+    record = acct.observe_tick(
+        0.0, wall_seconds=wall, registered=1, polled=1,
+        registry=MetricsRegistry(), injected_delay_seconds=delay,
+    )
+    assert record.busy_seconds == pytest.approx(wall + delay)
+    if record.overrun:
+        assert record.utilization > 1.0
+    else:
+        assert 0.0 <= record.utilization <= 1.0
+
+
+class TestSaturationDetector:
+    def test_silent_until_saturated(self):
+        detector = SaturationDetector()
+        assert detector.observe(600.0, saturated=False) is None
+
+    def test_alert_shape(self):
+        detector = SaturationDetector()
+        alert = detector.observe(
+            1800.0, saturated=True, utilization=1.8,
+            overruns=3.0, ticks=3.0, budget=2.0,
+        )
+        assert alert.rule == "health.verifier_saturated"
+        assert alert.severity == "critical"
+        assert alert.detail["utilization"] == 1.8
+        assert alert.detail["overruns_in_window"] == 3
+        assert alert.detail["budget_seconds"] == 2.0
+
+
+class TestCapacityModel:
+    def test_fit_recovers_a_linear_cost(self):
+        model = fit_capacity(
+            (n, 0.005 + 0.002 * n) for n in (2, 4, 8, 16, 32)
+        )
+        assert model.fixed_seconds == pytest.approx(0.005, rel=1e-6)
+        assert model.per_node_seconds == pytest.approx(0.002, rel=1e-6)
+        assert model.r_squared == pytest.approx(1.0)
+        assert model.max_nodes(0.025) == pytest.approx(10.0)
+
+    def test_no_samples_yields_no_model(self):
+        assert fit_capacity([]) is None
+
+    def test_single_node_count_attributes_everything_marginal(self):
+        model = fit_capacity([(4, 0.04), (4, 0.044), (4, 0.036)])
+        assert model.fixed_seconds == 0.0
+        assert model.per_node_seconds == pytest.approx(0.01)
+
+    def test_negative_intercept_refits_through_origin(self):
+        # Noisy measurements whose naive fit has fixed cost < 0.
+        model = fit_capacity([(1, 0.0005), (2, 0.004), (3, 0.0075)])
+        assert model.fixed_seconds == 0.0
+        assert model.per_node_seconds > 0.0
+
+    def test_what_if_answers(self):
+        model = fit_capacity((n, 0.01 * n) for n in (1, 2, 4))
+        assert model.max_nodes(1.0) == pytest.approx(100.0)
+        assert model.max_nodes(0.0) == 0.0
+        assert model.nodes_per_second(1.0, verifiers=2) == pytest.approx(200.0)
+        assert model.verifiers_needed(400, 1.0) == 5  # 80 nodes/verifier @ 80%
+        assert model.time_to_saturation(50.0, 10.0, 1.0) == pytest.approx(5.0)
+        assert model.time_to_saturation(150.0, 10.0, 1.0) == 0.0
+        assert math.isinf(model.time_to_saturation(50.0, 0.0, 1.0))
+
+    def test_zero_marginal_cost_is_unbounded(self):
+        model = fit_capacity((n, 0.01) for n in (1, 2, 4))
+        assert math.isinf(model.max_nodes(1.0))
+        assert model.verifiers_needed(10_000, 1.0) == 1
+
+    def test_plan_record_is_json_shaped(self):
+        import json
+
+        model = fit_capacity((n, 0.01 * n) for n in (1, 2, 4))
+        plan = plan_capacity(
+            model, 1.0, verifiers=2, current_nodes=50.0,
+            growth_per_day=10.0, target_nodes=400.0,
+        )
+        record = plan.to_record()
+        assert record["type"] == "capacity_plan"
+        assert record["fleet_capacity"] == pytest.approx(200.0)
+        json.dumps(record)
+        text = render_capacity_plan(plan)
+        assert "max sustainable nodes/verifier" in text
+        assert "time to saturation" in text
+
+
+class TestStoreFit:
+    def _store_with_ticks(self, per_node=0.01, source=None):
+        """Scrape-shaped counters: 1 tick per scrape, n nodes per tick."""
+        store = TsdbStore()
+        labels = {"source": source} if source else None
+        ticks = busy = polled = 0.0
+        at = 0.0
+        for n in (2, 4, 8, 4, 2):
+            at += 600.0
+            ticks += 1
+            polled += n
+            busy += per_node * n
+            store.append("fleet_ticks_total", labels, ticks, at, kind="counter")
+            store.append(
+                "fleet_polled_agents_total", labels, polled, at, kind="counter"
+            )
+            store.append(
+                "fleet_tick_busy_seconds_total", labels, busy, at,
+                kind="counter",
+            )
+        return store
+
+    def test_pairs_walk_scrape_increases(self):
+        store = self._store_with_ticks()
+        pairs = capacity_pairs_from_store(store)
+        assert [n for n, _ in pairs] == [4.0, 8.0, 4.0, 2.0]
+        assert [busy for _, busy in pairs] == pytest.approx(
+            [0.04, 0.08, 0.04, 0.02]
+        )
+
+    def test_model_from_store(self):
+        model = model_from_store(self._store_with_ticks(per_node=0.02))
+        assert model.per_node_seconds == pytest.approx(0.02, rel=1e-6)
+        assert model.max_nodes(1.0) == pytest.approx(50.0)
+
+    def test_sources_fit_independently_then_pool(self):
+        store = self._store_with_ticks(source="shard-0")
+        other = self._store_with_ticks(source="shard-1")
+        for series in other.series():
+            for at, value in series.raw:
+                store.append(
+                    series.name, dict(series.labels), value, at,
+                    kind=series.kind,
+                )
+        pairs = capacity_pairs_from_store(store)
+        assert len(pairs) == 8  # 4 per federated source
+
+    def test_store_without_tick_series_has_no_pairs(self):
+        assert capacity_pairs_from_store(TsdbStore()) == []
+
+
+class TestShareRule:
+    def test_shares_sum_to_one_over_positive_groups(self):
+        store = TsdbStore()
+        for at, (replay, quote) in ((600.0, (3.0, 1.0)), (1200.0, (9.0, 3.0))):
+            store.append(
+                "verifier_stage_wall_seconds_sum", {"stage": "log_replay"},
+                replay, at, kind="counter",
+            )
+            store.append(
+                "verifier_stage_wall_seconds_sum", {"stage": "quote_verify"},
+                quote, at, kind="counter",
+            )
+        rule = ShareRule(
+            "fleet:stage_cost_share", "verifier_stage_wall_seconds_sum",
+            window=3600.0, by=("stage",),
+        )
+        assert rule.evaluate(store, 1200.0) == 2
+        shares = {
+            series.label("stage"): series.instant(1200.0)
+            for series in store.select("fleet:stage_cost_share")
+        }
+        assert shares["log_replay"] == pytest.approx(0.75)
+        assert shares["quote_verify"] == pytest.approx(0.25)
+
+    def test_idle_window_writes_nothing(self):
+        store = TsdbStore()
+        rule = ShareRule(
+            "fleet:stage_cost_share", "verifier_stage_wall_seconds_sum",
+            window=3600.0, by=("stage",),
+        )
+        assert rule.evaluate(store, 1200.0) == 0
+        assert store.select("fleet:stage_cost_share") == []
+
+
+def _delay_saturated_fleet(n_nodes=3, tick_budget=2.0):
+    """A small fleet whose every batch tick overruns its budget.
+
+    The ``delay`` chaos profile injects 0.6-1.8s per wire leg with
+    probability 1 (always under the 2s attempt timeout, so every
+    delivery succeeds).  With 3 nodes x 2 legs x >=0.6s a tick's
+    injected delay alone is >=3.6s against a 2s budget -- saturation by
+    construction, deterministic in sim-time.
+    """
+    rng = SeededRng("saturation-e2e")
+    scheduler = Scheduler()
+    events = EventLog()
+    telemetry = obs_runtime.get()
+    telemetry.bind_clock(scheduler.clock)
+    archive = UbuntuArchive()
+    base = build_base_system(
+        rng.fork("base"), n_filler_packages=6, mean_exec_files=3,
+    )
+    archive.seed(base)
+    mirror = LocalMirror(archive, events=events)
+    mirror.sync(0.0)
+    generator = DynamicPolicyGenerator(mirror, events=events, rng=rng.fork("gen"))
+    policy, _ = generator.generate_full(
+        list(IBM_STYLE_EXCLUDES), {"5.15.0-91-generic"}
+    )
+    plan = chaos_profile("delay", rng.fork("chaos"))
+    fleet = Fleet(
+        n_nodes, mirror, TpmManufacturer("Sat", rng.fork("tpm")),
+        scheduler, rng.fork("fleet"), policy,
+        events=events, fault_plan=plan, tick_budget=tick_budget,
+    )
+    return fleet, scheduler
+
+
+class TestChaosDelaySaturation:
+    """End to end: injected wire latency saturates the batch scheduler,
+    the accountant flags it, the health stack alerts and burns the
+    freshness-headroom SLO, and the incident correlator files it."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        previous = obs_runtime.get()
+        obs_runtime.activate(clock=None)
+        try:
+            fleet, scheduler = _delay_saturated_fleet()
+            watch = HealthWatch(tick_interval=POLL)
+            fleet.start_polling(POLL)
+            fleet.watch_health(watch, POLL)
+            scheduler.run_until(days(1))
+            end = scheduler.clock.now
+            watch.finalize(end)
+            yield fleet, watch, end
+        finally:
+            if previous.enabled:
+                obs_runtime.activate(previous)
+            else:
+                obs_runtime.deactivate()
+
+    def test_nodes_stay_green_through_the_delays(self, run):
+        fleet, _, _ = run
+        assert set(fleet.status().values()) == {"attesting"}
+
+    def test_every_tick_overran(self, run):
+        fleet, _, _ = run
+        acct = fleet.poll_scheduler.accounting
+        assert acct.ticks > 0
+        assert acct.overruns == acct.ticks
+        assert all(record.overrun for record in acct.records)
+        assert all(
+            record.delay_seconds >= 3.6 for record in acct.records
+        )
+
+    def test_saturation_event_at_the_deterministic_tick(self, run):
+        fleet, _, end = run
+        fired = [
+            record
+            for record in fleet.events.records_between(0.0, end)
+            if record.kind == "fleet.saturated"
+        ]
+        # Overrun ticks at 600/1200/1800 => detector (3 consecutive)
+        # fires exactly at the third tick, once for the whole run.
+        assert [record.time for record in fired] == [3 * POLL]
+        assert fired[0].details["timer"] == "fleet-poll-batch"
+        assert fleet.poll_scheduler.accounting.saturated
+
+    def test_health_alert_and_incident(self, run):
+        _, watch, _ = run
+        rules = [alert.rule for alert in watch.engine.history]
+        assert "health.verifier_saturated" in rules
+        first = next(
+            alert for alert in watch.engine.history
+            if alert.rule == "health.verifier_saturated"
+        )
+        assert first.time == 3 * POLL  # same monitor tick the gauge rose
+        assert any(
+            report.alert["rule"] == "health.verifier_saturated"
+            for report in watch.incidents
+        )
+
+    def test_freshness_headroom_slo_burns(self, run):
+        _, watch, _ = run
+        headroom = watch.monitor.slos.freshness_headroom
+        assert headroom is not None
+        assert headroom.total > 0
+        assert headroom.total_bad == headroom.total  # every tick overran
+        assert "slo.freshness_headroom.burn" in {
+            alert.rule for alert in watch.engine.history
+        }
+
+    def test_accounting_metrics_reached_the_registry(self, run):
+        fleet, watch, _ = run
+        registry = watch.monitor.registry
+        assert registry.get("fleet_saturated").value == 1.0
+        ticks = registry.get("fleet_ticks_total").value
+        assert ticks == fleet.poll_scheduler.accounting.ticks
+        assert registry.get("fleet_tick_utilization").value > 1.0

@@ -187,3 +187,41 @@ class TestScheduler:
         handle = sched.call_at(7.0, lambda: None, label="poll")
         assert handle.when == 7.0
         assert handle.label == "poll"
+
+
+class TestRepeatingHandle:
+    def test_exposes_timer_metadata_and_fire_bookkeeping(self):
+        sched = Scheduler()
+        handle = sched.every(10.0, lambda: None, label="fleet-poll-batch")
+        assert handle.label == "fleet-poll-batch"
+        assert handle.interval == 10.0
+        assert handle.fires == 0 and handle.last_fired_at is None
+        sched.run_until(35.0)
+        assert handle.fires == 3
+        assert handle.last_fired_at == 30.0
+        assert not handle.stopped
+
+    def test_stop_method_and_call_are_equivalent(self):
+        sched = Scheduler()
+        ticks = []
+        handle = sched.every(10.0, lambda: ticks.append(sched.clock.now))
+        sched.run_until(15.0)
+        handle.stop()
+        assert handle.stopped
+        handle.stop()  # idempotent
+        sched.run_until(100.0)
+        assert ticks == [10.0]
+        # Back-compat: the handle is also callable-as-stop.
+        other = sched.every(10.0, lambda: ticks.append(sched.clock.now))
+        other()
+        assert other.stopped
+        sched.run_until(200.0)
+        assert ticks == [10.0]
+
+    def test_stopped_handle_never_reschedules(self):
+        sched = Scheduler()
+        handle = sched.every(10.0, lambda: None)
+        handle.stop()
+        sched.run_until(100.0)
+        assert handle.fires == 0
+        assert len(sched) == 0

@@ -42,12 +42,23 @@ def _verdict_sequences(result):
     }
 
 
+# Counter/gauge families whose values derive from perf_counter wall time
+# rather than the simulated clock; like the histograms below, they differ
+# between two otherwise-identical runs.
+_WALL_CLOCK_FAMILIES = {
+    "fleet_tick_busy_seconds_total",
+    "fleet_tick_utilization",
+}
+
+
 def _counter_snapshot(registry) -> dict:
     """Counters and gauges only: wall-clock histograms are excluded
     (perf_counter latencies are real time, not simulated time)."""
     snapshot = {}
     for family in registry.families():
         if family.kind == "histogram":
+            continue
+        if family.name in _WALL_CLOCK_FAMILIES:
             continue
         snapshot[family.name] = sorted(
             (tuple(sorted(labels.items())), child.value)

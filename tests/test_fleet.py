@@ -215,3 +215,41 @@ class TestSharedVerdictCache:
         results = fleet.poll_scheduler.poll_batch()
         assert victim.agent.agent_id not in results  # FAILED: not re-polled
         assert len(results) == len(fleet) - 1
+
+    def test_register_deduplicates_and_keeps_batch_order(self, world):
+        fleet, _, _ = world
+        batch = fleet.poll_scheduler
+        before = batch.agents
+        # Re-onboarding an existing agent must not duplicate its slot.
+        batch.register(before[0])
+        batch.register(before[-1])
+        assert batch.agents == before
+        batch.register("agent-late-joiner")
+        assert batch.agents == before + ("agent-late-joiner",)
+
+    def test_skipped_nodes_are_accounted(self, world):
+        from repro.obs import runtime as obs_runtime
+
+        fleet, _, _ = world
+        victim = fleet.node("node-003")
+        victim.machine.install_file("/usr/bin/implant", b"x", executable=True)
+        victim.machine.exec_file("/usr/bin/implant")
+        fleet.poll_all()
+        previous = obs_runtime.get()
+        telemetry = obs_runtime.activate(clock=None)
+        try:
+            fleet.poll_scheduler.poll_batch()
+            span = telemetry.tracer.last_trace()
+            assert span.name == "fleet.poll_batch"
+            assert span.attributes["skipped"] == 1
+            skipped = telemetry.registry.get("fleet_poll_skipped_total")
+            assert skipped is not None and skipped.value == 1.0
+        finally:
+            if previous.enabled:
+                obs_runtime.activate(previous)
+            else:
+                obs_runtime.deactivate()
+        record = fleet.poll_scheduler.accounting.records[-1]
+        assert record.skipped == 1
+        assert record.registered == len(fleet)
+        assert record.polled == len(fleet) - 1

@@ -355,10 +355,11 @@ class TestAlertEngine:
 
 
 class TestStandardDefinitions:
-    def test_standard_slos_cover_the_three_objectives(self):
+    def test_standard_slos_cover_the_four_objectives(self):
         slos = standard_slos()
         assert [t.name for t in slos.all()] == [
             "attestation_freshness", "poll_success", "detection_latency",
+            "freshness_headroom",
         ]
 
     def test_burn_rule_windows_scale_with_poll_cadence(self):
