@@ -1,0 +1,133 @@
+"""Push-mode vs pull-mode attestation throughput at fleet scale.
+
+The push exchange (negotiate -> submit -> verdict) replaces one
+challenge/response round-trip with three protocol frames, but the
+verification work -- quote check, log replay, policy evaluation -- is
+the shared pipeline either way.  This bench prices the protocol
+overhead at a 50-node fleet: the same seeded fleet attested for N
+rounds in pull mode and in push mode, verdict-equivalence asserted,
+wall cost per round compared.  The durable-state layer rides along:
+one snapshot/restore cycle of the 50-node verifier is timed too, since
+a crash-resume story is only practical if the snapshot is cheap.
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI) shrinks the fleet and
+round count so the equivalence and cost assertions run in seconds.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+from repro.common.clock import Scheduler
+from repro.common.events import EventLog
+from repro.common.rng import SeededRng
+from repro.distro.archive import UbuntuArchive
+from repro.distro.mirror import LocalMirror
+from repro.distro.workload import build_base_system
+from repro.dynpolicy.generator import DynamicPolicyGenerator
+from repro.keylime.fleet import Fleet
+from repro.keylime.policy import IBM_STYLE_EXCLUDES
+from repro.keylime.statestore import restore_from_file, write_snapshot
+from repro.tpm.device import TpmManufacturer
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+N_NODES = 8 if SMOKE else 50
+N_ROUNDS = 4 if SMOKE else 12
+ROUND_INTERVAL = 1800.0
+KERNEL = "5.15.0-91-generic"
+
+
+def _build_fleet(push_mode: bool) -> Fleet:
+    rng = SeededRng("push-bench")
+    scheduler = Scheduler()
+    events = EventLog()
+    archive = UbuntuArchive()
+    base = build_base_system(
+        rng.fork("base"), n_filler_packages=10,
+        mean_exec_files=5.0, kernel_version=KERNEL,
+    )
+    archive.seed(base)
+    mirror = LocalMirror(archive, events=events)
+    mirror.sync(0.0)
+    generator = DynamicPolicyGenerator(mirror, events=events, rng=rng.fork("gen"))
+    policy, _ = generator.generate_full(list(IBM_STYLE_EXCLUDES), {KERNEL})
+    manufacturer = TpmManufacturer("Bench", rng.fork("tpm"))
+    return Fleet(
+        N_NODES, mirror, manufacturer, scheduler, rng.fork("fleet"), policy,
+        events=events, kernel_version=KERNEL, wire_transport=True,
+        push_mode=push_mode,
+    )
+
+
+def _run_rounds(fleet: Fleet) -> float:
+    """Time N whole-fleet attestation rounds (build cost excluded)."""
+    start = perf_counter()
+    for _ in range(N_ROUNDS):
+        fleet.scheduler.clock.advance_by(ROUND_INTERVAL)
+        fleet.poll_scheduler.poll_batch()
+    return perf_counter() - start
+
+
+def _results(fleet: Fleet):
+    return {
+        node.agent.agent_id: fleet.verifier.results_of(node.agent.agent_id)
+        for node in fleet.nodes
+    }
+
+
+def test_push_vs_pull_throughput(benchmark, emit, tmp_path):
+    pull_fleet = _build_fleet(push_mode=False)
+    pull_s = _run_rounds(pull_fleet)
+
+    push_fleet = _build_fleet(push_mode=True)
+    push_s = benchmark.pedantic(
+        lambda: _run_rounds(push_fleet), rounds=1, iterations=1,
+    )
+
+    # The tentpole property, asserted where it is priced: first
+    # N_ROUNDS of verdict history identical across modes.
+    pull_results = _results(pull_fleet)
+    push_results = _results(push_fleet)
+    for agent_id, expected in pull_results.items():
+        assert push_results[agent_id][:N_ROUNDS] == expected[:N_ROUNDS], agent_id
+
+    rounds_total = N_NODES * N_ROUNDS
+    per_round = lambda seconds: seconds / rounds_total * 1e6  # noqa: E731
+
+    snapshot_path = tmp_path / "bench.snap"
+    snap_start = perf_counter()
+    header = write_snapshot(snapshot_path, push_fleet.verifier)
+    snap_s = perf_counter() - snap_start
+    twin = _build_fleet(push_mode=True)
+    restore_start = perf_counter()
+    restore_from_file(twin.verifier, snapshot_path)
+    restore_s = perf_counter() - restore_start
+
+    emit()
+    emit(f"Push vs pull attestation ({N_NODES} nodes x {N_ROUNDS} rounds"
+         f"{', smoke' if SMOKE else ''})")
+    emit(f"  pull (challenge/response): {per_round(pull_s):9.1f} us/round")
+    emit(f"  push (negotiate/submit):   {per_round(push_s):9.1f} us/round "
+         f"({push_s / pull_s - 1.0:+.1%})")
+    emit(f"  verdict equivalence:       {rounds_total} rounds bit-identical")
+    emit(f"  snapshot {header['body_bytes'] / 1024.0:.0f} KiB: "
+         f"write {snap_s * 1e3:.1f} ms, restore {restore_s * 1e3:.1f} ms "
+         f"({header['agents']} agents)")
+
+    benchmark.extra_info["push_mode"] = {
+        "nodes": N_NODES,
+        "rounds": N_ROUNDS,
+        "pull_us_per_round": round(per_round(pull_s), 2),
+        "push_us_per_round": round(per_round(push_s), 2),
+        "push_over_pull": round(push_s / pull_s, 3),
+        "snapshot_bytes": header["body_bytes"],
+        "snapshot_write_ms": round(snap_s * 1e3, 3),
+        "snapshot_restore_ms": round(restore_s * 1e3, 3),
+    }
+    # Three frames instead of two legs: protocol overhead must stay
+    # within an order of magnitude of pull (loose bound for CI boxes).
+    assert push_s < pull_s * 10.0
+    assert all(
+        result.ok for results in push_results.values() for result in results
+    )

@@ -227,9 +227,11 @@ def _cmd_obs_watch(args: argparse.Namespace) -> int:
                 p2=P2Injection() if args.inject_p2 else None,
                 watch=watch,
                 chaos=chaos,
+                push_mode=args.push,
             )
-            print(f"fleet: {len(result.fleet)} nodes, {result.total_polls} polls; "
-                  f"status: {result.status}")
+            mode = "push" if args.push else "pull"
+            print(f"fleet ({mode}): {len(result.fleet)} nodes, "
+                  f"{result.total_polls} rounds; status: {result.status}")
             if result.fault_plan is not None:
                 counts = result.fault_plan.counts_by_kind()
                 injected = ", ".join(
@@ -267,6 +269,7 @@ def _cmd_obs_watch(args: argparse.Namespace) -> int:
             run_meta = {
                 "type": "run_meta",
                 "scenario": args.scenario,
+                "push_mode": bool(args.push and args.scenario == "fleet"),
                 "seed": str(args.seed),
                 "days": args.days,
                 "poll_interval": watch.poll_interval,
@@ -694,6 +697,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="day the P2 decoy lands (longrun scenario only)",
     )
     watch.add_argument(
+        "--push", action="store_true",
+        help="push-mode attestation: agents drive their own "
+             "negotiate/submit/verdict exchanges on their own timers and "
+             "the verifier tick only reaps expired sessions (fleet "
+             "scenario only; verdict-equivalent to pull on the same seed)",
+    )
+    watch.add_argument(
         "--chaos-profile", default=None,
         help="inject seeded transport faults: a repro.keylime.faults "
              "profile name (drops, flaky, partition, transient-mixed, "
@@ -917,6 +927,53 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("policy_file")
     stats.set_defaults(func=_cmd_stats)
 
+    state = commands.add_parser(
+        "state",
+        help="durable verifier state: snapshot a seeded fleet run, "
+             "inspect a snapshot, restore and resume from one",
+    )
+    state_commands = state.add_subparsers(dest="state_command", required=True)
+
+    state_save = state_commands.add_parser(
+        "save", help="run a seeded fleet and snapshot the verifier state"
+    )
+    state_save.add_argument("snapshot_file", help="where to write the snapshot")
+    state_save.add_argument("--nodes", type=int, default=3)
+    state_save.add_argument(
+        "--rounds", type=int, default=4,
+        help="attestation rounds per agent before the snapshot",
+    )
+    state_save.add_argument(
+        "--interval", type=float, default=1800.0,
+        help="simulated seconds between rounds",
+    )
+    state_save.add_argument(
+        "--push", action="store_true",
+        help="drive the rounds through the push exchange",
+    )
+    state_save.set_defaults(func=_cmd_state_save)
+
+    state_inspect = state_commands.add_parser(
+        "inspect", help="print a snapshot's header and per-agent summary"
+    )
+    state_inspect.add_argument("snapshot_file")
+    state_inspect.add_argument(
+        "--json", action="store_true", help="machine-readable summary"
+    )
+    state_inspect.set_defaults(func=_cmd_state_inspect)
+
+    state_load = state_commands.add_parser(
+        "load",
+        help="rebuild the rig from the snapshot's meta, restore the "
+             "verifier, optionally resume more rounds",
+    )
+    state_load.add_argument("snapshot_file")
+    state_load.add_argument(
+        "--resume", type=int, default=0,
+        help="attestation rounds to run after the restore",
+    )
+    state_load.set_defaults(func=_cmd_state_load)
+
     return parser
 
 
@@ -972,6 +1029,160 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print("top directories:")
     for directory, count in stats.top_directories:
         print(f"  {count:>6}  {directory}")
+    return 0
+
+
+def _build_state_fleet(
+    seed: str, n_nodes: int, fillers: int, push_mode: bool
+):
+    """A deterministic fleet rig for snapshot save/load round-trips.
+
+    Provisioning is a pure function of ``(seed, n_nodes, fillers)`` and
+    there is no release stream, so ``state load`` can rebuild machines
+    bit-identical to the ones ``state save`` attested -- the snapshot
+    only needs to carry the verifier's side of the world.
+    """
+    from repro.common.clock import Scheduler
+    from repro.common.events import EventLog
+    from repro.common.rng import SeededRng
+    from repro.distro.archive import UbuntuArchive
+    from repro.distro.mirror import LocalMirror
+    from repro.distro.workload import build_base_system
+    from repro.dynpolicy.generator import DynamicPolicyGenerator
+    from repro.keylime.fleet import Fleet
+    from repro.keylime.policy import IBM_STYLE_EXCLUDES
+    from repro.tpm.device import TpmManufacturer
+
+    kernel = "5.15.0-91-generic"
+    rng = SeededRng(seed)
+    scheduler = Scheduler()
+    events = EventLog()
+    archive = UbuntuArchive()
+    base = build_base_system(
+        rng.fork("base"), n_filler_packages=fillers,
+        mean_exec_files=6.0, kernel_version=kernel,
+    )
+    archive.seed(base)
+    mirror = LocalMirror(archive, events=events)
+    mirror.sync(0.0)
+    generator = DynamicPolicyGenerator(mirror, events=events, rng=rng.fork("gen"))
+    policy, _ = generator.generate_full(list(IBM_STYLE_EXCLUDES), {kernel})
+    manufacturer = TpmManufacturer("Infineon", rng.fork("tpm"))
+    return Fleet(
+        n_nodes, mirror, manufacturer, scheduler, rng.fork("fleet"), policy,
+        events=events, kernel_version=kernel, wire_transport=True,
+        push_mode=push_mode,
+    )
+
+
+def _drive_state_rounds(fleet, rounds: int, interval: float) -> None:
+    for _ in range(rounds):
+        fleet.scheduler.clock.advance_by(interval)
+        fleet.poll_scheduler.poll_batch()
+
+
+def _cmd_state_save(args: argparse.Namespace) -> int:
+    from repro.keylime.statestore import write_snapshot
+
+    fleet = _build_state_fleet(
+        str(args.seed), args.nodes, args.fillers, args.push
+    )
+    _drive_state_rounds(fleet, args.rounds, args.interval)
+    meta = {
+        "rig": "state-fleet",
+        "seed": str(args.seed),
+        "nodes": args.nodes,
+        "fillers": args.fillers,
+        "rounds": args.rounds,
+        "interval": args.interval,
+        "push_mode": args.push,
+    }
+    header = write_snapshot(args.snapshot_file, fleet.verifier, meta=meta)
+    mode = "push" if args.push else "pull"
+    print(f"snapshot written to {args.snapshot_file}")
+    print(f"  mode: {mode}, agents: {header['agents']}, "
+          f"rounds per agent: {args.rounds}")
+    print(f"  sim time: {header['created_at']:.0f}s, "
+          f"body: {header['body_bytes']} bytes, "
+          f"sha256: {header['checksum'][:16]}...")
+    return 0
+
+
+def _cmd_state_inspect(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.common.errors import IntegrityError
+    from repro.keylime.statestore import inspect_snapshot
+
+    try:
+        summary = inspect_snapshot(args.snapshot_file)
+    except IntegrityError as exc:
+        print(f"snapshot rejected: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json_module.dumps(summary, sort_keys=True, indent=2))
+        return 0
+    print(f"{summary['path']}: verifier snapshot v{summary['version']}")
+    print(f"  created at:         {summary['created_at']:.0f}s sim time")
+    print(f"  agents:             {summary['agents']}")
+    for state, count in sorted(summary["states"].items()):
+        print(f"    {state:<12s} {count}")
+    print(f"  open push sessions: {summary['open_push_sessions']}")
+    print(f"  results recorded:   {summary['results']}")
+    print(f"  audit records:      {summary['audit_records']}")
+    if summary.get("meta"):
+        print(f"  meta:               {summary['meta']}")
+    return 0
+
+
+def _cmd_state_load(args: argparse.Namespace) -> int:
+    from repro.common.errors import IntegrityError
+    from repro.keylime.statestore import read_snapshot, restore_verifier
+
+    try:
+        body = read_snapshot(args.snapshot_file)
+    except IntegrityError as exc:
+        print(f"snapshot rejected: {exc}", file=sys.stderr)
+        return 1
+    meta = body.get("meta") or {}
+    if meta.get("rig") != "state-fleet":
+        print("snapshot was not written by `state save` (no state-fleet "
+              "meta); use repro.keylime.statestore.restore_verifier with "
+              "your own rig instead", file=sys.stderr)
+        return 2
+
+    fleet = _build_state_fleet(
+        str(meta["seed"]), int(meta["nodes"]), int(meta["fillers"]),
+        bool(meta["push_mode"]),
+    )
+    try:
+        restored = restore_verifier(fleet.verifier, body)
+    except IntegrityError as exc:
+        print(f"snapshot rejected: {exc}", file=sys.stderr)
+        return 1
+    fleet.scheduler.clock.advance_to(float(body["created_at"]))
+    mode = "push" if meta["push_mode"] else "pull"
+    print(f"restored {len(restored)} agent(s) from {args.snapshot_file} "
+          f"({mode} mode, zero re-enrollments)")
+    for agent_id in restored:
+        slot_state = fleet.verifier.state_of(agent_id).value
+        offset = fleet.verifier.verified_entries_of(agent_id)
+        print(f"  {agent_id:<16s} state={slot_state:<12s} "
+              f"replay offset={offset}")
+    if args.resume > 0:
+        _drive_state_rounds(fleet, args.resume, float(meta["interval"]))
+        print(f"resumed {args.resume} round(s):")
+        for agent_id in restored:
+            results = fleet.verifier.results_of(agent_id)
+            fresh = results[-args.resume:]
+            green = sum(1 for result in fresh if result.ok)
+            print(f"  {agent_id:<16s} {green}/{len(fresh)} green, "
+                  f"offset now {fleet.verifier.verified_entries_of(agent_id)}")
+        if fleet.verifier.audit is not None:
+            fleet.verifier.audit.verify_chain()
+            print(f"audit chain verified: "
+                  f"{len(fleet.verifier.audit)} records, "
+                  f"head {fleet.verifier.audit.head_hash[:16]}...")
     return 0
 
 

@@ -39,6 +39,21 @@ class SeededRng:
         child = SeededRng(_material=material, seed=f"{self.seed_repr}/{name}")
         return child
 
+    # -- persistence ---------------------------------------------------
+
+    def getstate(self) -> tuple:
+        """The underlying generator state (for durable snapshots)."""
+        return self._random.getstate()
+
+    def setstate(self, state: tuple) -> None:
+        """Restore a state captured by :meth:`getstate`.
+
+        The snapshot layer round-trips the state through JSON, which
+        turns the inner tuple into a list; normalise either shape.
+        """
+        version, internal, gauss_next = state
+        self._random.setstate((version, tuple(internal), gauss_next))
+
     # -- draws ---------------------------------------------------------
 
     def random(self) -> float:

@@ -148,6 +148,7 @@ def run_fleet_scenario(
     watch=None,
     wire_transport: bool = True,
     chaos: ChaosInjection | None = None,
+    push_mode: bool = False,
 ) -> FleetScenarioResult:
     """Provision a fleet and run *n_days* of polling plus daily updates.
 
@@ -160,7 +161,11 @@ def run_fleet_scenario(
     :class:`repro.keylime.fleet.Fleet`.  *chaos* installs a seeded
     fault plan on every node's wire plus the paired retry policy and
     quarantine budget (see :class:`ChaosInjection`); the run stays
-    deterministic per (seed, chaos) pair.
+    deterministic per (seed, chaos) pair.  *push_mode* inverts the
+    attestation direction: agents drive their own push exchanges on
+    their own timers and the verifier's tick only reaps expired
+    sessions -- verdict-for-verdict equivalent to pull mode on the same
+    seed.
     """
     rng = SeededRng(seed)
     scheduler = Scheduler()
@@ -206,6 +211,7 @@ def run_fleet_scenario(
         wire_transport=wire_transport,
         fault_plan=fault_plan, retry_policy=retry_policy,
         quarantine_after=quarantine_after,
+        push_mode=push_mode,
     )
     result = FleetScenarioResult(
         fleet=fleet, n_days=n_days, p2=p2, chaos=chaos, fault_plan=fault_plan

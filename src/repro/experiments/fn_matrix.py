@@ -88,20 +88,30 @@ def run_attack_trial(
     mitigated: bool,
     seed: int | str = 0,
     config: TestbedConfig | None = None,
+    push: bool = False,
 ) -> AttackTrial:
-    """Run one sample in one mode on a fresh testbed."""
+    """Run one sample in one mode on a fresh testbed.
+
+    With *push* the agent drives every round through the push exchange
+    (negotiate -> submit -> verdict) instead of being polled; on the
+    same seed the trial outcome must be identical either way.
+    """
     if config is None:
         config = TestbedConfig(seed=f"{seed}/{sample.name}/{mode.value}")
     testbed = build_testbed(config)
     if mitigated:
         apply_all(testbed.machine, testbed.verifier, testbed.policy)
 
-    # Clean steady state: some benign activity, then a green poll.
+    def attest_round():
+        return testbed.push_round() if push else testbed.poll()
+
+    # Clean steady state: some benign activity, then a green round.
     testbed.workload.daily(5)
-    baseline = testbed.poll()
-    if not baseline.ok:
+    baseline = attest_round()
+    if baseline is None or not baseline.ok:
         raise RuntimeError(
-            f"testbed not clean before attack {sample.name}: {baseline.failures}"
+            f"testbed not clean before attack {sample.name}: "
+            f"{baseline.failures if baseline else 'round abandoned'}"
         )
 
     attack_start = testbed.scheduler.clock.now
@@ -110,7 +120,7 @@ def run_attack_trial(
     testbed.scheduler.clock.advance_by(60.0)
 
     # The verifier's next round (stock Keylime polls until it halts).
-    testbed.poll()
+    attest_round()
     live_failures = _attack_failures(testbed, report, attack_start)
 
     # Fresh attestation after a reboot: persistence relaunches, the
@@ -128,7 +138,7 @@ def run_attack_trial(
         spec.relaunch(testbed.machine)
     testbed.verifier.restart_attestation(testbed.agent_id)
     testbed.scheduler.clock.advance_by(60.0)
-    testbed.poll()
+    attest_round()
     reboot_failures = _attack_failures(
         testbed, report, attack_start + 120.0 + 60.0
     )
@@ -150,6 +160,7 @@ def run_attack_matrix(
     seed: int | str = 0,
     modes: tuple[AttackMode, ...] = (AttackMode.BASIC, AttackMode.ADAPTIVE),
     samples: list[AttackSample] | None = None,
+    push: bool = False,
 ) -> FnMatrixResult:
     """Run the full matrix for one ruleset."""
     samples = samples if samples is not None else all_attacks()
@@ -157,6 +168,8 @@ def run_attack_matrix(
     for sample in samples:
         for mode in modes:
             result.trials.append(
-                run_attack_trial(sample, mode, mitigated=mitigated, seed=seed)
+                run_attack_trial(
+                    sample, mode, mitigated=mitigated, seed=seed, push=push
+                )
             )
     return result

@@ -104,6 +104,10 @@ class Testbed:
         """One verifier round against the agent."""
         return self.verifier.poll(self.agent_id)
 
+    def push_round(self):
+        """One agent-initiated push round (negotiate -> submit -> verdict)."""
+        return self.verifier.push_round(self.agent_id)
+
     def new_policy_failures(self, since: float):
         """Policy failures recorded at or after *since*."""
         return [

@@ -34,8 +34,19 @@ from repro.keylime.policytools import (
     lint_excludes,
     policy_statistics,
 )
+from repro.keylime.statestore import (
+    inspect_snapshot,
+    read_snapshot,
+    restore_from_file,
+    restore_verifier,
+    snapshot_verifier,
+    write_snapshot,
+)
 from repro.keylime.transport import (
     JsonTransportAgent,
+    PushAgentClient,
+    PushSession,
+    PushSessionState,
     evidence_from_json,
     evidence_to_json,
 )
@@ -56,7 +67,9 @@ from repro.keylime.pipeline import (
     PolicyEvalStage,
     QuoteVerifyStage,
     RoundContext,
+    SubmittedEvidenceStage,
     VerificationPipeline,
+    push_stages,
 )
 from repro.keylime.policy import (
     EntryVerdict,
@@ -108,6 +121,9 @@ __all__ = [
     "PolicyEvalStage",
     "PolicyFailure",
     "PolicyStatistics",
+    "PushAgentClient",
+    "PushSession",
+    "PushSessionState",
     "QuarantineListener",
     "QuoteVerifyStage",
     "RegistrationError",
@@ -115,6 +131,7 @@ __all__ = [
     "RevocationNotifier",
     "RoundContext",
     "RuntimePolicy",
+    "SubmittedEvidenceStage",
     "VerdictCache",
     "VerificationPipeline",
     "build_policy_from_machine",
@@ -122,6 +139,13 @@ __all__ = [
     "diff_policies",
     "evidence_from_json",
     "evidence_to_json",
+    "inspect_snapshot",
     "lint_excludes",
     "policy_statistics",
+    "push_stages",
+    "read_snapshot",
+    "restore_from_file",
+    "restore_verifier",
+    "snapshot_verifier",
+    "write_snapshot",
 ]

@@ -26,6 +26,27 @@ from repro.tpm.quote import Quote
 
 
 @dataclass(frozen=True)
+class PushCapabilities:
+    """What the agent announces when it opens a push exchange.
+
+    The negotiation step of the push protocol starts with the agent
+    describing itself: which hash algorithms its TPM banks support,
+    how long its IMA measurement list currently is, and its TPM reset
+    (boot) counter.  The verifier uses the log length and boot count to
+    choose the delta offset for the submission -- a changed boot count
+    means the log restarted and the whole list must be re-shipped.
+
+    The capabilities are *hints*, not security inputs: the quote's own
+    reset counter is what actually resets the verifier's replay state,
+    so a lying agent gains nothing beyond an extra exchange.
+    """
+
+    hash_algorithms: tuple[str, ...]
+    log_length: int
+    boot_count: int
+
+
+@dataclass(frozen=True)
 class AttestationEvidence:
     """What the agent returns for one challenge.
 
@@ -68,6 +89,20 @@ class KeylimeAgent:
         if self._ak is None:
             self._ak = self.machine.tpm.create_ak()
         return self._ak
+
+    def capabilities(self) -> PushCapabilities:
+        """The agent's push-negotiation announcement.
+
+        Read fresh on every negotiation: the log length and boot count
+        describe the machine *now*, which is what lets the verifier pick
+        the right delta offset before any evidence is produced.
+        """
+        ima = self.machine.require_booted()
+        return PushCapabilities(
+            hash_algorithms=tuple(sorted(self.machine.tpm.banks)),
+            log_length=len(ima.log_lines()),
+            boot_count=self.machine.tpm.reset_count,
+        )
 
     def attest(
         self, nonce: str, offset: int = 0, pcr_selection: list[int] | None = None

@@ -119,6 +119,51 @@ class AuditLog:
                 )
             previous = record.record_hash
 
+    def export_records(self) -> list[dict[str, Any]]:
+        """JSON-safe encoding of the full chain (for durable snapshots)."""
+        return [
+            {
+                "index": record.index,
+                "time": record.time,
+                "agent_id": record.agent_id,
+                "ok": record.ok,
+                "detail": record.detail,
+                "previous_hash": record.previous_hash,
+                "record_hash": record.record_hash,
+            }
+            for record in self._records
+        ]
+
+    def restore_records(self, records: list[dict[str, Any]]) -> None:
+        """Replace the chain with exported records; verifies every link.
+
+        Raises :class:`IntegrityError` if the imported chain does not
+        verify -- a snapshot whose audit history was edited must fail
+        loudly, never load quietly.
+        """
+        try:
+            rebuilt = [
+                AuditRecord(
+                    index=int(record["index"]),
+                    time=float(record["time"]),
+                    agent_id=str(record["agent_id"]),
+                    ok=bool(record["ok"]),
+                    detail=dict(record["detail"]),
+                    previous_hash=str(record["previous_hash"]),
+                    record_hash=str(record["record_hash"]),
+                )
+                for record in records
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise IntegrityError(f"malformed audit record in snapshot: {exc}") from exc
+        previous_records = self._records
+        self._records = rebuilt
+        try:
+            self.verify_chain()
+        except IntegrityError:
+            self._records = previous_records
+            raise
+
     def tamper_evident_summary(self) -> dict[str, Any]:
         """Counts plus the head hash an external anchor would pin."""
         return {

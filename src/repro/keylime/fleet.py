@@ -89,8 +89,10 @@ class VerificationScheduler:
         events: EventLog | None = None,
         tick_budget: float | None = None,
         overrun_ticks: int = 3,
+        push_mode: bool = False,
     ) -> None:
         self.verifier = verifier
+        self.push_mode = push_mode
         self._agents: list[str] = []
         # Set-backed membership index: `register` is called once per
         # node at provision time but also on every re-onboard, and the
@@ -98,6 +100,11 @@ class VerificationScheduler:
         # the batch order.
         self._registered: set[str] = set()
         self._stop: object | None = None
+        self._push_timers: list = []
+        # Push-cadence accounting accumulators, flushed by the reap tick.
+        self._push_wall = 0.0
+        self._push_polled = 0
+        self._push_skipped = 0
         self.accounting = TickBudgetAccountant(
             budget=tick_budget, overrun_ticks=overrun_ticks, events=events,
         )
@@ -114,7 +121,14 @@ class VerificationScheduler:
         return tuple(self._agents)
 
     def poll_batch(self) -> dict[str, AttestationResult]:
-        """One attestation round for every still-attesting agent."""
+        """One attestation round for every still-attesting agent.
+
+        In push mode this delegates to :meth:`push_batch`: the same
+        agents, in the same order, drive their own negotiate/submit
+        exchanges instead of being polled.
+        """
+        if self.push_mode:
+            return self.push_batch()
         telemetry = obs.get()
         results: dict[str, AttestationResult] = {}
         skipped = 0
@@ -149,6 +163,83 @@ class VerificationScheduler:
         )
         return results
 
+    def push_batch(self) -> dict[str, AttestationResult]:
+        """One agent-driven push exchange per still-attesting agent.
+
+        The manual-driving analogue of :meth:`poll_batch` for push
+        mode: every pollable agent runs its negotiate -> submit ->
+        verdict exchange (in registration order, against the shared
+        verdict cache), then the verifier reaps any session left to
+        expire.  Agents whose exchange never produced a result
+        (abandoned delivery, protocol rejection) are absent from the
+        returned mapping -- the reaper accounts for their silence.
+        """
+        telemetry = obs.get()
+        results: dict[str, AttestationResult] = {}
+        skipped = 0
+        wall_start = perf_counter()
+        with telemetry.tracer.span(
+            "fleet.push_batch", agents=len(self._agents)
+        ) as span:
+            for agent_id in self._agents:
+                if self.verifier.state_of(agent_id) in POLLABLE_STATES:
+                    result = self.verifier.push_round(agent_id)
+                    if result is not None:
+                        results[agent_id] = result
+                else:
+                    skipped += 1
+            reaped = self.verifier.reap_push_sessions()
+            span.set_attribute("pushed", len(results))
+            span.set_attribute("skipped", skipped)
+            span.set_attribute("reaped", len(reaped))
+            cache = self.verifier.verdict_cache
+            if cache is not None:
+                span.set_attribute("cache_hit_ratio", round(cache.hit_ratio, 4))
+        if skipped:
+            telemetry.registry.counter(
+                "fleet_poll_skipped_total",
+                "Registered agents skipped as non-pollable during batch ticks",
+            ).inc(skipped)
+        self.accounting.observe_tick(
+            self.verifier.scheduler.clock.now,
+            wall_seconds=perf_counter() - wall_start,
+            registered=len(self._agents),
+            polled=len(results),
+            skipped=skipped,
+            registry=telemetry.registry,
+        )
+        return results
+
+    def _push_agent_tick(self, agent_id: str) -> None:
+        """One agent's self-scheduled push round."""
+        if self.verifier.state_of(agent_id) not in POLLABLE_STATES:
+            self._push_skipped += 1
+            return
+        wall_start = perf_counter()
+        result = self.verifier.push_round(agent_id)
+        self._push_wall += perf_counter() - wall_start
+        if result is not None:
+            self._push_polled += 1
+
+    def _reap_tick(self) -> None:
+        """The verifier's own push-mode tick: reap expired sessions only."""
+        telemetry = obs.get()
+        wall_start = perf_counter()
+        with telemetry.tracer.span("fleet.push_reap") as span:
+            reaped = self.verifier.reap_push_sessions()
+            span.set_attribute("reaped", len(reaped))
+        self.accounting.observe_tick(
+            self.verifier.scheduler.clock.now,
+            wall_seconds=self._push_wall + (perf_counter() - wall_start),
+            registered=len(self._agents),
+            polled=self._push_polled,
+            skipped=self._push_skipped,
+            registry=telemetry.registry,
+        )
+        self._push_wall = 0.0
+        self._push_polled = 0
+        self._push_skipped = 0
+
     def start(
         self,
         scheduler: Scheduler,
@@ -159,11 +250,31 @@ class VerificationScheduler:
 
         *tick_budget* is the accountant's per-tick busy budget; it
         defaults to the interval (one tick must fit in one interval).
+
+        In push mode the cadence inverts: each agent gets its own
+        ``push:<agent>`` timer driving its exchanges (the agents own
+        their cadence), and the verifier's tick -- ``fleet-push-reap``,
+        registered after the agent timers so it runs last within a
+        coincident tick -- only reaps expired sessions and flushes the
+        interval's accounting.
         """
         self.stop()
-        self._stop = scheduler.every(
-            interval, self.poll_batch, label="fleet-poll-batch"
-        )
+        if self.push_mode:
+            for agent_id in self._agents:
+                self._push_timers.append(
+                    scheduler.every(
+                        interval,
+                        (lambda aid=agent_id: self._push_agent_tick(aid)),
+                        label=f"push:{agent_id}",
+                    )
+                )
+            self._stop = scheduler.every(
+                interval, self._reap_tick, label="fleet-push-reap"
+            )
+        else:
+            self._stop = scheduler.every(
+                interval, self.poll_batch, label="fleet-poll-batch"
+            )
         self.accounting.configure(
             interval=getattr(self._stop, "interval", interval),
             budget=tick_budget,
@@ -171,11 +282,15 @@ class VerificationScheduler:
         )
 
     def stop(self) -> None:
-        """Cancel the periodic batch tick.  Idempotent."""
+        """Cancel the periodic batch tick(s).  Idempotent."""
         stop = self._stop
         if callable(stop):
             self._stop = None
             stop()
+        timers, self._push_timers = self._push_timers, []
+        for cancel in timers:
+            if callable(cancel):
+                cancel()
 
 
 class Fleet:
@@ -197,6 +312,8 @@ class Fleet:
         retry_policy: RetryPolicy | None = None,
         quarantine_after: int = 3,
         tick_budget: float | None = None,
+        push_mode: bool = False,
+        push_session_ttl: float | None = None,
     ) -> None:
         """Provision, register and onboard *size* identical nodes.
 
@@ -221,6 +338,14 @@ class Fleet:
         seconds one batch tick may spend before it counts as an
         overrun.  Left ``None`` it defaults to the polling interval
         when :meth:`start_polling` runs.
+
+        With ``push_mode`` the attestation direction inverts: each
+        node's agent drives its own negotiate -> submit -> verdict
+        exchange on its own timer, and the verifier's tick only reaps
+        expired push sessions.  The wire/fault proxies, retry policy,
+        verdict cache and degraded-state machinery are all shared with
+        pull mode.  ``push_session_ttl`` overrides the verifier's
+        session freshness window.
         """
         if size < 1:
             raise ValueError("fleet needs at least one node")
@@ -246,15 +371,21 @@ class Fleet:
         self.fault_plan = fault_plan
         if fault_plan is not None:
             fault_plan.bind_clock(scheduler.clock)
+        self.push_mode = push_mode
+        verifier_kwargs = {}
+        if push_session_ttl is not None:
+            verifier_kwargs["push_session_ttl"] = push_session_ttl
         self.verifier = KeylimeVerifier(
             self.registrar, scheduler, rng.fork("verifier"), events=self.events,
             continue_on_failure=continue_on_failure,
             notifier=self.notifier, audit=self.audit,
             verdict_cache=self.verdict_cache,
             retry_policy=retry_policy, quarantine_after=quarantine_after,
+            **verifier_kwargs,
         )
         self.poll_scheduler = VerificationScheduler(
             self.verifier, events=self.events, tick_budget=tick_budget,
+            push_mode=push_mode,
         )
 
         self.nodes: list[FleetNode] = []

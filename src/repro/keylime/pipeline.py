@@ -36,7 +36,7 @@ from enum import Enum
 from time import perf_counter
 from typing import Callable
 
-from repro.common.errors import IntegrityError, TransientTransportError
+from repro.common.errors import IntegrityError, StateError, TransientTransportError
 from repro.common.hexutil import extend_digest, zero_digest
 from repro.kernelsim.ima import (
     ImaLogEntry,
@@ -291,6 +291,33 @@ class ChallengeStage(Stage):
             )
 
 
+class SubmittedEvidenceStage(Stage):
+    """Push-mode step 1: adopt the evidence the agent already submitted.
+
+    The push exchange inverts the challenge: by the time the pipeline
+    runs, the verifier has minted the nonce (at negotiation) and the
+    agent has pushed the evidence bundle, both already sitting on the
+    context.  This stage only asserts that shape -- every later stage
+    (quote verification, reboot handling, replay, policy) is the exact
+    object the pull pipeline runs, which is what makes the two modes
+    verdict-equivalent by construction.
+    """
+
+    name = "submit"
+
+    def run(self, ctx: RoundContext) -> None:
+        with ctx.tracer.span(
+            "verifier.submitted_evidence", agent=ctx.agent_id
+        ) as span:
+            if ctx.nonce is None or ctx.evidence is None:
+                raise StateError(
+                    f"push round for {ctx.agent_id} reached the pipeline "
+                    "without a negotiated nonce and submitted evidence"
+                )
+            span.set_attribute("offset", ctx.evidence.offset)
+            span.set_attribute("lines", len(ctx.evidence.ima_log_lines))
+
+
 class QuoteVerifyStage(Stage):
     """Step 2: quote validation, plus reboot detection and re-challenge."""
 
@@ -472,6 +499,25 @@ def default_stages() -> list[Stage]:
     """The stock Fig 1 stage sequence."""
     return [
         ChallengeStage(),
+        QuoteVerifyStage(),
+        MeasuredBootStage(),
+        LogReplayStage(),
+        PolicyEvalStage(),
+    ]
+
+
+def push_stages() -> list[Stage]:
+    """The push-mode stage sequence.
+
+    Identical to :func:`default_stages` except the outbound challenge is
+    replaced by :class:`SubmittedEvidenceStage`: the nonce and evidence
+    arrive via the negotiate/submit exchange instead of an outbound
+    poll.  The verification stages themselves are shared instances of
+    the same classes -- push mode changes evidence *delivery*, never
+    evidence *judgement*.
+    """
+    return [
+        SubmittedEvidenceStage(),
         QuoteVerifyStage(),
         MeasuredBootStage(),
         LogReplayStage(),

@@ -22,7 +22,7 @@ from repro.common.errors import IntegrityError, NotFoundError
 from repro.common.events import EventLog
 from repro.crypto.certs import Certificate, verify_chain
 from repro.crypto.rsa import RsaPublicKey
-from repro.keylime.agent import KeylimeAgent
+from repro.keylime.agent import KeylimeAgent, PushCapabilities
 from repro.tpm.device import AttestationKey
 
 
@@ -46,6 +46,7 @@ class KeylimeRegistrar:
         self.trusted_roots = list(trusted_roots)
         self.events = events if events is not None else EventLog()
         self._agents: dict[str, AgentRecord] = {}
+        self._capabilities: dict[str, PushCapabilities] = {}
 
     def __contains__(self, agent_id: str) -> bool:
         return agent_id in self._agents
@@ -90,3 +91,41 @@ class KeylimeRegistrar:
             return self._agents[agent_id]
         except KeyError:
             raise NotFoundError(f"agent {agent_id!r} is not registered") from None
+
+    # -- push negotiation ---------------------------------------------------
+
+    def note_capabilities(
+        self, agent_id: str, capabilities: PushCapabilities, now: float = 0.0
+    ) -> PushCapabilities | None:
+        """Record what *agent_id* announced in a push negotiation.
+
+        Only registered agents may open push sessions -- an unknown
+        agent raises :class:`NotFoundError` exactly like a quote lookup
+        would.  TPM reset counters are monotonic, so a *decreasing*
+        boot count is physically impossible for an honest agent: it
+        means replayed negotiation material and is rejected as an
+        :class:`IntegrityError` before a session is ever created.
+
+        Returns the previously recorded capabilities (None on first
+        contact).
+        """
+        self.lookup(agent_id)  # raises when unknown
+        previous = self._capabilities.get(agent_id)
+        if previous is not None and capabilities.boot_count < previous.boot_count:
+            raise IntegrityError(
+                f"agent {agent_id}: announced boot count "
+                f"{capabilities.boot_count} regressed below "
+                f"{previous.boot_count} (replayed negotiation?)"
+            )
+        self._capabilities[agent_id] = capabilities
+        self.events.emit(
+            now, "keylime.registrar", "agent.capabilities",
+            agent=agent_id, boot_count=capabilities.boot_count,
+            log_length=capabilities.log_length,
+        )
+        return previous
+
+    def capabilities_of(self, agent_id: str) -> PushCapabilities | None:
+        """The last capabilities *agent_id* announced (None if never)."""
+        self.lookup(agent_id)
+        return self._capabilities.get(agent_id)

@@ -1,0 +1,395 @@
+"""Durable verifier state: integrity-headered snapshot and restore.
+
+The paper's P2 gap is an attestation history going dark; a verifier
+that keeps every per-agent record in memory reopens that gap at every
+restart -- replay offsets, SUSPECT budgets and cache generations all
+vanish, and the fleet must re-enroll.  This module makes the verifier's
+working state a durable artifact in the style of the durable-attestation
+line already backing :mod:`repro.keylime.audit`:
+
+* **Versioned, checksummed container.**  A snapshot file is one header
+  line (magic, format version, body length, SHA-256 of the body)
+  followed by the JSON body.  Any mismatch -- wrong magic, skewed
+  version, truncation, a single flipped byte -- raises
+  :class:`~repro.common.errors.IntegrityError` at read time.  Corrupt
+  state must fail loudly; restoring it quietly would let an attacker
+  (or a bad disk) rewrite attestation history.
+* **Atomic replace.**  Writes go to a temporary file in the target
+  directory and land via ``os.replace``, so a crash mid-write leaves
+  the previous snapshot intact, never a half-written one.
+* **Exact resume.**  The body carries every per-agent attestation
+  record (lifecycle state, replay offset and aggregate, reset count,
+  quarantine budget, failure/result history, policy generation), every
+  remembered push session, the verifier's RNG streams, and the full
+  hash-chained audit log.  :func:`restore_verifier` rehydrates a fresh
+  verifier so each agent resumes at its exact replay offset with no
+  re-enrollment -- the nonce sequence, verdicts and audit chain continue
+  bit-identically to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any
+
+from repro.common.errors import IntegrityError, StateError
+from repro.common.hexutil import sha256_hex
+from repro.keylime.pipeline import (
+    AgentState,
+    AttestationFailure,
+    AttestationResult,
+    FailureKind,
+)
+from repro.keylime.policy import EntryVerdict, PolicyFailure
+from repro.keylime.transport import PushSession
+from repro.keylime.verifier import KeylimeVerifier
+from repro.obs import runtime as obs
+
+SNAPSHOT_MAGIC = "repro-verifier-snapshot"
+SNAPSHOT_VERSION = 1
+
+
+# -- record serialisation ---------------------------------------------------
+
+def _policy_failure_to_record(failure: PolicyFailure | None) -> dict[str, Any] | None:
+    if failure is None:
+        return None
+    return {
+        "verdict": failure.verdict.value,
+        "path": failure.path,
+        "measured_digest": failure.measured_digest,
+        "expected_digests": list(failure.expected_digests),
+    }
+
+
+def _policy_failure_from_record(record: dict[str, Any] | None) -> PolicyFailure | None:
+    if record is None:
+        return None
+    return PolicyFailure(
+        verdict=EntryVerdict(record["verdict"]),
+        path=str(record["path"]),
+        measured_digest=str(record["measured_digest"]),
+        expected_digests=tuple(str(d) for d in record["expected_digests"]),
+    )
+
+
+def _failure_to_record(failure: AttestationFailure) -> dict[str, Any]:
+    return {
+        "time": failure.time,
+        "kind": failure.kind.value,
+        "detail": failure.detail,
+        "policy_failure": _policy_failure_to_record(failure.policy_failure),
+    }
+
+
+def _failure_from_record(record: dict[str, Any]) -> AttestationFailure:
+    return AttestationFailure(
+        time=float(record["time"]),
+        kind=FailureKind(record["kind"]),
+        detail=str(record["detail"]),
+        policy_failure=_policy_failure_from_record(record["policy_failure"]),
+    )
+
+
+def _result_to_record(result: AttestationResult) -> dict[str, Any]:
+    return {
+        "time": result.time,
+        "ok": result.ok,
+        "entries_processed": result.entries_processed,
+        "entries_skipped": result.entries_skipped,
+        "failures": [_failure_to_record(failure) for failure in result.failures],
+        "transient": result.transient,
+        "retry_attempts": result.retry_attempts,
+        "transport_error": result.transport_error,
+    }
+
+
+def _result_from_record(record: dict[str, Any]) -> AttestationResult:
+    return AttestationResult(
+        time=float(record["time"]),
+        ok=bool(record["ok"]),
+        entries_processed=int(record["entries_processed"]),
+        entries_skipped=int(record["entries_skipped"]),
+        failures=tuple(
+            _failure_from_record(failure) for failure in record["failures"]
+        ),
+        transient=bool(record["transient"]),
+        retry_attempts=int(record["retry_attempts"]),
+        transport_error=record["transport_error"],
+    )
+
+
+def _rng_state(rng) -> list:
+    version, internal, gauss_next = rng.getstate()
+    return [version, list(internal), gauss_next]
+
+
+# -- snapshot assembly ------------------------------------------------------
+
+def snapshot_verifier(
+    verifier: KeylimeVerifier, meta: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """The verifier's complete durable state as a JSON-safe body.
+
+    *meta* is an opaque caller payload (seed, fleet shape, ...) carried
+    verbatim so a CLI ``state load`` can rebuild the surrounding rig.
+    """
+    now = verifier.scheduler.clock.now
+    agents = []
+    for agent_id, slot in verifier._slots.items():
+        agents.append(
+            {
+                "agent_id": agent_id,
+                "state": slot.state.value,
+                "verified_entries": slot.verified_entries,
+                "replay_aggregate": slot.replay_aggregate,
+                "last_reset_count": slot.last_reset_count,
+                "suspect_since": slot.suspect_since,
+                "suspect_windows": slot.suspect_windows,
+                "policy": {
+                    "uid": slot.policy.uid,
+                    "generation": slot.policy.generation,
+                },
+                "failures": [
+                    _failure_to_record(failure) for failure in slot.failures
+                ],
+                "results": [_result_to_record(result) for result in slot.results],
+                "sessions": [
+                    session.to_record()
+                    for session in verifier.push_sessions_of(agent_id)
+                ],
+            }
+        )
+    body: dict[str, Any] = {
+        "created_at": now,
+        "push_session_ttl": verifier.push_session_ttl,
+        "rng": {
+            "verifier": _rng_state(verifier.rng),
+            "retry": _rng_state(verifier._retry_rng),
+            "session": _rng_state(verifier._session_rng),
+        },
+        "agents": agents,
+        "audit": (
+            verifier.audit.export_records() if verifier.audit is not None else None
+        ),
+        "meta": dict(meta) if meta else {},
+    }
+    obs.get().registry.counter(
+        "verifier_snapshot_saves_total", "Verifier state snapshots assembled",
+    ).inc()
+    return body
+
+
+def write_snapshot(
+    path: str | os.PathLike,
+    verifier: KeylimeVerifier,
+    meta: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Snapshot *verifier* to *path* atomically; returns the header.
+
+    The temporary file lives in the destination directory so the final
+    ``os.replace`` is a same-filesystem rename: a crash at any point
+    leaves either the old snapshot or the new one, never a hybrid.
+    """
+    body = snapshot_verifier(verifier, meta=meta)
+    body_bytes = json.dumps(body, sort_keys=True).encode("utf-8")
+    header = {
+        "magic": SNAPSHOT_MAGIC,
+        "version": SNAPSHOT_VERSION,
+        "body_bytes": len(body_bytes),
+        "checksum": sha256_hex(body_bytes),
+        "created_at": body["created_at"],
+        "agents": len(body["agents"]),
+    }
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, temp_path = tempfile.mkstemp(
+        prefix=".snapshot-", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(json.dumps(header, sort_keys=True).encode("utf-8"))
+            handle.write(b"\n")
+            handle.write(body_bytes)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    return header
+
+
+def _read_header_and_body(path: str | os.PathLike) -> tuple[dict[str, Any], bytes]:
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    newline = raw.find(b"\n")
+    if newline < 0:
+        raise IntegrityError(f"snapshot {path}: no header line (truncated?)")
+    try:
+        header = json.loads(raw[:newline])
+    except ValueError as exc:
+        raise IntegrityError(f"snapshot {path}: unreadable header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("magic") != SNAPSHOT_MAGIC:
+        raise IntegrityError(f"snapshot {path}: bad magic (not a verifier snapshot)")
+    if header.get("version") != SNAPSHOT_VERSION:
+        raise IntegrityError(
+            f"snapshot {path}: format version {header.get('version')!r} "
+            f"is not the supported version {SNAPSHOT_VERSION}"
+        )
+    body_bytes = raw[newline + 1:]
+    declared = header.get("body_bytes")
+    if declared != len(body_bytes):
+        raise IntegrityError(
+            f"snapshot {path}: body is {len(body_bytes)} bytes, "
+            f"header declares {declared} (truncated or padded)"
+        )
+    if sha256_hex(body_bytes) != header.get("checksum"):
+        raise IntegrityError(
+            f"snapshot {path}: body checksum mismatch (corrupted or tampered)"
+        )
+    return header, body_bytes
+
+
+def read_snapshot(path: str | os.PathLike) -> dict[str, Any]:
+    """Load and integrity-check a snapshot body.
+
+    Every failure mode -- missing header, wrong magic, version skew,
+    truncation, checksum mismatch, undecodable body -- raises
+    :class:`IntegrityError`.
+    """
+    _, body_bytes = _read_header_and_body(path)
+    try:
+        body = json.loads(body_bytes)
+    except ValueError as exc:
+        # The checksum passed, so this is a malformed *write*, but it
+        # still must not load.
+        raise IntegrityError(f"snapshot {path}: undecodable body: {exc}") from exc
+    if not isinstance(body, dict):
+        raise IntegrityError(f"snapshot {path}: body is not a JSON object")
+    return body
+
+
+def inspect_snapshot(path: str | os.PathLike) -> dict[str, Any]:
+    """A human-oriented summary of a snapshot, without restoring it."""
+    header, _ = _read_header_and_body(path)
+    body = read_snapshot(path)
+    agents = body.get("agents", [])
+    states: dict[str, int] = {}
+    open_sessions = 0
+    for record in agents:
+        states[record["state"]] = states.get(record["state"], 0) + 1
+        open_sessions += sum(
+            1 for session in record.get("sessions", [])
+            if session.get("state") in ("created", "negotiated")
+        )
+    audit = body.get("audit")
+    return {
+        "path": os.fspath(path),
+        "version": header["version"],
+        "created_at": body.get("created_at"),
+        "agents": len(agents),
+        "states": states,
+        "open_push_sessions": open_sessions,
+        "audit_records": len(audit) if audit is not None else 0,
+        "results": sum(len(record.get("results", [])) for record in agents),
+        "meta": body.get("meta", {}),
+    }
+
+
+# -- restore ----------------------------------------------------------------
+
+def restore_verifier(
+    verifier: KeylimeVerifier, body: dict[str, Any]
+) -> list[str]:
+    """Rehydrate *verifier* from a snapshot body; returns the agent ids.
+
+    The verifier must already hold a slot (``add_agent``) for every
+    agent in the snapshot -- restoration resumes attestation records, it
+    never re-enrolls identities (the registrar's records are the
+    registration layer's to keep).  A snapshot naming agents the
+    verifier does not attest raises :class:`StateError` listing them.
+
+    Restored state: per-agent lifecycle, replay offset and aggregate,
+    reset count, quarantine bookkeeping, failure/result history, policy
+    generation (advanced to at least the recorded value, so cached
+    verdicts from before the snapshot can never resurrect), remembered
+    push sessions, the verifier's RNG streams and the audit chain
+    (verified link-by-link on the way in).
+    """
+    try:
+        agent_records = list(body["agents"])
+        rng_states = body["rng"]
+    except (KeyError, TypeError) as exc:
+        raise IntegrityError(f"snapshot body is missing sections: {exc}") from exc
+
+    missing = [
+        record["agent_id"] for record in agent_records
+        if record["agent_id"] not in verifier._slots
+    ]
+    if missing:
+        raise StateError(
+            "snapshot names agents the verifier is not attesting "
+            f"(add_agent them first): {sorted(missing)}"
+        )
+
+    try:
+        for record in agent_records:
+            slot = verifier._slots[record["agent_id"]]
+            slot.state = AgentState(record["state"])
+            slot.verified_entries = int(record["verified_entries"])
+            slot.replay_aggregate = str(record["replay_aggregate"])
+            reset_count = record["last_reset_count"]
+            slot.last_reset_count = (
+                int(reset_count) if reset_count is not None else None
+            )
+            suspect_since = record["suspect_since"]
+            slot.suspect_since = (
+                float(suspect_since) if suspect_since is not None else None
+            )
+            slot.suspect_windows = int(record["suspect_windows"])
+            slot.failures = [
+                _failure_from_record(failure) for failure in record["failures"]
+            ]
+            slot.results = [
+                _result_from_record(result) for result in record["results"]
+            ]
+            recorded_generation = int(record["policy"]["generation"])
+            if slot.policy.generation < recorded_generation:
+                slot.policy.generation = recorded_generation
+            for session_record in record["sessions"]:
+                session = PushSession.from_record(session_record)
+                verifier._push_sessions[session.session_id] = session
+        verifier.rng.setstate(rng_states["verifier"])
+        verifier._retry_rng.setstate(rng_states["retry"])
+        verifier._session_rng.setstate(rng_states["session"])
+    except IntegrityError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise IntegrityError(f"malformed agent record in snapshot: {exc}") from exc
+
+    audit_records = body.get("audit")
+    if audit_records is not None and verifier.audit is not None:
+        verifier.audit.restore_records(audit_records)
+
+    registry = obs.get().registry
+    registry.counter(
+        "verifier_snapshot_restores_total", "Verifier state restores completed",
+    ).inc()
+    registry.gauge(
+        "verifier_snapshot_age_sim_seconds",
+        "Simulated age of the most recently restored snapshot",
+    ).set(verifier.scheduler.clock.now - float(body.get("created_at", 0.0)))
+    return [record["agent_id"] for record in agent_records]
+
+
+def restore_from_file(
+    verifier: KeylimeVerifier, path: str | os.PathLike
+) -> list[str]:
+    """:func:`read_snapshot` + :func:`restore_verifier` in one step."""
+    return restore_verifier(verifier, read_snapshot(path))

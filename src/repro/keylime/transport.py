@@ -24,10 +24,12 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any
+from enum import Enum
+from typing import Any, Callable
 
-from repro.common.errors import IntegrityError
-from repro.keylime.agent import AttestationEvidence, KeylimeAgent
+from repro.common.errors import IntegrityError, StateError
+from repro.keylime.agent import AttestationEvidence, KeylimeAgent, PushCapabilities
+from repro.keylime.retrypolicy import RetryBudgetExceeded
 from repro.obs import runtime as obs
 from repro.obs.tracing import format_traceparent
 from repro.tpm.quote import Quote
@@ -54,12 +56,45 @@ def _loads(blob: str | bytes | bytearray) -> Any:
     return json.loads(blob)
 
 
-def _checked_count(value: Any, what: str) -> int:
-    """Decode a non-negative integer field (offsets, entry counts)."""
+#: Upper bound on any wire-carried offset or entry count.  No honest
+#: fleet ships a trillion-entry measurement list; a larger value is a
+#: corrupted or hostile frame trying to drive the verifier's replay
+#: cursor (or a list allocation) out of range.
+MAX_WIRE_COUNT = 1 << 40
+
+
+def _checked_count(value: Any, what: str, limit: int = MAX_WIRE_COUNT) -> int:
+    """Decode a bounded non-negative integer field (offsets, counts)."""
     count = int(value)
     if count < 0:
         raise IntegrityError(f"negative {what} in wire payload: {count}")
+    if count > limit:
+        raise IntegrityError(f"oversized {what} in wire payload: {count} > {limit}")
     return count
+
+
+def _strict_fields(
+    payload: Any,
+    what: str,
+    required: frozenset[str],
+    optional: frozenset[str] = frozenset(),
+) -> dict[str, Any]:
+    """Reject unknown or missing fields in a push-protocol frame.
+
+    The original pull-mode frames tolerate extra keys (they predate
+    this check and the sweep tests pin their behaviour); every *new*
+    push frame is strict, so a smuggled field can never ride along
+    undetected.
+    """
+    if not isinstance(payload, dict):
+        raise IntegrityError(f"{what} payload is not a JSON object")
+    unknown = set(payload) - required - optional
+    if unknown:
+        raise IntegrityError(f"unknown fields in {what}: {sorted(unknown)}")
+    missing = required - set(payload)
+    if missing:
+        raise IntegrityError(f"missing fields in {what}: {sorted(missing)}")
+    return payload
 
 
 def quote_to_dict(quote: Quote) -> dict[str, Any]:
@@ -78,9 +113,20 @@ def quote_to_dict(quote: Quote) -> dict[str, Any]:
     }
 
 
-def quote_from_dict(payload: dict[str, Any]) -> Quote:
+#: The exact key set of an encoded quote / evidence object; the strict
+#: push frames verify against these, the legacy pull frames do not.
+_QUOTE_FIELDS = frozenset({
+    "bank", "selection", "pcr_values", "pcr_digest", "nonce",
+    "clock", "reset_count", "restart_count", "ak", "signature",
+})
+_EVIDENCE_FIELDS = frozenset({"quote", "ima_log", "offset", "total_entries"})
+
+
+def quote_from_dict(payload: dict[str, Any], strict: bool = False) -> Quote:
     """Decode a quote; raises :class:`IntegrityError` on malformed input."""
     try:
+        if strict:
+            _strict_fields(payload, "quote", _QUOTE_FIELDS)
         return Quote(
             bank_algorithm=payload["bank"],
             pcr_selection=tuple(int(index) for index in payload["selection"]),
@@ -175,6 +221,25 @@ def evidence_to_json(evidence: AttestationEvidence) -> str:
     )
 
 
+def _evidence_from_payload(
+    payload: dict[str, Any], strict: bool = False
+) -> AttestationEvidence:
+    """Decode an evidence object already parsed from JSON."""
+    if strict:
+        _strict_fields(payload, "evidence", _EVIDENCE_FIELDS)
+    lines = payload["ima_log"]
+    if not isinstance(lines, list):
+        raise IntegrityError("evidence ima_log is not a list")
+    return AttestationEvidence(
+        quote=quote_from_dict(payload["quote"], strict=strict),
+        ima_log_lines=tuple(str(line) for line in lines),
+        offset=_checked_count(payload["offset"], "evidence offset"),
+        total_entries=_checked_count(
+            payload["total_entries"], "evidence entry count"
+        ),
+    )
+
+
 def evidence_from_json(blob: str | bytes) -> AttestationEvidence:
     """Deserialise one attestation response.
 
@@ -184,22 +249,518 @@ def evidence_from_json(blob: str | bytes) -> AttestationEvidence:
     non-strings cannot smuggle arbitrary objects into the replay stage.
     """
     try:
-        payload = _loads(blob)
-        lines = payload["ima_log"]
-        if not isinstance(lines, list):
-            raise IntegrityError("evidence ima_log is not a list")
-        return AttestationEvidence(
-            quote=quote_from_dict(payload["quote"]),
-            ima_log_lines=tuple(str(line) for line in lines),
-            offset=_checked_count(payload["offset"], "evidence offset"),
-            total_entries=_checked_count(
-                payload["total_entries"], "evidence entry count"
-            ),
-        )
+        return _evidence_from_payload(_loads(blob))
     except IntegrityError:
         raise
     except _DECODE_ERRORS as exc:
         raise IntegrityError(f"malformed evidence payload: {exc}") from exc
+
+
+# -- push-mode wire frames --------------------------------------------------
+#
+# The push exchange inverts the pull protocol: the *agent* initiates a
+# three-step negotiate -> submit -> verdict conversation.  Every frame
+# below is decoded strictly (unknown fields rejected, counts bounded),
+# and every decoding failure is an IntegrityError -- same contract as
+# the pull frames, tightened for the new surface.
+
+
+@dataclass(frozen=True)
+class NegotiationRequest:
+    """Step 1 (agent -> verifier): capability announcement."""
+
+    agent_id: str
+    capabilities: PushCapabilities
+    traceparent: str | None = None
+
+
+_NEGOTIATION_FIELDS = frozenset({
+    "agent_id", "hash_algorithms", "log_length", "boot_count",
+})
+
+
+def negotiation_to_json(
+    agent_id: str,
+    capabilities: PushCapabilities,
+    traceparent: str | None = None,
+) -> str:
+    """Serialise a negotiation request (agent -> verifier)."""
+    return json.dumps(
+        {
+            "agent_id": agent_id,
+            "hash_algorithms": list(capabilities.hash_algorithms),
+            "log_length": capabilities.log_length,
+            "boot_count": capabilities.boot_count,
+            "traceparent": traceparent,
+        },
+        sort_keys=True,
+    )
+
+
+def negotiation_from_json(blob: str | bytes) -> NegotiationRequest:
+    """Deserialise a negotiation request; strict, IntegrityError on junk."""
+    try:
+        payload = _strict_fields(
+            _loads(blob), "negotiation",
+            _NEGOTIATION_FIELDS, frozenset({"traceparent"}),
+        )
+        algorithms = payload["hash_algorithms"]
+        if not isinstance(algorithms, list) or not algorithms:
+            raise IntegrityError("negotiation hash_algorithms is not a non-empty list")
+        traceparent = payload.get("traceparent")
+        return NegotiationRequest(
+            agent_id=str(payload["agent_id"]),
+            capabilities=PushCapabilities(
+                hash_algorithms=tuple(str(a) for a in algorithms),
+                log_length=_checked_count(payload["log_length"], "negotiation log length"),
+                boot_count=_checked_count(payload["boot_count"], "negotiation boot count"),
+            ),
+            traceparent=traceparent if isinstance(traceparent, str) else None,
+        )
+    except IntegrityError:
+        raise
+    except _DECODE_ERRORS as exc:
+        raise IntegrityError(f"malformed negotiation payload: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class NegotiationReply:
+    """Step 1 response (verifier -> agent): the session parameters."""
+
+    session_id: str
+    nonce: str
+    offset: int
+    pcr_selection: tuple[int, ...]
+    algorithm: str
+    expires_at: float
+
+
+_NEGOTIATION_REPLY_FIELDS = frozenset({
+    "session_id", "nonce", "offset", "pcr_selection", "algorithm", "expires_at",
+})
+
+
+def negotiation_reply_to_json(reply: NegotiationReply) -> str:
+    """Serialise a negotiation reply (verifier -> agent)."""
+    return json.dumps(
+        {
+            "session_id": reply.session_id,
+            "nonce": reply.nonce,
+            "offset": reply.offset,
+            "pcr_selection": list(reply.pcr_selection),
+            "algorithm": reply.algorithm,
+            "expires_at": reply.expires_at,
+        },
+        sort_keys=True,
+    )
+
+
+def negotiation_reply_from_json(blob: str | bytes) -> NegotiationReply:
+    """Deserialise a negotiation reply; strict decode."""
+    try:
+        payload = _strict_fields(
+            _loads(blob), "negotiation reply", _NEGOTIATION_REPLY_FIELDS
+        )
+        expires_at = float(payload["expires_at"])
+        if expires_at != expires_at or expires_at in (float("inf"), float("-inf")):
+            raise IntegrityError("negotiation reply expiry is not finite")
+        return NegotiationReply(
+            session_id=str(payload["session_id"]),
+            nonce=str(payload["nonce"]),
+            offset=_checked_count(payload["offset"], "negotiated offset"),
+            pcr_selection=tuple(int(index) for index in payload["pcr_selection"]),
+            algorithm=str(payload["algorithm"]),
+            expires_at=expires_at,
+        )
+    except IntegrityError:
+        raise
+    except _DECODE_ERRORS as exc:
+        raise IntegrityError(f"malformed negotiation reply: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class EvidenceSubmission:
+    """Step 2 (agent -> verifier): the nonce-bound evidence bundle."""
+
+    session_id: str
+    agent_id: str
+    evidence: AttestationEvidence
+
+
+_SUBMISSION_FIELDS = frozenset({"session_id", "agent_id", "evidence"})
+
+
+def submission_to_json(
+    session_id: str, agent_id: str, evidence: AttestationEvidence
+) -> str:
+    """Serialise an evidence submission (agent -> verifier)."""
+    return json.dumps(
+        {
+            "session_id": session_id,
+            "agent_id": agent_id,
+            "evidence": json.loads(evidence_to_json(evidence)),
+        },
+        sort_keys=True,
+    )
+
+
+def submission_from_json(blob: str | bytes) -> EvidenceSubmission:
+    """Deserialise an evidence submission; strict at every level."""
+    try:
+        payload = _strict_fields(_loads(blob), "submission", _SUBMISSION_FIELDS)
+        return EvidenceSubmission(
+            session_id=str(payload["session_id"]),
+            agent_id=str(payload["agent_id"]),
+            evidence=_evidence_from_payload(payload["evidence"], strict=True),
+        )
+    except IntegrityError:
+        raise
+    except _DECODE_ERRORS as exc:
+        raise IntegrityError(f"malformed submission payload: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class PushVerdict:
+    """Step 3 (verifier -> agent): the round's conclusion."""
+
+    session_id: str
+    ok: bool
+    state: str
+    entries_processed: int
+    next_offset: int
+    failures: tuple[str, ...] = ()
+
+
+_VERDICT_FIELDS = frozenset({
+    "session_id", "ok", "state", "entries_processed", "next_offset", "failures",
+})
+
+
+def verdict_to_json(verdict: PushVerdict) -> str:
+    """Serialise a push verdict (verifier -> agent)."""
+    return json.dumps(
+        {
+            "session_id": verdict.session_id,
+            "ok": verdict.ok,
+            "state": verdict.state,
+            "entries_processed": verdict.entries_processed,
+            "next_offset": verdict.next_offset,
+            "failures": list(verdict.failures),
+        },
+        sort_keys=True,
+    )
+
+
+def verdict_from_json(blob: str | bytes) -> PushVerdict:
+    """Deserialise a push verdict; strict decode."""
+    try:
+        payload = _strict_fields(_loads(blob), "verdict", _VERDICT_FIELDS)
+        if not isinstance(payload["ok"], bool):
+            raise IntegrityError("verdict ok flag is not a boolean")
+        failures = payload["failures"]
+        if not isinstance(failures, list):
+            raise IntegrityError("verdict failures is not a list")
+        return PushVerdict(
+            session_id=str(payload["session_id"]),
+            ok=payload["ok"],
+            state=str(payload["state"]),
+            entries_processed=_checked_count(
+                payload["entries_processed"], "verdict entry count"
+            ),
+            next_offset=_checked_count(payload["next_offset"], "verdict offset"),
+            failures=tuple(str(kind) for kind in failures),
+        )
+    except IntegrityError:
+        raise
+    except _DECODE_ERRORS as exc:
+        raise IntegrityError(f"malformed verdict payload: {exc}") from exc
+
+
+# -- the push session state machine -----------------------------------------
+
+
+class PushSessionState(Enum):
+    """Lifecycle of one push attestation exchange on the verifier."""
+
+    CREATED = "created"
+    NEGOTIATED = "negotiated"
+    SUBMITTED = "submitted"
+    VERIFIED = "verified"
+    FAILED = "failed"
+
+
+#: States in which a session is still waiting for the agent.
+OPEN_PUSH_STATES = frozenset({
+    PushSessionState.CREATED, PushSessionState.NEGOTIATED,
+})
+
+_PUSH_TRANSITIONS: dict[PushSessionState, frozenset[PushSessionState]] = {
+    PushSessionState.CREATED: frozenset({
+        PushSessionState.NEGOTIATED, PushSessionState.FAILED,
+    }),
+    PushSessionState.NEGOTIATED: frozenset({
+        PushSessionState.SUBMITTED, PushSessionState.FAILED,
+    }),
+    PushSessionState.SUBMITTED: frozenset({
+        PushSessionState.VERIFIED, PushSessionState.FAILED,
+    }),
+    PushSessionState.VERIFIED: frozenset(),
+    PushSessionState.FAILED: frozenset(),
+}
+
+
+@dataclass
+class PushSession:
+    """Verifier-side state of one push exchange.
+
+    Owns the three freshness properties of the protocol:
+
+    * **nonce freshness** -- the nonce is minted at negotiation and
+      never reused; the submitted quote must bind it;
+    * **session expiry** -- a submission after ``expires_at`` is
+      rejected (an attacker cannot bank a nonce and answer it later);
+    * **replay rejection** -- a session is consumed by its submission;
+      submitting against a SUBMITTED/VERIFIED/FAILED session raises
+      :class:`IntegrityError`.
+
+    ``outcome`` refines a terminal FAILED state for accounting
+    (``failed`` / ``expired`` / ``superseded`` / ``discarded``).
+    """
+
+    session_id: str
+    agent_id: str
+    nonce: str
+    offset: int
+    pcr_selection: tuple[int, ...]
+    algorithm: str
+    created_at: float
+    expires_at: float
+    boot_count: int
+    state: PushSessionState = PushSessionState.CREATED
+    outcome: str | None = None
+
+    @property
+    def is_open(self) -> bool:
+        """True while the session still awaits the agent's submission."""
+        return self.state in OPEN_PUSH_STATES
+
+    def advance(self, to_state: PushSessionState) -> None:
+        """Move along the CREATED -> NEGOTIATED -> SUBMITTED -> terminal path."""
+        if to_state not in _PUSH_TRANSITIONS[self.state]:
+            raise StateError(
+                f"push session {self.session_id}: illegal transition "
+                f"{self.state.value} -> {to_state.value}"
+            )
+        self.state = to_state
+
+    def ensure_submittable(self, now: float) -> None:
+        """Gate a submission; raises :class:`IntegrityError` when stale.
+
+        Both violations are integrity failures, not transient ones: a
+        replayed session is indistinguishable from an attacker re-using
+        captured evidence, and an expired session means the nonce's
+        freshness window has closed.
+        """
+        if self.state is not PushSessionState.NEGOTIATED:
+            raise IntegrityError(
+                f"push session {self.session_id} replayed: already "
+                f"{self.state.value}"
+                + (f" ({self.outcome})" if self.outcome else "")
+            )
+        if now > self.expires_at:
+            raise IntegrityError(
+                f"push session {self.session_id} expired at "
+                f"t={self.expires_at}, submission arrived at t={now}"
+            )
+
+    def close(self, outcome: str) -> None:
+        """Terminate an open session (expiry, supersession, discard)."""
+        if self.state in (PushSessionState.VERIFIED, PushSessionState.FAILED):
+            return
+        self.state = PushSessionState.FAILED
+        self.outcome = outcome
+
+    def reply(self) -> NegotiationReply:
+        """The negotiation reply this session was created with."""
+        return NegotiationReply(
+            session_id=self.session_id,
+            nonce=self.nonce,
+            offset=self.offset,
+            pcr_selection=self.pcr_selection,
+            algorithm=self.algorithm,
+            expires_at=self.expires_at,
+        )
+
+    def to_record(self) -> dict[str, Any]:
+        """JSON-safe encoding for the durable state store."""
+        return {
+            "session_id": self.session_id,
+            "agent_id": self.agent_id,
+            "nonce": self.nonce,
+            "offset": self.offset,
+            "pcr_selection": list(self.pcr_selection),
+            "algorithm": self.algorithm,
+            "created_at": self.created_at,
+            "expires_at": self.expires_at,
+            "boot_count": self.boot_count,
+            "state": self.state.value,
+            "outcome": self.outcome,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict[str, Any]) -> "PushSession":
+        """Rebuild a session from its snapshot record."""
+        try:
+            return cls(
+                session_id=str(record["session_id"]),
+                agent_id=str(record["agent_id"]),
+                nonce=str(record["nonce"]),
+                offset=_checked_count(record["offset"], "session offset"),
+                pcr_selection=tuple(int(i) for i in record["pcr_selection"]),
+                algorithm=str(record["algorithm"]),
+                created_at=float(record["created_at"]),
+                expires_at=float(record["expires_at"]),
+                boot_count=_checked_count(record["boot_count"], "session boot count"),
+                state=PushSessionState(record["state"]),
+                outcome=record.get("outcome"),
+            )
+        except IntegrityError:
+            raise
+        except _DECODE_ERRORS as exc:
+            raise IntegrityError(f"malformed push session record: {exc}") from exc
+
+
+class PushAgentClient:
+    """Drives the agent's side of the push exchange.
+
+    The client owns the agent's cadence in push mode: each
+    :meth:`run_round` performs the full negotiate -> attest -> submit
+    conversation against the verifier's two endpoints (passed in as
+    callables so the client works across any transport).  The optional
+    ``negotiate_channel``/``submit_channel`` hooks see (and may tamper
+    with or refuse) the raw request JSON of each leg, mirroring
+    :class:`JsonTransportAgent`'s man-in-the-middle model.
+
+    A *retry_policy* retries transiently failed legs with backoff; an
+    exhausted budget abandons the round and returns ``None`` -- the
+    verifier's session reaper then turns the silence into a *degraded*
+    round, so push mode shares the pull path's SUSPECT machinery
+    instead of opening a silent coverage gap.
+    """
+
+    def __init__(
+        self,
+        agent,
+        negotiate: Callable[[str], str],
+        submit: Callable[[str], str],
+        retry_policy=None,
+        retry_rng=None,
+        negotiate_channel: Callable[[str], str] | None = None,
+        submit_channel: Callable[[str], str] | None = None,
+    ) -> None:
+        self._agent = agent
+        self._negotiate = negotiate
+        self._submit = submit
+        self.retry_policy = retry_policy
+        self._retry_rng = retry_rng
+        self._negotiate_channel = negotiate_channel
+        self._submit_channel = submit_channel
+        self.bytes_transferred = 0
+        self.rounds_completed = 0
+        self.rounds_abandoned = 0
+
+    @property
+    def agent_id(self) -> str:
+        """The driven agent's identity."""
+        return self._agent.agent_id
+
+    def _deliver(self, endpoint, blob: str, channel) -> str:
+        """One leg across the (possibly hostile, possibly flaky) wire."""
+        def attempt() -> str:
+            request = channel(blob) if channel is not None else blob
+            reply = endpoint(request)
+            self.bytes_transferred += len(request) + len(reply)
+            return reply
+
+        if self.retry_policy is None:
+            return attempt()
+        telemetry = obs.get()
+        return self.retry_policy.run(
+            attempt,
+            rng=self._retry_rng,
+            tracer=telemetry.tracer,
+            registry=telemetry.registry,
+        )
+
+    def run_round(self) -> PushVerdict | None:
+        """One full push exchange; ``None`` when delivery failed.
+
+        Telemetry: the round runs under an ``agent.push_round`` span
+        whose traceparent rides the negotiation frame, so the
+        verifier's ingestion spans join the agent-initiated trace --
+        the mirror image of pull mode's challenge propagation.
+        """
+        telemetry = obs.get()
+        with telemetry.tracer.span(
+            "agent.push_round", agent=self.agent_id
+        ) as span:
+            request = negotiation_to_json(
+                self.agent_id,
+                self._agent.capabilities(),
+                traceparent=format_traceparent(telemetry.tracer.current),
+            )
+            try:
+                reply = negotiation_reply_from_json(
+                    self._deliver(self._negotiate, request, self._negotiate_channel)
+                )
+                evidence = self._agent.attest(
+                    reply.nonce,
+                    offset=reply.offset,
+                    pcr_selection=list(reply.pcr_selection),
+                )
+                verdict = verdict_from_json(
+                    self._deliver(
+                        self._submit,
+                        submission_to_json(reply.session_id, self.agent_id, evidence),
+                        self._submit_channel,
+                    )
+                )
+            except RetryBudgetExceeded:
+                # The wire never delivered: no submission, no verdict.
+                # The session is left open for the verifier's reaper.
+                self.rounds_abandoned += 1
+                span.set_attribute("abandoned", True)
+                telemetry.registry.counter(
+                    "push_client_rounds_abandoned_total",
+                    "Push rounds abandoned after exhausting delivery retries",
+                ).inc()
+                return None
+            except IntegrityError as exc:
+                # The verifier rejected the exchange at the protocol
+                # layer (corrupt frame, replayed/expired session, ...).
+                # The agent cannot conclude anything -- it records the
+                # rejection and negotiates fresh next round; any session
+                # left open is the reaper's to account for.
+                self.rounds_abandoned += 1
+                span.set_attribute("rejected", str(exc))
+                telemetry.registry.counter(
+                    "push_client_rounds_rejected_total",
+                    "Push rounds rejected by the verifier's protocol layer",
+                ).inc()
+                return None
+            span.set_attribute("ok", verdict.ok)
+            span.set_attribute("entries", verdict.entries_processed)
+        self.rounds_completed += 1
+        telemetry.registry.counter(
+            "push_client_rounds_total", "Push exchanges completed", ("result",),
+        ).labels(result="ok" if verdict.ok else "failed").inc()
+        bytes_total = telemetry.registry.counter(
+            "transport_bytes_total",
+            "Bytes crossing the serialised agent/verifier channel",
+            labelnames=("direction",),
+        )
+        bytes_total.labels(direction="push").inc(self.bytes_transferred)
+        return verdict
 
 
 class JsonTransportAgent:
@@ -247,6 +808,10 @@ class JsonTransportAgent:
     def attestation_key(self):
         """The wrapped agent's AK."""
         return self._agent.attestation_key
+
+    def capabilities(self) -> PushCapabilities:
+        """Delegates the push-negotiation announcement (push mode)."""
+        return self._agent.capabilities()
 
     def attest(self, nonce: str, offset: int = 0, pcr_selection=None) -> AttestationEvidence:
         """One challenge/response round across the serialised channel."""

@@ -40,7 +40,7 @@ from __future__ import annotations
 from time import perf_counter
 
 from repro.common.clock import Scheduler
-from repro.common.errors import NotFoundError
+from repro.common.errors import IntegrityError, NotFoundError, StateError
 from repro.common.events import EventLog
 from repro.common.hexutil import zero_digest
 from repro.common.rng import SeededRng
@@ -56,13 +56,25 @@ from repro.keylime.pipeline import (
     FailureKind,
     RoundContext,
     VerificationPipeline,
+    push_stages,
 )
 from repro.keylime.policy import RuntimePolicy, VerdictCache
 from repro.keylime.registrar import KeylimeRegistrar
 from repro.keylime.retrypolicy import RetryPolicy
 from repro.keylime.revocation import RevocationEvent, RevocationNotifier
+from repro.keylime.transport import (
+    PushAgentClient,
+    PushSession,
+    PushSessionState,
+    PushVerdict,
+    negotiation_from_json,
+    negotiation_reply_to_json,
+    submission_from_json,
+    verdict_to_json,
+)
 from repro.obs import runtime as obs
 from repro.obs.tracing import exemplar_of
+from repro.tpm.pcr import IMA_PCR_INDEX
 
 __all__ = [
     "AgentSlot",
@@ -74,6 +86,14 @@ __all__ = [
     "POLLABLE_STATES",
     "RetryPolicy",
 ]
+
+#: Default freshness window of a push session: a nonce minted at
+#: negotiation must be answered within this many simulated seconds.
+DEFAULT_PUSH_SESSION_TTL = 30.0
+
+#: How many terminal push sessions the verifier remembers for
+#: replay-of-session rejection before the oldest are forgotten.
+PUSH_SESSION_RETENTION = 4096
 
 #: Backwards-compatible alias; the slot dataclass moved to the pipeline
 #: module alongside the stages that mutate it.
@@ -97,6 +117,7 @@ class KeylimeVerifier:
         cache_verdicts: bool = True,
         retry_policy: RetryPolicy | None = None,
         quarantine_after: int = 3,
+        push_session_ttl: float = DEFAULT_PUSH_SESSION_TTL,
     ) -> None:
         """Build the verifier.
 
@@ -114,6 +135,11 @@ class KeylimeVerifier:
         the wire gets exactly one attempt per round, as before -- but a
         transient error still degrades the round rather than crashing
         the poll tick.
+
+        *push_session_ttl* bounds the freshness window of a push-mode
+        nonce: a session negotiated at ``t`` rejects submissions after
+        ``t + ttl`` (and the reaper turns the silence into a degraded
+        round).
         """
         self.registrar = registrar
         self.scheduler = scheduler
@@ -140,6 +166,21 @@ class KeylimeVerifier:
         else:
             self.verdict_cache = VerdictCache() if cache_verdicts else None
         self._slots: dict[str, AgentSlot] = {}
+        # Push-mode state.  Session ids come from their own forked
+        # stream so opening push sessions never perturbs the nonce
+        # sequence (which must match pull mode draw-for-draw for the
+        # verdict-equivalence guarantee).
+        if push_session_ttl <= 0:
+            raise ValueError(f"push_session_ttl must be > 0, got {push_session_ttl}")
+        self.push_session_ttl = push_session_ttl
+        self._session_rng = rng.fork("push-sessions")
+        self._push_sessions: dict[str, PushSession] = {}
+        self._push_clients: dict[str, PushAgentClient] = {}
+        self._last_push_result: AttestationResult | None = None
+        self.push_pipeline = VerificationPipeline(
+            stages=push_stages(),
+            continue_on_failure=self.pipeline.continue_on_failure,
+        )
 
     @property
     def continue_on_failure(self) -> bool:
@@ -149,6 +190,7 @@ class KeylimeVerifier:
     @continue_on_failure.setter
     def continue_on_failure(self, value: bool) -> None:
         self.pipeline.continue_on_failure = value
+        self.push_pipeline.continue_on_failure = value
 
     # -- agent management ---------------------------------------------------
 
@@ -187,6 +229,10 @@ class KeylimeVerifier:
         """All per-poll results for the agent so far."""
         return list(self._slot(agent_id).results)
 
+    def verified_entries_of(self, agent_id: str) -> int:
+        """The agent's replay offset: IMA entries verified so far."""
+        return self._slot(agent_id).verified_entries
+
     def policy_of(self, agent_id: str) -> RuntimePolicy:
         """The runtime policy currently applied to the agent."""
         return self._slot(agent_id).policy
@@ -222,6 +268,10 @@ class KeylimeVerifier:
         # fresh quarantine budget along with the fresh replay state.
         slot.suspect_since = None
         slot.suspect_windows = 0
+        # Any open push session dies with the restart: its nonce was
+        # minted against the pre-reset replay position, and a stale
+        # nonce must never verify after the reboot reset.
+        self.discard_push_sessions(agent_id)
         self.events.emit(
             self.scheduler.clock.now, "keylime.verifier", "attestation.restarted",
             agent=agent_id,
@@ -284,9 +334,18 @@ class KeylimeVerifier:
         registry.counter(
             "verifier_polls_total", "Attestation rounds executed", ("result",),
         ).labels(result=outcome).inc()
-        # Heartbeat signals for the health layer: when each agent was
-        # last polled and last verified clean, on the simulated clock.
-        # The coverage-gap detector (obs.health) alarms on their age.
+        self._observe_round(agent_id, result, registry)
+        return result
+
+    def _observe_round(self, agent_id: str, result: AttestationResult, registry) -> None:
+        """Round telemetry shared by the pull and push paths.
+
+        Heartbeat signals for the health layer: when each agent was
+        last attested and last verified clean, on the simulated clock.
+        The coverage-gap detector (obs.health) alarms on their age --
+        and because *both* delivery modes update the same gauges, the
+        anti-P2 alarm is mode-blind.
+        """
         now = self.scheduler.clock.now
         registry.gauge(
             "verifier_agent_last_poll_sim_seconds",
@@ -309,7 +368,6 @@ class KeylimeVerifier:
                 "verifier_entries_skipped_total",
                 "IMA entries never policy-checked (halt-on-failure, P2)",
             ).inc(result.entries_skipped)
-        return result
 
     def _poll_once(self, agent_id: str, telemetry) -> AttestationResult:
         slot = self._slot(agent_id)
@@ -325,6 +383,18 @@ class KeylimeVerifier:
             retry_rng=self._retry_rng,
         )
         result = self.pipeline.run(ctx, telemetry.registry)
+        return self._conclude_round(slot, agent_id, result)
+
+    def _conclude_round(
+        self, slot: AgentSlot, agent_id: str, result: AttestationResult
+    ) -> AttestationResult:
+        """Route one round's result to its side effects.
+
+        Shared verbatim by the pull and push paths: audit append, event
+        emission, SUSPECT recovery, and the degraded/failed state
+        machinery are functions of the *result*, never of how the
+        evidence travelled.
+        """
         if result.ok:
             slot.results.append(result)
             if self.audit is not None:
@@ -342,6 +412,321 @@ class KeylimeVerifier:
         if result.transient:
             return self._record_degraded_round(slot, result)
         return self._record_failed_round(slot, result)
+
+    # -- push mode ---------------------------------------------------------
+
+    def open_push_session_of(self, agent_id: str) -> PushSession | None:
+        """The agent's currently open push session, if any."""
+        for session in self._push_sessions.values():
+            if session.agent_id == agent_id and session.is_open:
+                return session
+        return None
+
+    def push_sessions_of(self, agent_id: str) -> list[PushSession]:
+        """Every remembered push session for the agent, oldest first."""
+        return [
+            session for session in self._push_sessions.values()
+            if session.agent_id == agent_id
+        ]
+
+    def discard_push_sessions(self, agent_id: str) -> int:
+        """Close every open push session for the agent; returns the count.
+
+        Called by :meth:`restart_attestation` (a stale nonce must not
+        verify after a reboot reset) and usable directly by operators.
+        The terminal record is kept, so a late submission against the
+        discarded session is rejected as a replay.
+        """
+        count = 0
+        for session in self._push_sessions.values():
+            if session.agent_id == agent_id and session.is_open:
+                session.close("discarded")
+                self._count_session_outcome("discarded")
+                count += 1
+        if count:
+            self.events.emit(
+                self.scheduler.clock.now, "keylime.verifier",
+                "push.session.discarded", agent=agent_id, sessions=count,
+            )
+        return count
+
+    def _count_session_outcome(self, outcome: str) -> None:
+        registry = obs.get().registry
+        registry.counter(
+            "verifier_push_sessions_total",
+            "Push sessions reaching a terminal state, by outcome",
+            ("outcome",),
+        ).labels(outcome=outcome).inc()
+        self._set_open_sessions_gauge(registry)
+
+    def _set_open_sessions_gauge(self, registry) -> None:
+        registry.gauge(
+            "verifier_push_sessions_open",
+            "Push sessions currently awaiting an agent submission",
+        ).set(sum(1 for session in self._push_sessions.values() if session.is_open))
+
+    def _trim_sessions(self) -> None:
+        """Bound the terminal-session memory used for replay rejection."""
+        excess = len(self._push_sessions) - PUSH_SESSION_RETENTION
+        if excess <= 0:
+            return
+        for session_id in [
+            session_id
+            for session_id, session in self._push_sessions.items()
+            if not session.is_open
+        ][:excess]:
+            del self._push_sessions[session_id]
+
+    def negotiate_push(self, blob: str | bytes) -> str:
+        """Push step 1 endpoint: open a session for an announcing agent.
+
+        Decodes the capability announcement (strictly -- any malformed
+        frame is an :class:`IntegrityError`), validates the agent with
+        the registrar, supersedes any session the agent left dangling,
+        mints the round's nonce, and returns the serialised
+        :class:`~repro.keylime.transport.NegotiationReply`.
+
+        The delta offset is chosen here, from the announced boot count:
+        a boot count matching the verifier's last seen reset count
+        continues at ``verified_entries``; a changed one restarts the
+        fetch at zero (the quote's own reset counter still makes the
+        final call during verification -- the announcement is a hint,
+        not a security input).
+        """
+        telemetry = obs.get()
+        request = negotiation_from_json(blob)
+        agent_id = request.agent_id
+        slot = self._slot(agent_id)
+        if slot.state not in POLLABLE_STATES:
+            raise StateError(
+                f"agent {agent_id} is {slot.state.value}; push negotiation refused"
+            )
+        now = self.scheduler.clock.now
+        with telemetry.tracer.remote_context(request.traceparent):
+            with telemetry.tracer.span(
+                "verifier.push_negotiate", agent=agent_id
+            ) as span:
+                self.registrar.note_capabilities(
+                    agent_id, request.capabilities, now=now
+                )
+                if "sha256" not in request.capabilities.hash_algorithms:
+                    raise IntegrityError(
+                        f"agent {agent_id} announced no sha256 bank; "
+                        "cannot negotiate a verifiable session"
+                    )
+                previous = self.open_push_session_of(agent_id)
+                if previous is not None:
+                    previous.close("superseded")
+                    self._count_session_outcome("superseded")
+                offset = slot.verified_entries
+                if (
+                    slot.last_reset_count is not None
+                    and request.capabilities.boot_count != slot.last_reset_count
+                ):
+                    offset = 0
+                selection = [IMA_PCR_INDEX]
+                if slot.measured_boot is not None:
+                    selection = sorted(
+                        set(selection) | set(slot.measured_boot.pcr_selection)
+                    )
+                session = PushSession(
+                    session_id=f"ps-{self._session_rng.hexid(12)}",
+                    agent_id=agent_id,
+                    nonce=self.rng.hexid(20),
+                    offset=offset,
+                    pcr_selection=tuple(selection),
+                    algorithm="sha256",
+                    created_at=now,
+                    expires_at=now + self.push_session_ttl,
+                    boot_count=request.capabilities.boot_count,
+                )
+                session.advance(PushSessionState.NEGOTIATED)
+                self._push_sessions[session.session_id] = session
+                self._trim_sessions()
+                span.set_attribute("session", session.session_id)
+                span.set_attribute("offset", offset)
+        self._set_open_sessions_gauge(telemetry.registry)
+        self.events.emit(
+            now, "keylime.verifier", "push.session.negotiated",
+            agent=agent_id, session=session.session_id, offset=offset,
+        )
+        return negotiation_reply_to_json(session.reply())
+
+    def submit_push(self, blob: str | bytes) -> str:
+        """Push step 2/3 endpoint: verify a submission, return the verdict.
+
+        Protocol-level rejections -- malformed frame, unknown session,
+        agent/session mismatch, replayed session, expired session --
+        raise :class:`IntegrityError` *without* touching the agent's
+        attestation record: an attacker replaying captured evidence must
+        not be able to fail (or pass) the agent on its behalf.  A
+        well-formed submission against a live session consumes the
+        session and runs the shared verification pipeline; its result
+        flows through exactly the side-effect path a pull round uses.
+        """
+        telemetry = obs.get()
+        wall_start = perf_counter()
+        submission = submission_from_json(blob)
+        session = self._push_sessions.get(submission.session_id)
+        if session is None:
+            raise IntegrityError(
+                f"unknown push session {submission.session_id!r}"
+            )
+        if session.agent_id != submission.agent_id:
+            raise IntegrityError(
+                f"push session {session.session_id} belongs to "
+                f"{session.agent_id}, not {submission.agent_id}"
+            )
+        now = self.scheduler.clock.now
+        session.ensure_submittable(now)
+        session.advance(PushSessionState.SUBMITTED)
+        slot = self._slot(session.agent_id)
+        with telemetry.tracer.span(
+            "verifier.push_verify", agent=session.agent_id,
+            session=session.session_id,
+        ) as span:
+            result = self._ingest_push(slot, session, submission.evidence, telemetry)
+            span.set_attribute("ok", result.ok)
+            span.set_attribute("entries", result.entries_processed)
+        if result.ok:
+            session.advance(PushSessionState.VERIFIED)
+            session.outcome = "verified"
+            self._count_session_outcome("verified")
+        else:
+            session.advance(PushSessionState.FAILED)
+            session.outcome = "degraded" if result.transient else "failed"
+            self._count_session_outcome(session.outcome)
+        registry = telemetry.registry
+        registry.histogram(
+            "verifier_push_round_wall_seconds",
+            "Wall-clock latency of one push submission verification",
+        ).observe(perf_counter() - wall_start, exemplar=exemplar_of(span))
+        outcome = "ok" if result.ok else ("degraded" if result.transient else "failed")
+        registry.counter(
+            "verifier_push_rounds_total",
+            "Push attestation rounds verified", ("result",),
+        ).labels(result=outcome).inc()
+        self._observe_round(session.agent_id, result, registry)
+        self._last_push_result = result
+        return verdict_to_json(
+            PushVerdict(
+                session_id=session.session_id,
+                ok=result.ok,
+                state=slot.state.value,
+                entries_processed=result.entries_processed,
+                next_offset=slot.verified_entries,
+                failures=tuple(
+                    failure.kind.value for failure in result.failures
+                ),
+            )
+        )
+
+    def _ingest_push(
+        self, slot: AgentSlot, session: PushSession, evidence, telemetry
+    ) -> AttestationResult:
+        """Run the shared pipeline over a submitted evidence bundle."""
+        self.push_pipeline.continue_on_failure = self.pipeline.continue_on_failure
+        ctx = RoundContext(
+            agent_id=session.agent_id,
+            slot=slot,
+            record=self.registrar.lookup(session.agent_id),
+            now=self.scheduler.clock.now,
+            rng=self.rng,
+            tracer=telemetry.tracer,
+            cache=self.verdict_cache,
+            retry_policy=self.retry_policy,
+            retry_rng=self._retry_rng,
+            nonce=session.nonce,
+            selection=list(session.pcr_selection),
+            evidence=evidence,
+        )
+        result = self.push_pipeline.run(ctx, telemetry.registry)
+        return self._conclude_round(slot, session.agent_id, result)
+
+    def reap_push_sessions(self, now: float | None = None) -> list[str]:
+        """Expire overdue push sessions; the verifier tick's only push job.
+
+        Every open session past its ``expires_at`` closes as
+        ``expired`` and -- when the agent is still attestable -- records
+        a *degraded* round, feeding the same SUSPECT/quarantine
+        machinery a pull-mode transport failure would.  The silence of
+        a dead push agent therefore surfaces exactly like a dead wire
+        did before: loudly, and without a silent attestation-log gap.
+        """
+        if now is None:
+            now = self.scheduler.clock.now
+        registry = obs.get().registry
+        reaped: list[str] = []
+        for session in list(self._push_sessions.values()):
+            if not session.is_open or now <= session.expires_at:
+                continue
+            session.close("expired")
+            self._count_session_outcome("expired")
+            reaped.append(session.session_id)
+            self.events.emit(
+                now, "keylime.verifier", "push.session.expired",
+                agent=session.agent_id, session=session.session_id,
+                negotiated_at=session.created_at,
+            )
+            slot = self._slots.get(session.agent_id)
+            if slot is None or slot.state not in POLLABLE_STATES:
+                continue
+            result = AttestationResult(
+                time=now,
+                ok=False,
+                entries_processed=0,
+                entries_skipped=0,
+                failures=(),
+                transient=True,
+                transport_error=(
+                    f"push session {session.session_id} expired unanswered "
+                    f"(negotiated at t={session.created_at})"
+                ),
+            )
+            self._record_degraded_round(slot, result)
+            self._observe_round(session.agent_id, result, registry)
+        return reaped
+
+    def push_client(
+        self,
+        agent_id: str,
+        negotiate_channel=None,
+        submit_channel=None,
+    ) -> PushAgentClient:
+        """The (cached) push client driving this agent's cadence.
+
+        The client talks to this verifier's endpoints directly; the
+        optional channel hooks inject the chaos layer into either leg.
+        """
+        client = self._push_clients.get(agent_id)
+        if client is None:
+            slot = self._slot(agent_id)
+            client = PushAgentClient(
+                slot.agent,
+                negotiate=self.negotiate_push,
+                submit=self.submit_push,
+                retry_policy=self.retry_policy,
+                retry_rng=self._retry_rng,
+                negotiate_channel=negotiate_channel,
+                submit_channel=submit_channel,
+            )
+            self._push_clients[agent_id] = client
+        return client
+
+    def push_round(self, agent_id: str) -> AttestationResult | None:
+        """Drive one complete push exchange for the agent.
+
+        The push analogue of :meth:`poll`: returns the round's
+        :class:`AttestationResult`, or ``None`` when the exchange never
+        produced one (delivery abandoned or the submission was rejected
+        at the protocol layer) -- in which case the session is left for
+        :meth:`reap_push_sessions` to account for.
+        """
+        self._last_push_result = None
+        verdict = self.push_client(agent_id).run_round()
+        if verdict is None:
+            return None
+        return self._last_push_result
 
     def _transition(self, slot: AgentSlot, to_state: AgentState, now: float) -> None:
         """Move the slot between lifecycle states, with a metrics trail."""

@@ -1,0 +1,144 @@
+"""Crash-resume property: kill the verifier anywhere, lose nothing.
+
+The tentpole guarantee of the durable state store, exercised at fleet
+scale: snapshot a seeded 10-node push-mode run at *every* round
+boundary, rebuild the rig from scratch, restore, run the remainder --
+and the verdict history and hash-chained audit trail must be
+bit-identical to the uninterrupted run.  The restart must also be
+invisible to the anti-P2 machinery: no coverage-gap alert, no
+re-enrollment, every agent resuming at its exact replay offset.
+"""
+
+import pytest
+
+from repro.cli import _build_state_fleet, _drive_state_rounds
+from repro.common.errors import IntegrityError
+from repro.keylime.statestore import restore_from_file, write_snapshot
+from repro.obs.health import HealthWatch
+
+N_NODES = 10
+N_ROUNDS = 5
+INTERVAL = 1800.0
+FILLERS = 4
+SEED = "crash-resume"
+
+
+def _fingerprint(fleet):
+    """Everything the run produced, bit-for-bit comparable."""
+    return {
+        "results": {
+            node.agent.agent_id: fleet.verifier.results_of(node.agent.agent_id)
+            for node in fleet.nodes
+        },
+        "offsets": {
+            node.agent.agent_id: fleet.verifier.verified_entries_of(
+                node.agent.agent_id
+            )
+            for node in fleet.nodes
+        },
+        "status": fleet.status(),
+        "audit": fleet.verifier.audit.export_records(),
+        "audit_head": fleet.verifier.audit.head_hash,
+    }
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """One uninterrupted run, snapshotted at every round boundary."""
+    directory = tmp_path_factory.mktemp("snapshots")
+    fleet = _build_state_fleet(SEED, N_NODES, FILLERS, push_mode=True)
+    snapshots = {}
+    for boundary in range(1, N_ROUNDS):
+        _drive_state_rounds(fleet, 1, INTERVAL)
+        snapshots[boundary] = directory / f"round-{boundary}.snap"
+        write_snapshot(snapshots[boundary], fleet.verifier)
+    _drive_state_rounds(fleet, 1, INTERVAL)
+    return {"fingerprint": _fingerprint(fleet), "snapshots": snapshots}
+
+
+def _resume(
+    snapshot_path, rounds_remaining, push_mode=True, watch=None,
+    n_nodes=N_NODES,
+):
+    fleet = _build_state_fleet(SEED, n_nodes, FILLERS, push_mode=push_mode)
+    events_before = len(fleet.events)
+    restore_from_file(fleet.verifier, snapshot_path)
+    # A restore is bookkeeping, not attestation: it emits no events and
+    # touches no registrar record (no re-enrollment).
+    assert len(fleet.events) == events_before
+    from repro.keylime.statestore import read_snapshot
+
+    fleet.scheduler.clock.advance_to(
+        float(read_snapshot(snapshot_path)["created_at"])
+    )
+    if watch is not None:
+        fleet.watch_health(watch, INTERVAL)
+    for _ in range(rounds_remaining):
+        fleet.scheduler.clock.advance_by(INTERVAL)
+        fleet.poll_scheduler.poll_batch()
+        if watch is not None:
+            watch.tick(fleet.scheduler.clock.now)
+    if watch is not None:
+        watch.finalize(fleet.scheduler.clock.now)
+    return fleet
+
+
+class TestEveryRoundBoundary:
+    @pytest.mark.parametrize("boundary", range(1, N_ROUNDS))
+    def test_resume_is_bit_identical(self, baseline, boundary):
+        resumed = _resume(
+            baseline["snapshots"][boundary], N_ROUNDS - boundary
+        )
+        fingerprint = _fingerprint(resumed)
+        assert fingerprint["results"] == baseline["fingerprint"]["results"]
+        assert fingerprint["offsets"] == baseline["fingerprint"]["offsets"]
+        assert fingerprint["status"] == baseline["fingerprint"]["status"]
+        assert fingerprint["audit"] == baseline["fingerprint"]["audit"]
+        assert (
+            fingerprint["audit_head"] == baseline["fingerprint"]["audit_head"]
+        )
+        resumed.verifier.audit.verify_chain()
+
+    def test_restart_is_invisible_to_the_gap_detector(self, baseline):
+        """Anti-P2: the kill/restore opens no coverage gap -- the watch
+        attached to the resumed run stays silent."""
+        watch = HealthWatch(tick_interval=INTERVAL)
+        _resume(baseline["snapshots"][2], N_ROUNDS - 2, watch=watch)
+        gap_alerts = [
+            alert for alert in watch.engine.history
+            if alert.rule == "health.coverage_gap"
+        ]
+        assert gap_alerts == []
+        assert watch.incidents == []
+
+    def test_corrupted_snapshot_fails_loudly_not_quietly(
+        self, baseline, tmp_path
+    ):
+        source = baseline["snapshots"][1]
+        raw = source.read_bytes()
+        corrupt = tmp_path / "corrupt.snap"
+        mutated = bytearray(raw)
+        mutated[len(raw) // 2] ^= 0xFF
+        corrupt.write_bytes(bytes(mutated))
+        fleet = _build_state_fleet(SEED, N_NODES, FILLERS, push_mode=True)
+        with pytest.raises(IntegrityError):
+            restore_from_file(fleet.verifier, corrupt)
+        # The rejected restore left the fresh verifier untouched.
+        for node in fleet.nodes:
+            assert fleet.verifier.results_of(node.agent.agent_id) == []
+
+    def test_pull_mode_resumes_identically_too(self, tmp_path):
+        """The state store is mode-blind: a pull fleet killed at round 2
+        resumes bit-identical as well."""
+        uninterrupted = _build_state_fleet(
+            SEED, 3, FILLERS, push_mode=False
+        )
+        _drive_state_rounds(uninterrupted, N_ROUNDS, INTERVAL)
+        expected = _fingerprint(uninterrupted)
+
+        crashed = _build_state_fleet(SEED, 3, FILLERS, push_mode=False)
+        _drive_state_rounds(crashed, 2, INTERVAL)
+        snapshot = tmp_path / "pull.snap"
+        write_snapshot(snapshot, crashed.verifier)
+        resumed = _resume(snapshot, N_ROUNDS - 2, push_mode=False, n_nodes=3)
+        assert _fingerprint(resumed) == expected

@@ -1,0 +1,361 @@
+"""Push-mode attestation: session lifecycle, rejection, equivalence.
+
+The push exchange inverts the paper's pull loop -- the agent initiates
+negotiate -> submit -> verdict against the verifier's endpoints -- but
+must stay *verdict-equivalent* to pull on the same seed, because both
+modes share the verification pipeline and the nonce stream.  These
+tests pin the session state machine, the protocol-level rejection
+semantics (replay, expiry, mismatch: loud, and never charged to the
+agent's attestation record), the reaper's anti-P2 accounting, and the
+equivalence property itself.
+"""
+
+import json
+
+import pytest
+
+from repro.common.errors import IntegrityError, StateError
+from repro.experiments.testbed import build_testbed
+from repro.keylime.transport import (
+    PushSessionState,
+    negotiation_reply_from_json,
+    negotiation_to_json,
+    submission_to_json,
+    verdict_from_json,
+)
+from repro.keylime.verifier import AgentState, FailureKind
+from repro.obs import runtime as obs_runtime
+
+from tests.conftest import small_config
+
+
+@pytest.fixture()
+def testbed():
+    return build_testbed(small_config("pushmode"))
+
+
+def _negotiate(testbed):
+    """Run step 1 by hand; returns the decoded reply."""
+    blob = negotiation_to_json(testbed.agent_id, testbed.agent.capabilities())
+    return negotiation_reply_from_json(testbed.verifier.negotiate_push(blob))
+
+
+def _submit_blob(testbed, reply):
+    evidence = testbed.agent.attest(
+        reply.nonce, offset=reply.offset,
+        pcr_selection=list(reply.pcr_selection),
+    )
+    return submission_to_json(reply.session_id, testbed.agent_id, evidence)
+
+
+class TestPushSessionLifecycle:
+    def test_negotiate_opens_a_session(self, testbed):
+        reply = _negotiate(testbed)
+        session = testbed.verifier.open_push_session_of(testbed.agent_id)
+        assert session is not None
+        assert session.state is PushSessionState.NEGOTIATED
+        assert session.session_id == reply.session_id
+        assert session.nonce == reply.nonce
+        assert reply.offset == 0
+        assert reply.algorithm == "sha256"
+
+    def test_clean_exchange_verifies(self, testbed):
+        reply = _negotiate(testbed)
+        verdict = verdict_from_json(
+            testbed.verifier.submit_push(_submit_blob(testbed, reply))
+        )
+        assert verdict.ok
+        assert verdict.state == "attesting"
+        session = testbed.verifier.push_sessions_of(testbed.agent_id)[-1]
+        assert session.state is PushSessionState.VERIFIED
+        assert session.outcome == "verified"
+        assert testbed.verifier.open_push_session_of(testbed.agent_id) is None
+
+    def test_push_round_matches_manual_exchange(self, testbed):
+        result = testbed.push_round()
+        assert result is not None and result.ok
+        assert len(testbed.verifier.results_of(testbed.agent_id)) == 1
+
+    def test_session_replay_rejected_without_charging_the_agent(self, testbed):
+        """Resubmitting against a consumed session is a protocol
+        IntegrityError and must not add a round to the agent's record:
+        an attacker replaying captured traffic cannot fail the agent."""
+        reply = _negotiate(testbed)
+        blob = _submit_blob(testbed, reply)
+        assert verdict_from_json(testbed.verifier.submit_push(blob)).ok
+        rounds_before = len(testbed.verifier.results_of(testbed.agent_id))
+        with pytest.raises(IntegrityError, match="replay"):
+            testbed.verifier.submit_push(blob)
+        assert len(testbed.verifier.results_of(testbed.agent_id)) == rounds_before
+        assert testbed.verifier.state_of(testbed.agent_id) is AgentState.ATTESTING
+
+    def test_unknown_session_rejected(self, testbed):
+        reply = _negotiate(testbed)
+        blob = _submit_blob(testbed, reply)
+        payload = json.loads(blob)
+        payload["session_id"] = "ps-never-issued"
+        with pytest.raises(IntegrityError, match="unknown push session"):
+            testbed.verifier.submit_push(json.dumps(payload))
+
+    def test_agent_session_mismatch_rejected(self, testbed):
+        reply = _negotiate(testbed)
+        payload = json.loads(_submit_blob(testbed, reply))
+        payload["agent_id"] = "agent-somebody-else"
+        with pytest.raises(IntegrityError, match="belongs to"):
+            testbed.verifier.submit_push(json.dumps(payload))
+
+    def test_expired_session_rejected(self, testbed):
+        reply = _negotiate(testbed)
+        blob = _submit_blob(testbed, reply)
+        testbed.scheduler.clock.advance_by(
+            testbed.verifier.push_session_ttl + 1.0
+        )
+        with pytest.raises(IntegrityError, match="expired"):
+            testbed.verifier.submit_push(blob)
+
+    def test_renegotiation_supersedes_the_open_session(self, testbed):
+        first = _negotiate(testbed)
+        stale_blob = _submit_blob(testbed, first)
+        second = _negotiate(testbed)
+        assert second.session_id != first.session_id
+        assert (
+            testbed.verifier.open_push_session_of(testbed.agent_id).session_id
+            == second.session_id
+        )
+        with pytest.raises(IntegrityError):
+            testbed.verifier.submit_push(stale_blob)
+        # The superseding session still works.
+        assert verdict_from_json(
+            testbed.verifier.submit_push(_submit_blob(testbed, second))
+        ).ok
+
+    def test_negotiation_for_halted_agent_refused(self, testbed):
+        testbed.machine.install_file("/usr/bin/evil", b"x", executable=True)
+        testbed.machine.exec_file("/usr/bin/evil")
+        result = testbed.push_round()
+        assert result is not None and not result.ok
+        assert testbed.verifier.state_of(testbed.agent_id) is AgentState.FAILED
+        blob = negotiation_to_json(
+            testbed.agent_id, testbed.agent.capabilities()
+        )
+        with pytest.raises(StateError, match="push negotiation refused"):
+            testbed.verifier.negotiate_push(blob)
+
+    def test_failed_verdict_closes_the_session_failed(self, testbed):
+        testbed.machine.install_file("/usr/bin/evil", b"x", executable=True)
+        testbed.machine.exec_file("/usr/bin/evil")
+        reply = _negotiate(testbed)
+        verdict = verdict_from_json(
+            testbed.verifier.submit_push(_submit_blob(testbed, reply))
+        )
+        assert not verdict.ok
+        assert "policy" in verdict.failures
+        session = testbed.verifier.push_sessions_of(testbed.agent_id)[-1]
+        assert session.state is PushSessionState.FAILED
+        assert session.outcome == "failed"
+
+    def test_no_sha256_bank_refused(self, testbed):
+        payload = json.loads(
+            negotiation_to_json(testbed.agent_id, testbed.agent.capabilities())
+        )
+        payload["hash_algorithms"] = ["sha1"]
+        with pytest.raises(IntegrityError, match="sha256"):
+            testbed.verifier.negotiate_push(json.dumps(payload))
+
+
+class TestRestartDiscardsSessions:
+    """Satellite: a stale nonce must never verify after a reboot reset."""
+
+    def test_restart_attestation_discards_the_open_session(self, testbed):
+        reply = _negotiate(testbed)
+        stale_blob = _submit_blob(testbed, reply)
+        testbed.verifier.restart_attestation(testbed.agent_id)
+        assert testbed.verifier.open_push_session_of(testbed.agent_id) is None
+        session = testbed.verifier.push_sessions_of(testbed.agent_id)[-1]
+        assert session.outcome == "discarded"
+        with pytest.raises(IntegrityError):
+            testbed.verifier.submit_push(stale_blob)
+
+    def test_post_restart_negotiation_starts_at_offset_zero(self, testbed):
+        testbed.workload.daily(3)
+        assert testbed.push_round().ok
+        assert testbed.verifier.verified_entries_of(testbed.agent_id) > 0
+        testbed.verifier.restart_attestation(testbed.agent_id)
+        assert _negotiate(testbed).offset == 0
+
+
+class TestPushReaper:
+    def test_expired_session_degrades_the_round(self, testbed):
+        _negotiate(testbed)
+        testbed.scheduler.clock.advance_by(
+            testbed.verifier.push_session_ttl + 1.0
+        )
+        reaped = testbed.verifier.reap_push_sessions()
+        assert len(reaped) == 1
+        session = testbed.verifier.push_sessions_of(testbed.agent_id)[-1]
+        assert session.outcome == "expired"
+        results = testbed.verifier.results_of(testbed.agent_id)
+        assert len(results) == 1 and results[0].transient
+        assert "expired unanswered" in results[0].transport_error
+        # The silence surfaced as a SUSPECT window, not a quiet gap.
+        assert testbed.verifier.state_of(testbed.agent_id) is AgentState.SUSPECT
+
+    def test_repeated_suspect_windows_escalate_to_quarantine(self, testbed):
+        """Expired sessions burn the same suspect-window budget a flaky
+        pull wire does: the quarantine_after-th window quarantines."""
+
+        def expire_one_session():
+            _negotiate(testbed)
+            testbed.scheduler.clock.advance_by(
+                testbed.verifier.push_session_ttl + 1.0
+            )
+            testbed.verifier.reap_push_sessions()
+
+        for _ in range(testbed.verifier.quarantine_after - 1):
+            expire_one_session()
+            assert (
+                testbed.verifier.state_of(testbed.agent_id)
+                is AgentState.SUSPECT
+            )
+            # A clean exchange recovers the node but the window count
+            # sticks -- reliability debt, exactly like pull mode.
+            assert testbed.push_round().ok
+            assert (
+                testbed.verifier.state_of(testbed.agent_id)
+                is AgentState.ATTESTING
+            )
+        expire_one_session()
+        assert (
+            testbed.verifier.state_of(testbed.agent_id)
+            is AgentState.QUARANTINED
+        )
+
+    def test_reap_is_idempotent(self, testbed):
+        _negotiate(testbed)
+        testbed.scheduler.clock.advance_by(
+            testbed.verifier.push_session_ttl + 1.0
+        )
+        assert len(testbed.verifier.reap_push_sessions()) == 1
+        assert testbed.verifier.reap_push_sessions() == []
+        assert len(testbed.verifier.results_of(testbed.agent_id)) == 1
+
+    def test_live_session_not_reaped(self, testbed):
+        _negotiate(testbed)
+        assert testbed.verifier.reap_push_sessions() == []
+        assert testbed.verifier.open_push_session_of(testbed.agent_id) is not None
+
+
+class TestPushObservability:
+    def test_push_round_feeds_the_coverage_gap_gauges(self, testbed):
+        """Anti-P2: HealthWatch's gap detector reads the same last-seen
+        gauges in push mode as in pull mode."""
+        with obs_runtime.session() as telemetry:
+            assert testbed.push_round().ok
+            seen = telemetry.registry.get(
+                "verifier_agent_last_poll_sim_seconds"
+            ).labels(agent=testbed.agent_id).value
+            ok_seen = telemetry.registry.get(
+                "verifier_agent_last_ok_sim_seconds"
+            ).labels(agent=testbed.agent_id).value
+            sessions = telemetry.registry.get(
+                "verifier_push_sessions_total"
+            ).labels(outcome="verified").value
+        assert seen == testbed.scheduler.clock.now
+        assert ok_seen == seen
+        assert sessions == 1
+
+
+class TestPushPullEquivalence:
+    """The tentpole property: same seed, same verdicts, either mode."""
+
+    @staticmethod
+    def _run_rounds(seed: str, push: bool, n_rounds: int = 4):
+        testbed = build_testbed(small_config(seed))
+        results = []
+        for day in range(n_rounds):
+            testbed.workload.daily(day)
+            testbed.scheduler.clock.advance_by(1800.0)
+            results.append(
+                testbed.push_round() if push else testbed.poll()
+            )
+        return testbed, results
+
+    def test_clean_rounds_identical(self):
+        _, pull = self._run_rounds("push-eq", push=False)
+        _, push = self._run_rounds("push-eq", push=True)
+        assert pull == push
+        assert all(result.ok for result in pull)
+
+    def test_detection_identical(self):
+        def attack(seed, push):
+            testbed = build_testbed(small_config(seed))
+            round_fn = testbed.push_round if push else testbed.poll
+            assert round_fn().ok
+            testbed.machine.install_file(
+                "/usr/bin/backdoor", b"payload", executable=True
+            )
+            testbed.machine.exec_file("/usr/bin/backdoor")
+            return round_fn()
+
+        pull = attack("push-detect", push=False)
+        push = attack("push-detect", push=True)
+        assert pull == push
+        assert not push.ok
+        assert push.failures[0].kind is FailureKind.POLICY
+        assert push.failures[0].policy_failure.path == "/usr/bin/backdoor"
+
+    def test_audit_chains_identical(self):
+        pull_bed, _ = self._run_rounds("push-audit", push=False)
+        push_bed, _ = self._run_rounds("push-audit", push=True)
+        pull_audit = pull_bed.verifier.audit.export_records()
+        push_audit = push_bed.verifier.audit.export_records()
+        assert pull_audit == push_audit
+
+    def test_attack_trial_equivalence(self):
+        """E7 in push mode: one sample, identical trial outcome."""
+        from repro.attacks.framework import AttackMode, all_attacks
+        from repro.experiments.fn_matrix import run_attack_trial
+
+        sample = all_attacks()[0]
+        pull = run_attack_trial(
+            sample, AttackMode.BASIC, mitigated=False, seed="e7-push",
+            config=small_config("e7-push"), push=False,
+        )
+        push = run_attack_trial(
+            sample, AttackMode.BASIC, mitigated=False, seed="e7-push",
+            config=small_config("e7-push"), push=True,
+        )
+        assert pull == push
+
+
+class TestFleetPushMode:
+    """The scheduler side: agents on their own timers, reap-only ticks."""
+
+    @staticmethod
+    def _scenario(push_mode: bool):
+        from repro.experiments.fleet_run import run_fleet_scenario
+
+        return run_fleet_scenario(
+            seed="fleet-push-eq", n_nodes=2, n_days=1,
+            n_filler_packages=6, push_mode=push_mode,
+        )
+
+    def test_fleet_equivalence(self):
+        pull = self._scenario(push_mode=False)
+        push = self._scenario(push_mode=True)
+        assert push.total_polls == pull.total_polls > 0
+        assert push.status == pull.status
+        for node in pull.fleet.nodes:
+            agent_id = node.agent.agent_id
+            assert (
+                push.fleet.verifier.results_of(agent_id)
+                == pull.fleet.verifier.results_of(agent_id)
+            )
+
+    def test_push_fleet_leaves_no_dangling_sessions(self):
+        push = self._scenario(push_mode=True)
+        for node in push.fleet.nodes:
+            agent_id = node.agent.agent_id
+            assert (
+                push.fleet.verifier.open_push_session_of(agent_id) is None
+            )

@@ -7,12 +7,22 @@ import pytest
 from repro.common.errors import IntegrityError
 from repro.keylime.transport import (
     JsonTransportAgent,
+    NegotiationReply,
+    PushVerdict,
     challenge_from_json,
     challenge_to_json,
     evidence_from_json,
     evidence_to_json,
+    negotiation_from_json,
+    negotiation_reply_from_json,
+    negotiation_reply_to_json,
+    negotiation_to_json,
     quote_from_dict,
     quote_to_dict,
+    submission_from_json,
+    submission_to_json,
+    verdict_from_json,
+    verdict_to_json,
 )
 from repro.keylime.verifier import FailureKind
 from repro.obs import runtime as obs_runtime
@@ -308,6 +318,181 @@ class TestDecodeRobustnessSweep:
             payload["ima_log"] = bad_log
             with pytest.raises(IntegrityError):
                 evidence_from_json(json.dumps(payload))
+
+
+class TestPushFrameSerialisation:
+    """The push exchange's four frames: strict decode, loud rejection."""
+
+    def _negotiation_blob(self, testbed):
+        return negotiation_to_json(
+            testbed.agent_id, testbed.agent.capabilities(),
+            traceparent="00-" + "1" * 32 + "-" + "2" * 16 + "-01",
+        )
+
+    def _reply_blob(self, testbed=None):
+        return negotiation_reply_to_json(NegotiationReply(
+            session_id="ps-abc", nonce="f" * 40, offset=7,
+            pcr_selection=(0, 10), algorithm="sha256", expires_at=90.0,
+        ))
+
+    def _submission_blob(self, testbed):
+        return submission_to_json(
+            "ps-abc", testbed.agent_id, testbed.agent.attest("n" * 40)
+        )
+
+    def _verdict_blob(self, testbed=None):
+        return verdict_to_json(PushVerdict(
+            session_id="ps-abc", ok=False, state="failed",
+            entries_processed=3, next_offset=12,
+            failures=("not_in_policy",),
+        ))
+
+    def test_negotiation_roundtrip(self, testbed):
+        request = negotiation_from_json(self._negotiation_blob(testbed))
+        assert request.agent_id == testbed.agent_id
+        assert request.capabilities == testbed.agent.capabilities()
+        assert request.traceparent is not None
+
+    def test_reply_roundtrip(self):
+        reply = negotiation_reply_from_json(self._reply_blob())
+        assert reply.session_id == "ps-abc"
+        assert reply.pcr_selection == (0, 10)
+        assert reply.expires_at == 90.0
+
+    def test_submission_roundtrip(self, testbed):
+        evidence = testbed.agent.attest("n" * 40)
+        submission = submission_from_json(
+            submission_to_json("ps-abc", testbed.agent_id, evidence)
+        )
+        assert submission.session_id == "ps-abc"
+        assert submission.evidence == evidence
+
+    def test_verdict_roundtrip(self):
+        verdict = verdict_from_json(self._verdict_blob())
+        assert verdict.ok is False
+        assert verdict.failures == ("not_in_policy",)
+
+    @pytest.mark.parametrize("codec,maker", [
+        (negotiation_from_json, "_negotiation_blob"),
+        (negotiation_reply_from_json, "_reply_blob"),
+        (submission_from_json, "_submission_blob"),
+        (verdict_from_json, "_verdict_blob"),
+    ])
+    def test_unknown_fields_rejected(self, testbed, codec, maker):
+        """A frame carrying fields the receiver never asked for is
+        hostile, not extensible: reject, don't silently drop."""
+        payload = json.loads(getattr(self, maker)(testbed))
+        payload["smuggled"] = True
+        with pytest.raises(IntegrityError, match="unknown field"):
+            codec(json.dumps(payload))
+
+    @pytest.mark.parametrize("codec_name,field,value", [
+        ("reply", "offset", -1),
+        ("reply", "offset", 1 << 41),
+        ("reply", "offset", "Infinity"),
+        ("reply", "expires_at", "NaN"),
+        ("verdict", "next_offset", -5),
+        ("verdict", "next_offset", 1e400),
+        ("verdict", "entries_processed", "-Infinity"),
+        ("negotiation", "log_length", -1),
+        ("negotiation", "boot_count", 1 << 41),
+    ])
+    def test_hostile_numeric_fields_rejected(
+        self, testbed, codec_name, field, value
+    ):
+        codecs = {
+            "reply": (negotiation_reply_from_json, self._reply_blob()),
+            "verdict": (verdict_from_json, self._verdict_blob()),
+            "negotiation": (
+                negotiation_from_json, self._negotiation_blob(testbed)
+            ),
+        }
+        codec, blob = codecs[codec_name]
+        payload = json.loads(blob)
+        payload[field] = value
+        with pytest.raises(IntegrityError):
+            codec(json.dumps(payload))
+
+    @pytest.mark.parametrize("algorithms", [[], "sha256", 42, None])
+    def test_hostile_algorithm_lists_rejected(self, testbed, algorithms):
+        payload = json.loads(self._negotiation_blob(testbed))
+        payload["hash_algorithms"] = algorithms
+        with pytest.raises(IntegrityError):
+            negotiation_from_json(json.dumps(payload))
+
+    @pytest.mark.parametrize("ok", ["true", 1, None])
+    def test_non_boolean_verdict_ok_rejected(self, ok):
+        payload = json.loads(self._verdict_blob())
+        payload["ok"] = ok
+        with pytest.raises(IntegrityError):
+            verdict_from_json(json.dumps(payload))
+
+    def test_submission_evidence_is_strict(self, testbed):
+        """Strictness recurses: junk inside the nested evidence bundle
+        is caught even though the outer frame is intact."""
+        payload = json.loads(self._submission_blob(testbed))
+        payload["evidence"]["quote"]["reset_count"] = "NaN"
+        with pytest.raises(IntegrityError):
+            submission_from_json(json.dumps(payload))
+        payload = json.loads(self._submission_blob(testbed))
+        payload["evidence"]["extra"] = 1
+        with pytest.raises(IntegrityError):
+            submission_from_json(json.dumps(payload))
+
+    @pytest.mark.parametrize("payload", [
+        b"\xff\xfe not utf-8 \x80\x81",
+        b"\x00" * 16,
+        bytes(range(256)),
+    ])
+    def test_raw_byte_garbage_is_an_integrity_error(self, payload):
+        for codec in (
+            negotiation_from_json, negotiation_reply_from_json,
+            submission_from_json, verdict_from_json,
+        ):
+            with pytest.raises(IntegrityError):
+                codec(payload)
+
+
+class TestPushFrameCorruptionSweep:
+    """The every-byte-offset sweep, extended to the push frames.
+
+    Reuses the sweep machinery without inheriting (subclassing would
+    collect the pull-frame sweeps a second time).
+    """
+
+    _MUTATIONS = TestDecodeRobustnessSweep._MUTATIONS
+    _decodes_or_integrity_error = staticmethod(
+        TestDecodeRobustnessSweep._decodes_or_integrity_error
+    )
+    _sweep = TestDecodeRobustnessSweep._sweep
+
+    def test_negotiation_corrupt_at_every_byte_offset(self, testbed):
+        blob = negotiation_to_json(
+            testbed.agent_id, testbed.agent.capabilities(),
+            traceparent="00-" + "1" * 32 + "-" + "2" * 16 + "-01",
+        )
+        self._sweep(negotiation_from_json, blob)
+
+    def test_negotiation_reply_corrupt_at_every_byte_offset(self):
+        blob = negotiation_reply_to_json(NegotiationReply(
+            session_id="ps-abc", nonce="f" * 40, offset=7,
+            pcr_selection=(0, 10), algorithm="sha256", expires_at=90.0,
+        ))
+        self._sweep(negotiation_reply_from_json, blob)
+
+    def test_submission_corrupt_at_every_byte_offset(self, testbed):
+        testbed.machine.exec_file("/usr/bin/ls")
+        blob = submission_to_json(
+            "ps-abc", testbed.agent_id, testbed.agent.attest("n" * 40)
+        )
+        self._sweep(submission_from_json, blob)
+
+    def test_verdict_corrupt_at_every_byte_offset(self):
+        blob = verdict_to_json(PushVerdict(
+            session_id="ps-abc", ok=True, state="attesting",
+            entries_processed=3, next_offset=12,
+        ))
+        self._sweep(verdict_from_json, blob)
 
 
 class TestWireTracePropagation:
