@@ -17,26 +17,31 @@ very different regimes:
 This bench times the same N-poll loop three ways: bare (no fault layer),
 clean plan, and the ``flaky`` profile with a 4-attempt retry budget.
 
-Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the loop so CI can assert
-the bounds without paying the full measurement.
+Smoke mode (``REPRO_BENCH_SMOKE=1`` under pytest, ``--smoke`` under the
+harness) shrinks the loop so CI can assert the bounds without paying
+the full measurement.
 """
 
 from __future__ import annotations
 
-import os
 from time import perf_counter
 
+from common import bench_mode, pick
 from repro.common.rng import SeededRng
 from repro.experiments.testbed import TestbedConfig, build_testbed
 from repro.keylime.faults import chaos_profile
 from repro.keylime.retrypolicy import RetryPolicy
+from repro.obs.perf import BenchMetric, register_bench
 
-SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
-N_POLLS = 40 if SMOKE else 200
+MODE = bench_mode()
 POLL_INTERVAL = 1800.0
 
 
-def _run_loop(seed: str, profile: str | None):
+def _n_polls(mode: str) -> int:
+    return pick(mode, 40, 200)
+
+
+def _run_loop(seed: str, profile: str | None, n_polls: int):
     """Build a small rig, optionally install a fault plan, time N polls.
 
     Returns ``(seconds, entries_sequence, plan, degraded_rounds)``;
@@ -56,7 +61,7 @@ def _run_loop(seed: str, profile: str | None):
         testbed.verifier.quarantine_after = 10**9
     start = perf_counter()
     entries = []
-    for _ in range(N_POLLS):
+    for _ in range(n_polls):
         testbed.scheduler.clock.advance_by(POLL_INTERVAL)
         result = testbed.poll()
         assert result.ok or result.transient, result.failures
@@ -65,11 +70,62 @@ def _run_loop(seed: str, profile: str | None):
     return perf_counter() - start, entries, plan, degraded
 
 
+def run_bench(mode: str, seed: str) -> dict[str, float]:
+    """Harness core: bare / clean-plan / flaky loop costs.
+
+    The injected-fault and degraded-round counts are pure functions of
+    the seeded weather, so those metrics must reproduce exactly on a
+    same-seed rerun -- a deviation there is a workload change, not
+    noise.
+    """
+    n_polls = _n_polls(mode)
+    bare_s, bare_entries, _, _ = _run_loop(seed, None, n_polls)
+    clean_s, clean_entries, clean_plan, clean_degraded = _run_loop(
+        seed, "clean", n_polls
+    )
+    assert clean_plan.injections == []
+    assert clean_degraded == 0
+    assert clean_entries == bare_entries
+    flaky_s, _, flaky_plan, flaky_degraded = _run_loop(
+        seed, "flaky", n_polls
+    )
+    per_poll = 1e6 / n_polls
+    return {
+        "bare_us_per_poll": bare_s * per_poll,
+        "clean_us_per_poll": clean_s * per_poll,
+        "flaky_us_per_poll": flaky_s * per_poll,
+        "flaky_injected": float(len(flaky_plan.injections)),
+        "flaky_degraded_rounds": float(flaky_degraded),
+    }
+
+
+register_bench(
+    "chaos",
+    [
+        BenchMetric("bare_us_per_poll", "us", "lower",
+                    "poll cost, no fault layer"),
+        BenchMetric("clean_us_per_poll", "us", "lower",
+                    "poll cost with a clean (no-op) fault plan installed"),
+        BenchMetric("flaky_us_per_poll", "us", "lower",
+                    "poll cost under the flaky profile + retries"),
+        BenchMetric("flaky_injected", "faults", "lower",
+                    "seed-deterministic injected-fault count"),
+        BenchMetric("flaky_degraded_rounds", "rounds", "lower",
+                    "seed-deterministic degraded-round count"),
+    ],
+    run_bench,
+    seed="chaos-overhead",
+    description="Fault-injection layer + retry machinery overhead",
+)
+
+
 def test_chaos_layer_overhead(benchmark, emit):
-    bare_s, bare_entries, _, _ = _run_loop("chaos-overhead", None)
+    n_polls = _n_polls(MODE)
+    smoke = MODE == "smoke"
+    bare_s, bare_entries, _, _ = _run_loop("chaos-overhead", None, n_polls)
 
     clean_s, clean_entries, clean_plan, clean_degraded = _run_loop(
-        "chaos-overhead", "clean"
+        "chaos-overhead", "clean", n_polls
     )
     # The zero-perturbation guarantee, verdict form: a clean plan's loop
     # processes exactly the bare loop's entry stream and injects nothing.
@@ -78,13 +134,13 @@ def test_chaos_layer_overhead(benchmark, emit):
     assert clean_entries == bare_entries
 
     flaky_s, _, flaky_plan, flaky_degraded = benchmark.pedantic(
-        lambda: _run_loop("chaos-overhead", "flaky"),
-        rounds=1 if SMOKE else 3, iterations=1,
+        lambda: _run_loop("chaos-overhead", "flaky", n_polls),
+        rounds=1 if smoke else 3, iterations=1,
     )
 
-    per_poll = lambda seconds: seconds / N_POLLS * 1e6  # noqa: E731
+    per_poll = lambda seconds: seconds / n_polls * 1e6  # noqa: E731
     emit()
-    emit(f"Chaos-layer overhead ({N_POLLS} polls{', smoke' if SMOKE else ''})")
+    emit(f"Chaos-layer overhead ({n_polls} polls{', smoke' if smoke else ''})")
     emit(f"  no fault layer:     {per_poll(bare_s):9.1f} us/poll")
     emit(f"  clean plan installed:{per_poll(clean_s):8.1f} us/poll "
          f"({clean_s / bare_s - 1.0:+.1%})")

@@ -12,58 +12,121 @@ times the same N-poll loop three ways:
 * tracer only (spans recorded, no store) -- the pre-PR-4 shape;
 * the full pipeline (spans + SpanStore ingestion + exemplars).
 
-Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the loop so CI can assert
-the bound without paying the full measurement.
+Smoke mode (``REPRO_BENCH_SMOKE=1`` under pytest, ``--smoke`` under the
+harness) shrinks the loop so CI can assert the bound without paying the
+full measurement.
 """
 
 from __future__ import annotations
 
-import os
 from time import perf_counter
 
+from common import bench_mode, pick
 from repro.experiments.testbed import TestbedConfig, build_testbed
 from repro.obs import runtime as obs_runtime
+from repro.obs.perf import BenchMetric, register_bench
 from repro.obs.runtime import Telemetry
 from repro.obs.tracing import SpanTracer
 
-SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
-N_POLLS = 40 if SMOKE else 200
+MODE = bench_mode()
 POLL_INTERVAL = 1800.0
 
 
-def _poll_loop_seconds(seed: str) -> float:
+def _n_polls(mode: str) -> int:
+    return pick(mode, 40, 200)
+
+
+def _poll_loop_seconds(seed: str, n_polls: int) -> float:
     """Build a small rig and time N polls (build cost excluded)."""
     testbed = build_testbed(TestbedConfig(seed=seed, n_filler_packages=15))
     start = perf_counter()
-    for _ in range(N_POLLS):
+    for _ in range(n_polls):
         testbed.scheduler.clock.advance_by(POLL_INTERVAL)
         assert testbed.poll().ok
     return perf_counter() - start
 
 
-def test_trace_pipeline_overhead(benchmark, emit):
-    # Null baseline: the autouse bench fixture activated telemetry;
-    # drop to the null objects for the unobserved loop.
+def _three_way(
+    mode: str, seed: str, full_loop: bool = True
+) -> tuple[float, float, float]:
+    """(null, tracer-only, full-pipeline) loop seconds.
+
+    Assumes a full telemetry bundle is active on entry (pytest's
+    autouse fixture or the harness session) and leaves the *same*
+    bundle active on exit, with the full-pipeline loop recorded into
+    it.  With ``full_loop=False`` the third element is 0.0 and the
+    caller times the instrumented loop itself (the pytest path, where
+    pytest-benchmark owns that measurement).
+    """
+    n_polls = _n_polls(mode)
+    entry = obs_runtime.get()
+
+    # Null baseline: drop to the null objects for the unobserved loop.
     obs_runtime.deactivate()
     try:
-        null_s = _poll_loop_seconds("trace-overhead/null")
+        null_s = _poll_loop_seconds(f"{seed}/null", n_polls)
 
         # Tracer without a store: spans recorded into the deque only.
         bare = Telemetry()
         bare.tracer = SpanTracer()
         obs_runtime.activate(bare)
         try:
-            tracer_s = _poll_loop_seconds("trace-overhead/tracer")
+            tracer_s = _poll_loop_seconds(f"{seed}/tracer", n_polls)
         finally:
             obs_runtime.deactivate()
     finally:
-        obs_runtime.activate()
+        if isinstance(entry, Telemetry):
+            obs_runtime.activate(entry)
+        else:
+            obs_runtime.activate()
 
     # Full pipeline: SpanStore ingestion + indexing + exemplars.
+    full_s = _poll_loop_seconds(f"{seed}/store", n_polls) if full_loop else 0.0
+    return null_s, tracer_s, full_s
+
+
+def run_bench(mode: str, seed: str) -> dict[str, float]:
+    """Harness core: per-poll cost of each tracing increment."""
+    n_polls = _n_polls(mode)
+    null_s, tracer_s, full_s = _three_way(mode, seed)
+    per_poll = 1e6 / n_polls
+    return {
+        "null_us_per_poll": null_s * per_poll,
+        "tracer_us_per_poll": tracer_s * per_poll,
+        "full_us_per_poll": full_s * per_poll,
+        "full_over_null": full_s / null_s if null_s > 0 else 0.0,
+    }
+
+
+register_bench(
+    "trace",
+    [
+        BenchMetric("null_us_per_poll", "us", "lower",
+                    "poll cost, telemetry off (null-object fast path)"),
+        BenchMetric("tracer_us_per_poll", "us", "lower",
+                    "poll cost, tracer only (no span store)"),
+        BenchMetric("full_us_per_poll", "us", "lower",
+                    "poll cost, tracer + SpanStore + exemplars"),
+        BenchMetric("full_over_null", "x", "lower",
+                    "full trace pipeline over the unobserved loop"),
+    ],
+    run_bench,
+    seed="trace-overhead",
+    description="Trace propagation + span storage + exemplar overhead",
+)
+
+
+def test_trace_pipeline_overhead(benchmark, emit):
+    n_polls = _n_polls(MODE)
+    smoke = MODE == "smoke"
+    null_s, tracer_s, _ = _three_way(MODE, "trace-overhead", full_loop=False)
+
+    # Re-run the full pipeline under pytest-benchmark so the JSON
+    # carries a real wall number for the instrumented configuration.
     telemetry = obs_runtime.get()
     full_s = benchmark.pedantic(
-        lambda: _poll_loop_seconds("trace-overhead/store"),
-        rounds=1 if SMOKE else 3, iterations=1,
+        lambda: _poll_loop_seconds("trace-overhead/store", n_polls),
+        rounds=1 if smoke else 3, iterations=1,
     )
 
     store = telemetry.store
@@ -74,10 +137,10 @@ def test_trace_pipeline_overhead(benchmark, emit):
         len(child.exemplars) for _, child in stage_family.samples()
     ) if stage_family is not None else 0
 
-    per_poll = lambda seconds: seconds / N_POLLS * 1e6  # noqa: E731
+    per_poll = lambda seconds: seconds / n_polls * 1e6  # noqa: E731
     emit()
-    emit(f"Trace-pipeline overhead ({N_POLLS} polls"
-         f"{', smoke' if SMOKE else ''})")
+    emit(f"Trace-pipeline overhead ({n_polls} polls"
+         f"{', smoke' if smoke else ''})")
     emit(f"  telemetry off:        {per_poll(null_s):9.1f} us/poll")
     emit(f"  tracer only:          {per_poll(tracer_s):9.1f} us/poll "
          f"({tracer_s / null_s - 1.0:+.1%})")

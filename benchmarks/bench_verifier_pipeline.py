@@ -13,52 +13,30 @@ pipeline records (the full poll also pays quote crypto, which is
 cache-independent and would compress the ratio).  Full-poll entries/sec
 is reported alongside for context.
 
-Smoke mode (``REPRO_BENCH_SMOKE=1``, used by CI) shrinks the fleet and
-skips the ratio assertion -- sub-millisecond stage timings are too
-noisy to gate a workflow on.
+Smoke mode (``REPRO_BENCH_SMOKE=1`` under pytest, ``--smoke`` under the
+harness) shrinks the fleet and skips the ratio assertion --
+sub-millisecond stage timings are too noisy to gate a workflow on.
 """
 
 from __future__ import annotations
 
-import os
 from time import perf_counter
 
-from repro.common.clock import Scheduler
-from repro.common.rng import SeededRng
-from repro.distro.archive import UbuntuArchive
-from repro.distro.mirror import LocalMirror
-from repro.distro.workload import build_base_system
-from repro.dynpolicy.generator import DynamicPolicyGenerator
+from common import bench_mode, build_bench_fleet, pick
 from repro.keylime.fleet import Fleet
-from repro.keylime.policy import IBM_STYLE_EXCLUDES
 from repro.obs import runtime as obs_runtime
-from repro.tpm.device import TpmManufacturer
+from repro.obs.perf import BenchMetric, register_bench
 
-SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+MODE = bench_mode()
 
-#: (fleet size, workload binaries per node, measured re-poll rounds)
-FLEET_SIZE, WORKLOAD, ROUNDS = (6, 10, 2) if SMOKE else (50, 60, 5)
+
+def _params(mode: str) -> tuple[int, int, int]:
+    """(fleet size, workload binaries per node, measured re-poll rounds)."""
+    return pick(mode, (6, 10, 2), (50, 60, 5))
+
 
 #: Acceptance floor: shared-cache fleet throughput vs cache-off.
 MIN_SPEEDUP = 5.0
-
-
-def _build_fleet(size: int) -> Fleet:
-    rng = SeededRng(f"pipeline-bench-{size}")
-    scheduler = Scheduler()
-    archive = UbuntuArchive()
-    base = build_base_system(
-        rng.fork("base"), n_filler_packages=20, mean_exec_files=5
-    )
-    archive.seed(base)
-    mirror = LocalMirror(archive)
-    mirror.sync(0.0)
-    generator = DynamicPolicyGenerator(mirror, rng=rng.fork("gen"))
-    policy, _ = generator.generate_full(
-        list(IBM_STYLE_EXCLUDES), {"5.15.0-91-generic"}
-    )
-    manufacturer = TpmManufacturer("Bench", rng.fork("tpm"))
-    return Fleet(size, mirror, manufacturer, scheduler, rng.fork("fleet"), policy)
 
 
 def _run_workload(fleet: Fleet, limit: int) -> int:
@@ -93,59 +71,104 @@ def _policy_eval_seconds() -> float:
     return 0.0
 
 
-def _measure(fleet: Fleet, entries_per_round: int) -> dict[str, float]:
-    """Entries/sec over ROUNDS full re-polls of the fleet."""
+def _measure(
+    fleet: Fleet, entries_per_round: int, rounds: int
+) -> dict[str, float]:
+    """Entries/sec over *rounds* full re-polls of the fleet."""
     _repoll(fleet)  # prime: steady-state replay, cache warmed (if any)
     stage_before = _policy_eval_seconds()
     wall_before = perf_counter()
-    for _ in range(ROUNDS):
+    for _ in range(rounds):
         _repoll(fleet)
     wall = perf_counter() - wall_before
     stage = _policy_eval_seconds() - stage_before
-    entries = ROUNDS * entries_per_round
+    entries = rounds * entries_per_round
     return {
         "entries": entries,
-        "stage_eps": entries / stage if stage else float("inf"),
-        "poll_eps": entries / wall if wall else float("inf"),
+        "stage_eps": entries / stage if stage > 0 else 0.0,
+        "poll_eps": entries / wall if wall > 0 else 0.0,
     }
 
 
+def _scenario(
+    mode: str, seed: str, size: int, cached: bool
+) -> tuple[dict[str, float], Fleet]:
+    """One (size, cache) scenario's throughput stats + its fleet."""
+    _, workload, rounds = _params(mode)
+    fleet = build_bench_fleet(size, f"{seed}-{size}")
+    per_node = _run_workload(fleet, workload) + 1  # + boot aggregate
+    if not cached:
+        fleet.verifier.verdict_cache = None
+    stats = _measure(
+        fleet, entries_per_round=size * per_node, rounds=rounds
+    )
+    return stats, fleet
+
+
+def run_bench(mode: str, seed: str) -> dict[str, float]:
+    """Harness core: fleet cache-on vs cache-off stage throughput."""
+    size = _params(mode)[0]
+    on, _ = _scenario(mode, seed, size, cached=True)
+    off, _ = _scenario(mode, seed, size, cached=False)
+    return {
+        "fleet_stage_eps": on["stage_eps"],
+        "fleet_poll_eps": on["poll_eps"],
+        "cache_speedup": on["stage_eps"] / max(off["stage_eps"], 1e-12),
+    }
+
+
+register_bench(
+    "pipeline",
+    [
+        BenchMetric("cache_speedup", "x", "higher",
+                    "shared verdict-cache fleet speedup, policy-eval stage"),
+        BenchMetric("fleet_stage_eps", "entries/s", "higher",
+                    "cache-on fleet policy-eval stage throughput"),
+        BenchMetric("fleet_poll_eps", "entries/s", "higher",
+                    "cache-on fleet full-poll throughput"),
+    ],
+    run_bench,
+    seed="pipeline-bench",
+    description="Staged verification pipeline + shared verdict cache",
+)
+
+
 def test_pipeline_cache_speedup(benchmark, emit):
+    fleet_size, workload, rounds = _params(MODE)
+    smoke = MODE == "smoke"
     scenarios = {}
     for label, size, cached in (
         ("single/cache-off", 1, False),
         ("single/cache-on", 1, True),
-        (f"fleet-{FLEET_SIZE}/cache-off", FLEET_SIZE, False),
-        (f"fleet-{FLEET_SIZE}/cache-on", FLEET_SIZE, True),
+        (f"fleet-{fleet_size}/cache-off", fleet_size, False),
+        (f"fleet-{fleet_size}/cache-on", fleet_size, True),
     ):
-        fleet = _build_fleet(size)
-        per_node = _run_workload(fleet, WORKLOAD) + 1  # + boot aggregate
-        if not cached:
-            fleet.verifier.verdict_cache = None
-        scenarios[label] = _measure(fleet, entries_per_round=size * per_node)
-        if label == f"fleet-{FLEET_SIZE}/cache-on":
+        scenarios[label], fleet = _scenario(
+            MODE, "pipeline-bench", size, cached
+        )
+        if label == f"fleet-{fleet_size}/cache-on":
             benchmark(lambda fleet=fleet: _repoll(fleet))
 
     emit()
     emit(
-        f"Verifier pipeline throughput ({ROUNDS} re-polls, "
-        f"{WORKLOAD} shared binaries/node{', SMOKE' if SMOKE else ''})"
+        f"Verifier pipeline throughput ({rounds} re-polls, "
+        f"{workload} shared binaries/node{', SMOKE' if smoke else ''})"
     )
     emit(f"  {'scenario':<22} {'policy-eval entries/s':>22} {'full-poll entries/s':>20}")
     for label, stats in scenarios.items():
         emit(f"  {label:<22} {stats['stage_eps']:>22,.0f} {stats['poll_eps']:>20,.0f}")
 
-    on = scenarios[f"fleet-{FLEET_SIZE}/cache-on"]
-    off = scenarios[f"fleet-{FLEET_SIZE}/cache-off"]
+    on = scenarios[f"fleet-{fleet_size}/cache-on"]
+    off = scenarios[f"fleet-{fleet_size}/cache-off"]
     speedup = on["stage_eps"] / off["stage_eps"]
     emit(
         f"  shared-cache speedup (fleet policy-eval stage): {speedup:.1f}x "
-        f"(floor {MIN_SPEEDUP:.0f}x{', not asserted in smoke' if SMOKE else ''})"
+        f"(floor {MIN_SPEEDUP:.0f}x{', not asserted in smoke' if smoke else ''})"
     )
     benchmark.extra_info["pipeline"] = {
-        "smoke": SMOKE,
-        "fleet_size": FLEET_SIZE,
-        "rounds": ROUNDS,
+        "smoke": smoke,
+        "fleet_size": fleet_size,
+        "rounds": rounds,
         "scenarios": {
             label: {key: round(value, 2) for key, value in stats.items()}
             for label, stats in scenarios.items()
@@ -153,7 +176,7 @@ def test_pipeline_cache_speedup(benchmark, emit):
         "fleet_cache_speedup": round(speedup, 2),
     }
     assert on["stage_eps"] > 0 and off["stage_eps"] > 0
-    if not SMOKE:
+    if not smoke:
         assert speedup >= MIN_SPEEDUP, (
             f"shared verdict cache speedup {speedup:.2f}x below "
             f"the {MIN_SPEEDUP:.0f}x floor"
