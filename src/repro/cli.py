@@ -1202,6 +1202,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     state_load.set_defaults(func=_cmd_state_load)
 
+    shard = commands.add_parser(
+        "shard",
+        help="multi-verifier fleet: consistent-hash assignment, "
+             "federated failover demo",
+    )
+    shard_commands = shard.add_subparsers(dest="shard_command", required=True)
+
+    shard_assign = shard_commands.add_parser(
+        "assign",
+        help="print the ring's agent->verifier assignment and balance",
+    )
+    shard_assign.add_argument("--verifiers", type=int, default=3)
+    shard_assign.add_argument("--nodes", type=int, default=30)
+    shard_assign.add_argument(
+        "--vnodes", type=int, default=64,
+        help="virtual nodes per ring member",
+    )
+    shard_assign.add_argument(
+        "--show-agents", action="store_true",
+        help="print every agent's shard, not just the sizes",
+    )
+    shard_assign.add_argument(
+        "--join", default=None, metavar="MEMBER",
+        help="also print the migration plan for adding MEMBER",
+    )
+    shard_assign.add_argument(
+        "--leave", default=None, metavar="MEMBER",
+        help="also print the migration plan for retiring MEMBER",
+    )
+    shard_assign.set_defaults(func=_cmd_shard_assign)
+
+    shard_demo = shard_commands.add_parser(
+        "demo",
+        help="run a sharded fleet under the federation observatory, "
+             "optionally killing a verifier mid-run",
+    )
+    shard_demo.add_argument("--verifiers", type=int, default=3)
+    shard_demo.add_argument("--nodes", type=int, default=9)
+    shard_demo.add_argument("--rounds", type=int, default=5)
+    shard_demo.add_argument(
+        "--tick-minutes", type=float, default=30.0,
+        help="simulated minutes between attestation rounds",
+    )
+    shard_demo.add_argument(
+        "--kill", default=None, metavar="MEMBER",
+        help="mark MEMBER dead at --kill-round's boundary",
+    )
+    shard_demo.add_argument(
+        "--kill-round", type=int, default=2,
+        help="round index at which --kill takes effect",
+    )
+    shard_demo.add_argument(
+        "--push", action="store_true",
+        help="drive the rounds through the push exchange",
+    )
+    shard_demo.set_defaults(func=_cmd_shard_demo)
+
     bench = commands.add_parser(
         "bench",
         help="perf observatory: run registered benches, record the "
@@ -1524,6 +1581,80 @@ def _cmd_state_load(args: argparse.Namespace) -> int:
                   f"{len(fleet.verifier.audit)} records, "
                   f"head {fleet.verifier.audit.head_hash[:16]}...")
     return 0
+
+
+def _cmd_shard_assign(args: argparse.Namespace) -> int:
+    """Pure ring arithmetic: where would N agents land on M verifiers?"""
+    from repro.keylime.sharding import ConsistentHashRing, shard_balance
+
+    ring = ConsistentHashRing(str(args.seed), vnodes=args.vnodes)
+    for index in range(args.verifiers):
+        ring.add(f"verifier-{index}")
+    keys = [f"agent-node-{i:03d}" for i in range(args.nodes)]
+    assignment = ring.assignment(keys)
+    sizes = ring.shard_sizes(keys)
+    balance = shard_balance(sizes)
+    print(f"ring: seed={args.seed!r}, {args.verifiers} member(s), "
+          f"{ring.vnodes} vnodes/member")
+    print(f"fingerprint: {ring.fingerprint(keys)[:16]}...")
+    for member in ring.members:
+        print(f"  {member:<14s} {sizes.get(member, 0):3d} agent(s)")
+    print(f"balance: {balance:.3f} "
+          f"(effective speedup ~= {args.verifiers * balance:.2f}x of "
+          f"{args.verifiers}x ideal)")
+    if args.show_agents:
+        for key in keys:
+            print(f"    {key} -> {assignment[key]}")
+    if args.join:
+        plan = ring.plan_join(keys, args.join)
+        print(f"join {args.join}: {len(plan.moves)} key(s) move "
+              f"(all to the joiner)")
+        for move in plan.moves:
+            print(f"    {move.key}: {move.source} -> {move.target}")
+    if args.leave:
+        plan = ring.plan_leave(keys, args.leave)
+        print(f"leave {args.leave}: {len(plan.moves)} key(s) move "
+              f"(only the leaver's range)")
+        for move in plan.moves:
+            print(f"    {move.key}: {move.source} -> {move.target}")
+    return 0
+
+
+def _cmd_shard_demo(args: argparse.Namespace) -> int:
+    """A federated multi-verifier run with a forced mid-run failover."""
+    from repro.experiments.shardfleet import run_shard_fleet
+    from repro.obs.dashboard import render_top
+
+    poll_interval = args.tick_minutes * 60.0
+    kill = {}
+    if args.kill is not None:
+        kill[args.kill_round] = args.kill
+    result = run_shard_fleet(
+        seed=str(args.seed),
+        n_nodes=args.nodes,
+        n_verifiers=args.verifiers,
+        fillers=args.fillers,
+        rounds=args.rounds,
+        poll_interval=poll_interval,
+        push_mode=args.push,
+        kill=kill,
+    )
+    end = result.end_time
+    print(render_top(
+        result.hub.store, end, result.hub.staleness(end),
+        poll_interval=poll_interval,
+    ))
+    for round_index, shard_ids in sorted(result.failovers.items()):
+        print(f"  round {round_index}: failover "
+              f"{', '.join(shard_ids)} -> "
+              f"{', '.join(result.vfleet.shards[s].host for s in shard_ids)}")
+    gaps = result.gap_alerts()
+    print(f"  coverage-gap alerts: {len(gaps)} "
+          f"({'FAILOVER LEFT A BLIND SPOT' if gaps else 'no blind spots'})")
+    states = result.vfleet.status()
+    attesting = sum(1 for state in states.values() if state == "attesting")
+    print(f"  nodes attesting: {attesting}/{len(states)}")
+    return 1 if gaps else 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:

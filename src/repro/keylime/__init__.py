@@ -34,7 +34,15 @@ from repro.keylime.policytools import (
     lint_excludes,
     policy_statistics,
 )
+from repro.keylime.sharding import (
+    ConsistentHashRing,
+    Migration,
+    MigrationPlan,
+    shard_balance,
+)
 from repro.keylime.statestore import (
+    export_agent_state,
+    import_agent_state,
     inspect_snapshot,
     read_snapshot,
     restore_from_file,
@@ -84,7 +92,9 @@ from repro.keylime.faults import (
     FaultKind,
     FaultPlan,
     FaultSpec,
+    VerifierOutage,
     chaos_profile,
+    outage_schedule,
 )
 from repro.keylime.registrar import KeylimeRegistrar, RegistrationError
 from repro.keylime.retrypolicy import RetryBudgetExceeded, RetryPolicy, classify
@@ -107,6 +117,7 @@ __all__ = [
     "AuditRecord",
     "BootPcrMismatch",
     "ChallengeStage",
+    "ConsistentHashRing",
     "EntryVerdict",
     "ExcludeIndex",
     "JsonTransportAgent",
@@ -117,6 +128,8 @@ __all__ = [
     "LogReplayStage",
     "MeasuredBootPolicy",
     "MeasuredBootStage",
+    "Migration",
+    "MigrationPlan",
     "PolicyDiff",
     "PolicyEvalStage",
     "PolicyFailure",
@@ -134,18 +147,23 @@ __all__ = [
     "SubmittedEvidenceStage",
     "VerdictCache",
     "VerificationPipeline",
+    "VerifierOutage",
     "build_policy_from_machine",
     "capture_golden",
     "diff_policies",
     "evidence_from_json",
     "evidence_to_json",
+    "export_agent_state",
+    "import_agent_state",
     "inspect_snapshot",
     "lint_excludes",
+    "outage_schedule",
     "policy_statistics",
     "push_stages",
     "read_snapshot",
     "restore_from_file",
     "restore_verifier",
+    "shard_balance",
     "snapshot_verifier",
     "write_snapshot",
 ]

@@ -355,6 +355,73 @@ class FaultPlan:
         return json.dumps(payload, sort_keys=True), detail
 
 
+# -- verifier outages -------------------------------------------------------
+
+@dataclass(frozen=True)
+class VerifierOutage:
+    """One verifier member's unreachability window.
+
+    The chaos layer's infrastructure-side counterpart to the wire
+    faults above: instead of severing an agent's legs, the whole
+    verifier process drops off the network over sim-time
+    ``[start, end)``.  ``kind="partition"`` models a network split (the
+    process survives and may come back empty-handed after the window);
+    ``kind="crash"`` models a dead process (it never comes back).  The
+    multi-verifier fleet's heartbeat probe consults these windows at
+    the top of every tick, so an active outage triggers shard failover
+    *before* any round is missed.
+    """
+
+    member: str
+    start: float = 0.0
+    end: float = math.inf
+    kind: str = "partition"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("partition", "crash"):
+            raise ValueError(f"kind must be partition or crash, got {self.kind!r}")
+        if self.end < self.start:
+            raise ValueError(
+                f"outage ends ({self.end}) before it starts ({self.start})"
+            )
+
+    def active(self, now: float) -> bool:
+        """Whether the member is unreachable at *now*."""
+        if self.kind == "crash":
+            return now >= self.start
+        return self.start <= now < self.end
+
+
+def outage_schedule(
+    rng: SeededRng,
+    members: tuple[str, ...] | list[str],
+    n_outages: int,
+    horizon: float,
+    duration: float,
+    kind: str = "partition",
+) -> list[VerifierOutage]:
+    """A seeded schedule of verifier outages.
+
+    Draws ``n_outages`` (member, start) pairs from a dedicated forked
+    stream -- same zero-interference discipline as the wire channels:
+    building a schedule never perturbs any other stream, and the same
+    seed always yields the same outage windows.
+    """
+    if not members:
+        raise ValueError("outage schedule needs at least one member")
+    stream = rng.fork("chaos/verifier-outages")
+    outages = []
+    for _ in range(n_outages):
+        member = stream.choice(tuple(members))
+        start = stream.uniform(0.0, max(horizon - duration, 0.0))
+        outages.append(
+            VerifierOutage(
+                member=member, start=start, end=start + duration, kind=kind
+            )
+        )
+    return sorted(outages, key=lambda outage: (outage.start, outage.member))
+
+
 # -- chaos profiles --------------------------------------------------------
 
 def _profile_specs(

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 
 from repro.common.clock import Scheduler
+from repro.common.errors import StateError
 from repro.common.events import EventLog
 from repro.common.rng import SeededRng
 from repro.distro.apt import AptInstaller
@@ -36,8 +37,15 @@ from repro.keylime.audit import AuditLog
 from repro.keylime.policy import RuntimePolicy, VerdictCache
 from repro.keylime.registrar import KeylimeRegistrar
 from repro.keylime.revocation import QuarantineListener, RevocationNotifier
-from repro.keylime.faults import FaultPlan
+from repro.keylime.faults import FaultPlan, VerifierOutage
 from repro.keylime.retrypolicy import RetryPolicy
+from repro.keylime.sharding import ConsistentHashRing, MigrationPlan, shard_balance
+from repro.keylime.statestore import (
+    export_agent_state,
+    import_agent_state,
+    restore_verifier,
+    snapshot_verifier,
+)
 from repro.keylime.transport import JsonTransportAgent
 from repro.keylime.verifier import (
     POLLABLE_STATES,
@@ -114,6 +122,17 @@ class VerificationScheduler:
         if agent_id not in self._registered:
             self._registered.add(agent_id)
             self._agents.append(agent_id)
+
+    def unregister(self, agent_id: str) -> None:
+        """Drop an agent from the batch (a shard migrated it away).
+
+        Idempotent; the remaining batch order is preserved, so the
+        agents that did not move keep their exact poll positions -- a
+        rebalance must not perturb the survivors' round sequence.
+        """
+        if agent_id in self._registered:
+            self._registered.discard(agent_id)
+            self._agents.remove(agent_id)
 
     @property
     def agents(self) -> tuple[str, ...]:
@@ -628,3 +647,441 @@ class Fleet:
             files_written_total=files_total,
             rebooted_nodes=tuple(rebooted),
         )
+
+
+# ---------------------------------------------------------------------------
+# Multi-verifier sharding
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardHost:
+    """One shard: a self-contained verifier attesting a key range.
+
+    The shard is the unit of both assignment and failover.  It owns a
+    private :class:`KeylimeVerifier` (own RNG streams, own hash-chained
+    audit log, own batch scheduler) so that *where it runs* is
+    irrelevant to *what it computes*: when the hosting member dies, the
+    whole shard is rebuilt on the adopter from ``checkpoint`` and its
+    nonce sequence, verdict history and audit chain continue
+    bit-identically.  ``host`` names the member currently running the
+    shard; it starts equal to ``shard_id`` and diverges on adoption.
+    """
+
+    shard_id: str
+    host: str
+    verifier: KeylimeVerifier
+    batch: VerificationScheduler
+    audit: AuditLog
+    agents: dict[str, KeylimeAgent] = field(default_factory=dict)
+    order: list[str] = field(default_factory=list)
+    checkpoint: dict | None = None
+    adoptions: int = 0
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+
+class VerifierFleet:
+    """N verifiers over one provisioned fleet, ring-assigned.
+
+    Wraps an already-provisioned :class:`Fleet` (machines, registrar,
+    policy, wire/fault proxies) and splits its agents across
+    ``n_verifiers`` shards via a seeded
+    :class:`~repro.keylime.sharding.ConsistentHashRing` attached to the
+    registrar.  Each shard runs the existing
+    :class:`VerificationScheduler` over its key range against a private
+    :class:`KeylimeVerifier`; the :class:`~repro.keylime.policy
+    .VerdictCache` is the *fleet's* single instance shared by every
+    shard, so identical files evaluated on any shard answer all of
+    them -- a migrated agent never cold-starts policy evaluation.
+
+    Three membership operations:
+
+    * :meth:`join` / :meth:`leave` -- explicit rebalancing.  The ring
+      moves the minimal key range (see :mod:`repro.keylime.sharding`)
+      and each moved agent's attestation record travels via the
+      statestore's per-agent export/import; open push sessions are
+      deliberately abandoned (closed at the source), so pre-migration
+      evidence replays to *neither* shard.
+    * :meth:`kill` (and scheduled :class:`~repro.keylime.faults
+      .VerifierOutage` windows) -- failure.  The heartbeat probe at the
+      top of every :meth:`poll_all` tick detects the unreachable host
+      *before* any round runs, and the shard fails over whole: a fresh
+      verifier on the ring-chosen adopter restores the shard's last
+      round-boundary checkpoint, so the tick's round runs on the
+      adopter and no agent misses a single poll -- the anti-P2
+      guarantee extended to verifier churn.
+
+    After wrapping, drive attestation through ``VerifierFleet.poll_all``
+    (the inner fleet's single-verifier batch is idle; its verifier keeps
+    enrollment-time slots only).
+    """
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        n_verifiers: int,
+        rng: SeededRng,
+        seed: str | None = None,
+        vnodes: int | None = None,
+        outages: list[VerifierOutage] | tuple[VerifierOutage, ...] = (),
+        checkpoint_every: int = 1,
+    ) -> None:
+        """Shard *fleet* across ``n_verifiers`` members.
+
+        *rng* provides each shard verifier's streams via stable named
+        forks (``shard-<id>``); *seed* keys the ring's hash material
+        (defaults to the rng's seed repr, so one experiment seed fixes
+        both placement and nonce sequences).  *outages* is a chaos
+        schedule of :class:`VerifierOutage` windows consulted by the
+        heartbeat probe.  ``checkpoint_every`` controls the failover
+        checkpoint cadence in rounds (1 = every round boundary; 0
+        disables automatic checkpoints for pure-throughput benches).
+        """
+        if n_verifiers < 1:
+            raise ValueError("verifier fleet needs at least one member")
+        self.fleet = fleet
+        self.rng = rng
+        self.push_mode = fleet.push_mode
+        self.checkpoint_every = checkpoint_every
+        self.outages = list(outages)
+        self.ring = ConsistentHashRing(
+            seed if seed is not None else rng.seed_repr,
+            **({"vnodes": vnodes} if vnodes is not None else {}),
+        )
+        self.members: dict[str, bool] = {}
+        self.shards: dict[str, ShardHost] = {}
+        self._round = 0
+        # Fleet-wide agent order (provisioning order): the canonical
+        # key sequence for every ring computation, so plans are
+        # deterministic and migrated batches keep a stable order.
+        self.agent_ids: list[str] = list(fleet.poll_scheduler.agents)
+
+        for index in range(n_verifiers):
+            member = f"verifier-{index}"
+            self.ring.add(member)
+            self.members[member] = True
+            self.shards[member] = self._new_host(member)
+        fleet.registrar.attach_shard_ring(self.ring)
+
+        for agent_id in self.agent_ids:
+            shard = self.ring.owner(agent_id)
+            slot = fleet.verifier._slots[agent_id]
+            self._enroll(self.shards[shard], agent_id, slot.agent, slot.policy,
+                         slot.measured_boot)
+        # An initial checkpoint per shard: a member may die before the
+        # first round, and failover must still have a state to restore.
+        self.checkpoint()
+        self._record_rollups()
+        fleet.events.emit(
+            fleet.scheduler.clock.now, "keylime.fleet", "fleet.sharded",
+            members=n_verifiers, agents=len(self.agent_ids),
+            balance=round(self.balance(), 4),
+        )
+
+    # -- construction helpers ----------------------------------------------
+
+    def _new_host(self, shard_id: str, fork_name: str | None = None) -> ShardHost:
+        audit = AuditLog()
+        verifier = KeylimeVerifier(
+            self.fleet.registrar,
+            self.fleet.scheduler,
+            self.rng.fork(fork_name if fork_name is not None else f"shard-{shard_id}"),
+            events=self.fleet.events,
+            continue_on_failure=self.fleet.verifier.continue_on_failure,
+            notifier=self.fleet.notifier,
+            audit=audit,
+            verdict_cache=self.fleet.verdict_cache,
+            retry_policy=self.fleet.verifier.retry_policy,
+            quarantine_after=self.fleet.verifier.quarantine_after,
+            push_session_ttl=self.fleet.verifier.push_session_ttl,
+        )
+        batch = VerificationScheduler(
+            verifier, events=self.fleet.events, push_mode=self.push_mode,
+        )
+        return ShardHost(
+            shard_id=shard_id, host=shard_id, verifier=verifier,
+            batch=batch, audit=audit,
+        )
+
+    def _enroll(self, host, agent_id, agent, policy, measured_boot) -> None:
+        host.verifier.add_agent(agent, policy, measured_boot=measured_boot)
+        host.batch.register(agent_id)
+        host.agents[agent_id] = agent
+        host.order.append(agent_id)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def shard_ids(self) -> tuple[str, ...]:
+        return tuple(sorted(self.shards))
+
+    def live_members(self) -> set[str]:
+        """Members currently reachable (alive and outside any outage)."""
+        now = self.fleet.scheduler.clock.now
+        return {
+            member for member, alive in self.members.items()
+            if alive and not self._in_outage(member, now)
+        }
+
+    def _in_outage(self, member: str, now: float) -> bool:
+        return any(
+            outage.member == member and outage.active(now)
+            for outage in self.outages
+        )
+
+    def shard_of(self, agent_id: str) -> str:
+        """The shard attesting *agent_id* (ring authority)."""
+        return self.fleet.registrar.shard_of(agent_id)
+
+    def verifier_for(self, agent_id: str) -> KeylimeVerifier:
+        """The verifier currently answering for *agent_id*."""
+        return self.shards[self.shard_of(agent_id)].verifier
+
+    def shard_sizes(self) -> dict[str, int]:
+        return {shard_id: len(host) for shard_id, host in self.shards.items()}
+
+    def balance(self) -> float:
+        """Mean-over-max shard occupancy (1.0 = perfectly even)."""
+        return shard_balance(self.shard_sizes())
+
+    def status(self) -> dict[str, str]:
+        """node name -> verifier state, across every shard."""
+        states = {}
+        for node in self.fleet.nodes:
+            verifier = self.verifier_for(node.agent.agent_id)
+            states[node.name] = verifier.state_of(node.agent.agent_id).value
+        return states
+
+    # -- attestation -------------------------------------------------------
+
+    def poll_all(self) -> dict[str, AttestationResult]:
+        """One tick: heartbeat probe, failover, then every shard's batch.
+
+        The probe runs *first*, so a shard whose host died since the
+        last tick is adopted and polled in this same tick -- the fleet
+        never skips a round over a verifier failure.  Shards poll in
+        sorted order against the shared verdict cache; the round
+        boundary ends with a checkpoint of every shard (the state a
+        failover at the *next* boundary would restore).
+        """
+        self.probe()
+        results: dict[str, AttestationResult] = {}
+        for shard_id in self.shard_ids:
+            results.update(self.shards[shard_id].batch.poll_batch())
+        self._round += 1
+        if self.checkpoint_every and self._round % self.checkpoint_every == 0:
+            self.checkpoint()
+        self._record_rollups()
+        self.fleet.events.emit(
+            self.fleet.scheduler.clock.now, "keylime.fleet", "fleet.polled",
+            polled=len(results),
+            ok=sum(1 for result in results.values() if result.ok),
+            healthy=sum(
+                1 for result in results.values() if result.ok
+            ),
+        )
+        return results
+
+    def probe(self) -> list[str]:
+        """Heartbeat pass: adopt every shard whose host is unreachable.
+
+        Returns the shard ids that failed over.  Detection is driven by
+        :meth:`kill` flags and the chaos layer's
+        :class:`~repro.keylime.faults.VerifierOutage` windows -- the
+        saturation machinery's heartbeat cadence, pointed at verifier
+        processes instead of agents.
+        """
+        live = self.live_members()
+        adopted = []
+        for shard_id in self.shard_ids:
+            host = self.shards[shard_id]
+            if host.host not in live:
+                self._adopt(shard_id, live, reason="unreachable")
+                adopted.append(shard_id)
+        return adopted
+
+    def checkpoint(self) -> None:
+        """Snapshot every shard's state (the failover restore point)."""
+        for host in self.shards.values():
+            host.checkpoint = snapshot_verifier(
+                host.verifier, meta={"shard": host.shard_id, "host": host.host},
+            )
+
+    # -- failure and failover ----------------------------------------------
+
+    def kill(self, member: str) -> None:
+        """Mark *member* dead (process crash).  Failover happens at the
+        next :meth:`probe` -- i.e. at the top of the next tick."""
+        if member not in self.members:
+            raise StateError(f"no verifier member {member!r}")
+        self.members[member] = False
+
+    def _adopt(self, shard_id: str, live: set[str], reason: str) -> str:
+        """Move *shard_id* whole onto a ring-chosen live adopter.
+
+        The adopter builds a fresh verifier, re-enrolls the shard's
+        agents in their original batch order, and restores the last
+        round-boundary checkpoint: per-agent records, open push
+        sessions, all three RNG streams and the audit chain.  No
+        registrar record is touched (zero re-enrollment) and the
+        shard's assignment is unchanged -- failure moves *hosting*,
+        never keys.
+        """
+        host = self.shards[shard_id]
+        eligible = live - {host.host}
+        if not eligible:
+            raise StateError(
+                f"no live member can adopt shard {shard_id!r} "
+                f"(host {host.host!r} unreachable)"
+            )
+        adopter = self.ring.owner(f"adopt|{shard_id}", among=eligible)
+        if host.checkpoint is None:  # pragma: no cover - checkpointed at build
+            raise StateError(f"shard {shard_id!r} has no checkpoint to restore")
+        host.adoptions += 1
+        fresh = self._new_host(
+            shard_id, fork_name=f"shard-{shard_id}/adoption-{host.adoptions}",
+        )
+        for agent_id in host.order:
+            slot = host.verifier._slots[agent_id]
+            self._enroll(fresh, agent_id, slot.agent, slot.policy,
+                         slot.measured_boot)
+        restore_verifier(fresh.verifier, host.checkpoint)
+        fresh.host = adopter
+        fresh.checkpoint = host.checkpoint
+        fresh.adoptions = host.adoptions
+        self.shards[shard_id] = fresh
+        obs.get().registry.counter(
+            "fleet_shard_failovers_total",
+            "Whole-shard adoptions after verifier failures",
+        ).inc()
+        self.fleet.events.emit(
+            self.fleet.scheduler.clock.now, "keylime.fleet",
+            "fleet.shard.failover",
+            shard=shard_id, previous_host=host.host, adopter=adopter,
+            agents=len(fresh.order), reason=reason,
+        )
+        return adopter
+
+    # -- rebalancing -------------------------------------------------------
+
+    def join(self, member: str) -> MigrationPlan:
+        """Add a verifier member; migrate exactly the keys it attracts.
+
+        The ring guarantees the move set is minimal (only keys landing
+        on the new member's points); each moved agent's record travels
+        via per-agent export/import with open sessions abandoned.  The
+        surviving agents' batch positions are untouched, and every
+        agent is attested by exactly one shard at every instant --
+        :meth:`poll_all` between any two statements of this method
+        would still poll each agent exactly once.
+        """
+        if member in self.members:
+            raise StateError(f"verifier member {member!r} already exists")
+        self.members[member] = True
+        self.shards[member] = self._new_host(member)
+        plan = self.ring.plan_join(self.agent_ids, member)
+        for move in plan.moves:
+            self._migrate(move.key, move.source, move.target)
+        self.checkpoint()
+        self._record_rollups()
+        self.fleet.events.emit(
+            self.fleet.scheduler.clock.now, "keylime.fleet", "fleet.shard.joined",
+            member=member, moved=len(plan.moves),
+            balance=round(self.balance(), 4),
+        )
+        return plan
+
+    def leave(self, member: str) -> MigrationPlan:
+        """Retire a verifier member gracefully; release only its keys.
+
+        Shards the member is *hosting* by adoption move to new adopters
+        first; then the member's own key range migrates agent-by-agent
+        to each key's next ring owner, and the empty shard is dropped.
+        """
+        if member not in self.members:
+            raise StateError(f"no verifier member {member!r}")
+        survivors = self.live_members() - {member}
+        if not survivors:
+            raise StateError("cannot retire the last live verifier member")
+        for shard_id in self.shard_ids:
+            host = self.shards[shard_id]
+            if host.host == member and shard_id != member:
+                self._adopt(shard_id, survivors, reason="host-retired")
+        plan = self.ring.plan_leave(self.agent_ids, member)
+        for move in plan.moves:
+            self._migrate(move.key, move.source, move.target)
+        del self.shards[member]
+        del self.members[member]
+        self.checkpoint()
+        self._record_rollups()
+        self.fleet.events.emit(
+            self.fleet.scheduler.clock.now, "keylime.fleet", "fleet.shard.left",
+            member=member, moved=len(plan.moves),
+            balance=round(self.balance(), 4),
+        )
+        return plan
+
+    def _migrate(self, agent_id: str, source_id: str, target_id: str) -> None:
+        """Hand one agent's attestation record between shards.
+
+        Sessions are closed at the source (``remove_agent``) and not
+        recreated at the target (``include_sessions=False``): evidence
+        negotiated before the move verifies on *neither* verifier
+        afterwards, by construction.
+        """
+        source = self.shards[source_id]
+        target = self.shards[target_id]
+        slot = source.verifier._slots[agent_id]
+        record = export_agent_state(source.verifier, agent_id)
+        agent, policy, measured_boot = slot.agent, slot.policy, slot.measured_boot
+        source.batch.unregister(agent_id)
+        source.verifier.remove_agent(agent_id)
+        source.agents.pop(agent_id, None)
+        source.order.remove(agent_id)
+        self._enroll(target, agent_id, agent, policy, measured_boot)
+        import_agent_state(target.verifier, record, include_sessions=False)
+        obs.get().registry.counter(
+            "fleet_shard_migrations_total",
+            "Per-agent state handoffs between shards during rebalancing",
+        ).inc()
+        self.fleet.events.emit(
+            self.fleet.scheduler.clock.now, "keylime.fleet",
+            "fleet.shard.migrated",
+            agent=agent_id, source=source_id, target=target_id,
+        )
+
+    # -- observability -----------------------------------------------------
+
+    def _record_rollups(self) -> None:
+        """Refresh the per-shard gauges the shard panel and the
+        ``fleet:shard_balance`` recording rule read."""
+        registry = obs.get().registry
+        agents_gauge = registry.gauge(
+            "fleet_shard_agents", "Agents assigned per shard", ("shard",),
+        )
+        hosted_gauge = registry.gauge(
+            "fleet_shard_hosted",
+            "Which member hosts each shard (1 = hosting)",
+            ("shard", "host"),
+        )
+        for shard_id, host in self.shards.items():
+            agents_gauge.labels(shard=shard_id).set(len(host))
+            for member in self.members:
+                hosted_gauge.labels(shard=shard_id, host=member).set(
+                    1.0 if host.host == member else 0.0
+                )
+        registry.gauge(
+            "fleet_shard_members", "Live verifier members",
+        ).set(len(self.live_members()))
+        by_state: dict[str, int] = {}
+        for state in self.status().values():
+            by_state[state] = by_state.get(state, 0) + 1
+        nodes_gauge = registry.gauge(
+            "fleet_nodes", "Fleet nodes by verifier state", ("state",),
+        )
+        for state in AgentState:
+            nodes_gauge.labels(state=state.value).set(
+                by_state.get(state.value, 0)
+            )

@@ -47,6 +47,47 @@ class KeylimeRegistrar:
         self.events = events if events is not None else EventLog()
         self._agents: dict[str, AgentRecord] = {}
         self._capabilities: dict[str, PushCapabilities] = {}
+        self._shard_ring = None
+
+    # -- shard assignment ---------------------------------------------------
+
+    def attach_shard_ring(self, ring) -> None:
+        """Make this registrar the authority for shard placement.
+
+        The registrar already owns the only fleet-wide identity table,
+        which makes it the natural home for the consistent-hash ring
+        (:class:`repro.keylime.sharding.ConsistentHashRing`): every
+        component that can look an agent up can also ask where it is
+        attested.  Attaching emits one ``shard.ring.attached`` event
+        naming the membership, so the event log records when placement
+        authority began.
+        """
+        self._shard_ring = ring
+        self.events.emit(
+            0.0, "keylime.registrar", "shard.ring.attached",
+            members=",".join(ring.members), vnodes=ring.vnodes,
+        )
+
+    @property
+    def shard_ring(self):
+        """The attached ring (None while the fleet is single-verifier)."""
+        return self._shard_ring
+
+    def shard_of(self, agent_id: str) -> str:
+        """The shard attesting *agent_id* (registered agents only).
+
+        Raises :class:`~repro.common.errors.NotFoundError` for unknown
+        agents and :class:`IntegrityError` when no ring is attached --
+        asking for a shard in a single-verifier deployment is a caller
+        bug, not an empty answer.
+        """
+        self.lookup(agent_id)
+        if self._shard_ring is None:
+            raise IntegrityError(
+                "no shard ring attached: this registrar serves a "
+                "single-verifier deployment"
+            )
+        return self._shard_ring.owner(agent_id)
 
     def __contains__(self, agent_id: str) -> bool:
         return agent_id in self._agents

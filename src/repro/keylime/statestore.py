@@ -126,6 +126,92 @@ def _rng_state(rng) -> list:
     return [version, list(internal), gauss_next]
 
 
+# -- per-agent state handoff -------------------------------------------------
+
+def export_agent_state(verifier: KeylimeVerifier, agent_id: str) -> dict[str, Any]:
+    """One agent's complete attestation record as a JSON-safe dict.
+
+    The per-agent unit of both the whole-verifier snapshot and a shard
+    migration: lifecycle state, replay offset and aggregate, quarantine
+    budget, failure/result history, policy generation, and every
+    remembered push session.
+    """
+    slot = verifier._slots[agent_id]
+    return {
+        "agent_id": agent_id,
+        "state": slot.state.value,
+        "verified_entries": slot.verified_entries,
+        "replay_aggregate": slot.replay_aggregate,
+        "last_reset_count": slot.last_reset_count,
+        "suspect_since": slot.suspect_since,
+        "suspect_windows": slot.suspect_windows,
+        "policy": {
+            "uid": slot.policy.uid,
+            "generation": slot.policy.generation,
+        },
+        "failures": [
+            _failure_to_record(failure) for failure in slot.failures
+        ],
+        "results": [_result_to_record(result) for result in slot.results],
+        "sessions": [
+            session.to_record()
+            for session in verifier.push_sessions_of(agent_id)
+        ],
+    }
+
+
+def import_agent_state(
+    verifier: KeylimeVerifier,
+    record: dict[str, Any],
+    include_sessions: bool = True,
+) -> str:
+    """Restore one exported agent record into *verifier*; returns the id.
+
+    The verifier must already hold a slot (``add_agent``) for the
+    agent.  ``include_sessions=False`` is the migration handoff: a
+    shard move deliberately abandons open push sessions at the source
+    (they are closed there), so a submission against the old session is
+    an :class:`IntegrityError` on *both* verifiers -- the wrong-shard
+    replay story in THREATMODEL.md.
+    """
+    agent_id = record["agent_id"]
+    if agent_id not in verifier._slots:
+        raise StateError(
+            f"agent {agent_id!r} has no slot on the importing verifier "
+            "(add_agent it first)"
+        )
+    try:
+        slot = verifier._slots[agent_id]
+        slot.state = AgentState(record["state"])
+        slot.verified_entries = int(record["verified_entries"])
+        slot.replay_aggregate = str(record["replay_aggregate"])
+        reset_count = record["last_reset_count"]
+        slot.last_reset_count = (
+            int(reset_count) if reset_count is not None else None
+        )
+        suspect_since = record["suspect_since"]
+        slot.suspect_since = (
+            float(suspect_since) if suspect_since is not None else None
+        )
+        slot.suspect_windows = int(record["suspect_windows"])
+        slot.failures = [
+            _failure_from_record(failure) for failure in record["failures"]
+        ]
+        slot.results = [
+            _result_from_record(result) for result in record["results"]
+        ]
+        recorded_generation = int(record["policy"]["generation"])
+        if slot.policy.generation < recorded_generation:
+            slot.policy.generation = recorded_generation
+        if include_sessions:
+            for session_record in record["sessions"]:
+                session = PushSession.from_record(session_record)
+                verifier._push_sessions[session.session_id] = session
+    except (KeyError, TypeError, ValueError) as exc:
+        raise IntegrityError(f"malformed agent record in snapshot: {exc}") from exc
+    return agent_id
+
+
 # -- snapshot assembly ------------------------------------------------------
 
 def snapshot_verifier(
@@ -137,31 +223,10 @@ def snapshot_verifier(
     verbatim so a CLI ``state load`` can rebuild the surrounding rig.
     """
     now = verifier.scheduler.clock.now
-    agents = []
-    for agent_id, slot in verifier._slots.items():
-        agents.append(
-            {
-                "agent_id": agent_id,
-                "state": slot.state.value,
-                "verified_entries": slot.verified_entries,
-                "replay_aggregate": slot.replay_aggregate,
-                "last_reset_count": slot.last_reset_count,
-                "suspect_since": slot.suspect_since,
-                "suspect_windows": slot.suspect_windows,
-                "policy": {
-                    "uid": slot.policy.uid,
-                    "generation": slot.policy.generation,
-                },
-                "failures": [
-                    _failure_to_record(failure) for failure in slot.failures
-                ],
-                "results": [_result_to_record(result) for result in slot.results],
-                "sessions": [
-                    session.to_record()
-                    for session in verifier.push_sessions_of(agent_id)
-                ],
-            }
-        )
+    agents = [
+        export_agent_state(verifier, agent_id)
+        for agent_id in verifier._slots
+    ]
     body: dict[str, Any] = {
         "created_at": now,
         "push_session_ttl": verifier.push_session_ttl,
@@ -340,31 +405,7 @@ def restore_verifier(
 
     try:
         for record in agent_records:
-            slot = verifier._slots[record["agent_id"]]
-            slot.state = AgentState(record["state"])
-            slot.verified_entries = int(record["verified_entries"])
-            slot.replay_aggregate = str(record["replay_aggregate"])
-            reset_count = record["last_reset_count"]
-            slot.last_reset_count = (
-                int(reset_count) if reset_count is not None else None
-            )
-            suspect_since = record["suspect_since"]
-            slot.suspect_since = (
-                float(suspect_since) if suspect_since is not None else None
-            )
-            slot.suspect_windows = int(record["suspect_windows"])
-            slot.failures = [
-                _failure_from_record(failure) for failure in record["failures"]
-            ]
-            slot.results = [
-                _result_from_record(result) for result in record["results"]
-            ]
-            recorded_generation = int(record["policy"]["generation"])
-            if slot.policy.generation < recorded_generation:
-                slot.policy.generation = recorded_generation
-            for session_record in record["sessions"]:
-                session = PushSession.from_record(session_record)
-                verifier._push_sessions[session.session_id] = session
+            import_agent_state(verifier, record)
         verifier.rng.setstate(rng_states["verifier"])
         verifier._retry_rng.setstate(rng_states["retry"])
         verifier._session_rng.setstate(rng_states["session"])

@@ -211,6 +211,22 @@ class KeylimeVerifier:
             agent=agent, policy=policy, measured_boot=measured_boot
         )
 
+    def remove_agent(self, agent_id: str) -> None:
+        """Stop attesting *agent_id* and forget its slot.
+
+        The shard-migration half of :meth:`add_agent`: the agent's
+        state has been exported for another verifier, so this one must
+        stop answering for it.  Open push sessions are closed first
+        (``discarded`` outcome, terminal record kept), so a submission
+        against a pre-migration session is rejected as a replay here
+        and as an unknown session on the new verifier -- the evidence
+        can never verify twice.  The registrar record is untouched:
+        migration is not de-enrollment.
+        """
+        self._slot(agent_id)  # raises when unknown
+        self.discard_push_sessions(agent_id)
+        del self._slots[agent_id]
+
     def _slot(self, agent_id: str) -> AgentSlot:
         try:
             return self._slots[agent_id]

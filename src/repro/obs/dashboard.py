@@ -230,6 +230,80 @@ def _saturation_panel(
     return lines
 
 
+def _shard_rows(store: TsdbStore, now: float) -> list[tuple[str, float, str]]:
+    """``(shard, agents, host)`` rows from the shard gauges."""
+    # Freshest series per shard, NOT a sum across label sets: after a
+    # failover the dead member's stale per-source series would double
+    # the shard with the adopter's live one.
+    sizes: dict[str, float] = {}
+    size_at: dict[str, float] = {}
+    for series in store.select("fleet_shard_agents"):
+        value = series.instant(now)
+        shard = series.label("shard")
+        if value is None or shard is None:
+            continue
+        last_at = series.raw[-1][0] if series.raw else float("-inf")
+        if shard not in sizes or last_at > size_at[shard]:
+            sizes[shard], size_at[shard] = value, last_at
+    hosts: dict[str, tuple[float, str]] = {}
+    for series in store.select("fleet_shard_hosted"):
+        value = series.instant(now)
+        shard = series.label("shard")
+        host = series.label("host")
+        if value is None or value < 1.0 or shard is None or host is None:
+            continue
+        # A dead member stops federating, so its pre-failover hosted=1
+        # sample lingers in the store; the freshest sample is the
+        # member actually answering for the shard now.
+        last_at = series.raw[-1][0] if series.raw else float("-inf")
+        if shard not in hosts or last_at > hosts[shard][0]:
+            hosts[shard] = (last_at, host)
+    return [
+        (shard, count, hosts.get(shard, (0.0, shard))[1])
+        for shard, count in sorted(sizes.items())
+    ]
+
+
+def _shard_panel(store: TsdbStore, now: float) -> list[str]:
+    """Shard layout lines for :func:`render_top` (empty without data).
+
+    One row per shard with its agent count and hosting member --
+    adopted shards (host differs from the shard's home member) are
+    flagged, since a lasting adoption means a verifier is still down.
+    The header carries the ``fleet:shard_balance`` recording rule and
+    the cumulative failover/migration counters.
+    """
+    rows = _shard_rows(store, now)
+    if not rows:
+        return []
+    members = None
+    member_instants = [
+        value for series in store.select("fleet_shard_members")
+        if (value := series.instant(now)) is not None
+    ]
+    if member_instants:
+        # A gauge, not a counter: the freshest source wins (in a local
+        # store there is exactly one series; federated, one per hub).
+        members = member_instants[-1]
+    balance = store.instant("fleet:shard_balance", None, now)
+    failovers = _series_total(store, "fleet_shard_failovers_total", now)
+    migrations = _series_total(store, "fleet_shard_migrations_total", now)
+    header = f"  -- shards ({len(rows)})"
+    if members is not None:
+        header += f", {int(members)} live member(s)"
+    if balance is not None:
+        header += f", balance={balance:.2f}"
+    header += " --"
+    lines = [header]
+    for shard, count, host in rows:
+        marker = "" if host == shard else f"  host={host} (adopted)"
+        lines.append(f"    {shard:<14s} {int(count):4d} agents{marker}")
+    lines.append(
+        f"    failovers={int(failovers)} migrations={int(migrations)}"
+    )
+    return lines
+
+
 def _perf_series(store: TsdbStore) -> dict[tuple[str, str, str], dict]:
     """Perf-trajectory samples grouped by (bench, mode, metric).
 
@@ -342,6 +416,9 @@ def render_top(
     # Verifier load / saturation, from the capacity accounting series.
     lines.extend(_saturation_panel(store, now, span, width))
 
+    # Shard layout (present once a multi-verifier fleet reports).
+    lines.extend(_shard_panel(store, now))
+
     # SLO burn over the trailing day.
     burns = slo_burn(store, now, window=86400.0)
     if burns:
@@ -441,6 +518,17 @@ def top_frame_record(
         ),
         "stage_cost_share": _grouped_instants(
             store, "fleet:stage_cost_share", "stage", now
+        ),
+        "shards": {
+            shard: {"agents": int(count), "host": host}
+            for shard, count, host in _shard_rows(store, now)
+        },
+        "shard_balance": store.instant("fleet:shard_balance", None, now),
+        "shard_failovers": int(
+            _series_total(store, "fleet_shard_failovers_total", now)
+        ),
+        "shard_migrations": int(
+            _series_total(store, "fleet_shard_migrations_total", now)
         ),
         "saturated_sources": sum(
             1 for series in store.select("fleet_saturated")

@@ -295,9 +295,45 @@ class AggregateRule(_WindowRule):
         return self._write(store, self.record, groups, at)
 
 
+@dataclass(frozen=True)
+class BalanceRule(_WindowRule):
+    """``record = avg(source) / max(source)`` across ``by`` groups.
+
+    The shard-evenness rule: grouping ``fleet_shard_agents`` by
+    ``shard`` yields the mean-over-max occupancy in ``(0, 1]`` -- the
+    factor by which consistent-hash imbalance discounts the fleet's
+    parallel speedup (a tick's critical path is its largest shard).
+    Instants are summed within a group first, so a federated store
+    where each source reports its own shards still reads per-shard
+    totals.  Nothing is written when the source has no data or every
+    group is empty -- "no shards" is absence, not balance 0.
+    """
+
+    record: str
+    source: str
+    by: tuple[str, ...] = ()
+
+    def evaluate(self, store: TsdbStore, at: float) -> int:
+        grouped: dict[tuple[tuple[str, str], ...], float] = {}
+        for series in store.select(self.source):
+            value = series.instant(at)
+            if value is None:
+                continue
+            key = _group_key(series, self.by)
+            grouped[key] = grouped.get(key, 0.0) + value
+        if not grouped:
+            return 0
+        values = list(grouped.values())
+        peak = max(values)
+        if peak <= 0:
+            return 0
+        balance = (sum(values) / len(values)) / peak
+        return self._write(store, self.record, {(): balance}, at)
+
+
 RecordingRule = (
     IncreaseRule | RateRule | RatioRule | QuantileOverTimeRule
-    | ShareRule | AggregateRule
+    | ShareRule | AggregateRule | BalanceRule
 )
 
 
@@ -393,6 +429,9 @@ def standard_recording_rules(
             window,
             by=("stage",),
         ),
+        # Sharded-fleet set: how evenly the consistent-hash ring spread
+        # the agents (written only once shard gauges exist).
+        BalanceRule("fleet:shard_balance", "fleet_shard_agents", by=("shard",)),
     ]
 
 

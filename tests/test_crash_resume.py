@@ -7,7 +7,15 @@ and the verdict history and hash-chained audit trail must be
 bit-identical to the uninterrupted run.  The restart must also be
 invisible to the anti-P2 machinery: no coverage-gap alert, no
 re-enrollment, every agent resuming at its exact replay offset.
+
+The multi-verifier handoff suite extends the same property to shard
+adoption: a failover restore must carry the departed host's RNG stream
+positions and open push sessions onto the adopter byte-exactly, so the
+adopter is indistinguishable from a verifier that never died.
 """
+
+import os
+import sys
 
 import pytest
 
@@ -16,30 +24,15 @@ from repro.common.errors import IntegrityError
 from repro.keylime.statestore import restore_from_file, write_snapshot
 from repro.obs.health import HealthWatch
 
+sys.path.insert(0, os.path.dirname(__file__))
+
+from resume_helpers import fleet_fingerprint as _fingerprint  # noqa: E402
+
 N_NODES = 10
 N_ROUNDS = 5
 INTERVAL = 1800.0
 FILLERS = 4
 SEED = "crash-resume"
-
-
-def _fingerprint(fleet):
-    """Everything the run produced, bit-for-bit comparable."""
-    return {
-        "results": {
-            node.agent.agent_id: fleet.verifier.results_of(node.agent.agent_id)
-            for node in fleet.nodes
-        },
-        "offsets": {
-            node.agent.agent_id: fleet.verifier.verified_entries_of(
-                node.agent.agent_id
-            )
-            for node in fleet.nodes
-        },
-        "status": fleet.status(),
-        "audit": fleet.verifier.audit.export_records(),
-        "audit_head": fleet.verifier.audit.head_hash,
-    }
 
 
 @pytest.fixture(scope="module")
@@ -142,3 +135,153 @@ class TestEveryRoundBoundary:
         write_snapshot(snapshot, crashed.verifier)
         resumed = _resume(snapshot, N_ROUNDS - 2, push_mode=False, n_nodes=3)
         assert _fingerprint(resumed) == expected
+
+
+class TestMultiVerifierHandoff:
+    """Failover must hand the adopter the dead host's *exact* state:
+    RNG stream positions and open push sessions included."""
+
+    SEED = "handoff"
+    NODES = 6
+    VERIFIERS = 2
+
+    def _sharded(self, push_mode=False):
+        from repro.experiments.shardfleet import build_shard_fleet
+
+        return build_shard_fleet(
+            self.SEED, self.NODES, self.VERIFIERS,
+            fillers=2, push_mode=push_mode,
+        )
+
+    @staticmethod
+    def _drive(fleet, vfleet, rounds):
+        for _ in range(rounds):
+            fleet.scheduler.clock.advance_by(INTERVAL)
+            vfleet.poll_all()
+
+    def test_failover_restores_rng_stream_positions(self):
+        """The adopter's three RNG streams resume exactly where the
+        dead host's left off -- nonces after the failover match a twin
+        that never saw a failure, draw for draw."""
+        from resume_helpers import assert_fingerprints_equal, vfleet_fingerprint
+
+        twin_fleet, twin = self._sharded()
+        self._drive(twin_fleet, twin, 4)
+
+        fleet, vfleet = self._sharded()
+        self._drive(fleet, vfleet, 2)
+        victim = vfleet.shard_of("agent-node-000")
+        vfleet.kill(victim)
+        self._drive(fleet, vfleet, 2)
+
+        assert vfleet.shards[victim].host != victim
+        for shard_id in vfleet.shard_ids:
+            survivor = vfleet.shards[shard_id].verifier
+            reference = twin.shards[shard_id].verifier
+            assert survivor.rng.getstate() == reference.rng.getstate()
+            assert (
+                survivor._retry_rng.getstate()
+                == reference._retry_rng.getstate()
+            )
+            assert (
+                survivor._session_rng.getstate()
+                == reference._session_rng.getstate()
+            )
+        assert_fingerprints_equal(
+            vfleet_fingerprint(vfleet), vfleet_fingerprint(twin)
+        )
+
+    def test_failover_preserves_open_push_sessions(self):
+        """A session negotiated before the crash is still open on the
+        adopter, nonce and all -- the submission lands there and
+        verifies (contrast: *migration* discards open sessions)."""
+        from repro.keylime.transport import (
+            negotiation_reply_from_json,
+            negotiation_to_json,
+            submission_to_json,
+        )
+
+        fleet, vfleet = self._sharded(push_mode=True)
+        self._drive(fleet, vfleet, 1)
+
+        agent_id = "agent-node-000"
+        victim = vfleet.shard_of(agent_id)
+        host = vfleet.shards[victim]
+        agent = host.agents[agent_id]
+        reply = negotiation_reply_from_json(
+            host.verifier.negotiate_push(
+                negotiation_to_json(agent_id, agent.capabilities())
+            )
+        )
+        assert host.verifier.open_push_session_of(agent_id) is not None
+
+        vfleet.checkpoint()
+        vfleet.kill(victim)
+        adopted = vfleet.probe()
+        assert victim in adopted
+
+        adopter = vfleet.shards[victim].verifier
+        assert adopter is not host.verifier
+        session = adopter.open_push_session_of(agent_id)
+        assert session is not None
+        assert session.session_id == reply.session_id
+        assert session.nonce == reply.nonce
+
+        evidence = agent.attest(
+            reply.nonce,
+            offset=reply.offset,
+            pcr_selection=list(reply.pcr_selection),
+        )
+        verdict_blob = adopter.submit_push(
+            submission_to_json(reply.session_id, agent_id, evidence)
+        )
+        assert verdict_blob
+        assert adopter.open_push_session_of(agent_id) is None
+
+    def test_migration_discards_open_push_sessions(self):
+        """The rebalancing contrast case: a session open at migration
+        time is closed at the source and absent at the target, so the
+        pre-move evidence verifies on *neither* verifier."""
+        from repro.keylime.transport import (
+            negotiation_reply_from_json,
+            negotiation_to_json,
+            submission_to_json,
+        )
+
+        fleet, vfleet = self._sharded(push_mode=True)
+        self._drive(fleet, vfleet, 1)
+
+        joiner = f"verifier-{self.VERIFIERS}"
+        # Find an agent that WILL move when the joiner arrives, without
+        # mutating the live ring: probe a scratch copy.
+        from repro.keylime.sharding import ConsistentHashRing
+
+        scratch = ConsistentHashRing(vfleet.ring.seed, vnodes=vfleet.ring.vnodes)
+        for member in vfleet.ring.members:
+            scratch.add(member)
+        moving = scratch.plan_join(vfleet.agent_ids, joiner).moved_keys
+        assert moving, "seed must move at least one agent on join"
+        agent_id = moving[0]
+
+        source = vfleet.shards[vfleet.shard_of(agent_id)]
+        agent = source.agents[agent_id]
+        reply = negotiation_reply_from_json(
+            source.verifier.negotiate_push(
+                negotiation_to_json(agent_id, agent.capabilities())
+            )
+        )
+        evidence = agent.attest(
+            reply.nonce,
+            offset=reply.offset,
+            pcr_selection=list(reply.pcr_selection),
+        )
+
+        vfleet.join(joiner)
+        target = vfleet.shards[vfleet.shard_of(agent_id)]
+        assert target.shard_id == joiner
+        assert target.verifier.open_push_session_of(agent_id) is None
+        blob = submission_to_json(reply.session_id, agent_id, evidence)
+        with pytest.raises(IntegrityError):
+            target.verifier.submit_push(blob)
+        with pytest.raises(IntegrityError):
+            source.verifier.submit_push(blob)
